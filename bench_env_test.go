@@ -1,0 +1,60 @@
+package vulcan_test
+
+import (
+	"testing"
+
+	"vulcan/internal/machine"
+	"vulcan/internal/mem"
+	"vulcan/internal/migrate"
+	"vulcan/internal/pagetable"
+)
+
+// benchEnv is a minimal address space + engine for raw migration
+// throughput benchmarks.
+type benchEnv struct {
+	engine *migrate.Engine
+	table  *pagetable.Replicated
+	pages  int
+	inFast bool
+}
+
+func newBenchEnv(b *testing.B, cfg machine.Config) *benchEnv {
+	b.Helper()
+	tiers := mem.NewTiers(cfg.Tiers)
+	table := pagetable.NewReplicated(8)
+	const pages = 1 << 13
+	for vp := pagetable.VPage(0); vp < pages; vp++ {
+		f, ok := tiers.Alloc(mem.TierSlow)
+		if !ok {
+			b.Fatal("slow tier exhausted in setup")
+		}
+		if err := table.Map(int(vp)%8, vp, pagetable.NewPTE(f, uint8(vp%8))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng := migrate.NewEngine(migrate.Config{
+		Cost:              cfg.Cost,
+		Tiers:             tiers,
+		Table:             table,
+		Cpus:              cfg.Cores,
+		ProcessThreads:    8,
+		OptimizedPrep:     true,
+		TargetedShootdown: true,
+	})
+	return &benchEnv{engine: eng, table: table, pages: pages}
+}
+
+// promoteDemoteCycle migrates one batch up then back down, keeping the
+// benchmark in steady state.
+func (e *benchEnv) promoteDemoteCycle(batch int) {
+	to := mem.TierFast
+	if e.inFast {
+		to = mem.TierSlow
+	}
+	moves := make([]migrate.Move, batch)
+	for i := range moves {
+		moves[i] = migrate.Move{VP: pagetable.VPage(i), To: to}
+	}
+	e.engine.MigrateSync(moves)
+	e.inFast = !e.inFast
+}

@@ -1,0 +1,222 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§2.2 Figures 1–4, §5 Figures 7–10, Tables 1–2), plus
+// ablation benches for the design choices DESIGN.md calls out.
+//
+// Each benchmark runs the figure's full data-generation pipeline and
+// reports the figure's headline quantity as a custom metric, so a bench
+// run doubles as a reproduction check:
+//
+//	go test -bench=. -benchmem
+//
+// Co-location figures run at reduced scale to keep iterations bounded;
+// cmd/figures regenerates them at full scale.
+package vulcan_test
+
+import (
+	"testing"
+
+	"vulcan/internal/figures"
+	"vulcan/internal/machine"
+	"vulcan/internal/migrate"
+	"vulcan/internal/sim"
+)
+
+// BenchmarkFig1ColdPageDilemma regenerates Figure 1 (hot/cold pages over
+// time for Memcached and Liblinear, solo vs co-located under Memtis) and
+// reports panel (d)'s hot-ratio collapse and performance degradation.
+func BenchmarkFig1ColdPageDilemma(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := figures.Fig1(40*sim.Second, 16, uint64(i+1))
+		b.ReportMetric(r.Summary.SoloHotRatio, "solo-hot-ratio")
+		b.ReportMetric(r.Summary.ColocatedHotRatio, "colo-hot-ratio")
+		b.ReportMetric(r.Summary.PerfRatio, "mc-perf-ratio")
+	}
+}
+
+// BenchmarkFig2MigrationBreakdown regenerates Figure 2 (single base-page
+// migration cost breakdown across 2–32 CPUs).
+func BenchmarkFig2MigrationBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := figures.Fig2()
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.TotalCycles, "cycles@32cpu")
+		b.ReportMetric(100*last.PrepShare, "prep%@32cpu")
+	}
+}
+
+// BenchmarkFig3TLBvsCopy regenerates Figure 3 (TLB vs copy contribution
+// across pages × threads).
+func BenchmarkFig3TLBvsCopy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := figures.Fig3()
+		for _, c := range cells {
+			if c.Pages == 512 && c.Threads == 32 {
+				b.ReportMetric(100*c.TLBShare, "tlb%@512p32t")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4SyncVsAsync regenerates Figure 4 (sync vs async copying
+// across read/write ratios) and reports the two endpoints' winners.
+func BenchmarkFig4SyncVsAsync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := figures.Fig4(uint64(i + 7))
+		b.ReportMetric(rows[0].AsyncOpsPerS/rows[0].SyncOpsPerS, "async/sync@read")
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.SyncOpsPerS/last.AsyncOpsPerS, "sync/async@write")
+	}
+}
+
+// BenchmarkFig6PageTableReplication quantifies Figure 6: page-table
+// memory of Vulcan's shared-leaf replication vs full replication.
+func BenchmarkFig6PageTableReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := figures.Fig6()
+		last := rows[len(rows)-1] // 32 threads
+		b.ReportMetric(last.VulcanOverheadPc, "vulcan-ovh%@32t")
+		b.ReportMetric(last.FullOverheadPc, "full-ovh%@32t")
+	}
+}
+
+// BenchmarkFig7OptimizationSpeedup regenerates Figure 7 (speedups of
+// optimized preparation and targeted shootdown for 2–512-page batches).
+func BenchmarkFig7OptimizationSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := figures.Fig7()
+		b.ReportMetric(rows[0].PrepOptSpeedup, "prep-speedup@2p")
+		b.ReportMetric(rows[0].BothOptSpeedup, "both-speedup@2p")
+	}
+}
+
+// BenchmarkFig8MigrationBandwidth regenerates Figure 8 (microbenchmark
+// read/write bandwidth for TPP/Memtis/Nomad/Vulcan across working sets).
+func BenchmarkFig8MigrationBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := figures.Fig8(nil, uint64(i+1))
+		for _, r := range rows {
+			if r.Policy == "vulcan" && r.WSS == figures.WSSLarge {
+				b.ReportMetric(r.ReadMBsStable, "vulcan-MB/s@large")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9DynamicColocation regenerates Figure 9 (dynamic
+// allocation, FTHR and GPT under staggered arrivals managed by Vulcan).
+func BenchmarkFig9DynamicColocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := figures.Fig9(150*sim.Second, 8, uint64(i+1))
+		for _, s := range r.Apps {
+			if s.App == "memcached" && len(s.GPT) > 0 {
+				b.ReportMetric(s.GPT[len(s.GPT)-1], "mc-final-gpt")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10PerfFairness regenerates Figure 10 (normalized
+// performance and CFI for all four systems) and reports the paper's two
+// headline fairness deltas.
+func BenchmarkFig10PerfFairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := figures.Fig10(2, 60*sim.Second, 8)
+		b.ReportMetric(r.CFIMean["vulcan"], "vulcan-cfi")
+		if m := r.CFIMean["memtis"]; m > 0 {
+			b.ReportMetric(r.CFIMean["vulcan"]/m, "cfi-vs-memtis")
+		}
+		if n := r.CFIMean["nomad"]; n > 0 {
+			b.ReportMetric(r.CFIMean["vulcan"]/n, "cfi-vs-nomad")
+		}
+	}
+}
+
+// BenchmarkTable1PromotionMatrix regenerates Table 1 from the
+// implementation's classification logic.
+func BenchmarkTable1PromotionMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := figures.Table1()
+		if len(rows) != 4 {
+			b.Fatal("Table 1 must have four classes")
+		}
+	}
+}
+
+// BenchmarkTable2Workloads regenerates Table 2 (workloads and RSS).
+func BenchmarkTable2Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := figures.Table2()
+		if len(rows) != 3 {
+			b.Fatal("Table 2 must have three workloads")
+		}
+	}
+}
+
+// BenchmarkAblationCBFRPvsUniform compares credit-based partitioning
+// against the uniform straw man (§3.3).
+func BenchmarkAblationCBFRPvsUniform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := figures.Ablations(20*sim.Second, 16, uint64(i+1))
+		for _, r := range rows {
+			if r.Name == "cbfrp->uniform" {
+				b.ReportMetric(r.FullCFI/r.AblatedCFI, "cfi-gain")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMechanisms reports the migration-cycle overhead of
+// disabling each mechanism-level optimization (optimized prep, targeted
+// shootdown, shadowing, biased queues, MLFQ).
+func BenchmarkAblationMechanisms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := figures.Ablations(20*sim.Second, 16, uint64(i+1))
+		for _, r := range rows {
+			switch r.Name {
+			case "no-optimized-prep":
+				b.ReportMetric(r.AblatedMigCycles/r.FullMigCycles, "prep-cycle-ratio")
+			case "no-biased-queues":
+				b.ReportMetric(r.AblatedMigCycles/r.FullMigCycles, "queues-cycle-ratio")
+			case "no-shadowing":
+				b.ReportMetric(r.AblatedMigCycles/r.FullMigCycles, "shadow-cycle-ratio")
+			}
+		}
+	}
+}
+
+// BenchmarkMigrationEngine measures raw synchronous batch migration
+// throughput of the engine itself (pages moved per second of wall time).
+func BenchmarkMigrationEngine(b *testing.B) {
+	cfg := machine.DefaultConfig()
+	cfg.Tiers[0].CapacityPages = 1 << 14
+	cfg.Tiers[1].CapacityPages = 1 << 16
+	b.Run("sync-64page-batches", func(b *testing.B) {
+		env := newBenchEnv(b, cfg)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			env.promoteDemoteCycle(64)
+		}
+	})
+	b.Run("sync-512page-batches", func(b *testing.B) {
+		env := newBenchEnv(b, cfg)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			env.promoteDemoteCycle(512)
+		}
+	})
+}
+
+// BenchmarkHotPagePromotion measures the Figure 4 microbenchmark itself.
+func BenchmarkHotPagePromotion(b *testing.B) {
+	cfg := migrate.DefaultHotPageConfig()
+	b.Run("sync", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			migrate.RunHotPageSync(cfg)
+		}
+	})
+	b.Run("async", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			migrate.RunHotPageAsync(cfg)
+		}
+	})
+}

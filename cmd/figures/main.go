@@ -1,0 +1,104 @@
+// Command figures regenerates the tables and figures of the paper's
+// evaluation from the simulated substrate.
+//
+// Usage:
+//
+//	figures -all                    # every figure and table (slow)
+//	figures -fig 2                  # one figure (1,2,3,4,7,8,9,10)
+//	figures -table 1                # one table (1,2)
+//	figures -ablations              # Vulcan mechanism ablations
+//	figures -fig 10 -trials 10      # paper-grade trial count
+//	figures -fig 9 -csv             # machine-readable output
+//
+// -scale divides capacities and footprints beyond the built-in 1/64
+// scale; larger values run faster at lower fidelity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vulcan/internal/figures"
+	"vulcan/internal/sim"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "figure number to regenerate (1,2,3,4,6,7,8,9,10)")
+		table     = flag.Int("table", 0, "table number to regenerate (1,2)")
+		all       = flag.Bool("all", false, "regenerate everything")
+		ablations = flag.Bool("ablations", false, "run Vulcan mechanism ablations")
+		csv       = flag.Bool("csv", false, "emit CSV instead of text tables")
+		trials    = flag.Int("trials", 3, "trials for Figure 10")
+		seconds   = flag.Int("seconds", 120, "simulated seconds for co-location figures")
+		scale     = flag.Int("scale", 4, "extra capacity scale divisor (1 = full 1/64 scale)")
+		seed      = flag.Uint64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+
+	duration := sim.Duration(*seconds) * sim.Second
+	did := false
+	emit := func(text, csvText string) {
+		if *csv {
+			fmt.Print(csvText)
+		} else {
+			fmt.Println(text)
+		}
+		did = true
+	}
+
+	want := func(n int) bool { return *all || *fig == n }
+
+	if want(1) {
+		r := figures.Fig1(duration, *scale, *seed)
+		emit(figures.RenderFig1(r), figures.CSVFig1(r))
+	}
+	if want(2) {
+		r := figures.Fig2()
+		emit(figures.RenderFig2(r), figures.CSVFig2(r))
+	}
+	if want(3) {
+		r := figures.Fig3()
+		emit(figures.RenderFig3(r), figures.CSVFig3(r))
+	}
+	if want(4) {
+		r := figures.Fig4(*seed)
+		emit(figures.RenderFig4(r), figures.CSVFig4(r))
+	}
+	if want(6) {
+		r := figures.Fig6()
+		emit(figures.RenderFig6(r), figures.CSVFig6(r))
+	}
+	if want(7) {
+		r := figures.Fig7()
+		emit(figures.RenderFig7(r), figures.CSVFig7(r))
+	}
+	if want(8) {
+		r := figures.Fig8(nil, *seed)
+		emit(figures.RenderFig8(r), figures.CSVFig8(r))
+	}
+	if want(9) {
+		r := figures.Fig9(duration, *scale, *seed)
+		emit(figures.RenderFig9(r), figures.CSVFig9(r))
+	}
+	if want(10) {
+		r := figures.Fig10(*trials, duration, *scale)
+		emit(figures.RenderFig10(r), figures.CSVFig10(r))
+	}
+	if *all || *table == 1 {
+		emit(figures.RenderTable1(figures.Table1()), "")
+	}
+	if *all || *table == 2 {
+		emit(figures.RenderTable2(figures.Table2()), "")
+	}
+	if *all || *ablations {
+		r := figures.Ablations(duration, *scale, *seed)
+		emit(figures.RenderAblations(r), "")
+	}
+
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

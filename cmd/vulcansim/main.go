@@ -1,0 +1,137 @@
+// Command vulcansim runs one tiered-memory co-location scenario and
+// reports per-application performance, fast-tier hit ratios, allocation,
+// and the FTHR-weighted fairness index.
+//
+// Usage:
+//
+//	vulcansim -policy vulcan -seconds 180
+//	vulcansim -policy memtis -apps memcached,liblinear -seconds 120
+//	vulcansim -policy vulcan -staggered -series timeline.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"vulcan"
+	"vulcan/internal/figures"
+	"vulcan/internal/scenario"
+	"vulcan/internal/sim"
+)
+
+func main() {
+	var (
+		policyName = flag.String("policy", "vulcan", "tiering policy: static, tpp, memtis, nomad, vulcan")
+		appsFlag   = flag.String("apps", "memcached,pagerank,liblinear", "comma-separated apps (memcached, pagerank, liblinear)")
+		seconds    = flag.Int("seconds", 120, "simulated seconds")
+		scale      = flag.Int("scale", 4, "extra capacity scale divisor (1 = full 1/64 scale)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		staggered  = flag.Bool("staggered", false, "stagger app arrivals at 0s/50s/110s (Figure 9 style)")
+		seriesOut  = flag.String("series", "", "write per-epoch time series CSV to this file")
+		configPath = flag.String("config", "", "load the scenario from a JSON file (see internal/scenario) instead of flags")
+		jsonOut    = flag.Bool("json", false, "emit the final report as JSON")
+	)
+	flag.Parse()
+
+	if *configPath != "" {
+		runConfigFile(*configPath, *seriesOut, *jsonOut)
+		return
+	}
+
+	var apps []vulcan.AppConfig
+	for _, name := range strings.Split(*appsFlag, ",") {
+		var cfg vulcan.AppConfig
+		switch strings.TrimSpace(name) {
+		case "memcached":
+			cfg = vulcan.Memcached()
+		case "pagerank":
+			cfg = vulcan.PageRank()
+		case "liblinear":
+			cfg = vulcan.Liblinear()
+		default:
+			log.Fatalf("unknown app %q (want memcached, pagerank, liblinear)", name)
+		}
+		cfg.RSSPages /= *scale
+		apps = append(apps, cfg)
+	}
+	if *staggered {
+		for i := range apps {
+			apps[i].StartAt = vulcan.Time(i) * vulcan.Time(50*sim.Second) * 11 / 10
+		}
+	}
+
+	mcfg := figures.ColocationMachine(*scale)
+	sys := vulcan.NewSystem(vulcan.Config{
+		Machine:          mcfg,
+		Apps:             apps,
+		Policy:           figures.NewPolicy(*policyName),
+		Seed:             *seed,
+		SamplesPerThread: figures.SamplesForScale(*scale),
+	})
+	sys.Run(vulcan.Duration(*seconds) * vulcan.Second)
+	finish(sys, *jsonOut, *seriesOut)
+}
+
+// runConfigFile executes a JSON-defined scenario.
+func runConfigFile(path, seriesOut string, jsonOut bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parsed, err := scenario.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := vulcan.NewSystem(vulcan.Config{
+		Machine: parsed.Machine,
+		Apps:    parsed.Apps,
+		Policy:  figures.NewPolicy(parsed.Policy),
+		Seed:    parsed.Seed,
+	})
+	sys.Run(vulcan.Duration(parsed.Duration))
+	finish(sys, jsonOut, seriesOut)
+}
+
+// finish prints the run summary and optional artifacts.
+func finish(sys *vulcan.System, jsonOut bool, seriesOut string) {
+	if jsonOut {
+		if err := sys.Report().WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		rep := sys.Report()
+		fmt.Printf("policy=%s  simulated=%.0fs  fast tier used %d/%d pages\n",
+			rep.Policy, rep.SimSeconds, rep.FastUsed, rep.FastCapacity)
+		fmt.Printf("%-12s %-5s %12s %10s %10s %12s %12s\n",
+			"app", "class", "perf", "±ci95", "fthr", "fast pages", "rss pages")
+		for _, a := range rep.Apps {
+			if !a.Started {
+				fmt.Printf("%-12s (never started)\n", a.Name)
+				continue
+			}
+			fmt.Printf("%-12s %-5s %12.3f %10.3f %10.3f %12d %12d\n",
+				a.Name, a.Class, a.MeanPerf, a.PerfCI95, a.FTHR,
+				a.FastPages, a.RSSPages)
+		}
+		fmt.Printf("CFI (FTHR-weighted cumulative fairness, Eq.4): %.3f\n", rep.CFI)
+		if !rep.AuditOK {
+			fmt.Printf("WARNING: frame-ownership audit failed: %v\n", rep.AuditProblems)
+		}
+	}
+
+	if seriesOut != "" {
+		f, err := os.Create(seriesOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := sys.Recorder().WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "time series written to %s\n", seriesOut)
+	}
+}

@@ -1,0 +1,52 @@
+// Policies compares the four tiering systems of the paper's evaluation
+// (TPP, Memtis, Nomad, Vulcan) plus a static first-touch control on the
+// Table 2 co-location, printing per-app performance and fairness —
+// a miniature Figure 10.
+package main
+
+import (
+	"fmt"
+
+	"vulcan"
+)
+
+func main() {
+	policies := []struct {
+		name string
+		make func() vulcan.Tiering
+	}{
+		{"static", vulcan.NewStatic},
+		{"tpp", vulcan.NewTPP},
+		{"memtis", vulcan.NewMemtis},
+		{"nomad", vulcan.NewNomad},
+		{"vulcan", func() vulcan.Tiering { return vulcan.NewVulcan(vulcan.VulcanOptions{}) }},
+	}
+
+	fmt.Println("Policy comparison on the Table 2 co-location (memcached + pagerank + liblinear)")
+	fmt.Printf("%-8s %12s %12s %12s %8s\n", "policy", "memcached", "pagerank", "liblinear", "CFI")
+	for _, p := range policies {
+		machine := vulcan.DefaultMachine()
+		machine.Tiers[vulcan.TierFast].CapacityPages /= 8
+		machine.Tiers[vulcan.TierSlow].CapacityPages /= 8
+		apps := []vulcan.AppConfig{vulcan.Memcached(), vulcan.PageRank(), vulcan.Liblinear()}
+		for i := range apps {
+			apps[i].RSSPages /= 8
+		}
+		sys := vulcan.NewSystem(vulcan.Config{
+			Machine: machine,
+			Apps:    apps,
+			Policy:  p.make(),
+			Seed:    11,
+		})
+		sys.Run(90 * vulcan.Second)
+
+		fmt.Printf("%-8s", p.name)
+		for _, name := range []string{"memcached", "pagerank", "liblinear"} {
+			fmt.Printf(" %12.3f", sys.App(name).NormalizedPerf().Mean())
+		}
+		fmt.Printf(" %8.3f\n", sys.CFI().Index())
+	}
+	fmt.Println()
+	fmt.Println("perf = mean throughput/latency vs an all-fast ideal; CFI = FTHR-weighted")
+	fmt.Println("Jain fairness over cumulative fast-tier allocations (paper Eq. 4).")
+}

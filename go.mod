@@ -1,0 +1,3 @@
+module vulcan
+
+go 1.22

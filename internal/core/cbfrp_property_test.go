@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vulcan/internal/sim"
+	"vulcan/internal/workload"
+)
+
+// TestCBFRPInvariantsUnderRandomDemands drives CBFRP through random
+// demand sequences and checks the allocator's global invariants after
+// every round:
+//
+//  1. conservation: Σ alloc ≤ capacity, every alloc ≥ 0;
+//  2. credit neutrality: every credit spent by a borrower is earned by a
+//     donor (Σ credits == 0 — the free pool charges nobody);
+//  3. LC priority: an unsatisfied LC borrower implies no remaining donor
+//     surplus, no free pool, and no over-entitled BE to reclaim from.
+func TestCBFRPInvariantsUnderRandomDemands(t *testing.T) {
+	sys := testSystem(t, 3000,
+		appSpec("lc", workload.LC, 4000),
+		appSpec("be1", workload.BE, 4000),
+		appSpec("be2", workload.BE, 4000),
+	)
+	const capacity = 3000
+
+	check := func(seed uint64, rounds uint8, demandsRaw []uint16) bool {
+		q := NewQoSController()
+		for _, a := range sys.Apps() {
+			q.Register(a)
+		}
+		rng := sim.NewRNG(seed)
+		gfmc := capacity / 3
+
+		di := 0
+		nextDemand := func() int {
+			if di < len(demandsRaw) {
+				d := int(demandsRaw[di]) % 4001
+				di++
+				return d
+			}
+			return rng.Intn(4001)
+		}
+
+		n := int(rounds%20) + 1
+		for r := 0; r < n; r++ {
+			for _, st := range q.States() {
+				st.Demand = nextDemand()
+			}
+			q.CBFRP(capacity, rng)
+
+			total, credits := 0, 0
+			for _, st := range q.States() {
+				if st.Alloc < 0 {
+					t.Logf("negative alloc for %s", st.App.Name())
+					return false
+				}
+				total += st.Alloc
+				credits += st.Credits
+			}
+			if total > capacity {
+				t.Logf("round %d: total alloc %d > capacity", r, total)
+				return false
+			}
+			if credits != 0 {
+				t.Logf("round %d: credits not neutral: %d", r, credits)
+				return false
+			}
+
+			// LC priority: if the LC workload still wants more, there
+			// must be nothing left to give it.
+			var lcDeficit bool
+			for _, st := range q.States() {
+				if st.App.Class() == workload.LC && st.Alloc < st.Demand {
+					lcDeficit = true
+				}
+			}
+			if lcDeficit {
+				pool := capacity - total
+				if pool > 0 {
+					t.Logf("round %d: LC starved with %d free pool", r, pool)
+					return false
+				}
+				for _, st := range q.States() {
+					if st.Alloc > st.Demand {
+						t.Logf("round %d: LC starved while %s holds surplus", r, st.App.Name())
+						return false
+					}
+					if st.App.Class() == workload.BE && st.Alloc > gfmc {
+						t.Logf("round %d: LC starved while BE %s over-entitled", r, st.App.Name())
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCBFRPCreditsTrackContributions drives an asymmetric demand pattern
+// and confirms the long-run credit ledger: the chronically donating
+// workload accumulates positive credits, the chronic borrower negative.
+func TestCBFRPCreditsTrackContributions(t *testing.T) {
+	sys := testSystem(t, 3000,
+		appSpec("lc", workload.LC, 4000),
+		appSpec("be1", workload.BE, 4000),
+		appSpec("be2", workload.BE, 4000),
+	)
+	q := NewQoSController()
+	for _, a := range sys.Apps() {
+		q.Register(a)
+	}
+	rng := sim.NewRNG(7)
+	// Seed everyone to entitlement so later donations move real units.
+	for _, st := range q.States() {
+		st.Demand = 1000
+	}
+	q.CBFRP(3000, rng)
+	for round := 0; round < 30; round++ {
+		q.State(sys.App("lc")).Demand = 1600  // chronic borrower
+		q.State(sys.App("be1")).Demand = 1000 // neutral
+		q.State(sys.App("be2")).Demand = 400  // chronic donor
+		q.CBFRP(3000, rng)
+	}
+	if c := q.State(sys.App("be2")).Credits; c <= 0 {
+		t.Fatalf("chronic donor credits = %d, want positive", c)
+	}
+	if c := q.State(sys.App("lc")).Credits; c >= 0 {
+		t.Fatalf("chronic borrower credits = %d, want negative", c)
+	}
+	if c := q.State(sys.App("be1")).Credits; c != 0 {
+		t.Fatalf("neutral workload credits = %d, want 0", c)
+	}
+}

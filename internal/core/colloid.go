@@ -1,0 +1,30 @@
+package core
+
+import (
+	"vulcan/internal/mem"
+	"vulcan/internal/system"
+)
+
+// Colloid-style migration gating (§3.6: "integrating with Colloid could
+// enable Vulcan to suspend the migration process of co-located workloads
+// when the fast tier's access latency no longer offers significant
+// advantages over alternate tiers due to memory bandwidth contention").
+//
+// The gate compares the tiers' *loaded* latencies under the measured
+// bandwidth utilization: when contention pushes the fast tier's latency
+// within ColloidThreshold of the slow tier's, moving pages up buys
+// nothing and migration is suspended for the epoch.
+
+// colloidSuspend decides suspension from per-tier bandwidth utilization.
+func colloidSuspend(sys *system.System, util [mem.NumTiers]float64, threshold float64) bool {
+	fast := sys.Tiers().Fast().LoadedLatency(util[mem.TierFast])
+	slow := sys.Tiers().Slow().LoadedLatency(util[mem.TierSlow])
+	if slow <= 0 {
+		return false
+	}
+	return float64(fast) >= threshold*float64(slow)
+}
+
+// ColloidSuspended reports whether the gate held migrations back in the
+// most recent epoch (observable for tests and telemetry).
+func (v *Vulcan) ColloidSuspended() bool { return v.colloidSuspended }

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"vulcan/internal/mem"
+	"vulcan/internal/workload"
+)
+
+func TestColloidSuspendDecision(t *testing.T) {
+	sys := testSystem(t, 1024, appSpec("a", workload.LC, 500))
+	// Unloaded: fast 70ns vs slow 162ns — ratio 0.43, well below 0.85.
+	if colloidSuspend(sys, [mem.NumTiers]float64{}, 0.85) {
+		t.Fatal("gate fired with idle memory")
+	}
+	// Fast tier saturated, slow idle: fast loaded = 3x70 = 210ns vs slow
+	// 162ns — ratio >1, migration is pointless.
+	util := [mem.NumTiers]float64{mem.TierFast: 1.0}
+	if !colloidSuspend(sys, util, 0.85) {
+		t.Fatal("gate did not fire under fast-tier saturation")
+	}
+	// Both saturated: 210 vs 486 — advantage restored.
+	util[mem.TierSlow] = 1.0
+	if colloidSuspend(sys, util, 0.85) {
+		t.Fatal("gate fired when both tiers equally loaded")
+	}
+}
+
+func TestColloidGateSuspendsMigration(t *testing.T) {
+	v := New(Options{ColloidGate: true, ColloidThreshold: 0.0001})
+	// A threshold this low makes the gate always fire: the policy must
+	// hold quotas and perform no migrations.
+	sys := vulcanColo(t, v, 512, 3)
+	for i := 0; i < 10; i++ {
+		sys.RunEpoch()
+	}
+	if !v.ColloidSuspended() {
+		t.Fatal("gate never engaged")
+	}
+	for _, a := range sys.StartedApps() {
+		if a.Async.Stats().Moved != 0 {
+			t.Fatalf("%s migrated %d pages while gated", a.Name(), a.Async.Stats().Moved)
+		}
+	}
+}
+
+func TestColloidGateOffByDefault(t *testing.T) {
+	v := New(Options{})
+	sys := vulcanColo(t, v, 512, 3)
+	for i := 0; i < 10; i++ {
+		sys.RunEpoch()
+	}
+	if v.ColloidSuspended() {
+		t.Fatal("gate engaged despite being disabled")
+	}
+	moved := uint64(0)
+	for _, a := range sys.StartedApps() {
+		moved += a.Async.Stats().Moved + a.Async.Stats().Remapped
+	}
+	if moved == 0 {
+		t.Fatal("no migrations without the gate")
+	}
+}

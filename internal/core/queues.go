@@ -1,0 +1,164 @@
+package core
+
+import (
+	"sort"
+
+	"vulcan/internal/pagetable"
+	"vulcan/internal/profile"
+	"vulcan/internal/system"
+)
+
+// PageClass is the four-way classification of Table 1.
+type PageClass uint8
+
+// Classes ordered by promotion priority, highest first (Table 1):
+// private+read-intensive (★★★★) migrates with minimal shootdown scope
+// and safe async copy; shared+write-intensive (★) is the most expensive
+// on both axes.
+const (
+	PrivateRead  PageClass = iota // ★★★★  async copy
+	SharedRead                    // ★★★   async copy
+	PrivateWrite                  // ★★    sync copy
+	SharedWrite                   // ★     sync copy
+	NumClasses
+)
+
+// String names the class.
+func (c PageClass) String() string {
+	switch c {
+	case PrivateRead:
+		return "private-read"
+	case SharedRead:
+		return "shared-read"
+	case PrivateWrite:
+		return "private-write"
+	case SharedWrite:
+		return "shared-write"
+	default:
+		return "unknown"
+	}
+}
+
+// Async reports whether the class uses asynchronous copying (Table 1's
+// strategy column).
+func (c PageClass) Async() bool { return c == PrivateRead || c == SharedRead }
+
+// Classify derives a page's class from its PTE ownership (private vs
+// shared, §3.4) and profiled write intensity (§3.5).
+func Classify(pte pagetable.PTE, writeFrac float64) PageClass {
+	shared := pte.Shared()
+	writeIntensive := profile.IsWriteIntensive(writeFrac)
+	switch {
+	case !shared && !writeIntensive:
+		return PrivateRead
+	case shared && !writeIntensive:
+		return SharedRead
+	case !shared && writeIntensive:
+		return PrivateWrite
+	default:
+		return SharedWrite
+	}
+}
+
+// queueEntry is one candidate promotion.
+type queueEntry struct {
+	vp    pagetable.VPage
+	heat  float64
+	class PageClass
+	// boosted marks MLFQ escalation: the page waited in a lower queue
+	// while its heat kept rising, so it is served one class earlier.
+	boosted bool
+}
+
+// PromotionQueues implements the four priority queues plus the MLFQ
+// escalation rule: a page that stays enqueued across epochs with rising
+// heat is bumped one priority level so hot pages cannot stagnate in
+// low-priority queues.
+type PromotionQueues struct {
+	queues [NumClasses][]queueEntry
+	// lastHeat remembers the heat of pages left waiting last epoch.
+	lastHeat map[pagetable.VPage]float64
+	noMLFQ   bool
+}
+
+// NewPromotionQueues returns empty queues.
+func NewPromotionQueues() *PromotionQueues {
+	return &PromotionQueues{lastHeat: make(map[pagetable.VPage]float64)}
+}
+
+// DisableMLFQ turns off heat escalation (the ablation knob).
+func (pq *PromotionQueues) DisableMLFQ() { pq.noMLFQ = true }
+
+// Rebuild reclassifies this epoch's candidates into the four queues,
+// applying MLFQ escalation for pages that waited since last epoch with
+// increased heat. Queues are ordered hottest-first within each class.
+func (pq *PromotionQueues) Rebuild(app *system.App, candidates []profile.PageHeat) {
+	for c := range pq.queues {
+		pq.queues[c] = pq.queues[c][:0]
+	}
+	next := make(map[pagetable.VPage]float64, len(candidates))
+	for _, ph := range candidates {
+		pte, ok := app.Table.Lookup(ph.VP)
+		if !ok {
+			continue
+		}
+		class := Classify(pte, ph.WriteFrac)
+		e := queueEntry{vp: ph.VP, heat: ph.Heat, class: class}
+		if prev, waited := pq.lastHeat[ph.VP]; !pq.noMLFQ && waited && ph.Heat > prev && class > PrivateRead {
+			e.boosted = true
+			class--
+		}
+		pq.queues[class] = append(pq.queues[class], e)
+		next[ph.VP] = ph.Heat
+	}
+	for c := range pq.queues {
+		q := pq.queues[c]
+		sort.Slice(q, func(i, j int) bool {
+			if q[i].heat != q[j].heat {
+				return q[i].heat > q[j].heat
+			}
+			return q[i].vp < q[j].vp
+		})
+	}
+	pq.lastHeat = next
+}
+
+// Drain visits entries in priority order (★★★★ down to ★), calling take
+// for each until take returns false (budget exhausted). Taken pages are
+// removed from lastHeat so only still-waiting pages can escalate next
+// epoch.
+func (pq *PromotionQueues) Drain(take func(e QueueItem) bool) {
+	for c := 0; c < int(NumClasses); c++ {
+		for _, e := range pq.queues[c] {
+			item := QueueItem{
+				VP: e.vp, Heat: e.heat, Class: e.class,
+				Queue: PageClass(c), Boosted: e.boosted,
+			}
+			if !take(item) {
+				return
+			}
+			delete(pq.lastHeat, e.vp)
+		}
+	}
+}
+
+// QueueItem is the public view of one queued candidate.
+type QueueItem struct {
+	VP      pagetable.VPage
+	Heat    float64
+	Class   PageClass // intrinsic classification
+	Queue   PageClass // queue it was served from (≠ Class when boosted)
+	Boosted bool
+}
+
+// Len returns the number of entries in class c's queue.
+func (pq *PromotionQueues) Len(c PageClass) int { return len(pq.queues[c]) }
+
+// Total returns entries across all queues.
+func (pq *PromotionQueues) Total() int {
+	n := 0
+	for c := range pq.queues {
+		n += len(pq.queues[c])
+	}
+	return n
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"vulcan/internal/mem"
+	"vulcan/internal/migrate"
+	"vulcan/internal/pagetable"
+	"vulcan/internal/policy"
+	"vulcan/internal/profile"
+	"vulcan/internal/sim"
+	"vulcan/internal/system"
+	"vulcan/internal/workload"
+)
+
+// Options configure Vulcan; the Disable* switches exist for the ablation
+// experiments (each corresponds to one of the four innovations).
+type Options struct {
+	// DisableCBFRP replaces credit-based partitioning with a static even
+	// split of the fast tier (the "straw-man uniform allocation" §3.3).
+	DisableCBFRP bool
+	// DisableMLFQ turns off heat-escalation between priority queues.
+	DisableMLFQ bool
+	// DisableBiasedQueues collapses the four queues into one heat-ordered
+	// async queue (no Table 1 classification).
+	DisableBiasedQueues bool
+	// DisablePerThreadPT gives up targeted shootdowns (§3.4).
+	DisablePerThreadPT bool
+	// DisableOptimizedPrep reverts to the kernel's global LRU drain.
+	DisableOptimizedPrep bool
+	// DisableShadowing drops Nomad-style shadow copies (§3.5).
+	DisableShadowing bool
+
+	// MigThreadBudget is each app's dedicated migration-thread CPU per
+	// epoch, in multiples of one core's epoch cycles (§3.2: "dedicated
+	// migration threads created for each application").
+	MigThreadBudget float64
+	// PromoteLimit caps promotion candidates per app per epoch.
+	PromoteLimit int
+	// SyncBatchLimit caps synchronous (write-intensive) migrations per
+	// app per epoch.
+	SyncBatchLimit int
+	// SampleRate is the hybrid profiler's sampling period.
+	SampleRate int
+	// LCHeatDecay / BEHeatDecay are the hybrid profiler's per-epoch aging
+	// factors, chosen per workload class (§3.2: the daemon picks the
+	// profiling configuration that fits each workload). Latency-critical
+	// services get a slow decay so their steadily-hot-but-low-rate
+	// working sets outrank transients; best-effort streamers get a fast
+	// decay so scan residue cools quickly.
+	LCHeatDecay float64
+	BEHeatDecay float64
+	// SwapLimit caps per-epoch within-quota rebalancing swaps.
+	SwapLimit int
+	// ColloidGate enables the §3.6 Colloid integration: migrations are
+	// suspended for an epoch when bandwidth contention erases the fast
+	// tier's latency advantage.
+	ColloidGate bool
+	// ColloidThreshold is the fast/slow loaded-latency ratio above which
+	// migration is pointless (default 0.85).
+	ColloidThreshold float64
+	// Seed drives CBFRP's random BE selection.
+	Seed uint64
+}
+
+func (o *Options) fillDefaults() {
+	if o.MigThreadBudget == 0 {
+		o.MigThreadBudget = 1.0
+	}
+	if o.PromoteLimit == 0 {
+		o.PromoteLimit = 16384
+	}
+	if o.SyncBatchLimit == 0 {
+		o.SyncBatchLimit = 2048
+	}
+	if o.SampleRate == 0 {
+		o.SampleRate = 4
+	}
+	if o.LCHeatDecay == 0 {
+		o.LCHeatDecay = 0.9
+	}
+	if o.BEHeatDecay == 0 {
+		o.BEHeatDecay = profile.DefaultDecay
+	}
+	if o.SwapLimit == 0 {
+		o.SwapLimit = 1024
+	}
+	if o.ColloidThreshold == 0 {
+		o.ColloidThreshold = 0.85
+	}
+	if o.Seed == 0 {
+		o.Seed = 99
+	}
+}
+
+// Vulcan is the paper's tiering framework as a system.Tiering policy.
+type Vulcan struct {
+	opts   Options
+	qos    *QoSController
+	queues map[*system.App]*PromotionQueues
+	placed map[*system.App]int
+	rng    *sim.RNG
+
+	colloidSuspended bool
+}
+
+// New builds Vulcan with opts (zero value = full system, defaults).
+func New(opts Options) *Vulcan {
+	opts.fillDefaults()
+	return &Vulcan{
+		opts:   opts,
+		qos:    NewQoSController(),
+		queues: make(map[*system.App]*PromotionQueues),
+		placed: make(map[*system.App]int),
+		rng:    sim.NewRNG(opts.Seed),
+	}
+}
+
+// Name implements system.Tiering.
+func (v *Vulcan) Name() string { return "vulcan" }
+
+// Options returns the active option set.
+func (v *Vulcan) Options() Options { return v.opts }
+
+// QoS exposes the controller (figures read GPT/demand/credits from it).
+func (v *Vulcan) QoS() *QoSController { return v.qos }
+
+// Mechanisms implements system.Tiering: all of Vulcan's mechanism-level
+// optimizations, minus any ablated ones.
+func (v *Vulcan) Mechanisms() system.Mechanisms {
+	return system.Mechanisms{
+		OptimizedPrep:     !v.opts.DisableOptimizedPrep,
+		TargetedShootdown: !v.opts.DisablePerThreadPT,
+		Shadowing:         !v.opts.DisableShadowing,
+	}
+}
+
+// NewProfiler implements system.ProfilerFactory: the FlexMem-style
+// hybrid profiler (§3.2).
+func (v *Vulcan) NewProfiler(app *system.App) profile.Profiler {
+	decay := v.opts.BEHeatDecay
+	if app.Class() == workload.LC {
+		decay = v.opts.LCHeatDecay
+	}
+	return profile.NewHybridWithDecay(app.Table, v.opts.SampleRate, decay,
+		uint64(app.Index)*7919+3)
+}
+
+// AppStarted implements system.Tiering.
+func (v *Vulcan) AppStarted(sys *system.System, app *system.App) {
+	v.qos.Register(app)
+	v.queues[app] = NewPromotionQueues()
+	if v.opts.DisableMLFQ {
+		v.queues[app].DisableMLFQ()
+	}
+}
+
+// Place implements system.Placer: first-touch allocation respects the
+// app's fast-tier quota so one tenant cannot monopolize the fast tier at
+// admission time.
+func (v *Vulcan) Place(sys *system.System, app *system.App) mem.TierID {
+	quota := 0
+	if st := v.qos.State(app); st != nil && st.Alloc > 0 {
+		quota = st.Alloc
+	} else {
+		// Not yet partitioned (premap during admission): provisional even
+		// share counting this app.
+		quota = sys.Tiers().Fast().Capacity() / (len(v.qos.States()) + 1)
+	}
+	if v.placed[app] < quota {
+		v.placed[app]++
+		return mem.TierFast
+	}
+	return mem.TierSlow
+}
+
+// EndEpoch implements system.Tiering: update QoS targets, partition with
+// CBFRP, then enforce quotas per app through the biased migration policy,
+// all executed by per-app migration threads (no global synchronization).
+func (v *Vulcan) EndEpoch(sys *system.System) {
+	if v.opts.ColloidGate {
+		v.colloidSuspended = colloidSuspend(sys, sys.BandwidthUtil(), v.opts.ColloidThreshold)
+		if v.colloidSuspended {
+			// Bandwidth contention has erased the fast tier's advantage:
+			// hold quotas and skip all migration this epoch.
+			return
+		}
+	}
+	fastCap := sys.Tiers().Fast().Capacity()
+	v.qos.UpdateDemands(fastCap)
+	if v.opts.DisableCBFRP {
+		gfmc := v.qos.GFMC(fastCap)
+		for _, st := range v.qos.States() {
+			st.Alloc = gfmc
+		}
+	} else {
+		v.qos.CBFRP(fastCap, v.rng)
+	}
+
+	for _, st := range v.qos.States() {
+		v.enforce(sys, st)
+		v.placed[st.App] = st.App.FastPages()
+		// Figure 9 instrumentation: quota, GPT and demand over time.
+		prefix := st.App.Name() + "."
+		sys.Recorder().Record(prefix+"vulcan_alloc", float64(st.Alloc))
+		sys.Recorder().Record(prefix+"vulcan_gpt", st.GPT)
+		sys.Recorder().Record(prefix+"vulcan_demand", float64(st.Demand))
+		sys.Recorder().Record(prefix+"vulcan_credits", float64(st.Credits))
+	}
+}
+
+// enforce reconciles one app's fast-tier residency with its quota.
+func (v *Vulcan) enforce(sys *system.System, st *QoSState) {
+	app := st.App
+	budget := v.opts.MigThreadBudget * sys.EpochCycles()
+	cur := app.FastPages()
+
+	if cur > st.Alloc {
+		// Over quota: demote the coldest pages; shadow remaps make the
+		// clean ones nearly free.
+		victims := policy.ColdestFastPages(app, cur-st.Alloc, nil)
+		app.Async.Enqueue(policy.DemoteMoves(victims)...)
+		app.Async.RunEpoch(budget, app.WriteProbability)
+		return
+	}
+
+	room := st.Alloc - cur
+	if room <= 0 {
+		// At quota: latency-critical apps rebalance within it — swapping
+		// in pages clearly hotter than the coldest residents keeps the
+		// hot set resident as it drifts. Best-effort scanners skip this:
+		// for cyclic access, evicting the "coldest" page is pessimal
+		// (it is next in the scan), so swapping just thrashes.
+		if app.Class() == workload.LC {
+			v.swapWithinQuota(sys, app, budget)
+		} else {
+			app.Async.RunEpoch(budget, app.WriteProbability)
+		}
+		return
+	}
+
+	// Under quota: gather hot slow-tier candidates.
+	candidates := v.slowCandidates(app, min(room+v.opts.SwapLimit, v.opts.PromoteLimit))
+	if v.opts.DisableBiasedQueues {
+		vps := make([]pagetable.VPage, len(candidates))
+		for i, c := range candidates {
+			vps[i] = c.VP
+		}
+		app.Async.Enqueue(policy.PromoteMoves(vps)...)
+		app.Async.RunEpoch(budget, app.WriteProbability)
+		return
+	}
+
+	q := v.queues[app]
+	q.Rebuild(app, candidates)
+
+	var syncBatch []migrate.Move
+	taken := 0
+	q.Drain(func(it QueueItem) bool {
+		if taken >= room {
+			return false
+		}
+		taken++
+		if it.Class.Async() {
+			app.Async.Enqueue(migrate.Move{VP: it.VP, To: mem.TierFast})
+		} else if len(syncBatch) < v.opts.SyncBatchLimit {
+			syncBatch = append(syncBatch, migrate.Move{VP: it.VP, To: mem.TierFast})
+		}
+		return true
+	})
+
+	// Write-intensive pages migrate synchronously (Table 1): a dirty
+	// page's writers block for the copy, so the copy phase is charged to
+	// the app while the whole operation consumes migration-thread budget.
+	if len(syncBatch) > 0 {
+		res := app.Engine.MigrateSync(syncBatch)
+		budget -= res.Cycles()
+		app.ChargeStall(res.Breakdown.Copy)
+	}
+	if budget > 0 {
+		app.Async.RunEpoch(budget, app.WriteProbability)
+	}
+}
+
+// swapWithinQuota demotes the coldest fast pages to admit strictly
+// hotter slow candidates, without changing the app's allocation.
+func (v *Vulcan) swapWithinQuota(sys *system.System, app *system.App, budget float64) {
+	candidates := v.slowCandidates(app, v.opts.SwapLimit)
+	if len(candidates) == 0 {
+		app.Async.RunEpoch(budget, app.WriteProbability)
+		return
+	}
+	victims := policy.ColdestFastPages(app, len(candidates), nil)
+	// Pair hottest candidates with coldest victims; swap only when the
+	// candidate is clearly hotter (hysteresis against thrash — a fresh
+	// streaming spike must not displace a steadily warm page).
+	const swapMargin = 4.0
+	n := 0
+	for n < len(candidates) && n < len(victims) {
+		if candidates[n].Heat <= app.Profiler.Heat(victims[n])*swapMargin {
+			break
+		}
+		n++
+	}
+	if n > 0 {
+		app.Async.Enqueue(policy.DemoteMoves(victims[:n])...)
+		q := v.queues[app]
+		q.Rebuild(app, candidates[:n])
+		q.Drain(func(it QueueItem) bool {
+			app.Async.Enqueue(migrate.Move{VP: it.VP, To: mem.TierFast})
+			return true
+		})
+	}
+	app.Async.RunEpoch(budget, app.WriteProbability)
+}
+
+// slowCandidates returns up to limit of app's hottest slow-resident
+// pages.
+func (v *Vulcan) slowCandidates(app *system.App, limit int) []profile.PageHeat {
+	var out []profile.PageHeat
+	for _, ph := range app.Profiler.Snapshot() {
+		if len(out) >= limit {
+			break
+		}
+		if p, ok := app.Table.Lookup(ph.VP); ok && p.Frame().Tier == mem.TierSlow {
+			out = append(out, ph)
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

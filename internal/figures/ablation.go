@@ -1,0 +1,115 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"vulcan/internal/core"
+	"vulcan/internal/sim"
+	"vulcan/internal/system"
+)
+
+// AblationRow compares full Vulcan against one disabled mechanism.
+type AblationRow struct {
+	Name string
+	// Mean normalized performance across the three apps and CFI, full
+	// system vs ablated.
+	FullPerf    float64
+	AblatedPerf float64
+	FullCFI     float64
+	AblatedCFI  float64
+	// Migration-thread cycles consumed over the run: the direct cost of
+	// the mechanism (a disabled optimization shows up here even when
+	// generous budgets hide it from application throughput).
+	FullMigCycles    float64
+	AblatedMigCycles float64
+}
+
+// AblationSpecs enumerates the design choices DESIGN.md calls out, one
+// per Vulcan innovation.
+var AblationSpecs = []struct {
+	Name string
+	Opts core.Options
+}{
+	{"cbfrp->uniform", core.Options{DisableCBFRP: true}},
+	{"no-mlfq", core.Options{DisableMLFQ: true}},
+	{"no-biased-queues", core.Options{DisableBiasedQueues: true}},
+	{"no-per-thread-pt", core.Options{DisablePerThreadPT: true}},
+	{"no-optimized-prep", core.Options{DisableOptimizedPrep: true}},
+	{"no-shadowing", core.Options{DisableShadowing: true}},
+}
+
+// Ablations runs the co-location study with each of Vulcan's mechanisms
+// individually disabled.
+func Ablations(duration sim.Duration, scale int, seed uint64) []AblationRow {
+	if duration == 0 {
+		duration = 120 * sim.Second
+	}
+	run := func(pol system.Tiering) (perf, cfi, migCycles float64) {
+		res := runColocationWith(pol, duration, scale, seed)
+		sum := 0.0
+		for _, a := range res.Apps {
+			sum += a.Perf
+		}
+		for _, a := range res.System.StartedApps() {
+			migCycles += a.Async.Stats().CyclesUsed
+		}
+		return sum / float64(len(res.Apps)), res.CFI, migCycles
+	}
+	fullPerf, fullCFI, fullMig := run(core.New(core.Options{}))
+	var rows []AblationRow
+	for _, spec := range AblationSpecs {
+		p, c, m := run(core.New(spec.Opts))
+		rows = append(rows, AblationRow{
+			Name:             spec.Name,
+			FullPerf:         fullPerf,
+			AblatedPerf:      p,
+			FullCFI:          fullCFI,
+			AblatedCFI:       c,
+			FullMigCycles:    fullMig,
+			AblatedMigCycles: m,
+		})
+	}
+	return rows
+}
+
+// runColocationWith is RunColocation with an explicit policy instance
+// (ablated Vulcans are not in the name registry).
+func runColocationWith(pol system.Tiering, duration sim.Duration, scale int, seed uint64) ColocationResult {
+	if scale < 1 {
+		scale = 1
+	}
+	sys := system.New(system.Config{
+		Machine:          ColocationMachine(scale),
+		Apps:             Table2Apps(scale, false),
+		Policy:           pol,
+		Seed:             seed,
+		SamplesPerThread: SamplesForScale(scale),
+	})
+	sys.Run(duration)
+	res := ColocationResult{Policy: pol.Name(), System: sys, CFI: measuredCFI(sys)}
+	for _, a := range sys.Apps() {
+		perf := a.NormalizedPerf()
+		res.Apps = append(res.Apps, AppResult{
+			Name: a.Name(), Class: a.Class(),
+			Perf: perf.Mean(), PerfCI: perf.CI95(),
+			FTHR: a.FTHR(), Fast: a.FastPages(), RSS: a.RSSMapped(),
+		})
+	}
+	return res
+}
+
+// RenderAblations renders the comparison.
+func RenderAblations(rows []AblationRow) string {
+	var b strings.Builder
+	b.WriteString("Ablations: full Vulcan vs individually disabled mechanisms\n")
+	fmt.Fprintf(&b, "%-20s %10s %10s %10s %10s %14s %10s\n",
+		"ablation", "perf", "Δperf", "CFI", "ΔCFI", "mig Gcycles", "Δmig")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %10.3f %+9.1f%% %10.3f %+9.1f%% %14.2f %+9.1f%%\n",
+			r.Name, r.AblatedPerf, 100*(r.AblatedPerf/r.FullPerf-1),
+			r.AblatedCFI, 100*(r.AblatedCFI/r.FullCFI-1),
+			r.AblatedMigCycles/1e9, 100*(r.AblatedMigCycles/r.FullMigCycles-1))
+	}
+	return b.String()
+}

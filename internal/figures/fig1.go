@@ -1,0 +1,150 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"vulcan/internal/sim"
+	"vulcan/internal/system"
+	"vulcan/internal/workload"
+)
+
+// Fig1Series is one scenario's hot/cold page counts over time under
+// Memtis classification.
+type Fig1Series struct {
+	Scenario string // "memcached-solo", "liblinear-solo", "colocated"
+	App      string
+	Times    []sim.Time
+	Hot      []float64
+	Cold     []float64
+}
+
+// Fig1Summary is panel (d): the impact of co-location on Memcached.
+type Fig1Summary struct {
+	SoloHotRatio      float64 // fraction of RSS classified hot, solo
+	ColocatedHotRatio float64 // same under co-location (<28% in the paper)
+	SoloPerf          float64
+	ColocatedPerf     float64 // normalized performance (~0.8x in the paper)
+	PerfRatio         float64 // colocated / solo
+}
+
+// Fig1Result carries the full figure.
+type Fig1Result struct {
+	Series  []Fig1Series
+	Summary Fig1Summary
+}
+
+// Fig1 reproduces the cold-page dilemma study: Memtis classifies
+// Memcached's pages as hot when it runs alone, but co-located with
+// Liblinear the classification flips cold and performance degrades.
+func Fig1(duration sim.Duration, scale int, seed uint64) Fig1Result {
+	if duration == 0 {
+		duration = 120 * sim.Second
+	}
+	if scale < 1 {
+		scale = 1
+	}
+
+	run := func(apps []workload.AppConfig) *system.System {
+		sys := system.New(system.Config{
+			Machine:          ColocationMachine(scale),
+			Apps:             apps,
+			Policy:           NewPolicy("memtis"),
+			Seed:             seed,
+			SamplesPerThread: SamplesForScale(scale),
+		})
+		sys.Run(duration)
+		return sys
+	}
+
+	mc := workload.MemcachedConfig()
+	ll := workload.LiblinearConfig()
+	mc.RSSPages /= scale
+	ll.RSSPages /= scale
+
+	soloMC := run([]workload.AppConfig{mc})
+	soloLL := run([]workload.AppConfig{ll})
+	colo := run([]workload.AppConfig{mc, ll})
+
+	var res Fig1Result
+	collect := func(sys *system.System, scenario, app string) Fig1Series {
+		hotS := sys.Recorder().Series(app + ".memtis_hot")
+		coldS := sys.Recorder().Series(app + ".memtis_cold")
+		s := Fig1Series{Scenario: scenario, App: app}
+		for i := 0; i < hotS.Len(); i++ {
+			s.Times = append(s.Times, hotS.At(i).T)
+			s.Hot = append(s.Hot, hotS.At(i).V)
+			s.Cold = append(s.Cold, coldS.At(i).V)
+		}
+		return s
+	}
+	res.Series = append(res.Series,
+		collect(soloMC, "memcached-solo", "memcached"),
+		collect(soloLL, "liblinear-solo", "liblinear"),
+		collect(colo, "colocated", "memcached"),
+		collect(colo, "colocated", "liblinear"),
+	)
+
+	hotRatio := func(s Fig1Series) float64 {
+		// Mean over the second half (steady state).
+		n := len(s.Hot)
+		if n == 0 {
+			return 0
+		}
+		sum, cnt := 0.0, 0.0
+		for i := n / 2; i < n; i++ {
+			total := s.Hot[i] + s.Cold[i]
+			if total > 0 {
+				sum += s.Hot[i] / total
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return 0
+		}
+		return sum / cnt
+	}
+	soloPerf := soloMC.App("memcached").NormalizedPerf().Mean()
+	coloPerf := colo.App("memcached").NormalizedPerf().Mean()
+	res.Summary = Fig1Summary{
+		SoloHotRatio:      hotRatio(res.Series[0]),
+		ColocatedHotRatio: hotRatio(res.Series[2]),
+		SoloPerf:          soloPerf,
+		ColocatedPerf:     coloPerf,
+		PerfRatio:         coloPerf / soloPerf,
+	}
+	return res
+}
+
+// RenderFig1 renders the summary and the tail of each series.
+func RenderFig1(r Fig1Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 1: cold-page dilemma under Memtis\n")
+	for _, s := range r.Series {
+		n := len(s.Hot)
+		if n == 0 {
+			continue
+		}
+		last := n - 1
+		fmt.Fprintf(&b, "  %-16s %-10s final hot=%6.0f cold=%6.0f pages (of %d samples)\n",
+			s.Scenario, s.App, s.Hot[last], s.Cold[last], n)
+	}
+	fmt.Fprintf(&b, "  (d) memcached hot-page ratio: solo %.1f%% -> colocated %.1f%%\n",
+		100*r.Summary.SoloHotRatio, 100*r.Summary.ColocatedHotRatio)
+	fmt.Fprintf(&b, "      memcached normalized perf: solo %.3f -> colocated %.3f (%.2fx)\n",
+		r.Summary.SoloPerf, r.Summary.ColocatedPerf, r.Summary.PerfRatio)
+	return b.String()
+}
+
+// CSVFig1 renders the time series as long-format CSV.
+func CSVFig1(r Fig1Result) string {
+	var b strings.Builder
+	b.WriteString("scenario,app,time_ns,hot_pages,cold_pages\n")
+	for _, s := range r.Series {
+		for i := range s.Hot {
+			fmt.Fprintf(&b, "%s,%s,%d,%.0f,%.0f\n",
+				s.Scenario, s.App, int64(s.Times[i]), s.Hot[i], s.Cold[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"vulcan/internal/machine"
+)
+
+// Fig2Row is one CPU-count point of Figure 2: the per-phase breakdown of
+// a single 4KiB page migration.
+type Fig2Row struct {
+	CPUs        int
+	Prep        float64 // cycles
+	Trap        float64
+	Unmap       float64
+	TLB         float64
+	Copy        float64
+	Remap       float64
+	TotalCycles float64
+	PrepShare   float64
+}
+
+// Fig2 reproduces "Breakdown of migration costs for single base-page
+// across varying numbers of CPUs": preparation grows from ~38% of ~50K
+// cycles at 2 CPUs to ~77% of ~750K cycles at 32.
+func Fig2() []Fig2Row {
+	cost := machine.DefaultCostModel()
+	var rows []Fig2Row
+	for _, cpus := range []int{2, 4, 8, 16, 32} {
+		b := cost.MigrationBreakdown(1, cpus, machine.MigrationOptions{Targets: cpus})
+		rows = append(rows, Fig2Row{
+			CPUs:        cpus,
+			Prep:        b.Prep,
+			Trap:        b.Trap,
+			Unmap:       b.Unmap,
+			TLB:         b.TLB,
+			Copy:        b.Copy,
+			Remap:       b.Remap,
+			TotalCycles: b.Total(),
+			PrepShare:   b.PrepShare(),
+		})
+	}
+	return rows
+}
+
+// RenderFig2 renders the rows as an aligned text table.
+func RenderFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: single base-page migration breakdown (cycles)\n")
+	fmt.Fprintf(&b, "%6s %10s %8s %8s %10s %8s %8s %12s %10s\n",
+		"cpus", "prep", "trap", "unmap", "tlb", "copy", "remap", "total", "prep%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %10.0f %8.0f %8.0f %10.0f %8.0f %8.0f %12.0f %9.1f%%\n",
+			r.CPUs, r.Prep, r.Trap, r.Unmap, r.TLB, r.Copy, r.Remap,
+			r.TotalCycles, 100*r.PrepShare)
+	}
+	return b.String()
+}
+
+// CSVFig2 renders the rows as CSV.
+func CSVFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	b.WriteString("cpus,prep,trap,unmap,tlb,copy,remap,total,prep_share\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.4f\n",
+			r.CPUs, r.Prep, r.Trap, r.Unmap, r.TLB, r.Copy, r.Remap,
+			r.TotalCycles, r.PrepShare)
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"vulcan/internal/migrate"
+)
+
+// Fig4Row is one read/write-ratio point of Figure 4, comparing
+// synchronous and asynchronous copying for a hot-page promotion under
+// concurrent access.
+type Fig4Row struct {
+	ReadPct      int
+	SyncOpsPerS  float64
+	AsyncOpsPerS float64
+	AsyncRetries int
+	AsyncAborted bool
+}
+
+// Fig4Ratios are the swept read percentages (100:0 down to 0:100).
+var Fig4Ratios = []int{100, 90, 75, 50, 25, 10, 0}
+
+// Fig4 reproduces "Performance comparison of synchronous and asynchronous
+// page copying for hot page migration across different read-write
+// ratios": async wins for read-intensive access (no stall), sync wins for
+// write-intensive (async copies keep getting dirtied and abort).
+func Fig4(seed uint64) []Fig4Row {
+	var rows []Fig4Row
+	for _, pct := range Fig4Ratios {
+		cfg := migrate.DefaultHotPageConfig()
+		cfg.ReadFraction = float64(pct) / 100
+		cfg.Seed = seed
+		syncRes := migrate.RunHotPageSync(cfg)
+		asyncRes := migrate.RunHotPageAsync(cfg)
+		rows = append(rows, Fig4Row{
+			ReadPct:      pct,
+			SyncOpsPerS:  syncRes.OpsPerSec,
+			AsyncOpsPerS: asyncRes.OpsPerSec,
+			AsyncRetries: asyncRes.Retries,
+			AsyncAborted: asyncRes.Aborted,
+		})
+	}
+	return rows
+}
+
+// RenderFig4 renders the comparison.
+func RenderFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: sync vs async copying for hot-page promotion (ops/s, higher is better)\n")
+	fmt.Fprintf(&b, "%10s %12s %12s %8s %8s %8s\n",
+		"read:write", "sync", "async", "winner", "retries", "aborted")
+	for _, r := range rows {
+		winner := "async"
+		if r.SyncOpsPerS > r.AsyncOpsPerS {
+			winner = "sync"
+		}
+		fmt.Fprintf(&b, "%7d:%-3d %12.0f %12.0f %8s %8d %8t\n",
+			r.ReadPct, 100-r.ReadPct, r.SyncOpsPerS, r.AsyncOpsPerS,
+			winner, r.AsyncRetries, r.AsyncAborted)
+	}
+	return b.String()
+}
+
+// CSVFig4 renders the rows as CSV.
+func CSVFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	b.WriteString("read_pct,sync_ops,async_ops,async_retries,async_aborted\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%.0f,%.0f,%d,%t\n",
+			r.ReadPct, r.SyncOpsPerS, r.AsyncOpsPerS, r.AsyncRetries, r.AsyncAborted)
+	}
+	return b.String()
+}

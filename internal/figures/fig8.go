@@ -1,0 +1,135 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"vulcan/internal/mem"
+	"vulcan/internal/system"
+	"vulcan/internal/workload"
+)
+
+// Fig8WSS labels the three working-set regimes relative to fast-tier
+// capacity (paper §5.2: small, medium, large).
+type Fig8WSS string
+
+// The three working-set regimes.
+const (
+	WSSSmall  Fig8WSS = "small"  // fits comfortably (50% of fast)
+	WSSMedium Fig8WSS = "medium" // about fast capacity
+	WSSLarge  Fig8WSS = "large"  // twice fast capacity
+)
+
+// Fig8Row is one (policy, wss) measurement.
+type Fig8Row struct {
+	Policy string
+	WSS    Fig8WSS
+	// Bandwidths in MB/s derived from achieved page-granular operations,
+	// during migration convergence and after stabilization.
+	ReadMBsInProgress  float64
+	WriteMBsInProgress float64
+	ReadMBsStable      float64
+	WriteMBsStable     float64
+}
+
+// Fig8 reproduces the Nomad-style microbenchmark comparison: Zipfian
+// accesses over a working set inside a larger RSS, with half the accesses
+// writes, measured while migration is converging ("migration in
+// progress") and afterwards ("migration stable").
+func Fig8(policies []string, seed uint64) []Fig8Row {
+	if len(policies) == 0 {
+		policies = PolicyNames
+	}
+	var rows []Fig8Row
+	for _, wss := range []Fig8WSS{WSSSmall, WSSMedium, WSSLarge} {
+		for _, pol := range policies {
+			rows = append(rows, runFig8(pol, wss, seed))
+		}
+	}
+	return rows
+}
+
+func runFig8(pol string, wss Fig8WSS, seed uint64) Fig8Row {
+	const scale = 8 // fast tier 16384 pages: keeps the sweep quick
+	mcfg := ColocationMachine(scale)
+	fast := mcfg.Tiers[mem.TierFast].CapacityPages
+	var wssPages int
+	switch wss {
+	case WSSSmall:
+		wssPages = fast / 2
+	case WSSMedium:
+		wssPages = fast
+	case WSSLarge:
+		wssPages = fast * 2
+	}
+	rss := fast * 4
+	const writeFrac = 0.5
+
+	app := workload.NomadMicroConfig("micro", rss, wssPages, writeFrac)
+	sys := system.New(system.Config{
+		Machine:          mcfg,
+		Apps:             []workload.AppConfig{app},
+		Policy:           NewPolicy(pol),
+		Seed:             seed,
+		SamplesPerThread: SamplesForScale(scale),
+	})
+
+	// "Migration in progress": the first epochs after start while the
+	// working set is still being pulled up from the slow tier.
+	const progressEpochs, stableEpochs = 10, 30
+	progressOps := 0.0
+	for i := 0; i < progressEpochs; i++ {
+		sys.RunEpoch()
+		progressOps += sys.App("micro").EpochOps()
+	}
+	// Let placement stabilize, then measure again.
+	for i := 0; i < stableEpochs; i++ {
+		sys.RunEpoch()
+	}
+	stableOps := 0.0
+	const measureEpochs = 10
+	for i := 0; i < measureEpochs; i++ {
+		sys.RunEpoch()
+		stableOps += sys.App("micro").EpochOps()
+	}
+
+	epoch := sys.EpochLength().Seconds()
+	toMBs := func(ops float64, epochs int, frac float64) float64 {
+		// One operation touches one cache line (64B).
+		return ops * frac * 64 / (float64(epochs) * epoch) / 1e6
+	}
+	return Fig8Row{
+		Policy:             pol,
+		WSS:                wss,
+		ReadMBsInProgress:  toMBs(progressOps, progressEpochs, 1-writeFrac),
+		WriteMBsInProgress: toMBs(progressOps, progressEpochs, writeFrac),
+		ReadMBsStable:      toMBs(stableOps, measureEpochs, 1-writeFrac),
+		WriteMBsStable:     toMBs(stableOps, measureEpochs, writeFrac),
+	}
+}
+
+// RenderFig8 renders the comparison table.
+func RenderFig8(rows []Fig8Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: microbenchmark bandwidth under migration (MB/s, higher is better)\n")
+	fmt.Fprintf(&b, "%8s %8s %14s %14s %14s %14s\n",
+		"wss", "policy", "read(prog)", "write(prog)", "read(stable)", "write(stable)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8s %8s %14.1f %14.1f %14.1f %14.1f\n",
+			r.WSS, r.Policy, r.ReadMBsInProgress, r.WriteMBsInProgress,
+			r.ReadMBsStable, r.WriteMBsStable)
+	}
+	return b.String()
+}
+
+// CSVFig8 renders the rows as CSV.
+func CSVFig8(rows []Fig8Row) string {
+	var b strings.Builder
+	b.WriteString("wss,policy,read_mbs_progress,write_mbs_progress,read_mbs_stable,write_mbs_stable\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%.1f,%.1f,%.1f,%.1f\n",
+			r.WSS, r.Policy, r.ReadMBsInProgress, r.WriteMBsInProgress,
+			r.ReadMBsStable, r.WriteMBsStable)
+	}
+	return b.String()
+}

@@ -1,0 +1,347 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"vulcan/internal/sim"
+)
+
+func TestFig2Shape(t *testing.T) {
+	rows := Fig2()
+	if len(rows) != 5 || rows[0].CPUs != 2 || rows[len(rows)-1].CPUs != 32 {
+		t.Fatalf("unexpected sweep: %+v", rows)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// Paper anchors: ~50K cycles at 2 CPUs (prep ~38%), ~750K at 32
+	// (prep ~77%).
+	if first.TotalCycles < 40e3 || first.TotalCycles > 62e3 {
+		t.Errorf("2-CPU total = %v", first.TotalCycles)
+	}
+	if last.TotalCycles < 650e3 || last.TotalCycles > 850e3 {
+		t.Errorf("32-CPU total = %v", last.TotalCycles)
+	}
+	if first.PrepShare > last.PrepShare {
+		t.Error("prep share not growing with CPU count")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TotalCycles <= rows[i-1].TotalCycles {
+			t.Error("total not monotone in CPUs")
+		}
+	}
+	out := RenderFig2(rows)
+	if !strings.Contains(out, "Figure 2") {
+		t.Error("render missing title")
+	}
+	if !strings.Contains(CSVFig2(rows), "cpus,prep") {
+		t.Error("CSV missing header")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	cells := Fig3()
+	if len(cells) != len(Fig3Pages)*len(Fig3Threads) {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	byKey := map[[2]int]Fig3Cell{}
+	for _, c := range cells {
+		byKey[[2]int{c.Pages, c.Threads}] = c
+	}
+	// Single-threaded migrations are copy-dominated at any size.
+	for _, p := range Fig3Pages {
+		if s := byKey[[2]int{p, 1}].TLBShare; s > 0.1 {
+			t.Errorf("1-thread TLB share at %d pages = %v", p, s)
+		}
+	}
+	// The paper's anchor: ~65% at 512 pages x 32 threads.
+	if s := byKey[[2]int{512, 32}].TLBShare; s < 0.55 || s > 0.75 {
+		t.Errorf("512x32 TLB share = %v, want ~0.65", s)
+	}
+	// Share grows with thread count at fixed size.
+	for _, p := range Fig3Pages {
+		prev := -1.0
+		for _, th := range Fig3Threads {
+			s := byKey[[2]int{p, th}].TLBShare
+			if s < prev {
+				t.Errorf("TLB share not monotone in threads at %d pages", p)
+			}
+			prev = s
+		}
+	}
+	if !strings.Contains(RenderFig3(cells), "Figure 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	rows := Fig4(7)
+	if len(rows) != len(Fig4Ratios) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Async must win read-only; sync must win write-only.
+	if rows[0].AsyncOpsPerS <= rows[0].SyncOpsPerS {
+		t.Error("async did not win at 100:0")
+	}
+	last := rows[len(rows)-1]
+	if last.SyncOpsPerS <= last.AsyncOpsPerS {
+		t.Error("sync did not win at 0:100")
+	}
+	if !last.AsyncAborted {
+		t.Error("write-only async promotion did not abort")
+	}
+	if !strings.Contains(RenderFig4(rows), "Figure 4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	rows := Fig6()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		// Full replication multiplies the whole structure by ~threads.
+		if r.FullTables < r.SharedTables*r.Threads {
+			t.Errorf("%d threads: full %d < %dx shared %d",
+				r.Threads, r.FullTables, r.Threads, r.SharedTables)
+		}
+		// Shared-leaf replication stays far cheaper than full (at least
+		// 2x at 2 threads, widening with thread count).
+		if r.VulcanTables*2 >= r.FullTables {
+			t.Errorf("%d threads: vulcan %d not clearly under full %d",
+				r.Threads, r.VulcanTables, r.FullTables)
+		}
+		// Overheads grow with thread count.
+		if i > 0 && r.VulcanOverheadPc <= rows[i-1].VulcanOverheadPc {
+			t.Error("vulcan overhead not monotone in threads")
+		}
+		// Full replication's write amplification is exactly threads x.
+		if r.FullPTEWrites != uint64(r.Threads)*Fig6MappedPages {
+			t.Errorf("%d threads: PTE writes %d", r.Threads, r.FullPTEWrites)
+		}
+	}
+	if !strings.Contains(RenderFig6(rows), "Figure 6") {
+		t.Error("render missing title")
+	}
+	if !strings.Contains(CSVFig6(rows), "threads,shared_tables") {
+		t.Error("CSV missing header")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	rows := Fig7()
+	first := rows[0]
+	if first.Pages != 2 {
+		t.Fatalf("first row pages = %d", first.Pages)
+	}
+	// Paper anchors: ~3.44x prep-only and ~4.06x combined at 2 pages; we
+	// accept the model's 3.5-4.3 band.
+	if first.PrepOptSpeedup < 3.0 || first.PrepOptSpeedup > 4.5 {
+		t.Errorf("2-page prep-opt speedup = %v, want ~3.4x", first.PrepOptSpeedup)
+	}
+	if first.BothOptSpeedup <= first.PrepOptSpeedup {
+		t.Error("TLB optimization added nothing")
+	}
+	if first.BothOptSpeedup < 3.4 || first.BothOptSpeedup > 5.0 {
+		t.Errorf("2-page combined speedup = %v, want ~4x", first.BothOptSpeedup)
+	}
+	// Benefits must decay with batch size.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].BothOptSpeedup >= rows[i-1].BothOptSpeedup {
+			t.Error("speedup not decaying with batch size")
+		}
+	}
+	if !strings.Contains(RenderFig7(rows), "Figure 7") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig1ColdPageDilemma(t *testing.T) {
+	r := Fig1(40*sim.Second, 16, 3)
+	if len(r.Series) != 4 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	// Observation #1: co-location slashes memcached's hot classification
+	// and its performance.
+	if r.Summary.ColocatedHotRatio >= r.Summary.SoloHotRatio {
+		t.Fatalf("no dilemma: hot ratio %v -> %v",
+			r.Summary.SoloHotRatio, r.Summary.ColocatedHotRatio)
+	}
+	if r.Summary.PerfRatio >= 1 {
+		t.Fatalf("co-location did not degrade memcached: %v", r.Summary.PerfRatio)
+	}
+	if !strings.Contains(RenderFig1(r), "cold-page dilemma") {
+		t.Error("render missing title")
+	}
+	if !strings.Contains(CSVFig1(r), "scenario,app") {
+		t.Error("CSV missing header")
+	}
+}
+
+func TestFig8VulcanCompetitive(t *testing.T) {
+	rows := Fig8([]string{"memtis", "vulcan"}, 2)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[string]Fig8Row{}
+	for _, r := range rows {
+		byKey[string(r.WSS)+"/"+r.Policy] = r
+	}
+	for _, wss := range []string{"small", "medium", "large"} {
+		v := byKey[wss+"/vulcan"]
+		m := byKey[wss+"/memtis"]
+		// Vulcan at least matches Memtis in the migration-in-progress
+		// phase (its cheap mechanisms shine during convergence).
+		if v.ReadMBsInProgress < m.ReadMBsInProgress*0.97 {
+			t.Errorf("%s: vulcan in-progress %v well below memtis %v",
+				wss, v.ReadMBsInProgress, m.ReadMBsInProgress)
+		}
+	}
+	// Larger working sets can't go faster than smaller ones.
+	if byKey["large/vulcan"].ReadMBsStable > byKey["small/vulcan"].ReadMBsStable*1.05 {
+		t.Error("large WSS outperformed small WSS")
+	}
+	if !strings.Contains(RenderFig8(rows), "Figure 8") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig9Dynamics(t *testing.T) {
+	r := Fig9(150*sim.Second, 8, 2)
+	if len(r.Apps) != 3 {
+		t.Fatalf("apps = %d", len(r.Apps))
+	}
+	var mc, pr, ll Fig9AppSeries
+	for _, s := range r.Apps {
+		switch s.App {
+		case "memcached":
+			mc = s
+		case "pagerank":
+			pr = s
+		case "liblinear":
+			ll = s
+		}
+	}
+	// Staggered arrivals: series lengths reflect start times.
+	if !(len(mc.Alloc) > len(pr.Alloc) && len(pr.Alloc) > len(ll.Alloc)) {
+		t.Fatalf("arrival order broken: %d/%d/%d points",
+			len(mc.Alloc), len(pr.Alloc), len(ll.Alloc))
+	}
+	// Memcached's GPT drops as GFMC is re-divided on arrivals.
+	if mc.GPT[0] <= mc.GPT[len(mc.GPT)-1] {
+		t.Error("memcached GPT did not shrink with new arrivals")
+	}
+	// Memcached's quota must come down from its initial monopoly.
+	if mc.Alloc[len(mc.Alloc)-1] >= mc.Alloc[0] {
+		t.Error("memcached quota never rebalanced")
+	}
+	// Late arrivals must end up with fast memory.
+	if ll.Fast[len(ll.Fast)-1] == 0 {
+		t.Error("liblinear never received fast pages")
+	}
+	if !strings.Contains(RenderFig9(r), "Figure 9") {
+		t.Error("render missing title")
+	}
+	if !strings.Contains(CSVFig9(r), "app,time_ns") {
+		t.Error("CSV missing header")
+	}
+}
+
+func TestFig10SmallRun(t *testing.T) {
+	r := Fig10(2, 60*sim.Second, 8)
+	if len(r.Apps) != 3 {
+		t.Fatalf("apps = %d", len(r.Apps))
+	}
+	// Normalization: each app's minimum across policies is exactly 1.
+	for _, a := range r.Apps {
+		minV := 1e18
+		for _, pol := range r.Policies {
+			if a.PerfMean[pol] < minV {
+				minV = a.PerfMean[pol]
+			}
+		}
+		if minV < 0.999 || minV > 1.001 {
+			t.Errorf("%s normalization floor = %v", a.App, minV)
+		}
+	}
+	// Vulcan's CFI leads the comparison (the paper's headline).
+	v := r.CFIMean["vulcan"]
+	for _, pol := range []string{"tpp", "memtis", "nomad"} {
+		if v < r.CFIMean[pol]*0.98 {
+			t.Errorf("vulcan CFI %v below %s %v", v, pol, r.CFIMean[pol])
+		}
+	}
+	if !strings.Contains(RenderFig10(r), "Figure 10") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	want := []Table1Row{
+		{PageType: "Shared", Pattern: "Read-intensive", Priority: 3, Strategy: "Async copy"},
+		{PageType: "Shared", Pattern: "Write-intensive", Priority: 1, Strategy: "Sync copy"},
+		{PageType: "Private", Pattern: "Read-intensive", Priority: 4, Strategy: "Async copy"},
+		{PageType: "Private", Pattern: "Write-intensive", Priority: 2, Strategy: "Sync copy"},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, w := range want {
+		if rows[i] != w {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], w)
+		}
+	}
+	if !strings.Contains(RenderTable1(rows), "Table 1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	wantGB := map[string]int{"memcached": 51, "pagerank": 42, "liblinear": 69}
+	for _, r := range rows {
+		if wantGB[r.App] != r.PaperRSSGB {
+			t.Errorf("%s RSS = %d GB, want %d", r.App, r.PaperRSSGB, wantGB[r.App])
+		}
+		// 1/64 scale: pages * 4KiB * 64 == paper GB.
+		if r.ScaledPages*4096*64 != r.PaperRSSGB<<30 {
+			t.Errorf("%s scaling inconsistent", r.App)
+		}
+	}
+	if !strings.Contains(RenderTable2(rows), "Table 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	rows := Ablations(20*sim.Second, 16, 5)
+	if len(rows) != len(AblationSpecs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AblatedPerf <= 0 || r.AblatedCFI <= 0 {
+			t.Errorf("%s produced empty results: %+v", r.Name, r)
+		}
+	}
+	if !strings.Contains(RenderAblations(rows), "Ablations") {
+		t.Error("render missing title")
+	}
+}
+
+func TestNewPolicyNames(t *testing.T) {
+	for _, name := range append([]string{"static"}, PolicyNames...) {
+		if NewPolicy(name) == nil {
+			t.Errorf("NewPolicy(%q) nil", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown policy did not panic")
+		}
+	}()
+	NewPolicy("bogus")
+}

@@ -1,0 +1,198 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (§2.2 motivation figures 1–4, §5 figures 7–10 and tables
+// 1–2) from the simulated substrate. Each FigN function returns the
+// figure's data in a printable form; cmd/figures renders them as CSV or
+// ASCII tables and bench_test.go wraps them as benchmarks.
+package figures
+
+import (
+	"fmt"
+
+	"vulcan/internal/core"
+	"vulcan/internal/machine"
+	"vulcan/internal/mem"
+	"vulcan/internal/metrics"
+	"vulcan/internal/policy"
+	"vulcan/internal/sim"
+	"vulcan/internal/system"
+	"vulcan/internal/workload"
+)
+
+// PolicyNames lists the comparison set of §5, in the paper's order.
+var PolicyNames = []string{"tpp", "memtis", "nomad", "vulcan"}
+
+// NewPolicy builds a tiering policy by name ("static", "tpp", "memtis",
+// "nomad", "vulcan").
+func NewPolicy(name string) system.Tiering {
+	switch name {
+	case "static":
+		return system.NullPolicy{}
+	case "tpp":
+		return policy.NewTPP()
+	case "memtis":
+		return policy.NewMemtis()
+	case "nomad":
+		return policy.NewNomad()
+	case "vulcan":
+		return core.New(core.Options{})
+	default:
+		panic(fmt.Sprintf("figures: unknown policy %q", name))
+	}
+}
+
+// ColocationConfig parameterizes the three-application study of §5.3.
+type ColocationConfig struct {
+	Policy   string
+	Duration sim.Duration
+	Seed     uint64
+	// Staggered starts the apps at 0s/50s/110s as in Figure 9; otherwise
+	// all three start together (Figure 10 steady-state comparison).
+	Staggered bool
+	// Scale divides the workload RSS and tier capacities once more on
+	// top of mem.Scale, to keep unit tests fast. 1 = full scaled size.
+	Scale int
+	// SamplesPerThread overrides the system default when nonzero.
+	SamplesPerThread int
+}
+
+// AppResult summarizes one application after a co-location run.
+type AppResult struct {
+	Name     string
+	Class    workload.Class
+	Perf     float64 // mean normalized performance (1 = all-fast ideal)
+	PerfCI   float64 // 95% confidence half-width over epochs
+	FTHR     float64 // final smoothed fast-tier hit ratio
+	MeanFTHR float64 // time-averaged FTHR
+	Fast     int     // final fast-tier pages
+	RSS      int
+}
+
+// ColocationResult is the outcome of one co-location run.
+type ColocationResult struct {
+	Policy string
+	Apps   []AppResult
+	// CFI is the FTHR-weighted Cumulative Fairness Index (Eq. 4) over the
+	// measurement phase (after WarmupEpochs).
+	CFI    float64
+	System *system.System
+}
+
+// WarmupEpochs are excluded from the CFI integral: every policy needs a
+// ramp to move working sets into place, and the paper's trials measure
+// warmed-up systems.
+const WarmupEpochs = 30
+
+// measuredCFI recomputes Eq. 4 from the recorded allocation and FTHR
+// series, skipping the warmup prefix.
+func measuredCFI(sys *system.System) float64 {
+	x := make([]float64, 0, len(sys.Apps()))
+	for _, a := range sys.Apps() {
+		alloc := sys.Recorder().Series(a.Name() + ".fast_pages")
+		fthr := sys.Recorder().Series(a.Name() + ".fthr")
+		sum := 0.0
+		n := alloc.Len()
+		if fthr.Len() < n {
+			n = fthr.Len()
+		}
+		// Apps admitted late have shorter series; the warmup skip applies
+		// to each app's own ramp, capped so short runs still measure.
+		warmup := WarmupEpochs
+		if warmup > n/2 {
+			warmup = n / 2
+		}
+		for i := warmup; i < n; i++ {
+			sum += alloc.At(i).V * fthr.At(i).V
+		}
+		x = append(x, sum)
+	}
+	return metrics.JainIndex(x)
+}
+
+// Table2Apps returns the paper's three applications (Table 2), optionally
+// scaled down by extraScale and staggered as in Figure 9.
+func Table2Apps(extraScale int, staggered bool) []workload.AppConfig {
+	if extraScale < 1 {
+		extraScale = 1
+	}
+	mc := workload.MemcachedConfig()
+	pr := workload.PageRankConfig()
+	ll := workload.LiblinearConfig()
+	mc.RSSPages /= extraScale
+	pr.RSSPages /= extraScale
+	ll.RSSPages /= extraScale
+	if staggered {
+		pr.StartAt = sim.Time(50 * sim.Second)
+		ll.StartAt = sim.Time(110 * sim.Second)
+	}
+	return []workload.AppConfig{mc, pr, ll}
+}
+
+// SamplesForScale returns the per-thread sample count that keeps
+// *samples per page* constant across capacity scales, so profiling
+// fidelity (what fraction of a footprint registers in miss-based
+// profiles per epoch) does not depend on the chosen scale.
+func SamplesForScale(extraScale int) int {
+	if extraScale < 1 {
+		extraScale = 1
+	}
+	s := 6400 / extraScale
+	if s < 400 {
+		s = 400
+	}
+	if s > 6400 {
+		s = 6400
+	}
+	return s
+}
+
+// ColocationMachine returns the §5.1 machine, with tier capacities scaled
+// by extraScale.
+func ColocationMachine(extraScale int) machine.Config {
+	cfg := machine.DefaultConfig()
+	if extraScale > 1 {
+		cfg.Tiers[mem.TierFast].CapacityPages /= extraScale
+		cfg.Tiers[mem.TierSlow].CapacityPages /= extraScale
+	}
+	return cfg
+}
+
+// RunColocation executes the three-app co-location under the named
+// policy and summarizes per-app performance and fairness.
+func RunColocation(cfg ColocationConfig) ColocationResult {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 180 * sim.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.SamplesPerThread == 0 {
+		cfg.SamplesPerThread = SamplesForScale(cfg.Scale)
+	}
+	sys := system.New(system.Config{
+		Machine:          ColocationMachine(cfg.Scale),
+		Apps:             Table2Apps(cfg.Scale, cfg.Staggered),
+		Policy:           NewPolicy(cfg.Policy),
+		Seed:             cfg.Seed,
+		SamplesPerThread: cfg.SamplesPerThread,
+	})
+	sys.Run(cfg.Duration)
+
+	res := ColocationResult{Policy: cfg.Policy, System: sys, CFI: measuredCFI(sys)}
+	for _, a := range sys.Apps() {
+		perf := a.NormalizedPerf()
+		res.Apps = append(res.Apps, AppResult{
+			Name:     a.Name(),
+			Class:    a.Class(),
+			Perf:     perf.Mean(),
+			PerfCI:   perf.CI95(),
+			FTHR:     a.FTHR(),
+			MeanFTHR: sys.Recorder().Series(a.Name() + ".fthr").Mean(),
+			Fast:     a.FastPages(),
+			RSS:      a.RSSMapped(),
+		})
+	}
+	return res
+}

@@ -1,0 +1,109 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"vulcan/internal/core"
+	"vulcan/internal/mem"
+	"vulcan/internal/workload"
+)
+
+// Table1Row is one row of the paper's Table 1: page promotion priority
+// and strategy by classification.
+type Table1Row struct {
+	PageType string // Shared / Private
+	Pattern  string // Read-intensive / Write-intensive
+	Priority int    // stars, 4 = highest
+	Strategy string // "Async copy" / "Sync copy"
+}
+
+// Table1 derives the promotion matrix from the implementation (the
+// classification order and strategies are code, not configuration, so
+// this table is generated rather than transcribed).
+func Table1() []Table1Row {
+	classes := []core.PageClass{
+		core.SharedRead, core.SharedWrite, core.PrivateRead, core.PrivateWrite,
+	}
+	var rows []Table1Row
+	for _, c := range classes {
+		name := c.String() // e.g. "shared-read"
+		parts := strings.SplitN(name, "-", 2)
+		pattern := "Read-intensive"
+		if parts[1] == "write" {
+			pattern = "Write-intensive"
+		}
+		strategy := "Sync copy"
+		if c.Async() {
+			strategy = "Async copy"
+		}
+		rows = append(rows, Table1Row{
+			PageType: strings.Title(parts[0]),
+			Pattern:  pattern,
+			Priority: int(core.NumClasses) - int(c), // 4 stars down to 1
+			Strategy: strategy,
+		})
+	}
+	return rows
+}
+
+// RenderTable1 renders the promotion matrix.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: page promotion priority and strategy\n")
+	fmt.Fprintf(&b, "%-10s %-18s %-10s %-12s\n", "Page Type", "Read/Write Pattern", "Priority", "Strategy")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-18s %-10s %-12s\n",
+			r.PageType, r.Pattern, strings.Repeat("*", r.Priority), r.Strategy)
+	}
+	return b.String()
+}
+
+// Table2Row is one row of the paper's Table 2: workloads and RSS.
+type Table2Row struct {
+	App         string
+	Workload    string
+	Class       workload.Class
+	PaperRSSGB  int
+	ScaledPages int
+	ScaledMB    int
+}
+
+// Table2 returns the evaluated applications with both paper-scale and
+// simulated (1/64-scale) footprints.
+func Table2() []Table2Row {
+	entries := []struct {
+		cfg  workload.AppConfig
+		desc string
+		gb   int
+	}{
+		{workload.MemcachedConfig(), "In-memory database engine using YCSB-C", 51},
+		{workload.PageRankConfig(), "Compute the PageRank score of Web pages", 42},
+		{workload.LiblinearConfig(), "Linear classification of KDD12 dataset", 69},
+	}
+	var rows []Table2Row
+	for _, e := range entries {
+		rows = append(rows, Table2Row{
+			App:         e.cfg.Name,
+			Workload:    e.desc,
+			Class:       e.cfg.Class,
+			PaperRSSGB:  e.gb,
+			ScaledPages: e.cfg.RSSPages,
+			ScaledMB:    e.cfg.RSSPages * mem.PageSize >> 20,
+		})
+	}
+	return rows
+}
+
+// RenderTable2 renders the workload table.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: workloads and RSS in tiered memory (scaled 1/64)\n")
+	fmt.Fprintf(&b, "%-10s %-42s %-5s %-8s %-12s %-9s\n",
+		"App", "Workload", "Class", "RSS", "Sim pages", "Sim MB")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-42s %-5s %3d GB %12d %6d MB\n",
+			r.App, r.Workload, r.Class, r.PaperRSSGB, r.ScaledPages, r.ScaledMB)
+	}
+	return b.String()
+}

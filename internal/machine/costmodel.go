@@ -1,0 +1,216 @@
+// Package machine models the multicore host: core count, the cycle cost
+// of every page-migration phase, and memory access latency. All of the
+// paper's motivation observations (Figures 2–4) are cost phenomena, so
+// this package is where the reproduction is calibrated.
+//
+// Calibration anchors (see DESIGN.md §4 and EXPERIMENTS.md):
+//
+//   - Figure 2: migrating one 4KiB page costs ~50K cycles on 2 CPUs and
+//     ~750K on 32, with migration preparation growing from 38.3% to 76.9%
+//     of the total. Preparation is Linux's lru_add_drain_all() +
+//     on_each_cpu_mask() synchronization, fit here as A·c^p.
+//   - Figure 3: with 512 pages and 32 threads, TLB coherence consumes
+//     ~65% of migration time, while copying dominates small migrations.
+//   - Figure 7: Vulcan's optimized preparation (per-app drain) and
+//     targeted shootdown recover most of those costs for small batches.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"vulcan/internal/mem"
+	"vulcan/internal/sim"
+)
+
+// CostModel holds every cycle-cost constant of the simulated machine.
+// All fields are in CPU cycles at sim.CyclesPerNs GHz unless noted.
+type CostModel struct {
+	// Access path.
+	TLBHitCycles     float64 // translation from TLB
+	PageWalkPerLevel float64 // per radix level on TLB miss
+	HintFaultCycles  float64 // NUMA-hint minor fault round trip
+	MinorFaultCycles float64 // mapping fault service (no I/O)
+	LeafLinkCycles   float64 // linking a shared leaf into a per-thread table
+
+	// Migration preparation (Linux lru_add_drain_all + friends):
+	// cycles = PrepCoeff * cpus^PrepExponent.
+	PrepCoeff    float64
+	PrepExponent float64
+	// Vulcan's workload-dependent migration drains only the app's own
+	// cores, a constant cost.
+	PrepOptimized float64
+
+	// Per-migration fixed and per-page costs.
+	TrapCycles       float64 // kernel entry
+	LockUnmapPerPage float64 // PTE lock + unmap
+	RemapPerPage     float64 // PTE remap + bookkeeping
+
+	// TLB shootdown: Fixed + targets*(IPIPerTarget + pages*InvalPerPage*f)
+	// where f = 1 + pages/InvalContentionPages models invalidation-queue
+	// contention on large batches. A migration whose shootdown scope is a
+	// single CPU (private page, initiating thread) needs no IPIs at all —
+	// just LocalInvalPerPage.
+	ShootdownFixed        float64
+	IPIPerTarget          float64
+	InvalPerPagePerTarget float64
+	InvalContentionPages  float64
+	LocalInvalPerPage     float64
+
+	// Page content copy between tiers, per 4KiB page.
+	CopyPerPage float64
+
+	// THP split cost when promoting a 2MiB huge page as base pages
+	// (Memtis-style splitting, §3.5).
+	THPSplitCycles float64
+}
+
+// DefaultCostModel returns the constants calibrated against the paper's
+// Figures 2, 3 and 7 (see package comment).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		TLBHitCycles:     3,
+		PageWalkPerLevel: 35,
+		HintFaultCycles:  2500,
+		MinorFaultCycles: 1200,
+		LeafLinkCycles:   400,
+
+		PrepCoeff:     8170,
+		PrepExponent:  1.228,
+		PrepOptimized: 10_000,
+
+		TrapCycles:       2000,
+		LockUnmapPerPage: 3000,
+		RemapPerPage:     2000,
+
+		ShootdownFixed:        6300,
+		IPIPerTarget:          4500,
+		InvalPerPagePerTarget: 240,
+		InvalContentionPages:  512,
+		LocalInvalPerPage:     150,
+
+		CopyPerPage: 8000,
+
+		THPSplitCycles: 5000,
+	}
+}
+
+// PrepCycles returns the migration-preparation cost on a machine with
+// cpus cores. With optimized=true it models Vulcan's per-application LRU
+// drain, which avoids on_each_cpu_mask() synchronization entirely.
+func (c CostModel) PrepCycles(cpus int, optimized bool) float64 {
+	if optimized {
+		return c.PrepOptimized
+	}
+	if cpus < 1 {
+		cpus = 1
+	}
+	return c.PrepCoeff * math.Pow(float64(cpus), c.PrepExponent)
+}
+
+// ShootdownCycles returns the TLB coherence cost of migrating pages with
+// the given IPI target count. targets is the number of *remote* CPUs that
+// must be interrupted; zero targets degenerates to local invalidation.
+func (c CostModel) ShootdownCycles(pages, targets int) float64 {
+	if pages <= 0 {
+		return 0
+	}
+	local := float64(pages) * c.LocalInvalPerPage
+	if targets <= 0 {
+		return local
+	}
+	contention := 1 + float64(pages)/c.InvalContentionPages
+	return c.ShootdownFixed +
+		float64(targets)*(c.IPIPerTarget+float64(pages)*c.InvalPerPagePerTarget*contention) +
+		local
+}
+
+// CopyCycles returns the content-copy cost for pages 4KiB pages.
+func (c CostModel) CopyCycles(pages int) float64 {
+	return float64(pages) * c.CopyPerPage
+}
+
+// AccessCycles returns the cycle cost of one memory access to the given
+// tier, with or without a TLB hit, under bandwidth utilization bwUtil.
+func (c CostModel) AccessCycles(t *mem.Tier, tlbHit bool, bwUtil float64) float64 {
+	lat := float64(t.LoadedLatency(bwUtil)) * sim.CyclesPerNs
+	if tlbHit {
+		return c.TLBHitCycles + lat
+	}
+	return c.PageWalkPerLevel*4 + lat
+}
+
+// Breakdown is the per-phase cost of one migration operation, mirroring
+// the five-step mechanism of §2.1 plus preparation and THP splitting.
+type Breakdown struct {
+	Pages int
+	Prep  float64
+	Trap  float64
+	Unmap float64
+	TLB   float64
+	Copy  float64
+	Remap float64
+	// Split is the cost of breaking 2MiB huge mappings into base pages
+	// before migrating them (§3.5's Memtis-style THP splitting).
+	Split float64
+}
+
+// Total returns the summed cycles.
+func (b Breakdown) Total() float64 {
+	return b.Prep + b.Trap + b.Unmap + b.TLB + b.Copy + b.Remap + b.Split
+}
+
+// PrepShare returns preparation's fraction of the total (Figure 2's
+// headline metric).
+func (b Breakdown) PrepShare() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b.Prep / t
+}
+
+// TLBShareOfReal returns the TLB phases' share of "real migration time"
+// (Figure 3's metric: shootdown + copy, excluding preparation).
+func (b Breakdown) TLBShareOfReal() float64 {
+	real := b.TLB + b.Copy
+	if real == 0 {
+		return 0
+	}
+	return b.TLB / real
+}
+
+// String renders the breakdown for human consumption.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("Breakdown{pages=%d prep=%.0f trap=%.0f unmap=%.0f tlb=%.0f copy=%.0f remap=%.0f split=%.0f total=%.0f}",
+		b.Pages, b.Prep, b.Trap, b.Unmap, b.TLB, b.Copy, b.Remap, b.Split, b.Total())
+}
+
+// MigrationOptions select which of Vulcan's mechanism optimizations apply
+// to a migration.
+type MigrationOptions struct {
+	// OptimizedPrep replaces the global LRU drain with a per-app drain
+	// (workload-dependent migration, §3.2).
+	OptimizedPrep bool
+	// Targets is the number of remote CPUs that must receive shootdown
+	// IPIs. Without per-thread page tables this is every CPU running the
+	// process; with them it is the page's sharing scope (§3.4).
+	Targets int
+}
+
+// MigrationBreakdown computes the per-phase cost of migrating pages base
+// pages on a cpus-core machine.
+func (c CostModel) MigrationBreakdown(pages, cpus int, opts MigrationOptions) Breakdown {
+	if pages < 0 {
+		panic(fmt.Sprintf("machine: negative page count %d", pages))
+	}
+	return Breakdown{
+		Pages: pages,
+		Prep:  c.PrepCycles(cpus, opts.OptimizedPrep),
+		Trap:  c.TrapCycles,
+		Unmap: float64(pages) * c.LockUnmapPerPage,
+		TLB:   c.ShootdownCycles(pages, opts.Targets),
+		Copy:  c.CopyCycles(pages),
+		Remap: float64(pages) * c.RemapPerPage,
+	}
+}

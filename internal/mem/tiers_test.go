@@ -1,0 +1,142 @@
+package mem
+
+import (
+	"testing"
+
+	"vulcan/internal/sim"
+)
+
+func smallTiers() *Tiers {
+	return NewTiers([NumTiers]TierConfig{
+		TierFast: {Name: "fast", CapacityPages: 8, UnloadedLatency: 70, BandwidthGBs: 205},
+		TierSlow: {Name: "slow", CapacityPages: 64, UnloadedLatency: 162, BandwidthGBs: 25},
+	})
+}
+
+func TestDefaultConfigRatios(t *testing.T) {
+	cfg := DefaultConfig()
+	fast, slow := cfg[TierFast], cfg[TierSlow]
+	if slow.CapacityPages != 8*fast.CapacityPages {
+		t.Fatalf("slow/fast capacity ratio = %d/%d, want 8x",
+			slow.CapacityPages, fast.CapacityPages)
+	}
+	if fast.CapacityPages != 32<<30/PageSize/Scale {
+		t.Fatalf("fast capacity = %d pages", fast.CapacityPages)
+	}
+	if fast.UnloadedLatency != 70*sim.Nanosecond || slow.UnloadedLatency != 162*sim.Nanosecond {
+		t.Fatal("tier latencies do not match the paper's 70ns/162ns")
+	}
+}
+
+func TestAllocPreferFastFallsBack(t *testing.T) {
+	ts := smallTiers()
+	for i := 0; i < 8; i++ {
+		f, ok := ts.AllocPreferFast()
+		if !ok || f.Tier != TierFast {
+			t.Fatalf("alloc %d: frame %v ok=%v, want fast", i, f, ok)
+		}
+	}
+	f, ok := ts.AllocPreferFast()
+	if !ok || f.Tier != TierSlow {
+		t.Fatalf("overflow alloc got %v ok=%v, want slow tier", f, ok)
+	}
+}
+
+func TestTiersExhaustion(t *testing.T) {
+	ts := smallTiers()
+	for i := 0; i < 8+64; i++ {
+		if _, ok := ts.AllocPreferFast(); !ok {
+			t.Fatalf("alloc %d failed before total capacity", i)
+		}
+	}
+	if _, ok := ts.AllocPreferFast(); ok {
+		t.Fatal("alloc succeeded past total capacity")
+	}
+}
+
+func TestTiersFreeRoundTrip(t *testing.T) {
+	ts := smallTiers()
+	f, _ := ts.Alloc(TierSlow)
+	ts.Free(f)
+	if ts.Slow().Used() != 0 {
+		t.Fatal("slow tier not empty after free")
+	}
+}
+
+func TestTiersFreeNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("freeing NilFrame did not panic")
+		}
+	}()
+	smallTiers().Free(NilFrame)
+}
+
+func TestTiersInvalidTierPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid tier access did not panic")
+		}
+	}()
+	smallTiers().Tier(NumTiers)
+}
+
+func TestNilFrame(t *testing.T) {
+	if !NilFrame.IsNil() {
+		t.Fatal("NilFrame not nil")
+	}
+	f := Frame{Tier: TierFast, Index: 3}
+	if f.IsNil() {
+		t.Fatal("real frame reported nil")
+	}
+	if f.String() != "fast:3" {
+		t.Fatalf("frame string = %q", f.String())
+	}
+}
+
+func TestRecordAccessRouting(t *testing.T) {
+	ts := smallTiers()
+	ff, _ := ts.Alloc(TierFast)
+	sf, _ := ts.Alloc(TierSlow)
+	ts.RecordAccess(ff, false)
+	ts.RecordAccess(sf, true)
+	ts.RecordAccess(sf, true)
+	fr, fw := ts.Fast().EpochAccesses()
+	sr, sw := ts.Slow().EpochAccesses()
+	if fr != 1 || fw != 0 || sr != 0 || sw != 2 {
+		t.Fatalf("routing wrong: fast %d/%d slow %d/%d", fr, fw, sr, sw)
+	}
+	ts.ResetEpoch()
+	fr, _ = ts.Fast().EpochAccesses()
+	sr, _ = ts.Slow().EpochAccesses()
+	if fr != 0 || sr != 0 {
+		t.Fatal("ResetEpoch missed a tier")
+	}
+}
+
+func TestEpochBandwidthUtil(t *testing.T) {
+	ts := smallTiers()
+	f, _ := ts.Alloc(TierSlow)
+	// 25 GB/s slow tier; drive ~12.5GB/s over 1ms: 12.5e9 B/s * 1e-3 s
+	// = 12.5e6 B at 64 B/access ≈ 195312 accesses.
+	for i := 0; i < 195312; i++ {
+		ts.RecordAccess(f, false)
+	}
+	util := ts.EpochBandwidthUtil(1 * sim.Millisecond)
+	if util[TierSlow] < 0.45 || util[TierSlow] > 0.55 {
+		t.Fatalf("slow utilization = %v, want ~0.5", util[TierSlow])
+	}
+	if util[TierFast] != 0 {
+		t.Fatalf("fast utilization = %v, want 0", util[TierFast])
+	}
+	// Zero epoch must not divide by zero.
+	if u := ts.EpochBandwidthUtil(0); u[TierSlow] != 0 {
+		t.Fatal("zero epoch produced nonzero utilization")
+	}
+}
+
+func TestTotalCapacity(t *testing.T) {
+	if got := smallTiers().TotalCapacity(); got != 72 {
+		t.Fatalf("TotalCapacity = %d, want 72", got)
+	}
+}

@@ -1,0 +1,54 @@
+package metrics
+
+// JainIndex computes Jain's fairness index over the allocations xs:
+//
+//	J = (Σx)² / (n · Σx²)
+//
+// It ranges from 1/n (one tenant gets everything) to 1 (perfect
+// equality). Non-positive entries participate as given; an empty or
+// all-zero input returns 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// CFITracker accumulates the paper's FTHR-weighted Cumulative Fairness
+// Index (Eq. 4): each workload's efficiency-adjusted cumulative
+// allocation X_i = Σ_t x_i(t)·FTHR_i(t) feeds Jain's index, so a system
+// is "fair" only when it gives workloads fast memory they actually use
+// effectively over time.
+type CFITracker struct {
+	x []float64
+}
+
+// NewCFITracker creates a tracker for n workloads.
+func NewCFITracker(n int) *CFITracker {
+	if n <= 0 {
+		panic("metrics: CFI tracker needs at least one workload")
+	}
+	return &CFITracker{x: make([]float64, n)}
+}
+
+// Observe adds one sampling interval: alloc_i fast-tier pages (or bytes —
+// any consistent unit) weighted by the workload's fast-tier hit ratio.
+func (c *CFITracker) Observe(workload int, alloc, fthr float64) {
+	c.x[workload] += alloc * fthr
+}
+
+// Cumulative returns a copy of the efficiency-adjusted allocations X_i.
+func (c *CFITracker) Cumulative() []float64 {
+	return append([]float64(nil), c.x...)
+}
+
+// Index returns the current CFI value.
+func (c *CFITracker) Index() float64 { return JainIndex(c.x) }

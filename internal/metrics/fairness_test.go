@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJainIndexEquality(t *testing.T) {
+	if j := JainIndex([]float64{5, 5, 5, 5}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal allocation index = %v, want 1", j)
+	}
+}
+
+func TestJainIndexMonopoly(t *testing.T) {
+	j := JainIndex([]float64{10, 0, 0, 0})
+	if math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("monopoly index = %v, want 1/n = 0.25", j)
+	}
+}
+
+func TestJainIndexKnownValue(t *testing.T) {
+	// (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+	j := JainIndex([]float64{1, 2, 3})
+	if math.Abs(j-36.0/42.0) > 1e-12 {
+		t.Fatalf("index = %v, want %v", j, 36.0/42.0)
+	}
+}
+
+func TestJainIndexDegenerate(t *testing.T) {
+	if JainIndex(nil) != 0 {
+		t.Fatal("empty index not 0")
+	}
+	if JainIndex([]float64{0, 0}) != 0 {
+		t.Fatal("all-zero index not 0")
+	}
+}
+
+func TestJainIndexBoundsProperty(t *testing.T) {
+	// Property: for positive allocations, 1/n ≤ J ≤ 1, and J is scale
+	// invariant.
+	check := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			v := math.Abs(x) + 0.001
+			if v > 1e9 {
+				v = 1e9
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		j := JainIndex(xs)
+		n := float64(len(xs))
+		if j < 1/n-1e-9 || j > 1+1e-9 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = x * 7.5
+		}
+		return math.Abs(JainIndex(scaled)-j) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCFITracker(t *testing.T) {
+	c := NewCFITracker(2)
+	// Workload 0: large allocation used effectively; workload 1: equally
+	// large allocation with near-zero hit ratio. Efficiency weighting must
+	// push the index well below 1.
+	for i := 0; i < 10; i++ {
+		c.Observe(0, 100, 0.9)
+		c.Observe(1, 100, 0.05)
+	}
+	cum := c.Cumulative()
+	if cum[0] != 900 || math.Abs(cum[1]-50) > 1e-9 {
+		t.Fatalf("cumulative = %v", cum)
+	}
+	if idx := c.Index(); idx > 0.6 {
+		t.Fatalf("CFI = %v, want < 0.6 for ineffective allocation", idx)
+	}
+	// Equal efficiency-adjusted use → perfect fairness.
+	c2 := NewCFITracker(2)
+	c2.Observe(0, 100, 0.5)
+	c2.Observe(1, 50, 1.0)
+	if idx := c2.Index(); math.Abs(idx-1) > 1e-12 {
+		t.Fatalf("balanced CFI = %v, want 1", idx)
+	}
+}
+
+func TestCFITrackerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCFITracker(0) did not panic")
+		}
+	}()
+	NewCFITracker(0)
+}

@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if r.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", r.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(r.Var()-32.0/7) > 1e-9 {
+		t.Fatalf("Var = %v, want %v", r.Var(), 32.0/7)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	if r.CI95() <= 0 {
+		t.Fatal("CI95 not positive")
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Var() != 0 || r.CI95() != 0 {
+		t.Fatal("empty Running nonzero")
+	}
+	r.Add(3)
+	if r.Var() != 0 || r.CI95() != 0 {
+		t.Fatal("single-sample variance nonzero")
+	}
+	if r.Mean() != 3 || r.Min() != 3 || r.Max() != 3 {
+		t.Fatal("single-sample summary wrong")
+	}
+}
+
+func TestRunningMatchesDirectComputation(t *testing.T) {
+	check := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip pathological inputs
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var r Running
+		sum := 0.0
+		for _, x := range xs {
+			r.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		if math.Abs(r.Mean()-mean) > 1e-6*(1+math.Abs(mean)) {
+			return false
+		}
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		v := ss / float64(len(xs)-1)
+		return math.Abs(r.Var()-v) <= 1e-6*(1+v)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEMA(t *testing.T) {
+	e := NewEMA(0.8)
+	if e.Primed() {
+		t.Fatal("fresh EMA primed")
+	}
+	if got := e.Update(10); got != 10 {
+		t.Fatalf("first update = %v, want 10 (priming)", got)
+	}
+	got := e.Update(0)
+	if math.Abs(got-2.0) > 1e-12 { // 0.8*0 + 0.2*10
+		t.Fatalf("second update = %v, want 2", got)
+	}
+	if e.Value() != got {
+		t.Fatal("Value disagrees with Update return")
+	}
+}
+
+func TestEMAConvergence(t *testing.T) {
+	e := NewEMA(0.5)
+	for i := 0; i < 60; i++ {
+		e.Update(42)
+	}
+	if math.Abs(e.Value()-42) > 1e-9 {
+		t.Fatalf("EMA did not converge: %v", e.Value())
+	}
+}
+
+func TestEMAAlphaValidation(t *testing.T) {
+	for _, a := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEMA(%v) did not panic", a)
+				}
+			}()
+			NewEMA(a)
+		}()
+	}
+	NewEMA(1) // boundary is legal
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Percentile([]float64{0, 10}, 0.5); got != 5 {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile not 0")
+	}
+	// Input must be unmodified.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+	// Out-of-range p clamps.
+	if Percentile(xs, -1) != 1 || Percentile(xs, 2) != 5 {
+		t.Error("p clamping wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Fatalf("bucket %d = %d, want 1", i, h.Bucket(i))
+		}
+	}
+	med := h.Quantile(0.5)
+	if med < 4 || med > 6 {
+		t.Fatalf("median = %v, want ~5", med)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-100)
+	h.Add(100)
+	if h.Bucket(0) != 1 || h.Bucket(4) != 1 {
+		t.Fatal("out-of-range values not clamped to edge buckets")
+	}
+}
+
+func TestHistogramInvalidShapePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero buckets": func() { NewHistogram(0, 1, 0) },
+		"bad range":    func() { NewHistogram(5, 5, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+}

@@ -1,0 +1,54 @@
+package metrics
+
+import "math"
+
+// WelchT computes Welch's t statistic and its Welch–Satterthwaite degrees
+// of freedom for two sample summaries. It returns (0, 0) when either
+// sample has fewer than two observations or both variances are zero.
+func WelchT(a, b *Running) (t, df float64) {
+	if a.N() < 2 || b.N() < 2 {
+		return 0, 0
+	}
+	va := a.Var() / float64(a.N())
+	vb := b.Var() / float64(b.N())
+	if va+vb == 0 {
+		return 0, 0
+	}
+	t = (a.Mean() - b.Mean()) / math.Sqrt(va+vb)
+	df = (va + vb) * (va + vb) /
+		(va*va/float64(a.N()-1) + vb*vb/float64(b.N()-1))
+	return t, df
+}
+
+// tCrit95 holds two-tailed 5% critical values of Student's t by degrees
+// of freedom (1-indexed up to 30; beyond that the normal 1.96 applies).
+var tCrit95 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+	2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+	2.042,
+}
+
+// CriticalT95 returns the two-tailed 5% critical value for df degrees of
+// freedom.
+func CriticalT95(df float64) float64 {
+	if df < 1 {
+		return math.Inf(1)
+	}
+	i := int(df)
+	if i >= len(tCrit95) {
+		return 1.96
+	}
+	return tCrit95[i]
+}
+
+// SignificantlyDifferent reports whether the two samples' means differ at
+// the 5% level under Welch's t-test. With insufficient data it returns
+// false (no evidence of a difference).
+func SignificantlyDifferent(a, b *Running) bool {
+	t, df := WelchT(a, b)
+	if df == 0 {
+		return false
+	}
+	return math.Abs(t) > CriticalT95(df)
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func sample(xs ...float64) *Running {
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	return &r
+}
+
+func TestWelchTKnownValue(t *testing.T) {
+	// Classic textbook pair: clearly separated samples.
+	a := sample(27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4)
+	b := sample(27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.0, 23.9)
+	tstat, df := WelchT(a, b)
+	// Reference values computed independently: t ≈ -2.8353, df ≈ 27.71.
+	if math.Abs(tstat-(-2.8353)) > 0.001 {
+		t.Fatalf("t = %v, want ~-2.8353", tstat)
+	}
+	if math.Abs(df-27.71) > 0.05 {
+		t.Fatalf("df = %v, want ~27.71", df)
+	}
+	if !SignificantlyDifferent(a, b) {
+		t.Fatal("clearly separated samples not significant")
+	}
+}
+
+func TestWelchTIdenticalSamples(t *testing.T) {
+	a := sample(1, 2, 3, 4)
+	b := sample(1, 2, 3, 4)
+	tstat, _ := WelchT(a, b)
+	if tstat != 0 {
+		t.Fatalf("t = %v for identical samples", tstat)
+	}
+	if SignificantlyDifferent(a, b) {
+		t.Fatal("identical samples significant")
+	}
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	if tstat, df := WelchT(sample(1), sample(1, 2)); tstat != 0 || df != 0 {
+		t.Fatal("single-observation sample produced a statistic")
+	}
+	// Zero variance on both sides.
+	if tstat, df := WelchT(sample(3, 3, 3), sample(3, 3, 3)); tstat != 0 || df != 0 {
+		t.Fatal("zero-variance pair produced a statistic")
+	}
+	if SignificantlyDifferent(sample(1), sample(2)) {
+		t.Fatal("insufficient data reported significant")
+	}
+}
+
+func TestWelchTNoisyOverlapNotSignificant(t *testing.T) {
+	a := sample(10, 14, 9, 13, 11)
+	b := sample(11, 12, 10, 14, 12)
+	if SignificantlyDifferent(a, b) {
+		t.Fatal("overlapping noisy samples reported significant")
+	}
+}
+
+func TestCriticalT95(t *testing.T) {
+	if got := CriticalT95(1); got != 12.706 {
+		t.Fatalf("df=1 critical = %v", got)
+	}
+	if got := CriticalT95(10); got != 2.228 {
+		t.Fatalf("df=10 critical = %v", got)
+	}
+	if got := CriticalT95(1000); got != 1.96 {
+		t.Fatalf("large-df critical = %v", got)
+	}
+	if !math.IsInf(CriticalT95(0.5), 1) {
+		t.Fatal("df<1 must be infinite")
+	}
+	// Monotone decreasing.
+	if CriticalT95(5) <= CriticalT95(25) {
+		t.Fatal("critical values not decreasing in df")
+	}
+}

@@ -1,0 +1,177 @@
+package migrate
+
+import (
+	"vulcan/internal/pagetable"
+	"vulcan/internal/sim"
+)
+
+// AsyncConfig parameterizes an AsyncMigrator.
+type AsyncConfig struct {
+	Engine *Engine
+	// MaxRetries bounds transactional copy retries for a page dirtied
+	// mid-copy before the migration is aborted (Nomad semantics).
+	MaxRetries int
+	// BatchPages is the largest batch submitted per engine call; batching
+	// amortizes preparation and trap costs exactly as the kernel does.
+	BatchPages int
+	// RNG drives the dirtied-during-copy draws.
+	RNG *sim.RNG
+}
+
+// AsyncStats accumulates lifetime counters for an AsyncMigrator.
+type AsyncStats struct {
+	Enqueued   uint64
+	Moved      uint64
+	Remapped   uint64
+	Retries    uint64
+	Aborted    uint64 // gave up after MaxRetries
+	Failed     uint64 // not mapped / destination full
+	CyclesUsed float64
+}
+
+// EpochResult reports one budgeted migration epoch.
+type EpochResult struct {
+	Moved    int
+	Remapped int
+	Retries  int
+	Aborted  int
+	Failed   int
+	Cycles   float64
+	Backlog  int // moves still pending after the epoch
+}
+
+// AsyncMigrator executes migrations off the critical path: callers
+// enqueue moves, and each simulation epoch grants a cycle budget
+// (migration-thread CPU time) that the migrator spends in batches.
+// Pages written during their copy window are retried transactionally and
+// eventually aborted, reproducing asynchronous copying's weakness on
+// write-intensive pages (Observation #4).
+type AsyncMigrator struct {
+	cfg     AsyncConfig
+	pending []Move
+	queued  map[pagetable.VPage]int // vp -> index in pending (for dedup)
+	stats   AsyncStats
+}
+
+// NewAsyncMigrator builds an async migrator around an engine.
+func NewAsyncMigrator(cfg AsyncConfig) *AsyncMigrator {
+	if cfg.Engine == nil {
+		panic("migrate: AsyncConfig requires an Engine")
+	}
+	if cfg.MaxRetries < 0 {
+		panic("migrate: negative MaxRetries")
+	}
+	if cfg.BatchPages <= 0 {
+		cfg.BatchPages = 32
+	}
+	if cfg.RNG == nil {
+		cfg.RNG = sim.NewRNG(0)
+	}
+	return &AsyncMigrator{
+		cfg:    cfg,
+		queued: make(map[pagetable.VPage]int),
+	}
+}
+
+// Enqueue adds moves to the backlog. A later request for a page already
+// pending replaces its destination rather than duplicating the entry.
+func (a *AsyncMigrator) Enqueue(moves ...Move) {
+	for _, mv := range moves {
+		if i, ok := a.queued[mv.VP]; ok {
+			a.pending[i].To = mv.To
+			continue
+		}
+		a.queued[mv.VP] = len(a.pending)
+		a.pending = append(a.pending, mv)
+		a.stats.Enqueued++
+	}
+}
+
+// Backlog returns the number of pending moves.
+func (a *AsyncMigrator) Backlog() int { return len(a.pending) }
+
+// Stats returns cumulative counters.
+func (a *AsyncMigrator) Stats() AsyncStats { return a.stats }
+
+// RunEpoch spends up to budgetCycles of migration-thread time working
+// through the backlog. writeProb, when non-nil, gives each page's
+// probability of being written during one copy window; dirtied copies are
+// retried up to MaxRetries times (each retry costs another page copy)
+// before the page's migration is aborted for this epoch.
+func (a *AsyncMigrator) RunEpoch(budgetCycles float64, writeProb func(vp pagetable.VPage) float64) EpochResult {
+	var res EpochResult
+	for len(a.pending) > 0 && res.Cycles < budgetCycles {
+		n := a.cfg.BatchPages
+		if n > len(a.pending) {
+			n = len(a.pending)
+		}
+		batch := a.pending[:n]
+
+		// Transactional filter: each copy attempt is invalidated with the
+		// page's write probability; after MaxRetries invalidated retries
+		// the migration aborts and every attempted copy was wasted work.
+		var commit []Move
+		extraCopies := 0
+		for _, mv := range batch {
+			p := 0.0
+			if writeProb != nil {
+				p = writeProb(mv.VP)
+			}
+			attempts, clean := 0, false
+			for attempts <= a.cfg.MaxRetries {
+				attempts++
+				if !a.cfg.RNG.Bool(p) {
+					clean = true
+					break
+				}
+			}
+			retries := attempts - 1
+			res.Retries += retries
+			a.stats.Retries += uint64(retries)
+			if !clean {
+				// Aborted: all attempts were wasted copies.
+				extraCopies += attempts
+				res.Aborted++
+				a.stats.Aborted++
+				continue
+			}
+			// Committed: the final clean copy is charged by MigrateSync;
+			// only the invalidated attempts are extra.
+			extraCopies += retries
+			commit = append(commit, mv)
+		}
+
+		r := a.cfg.Engine.MigrateSync(commit)
+		cycles := r.Cycles() + a.cfg.Engine.cfg.Cost.CopyCycles(extraCopies)
+		res.Cycles += cycles
+		a.stats.CyclesUsed += cycles
+		res.Moved += r.Moved
+		res.Remapped += r.Remapped
+		res.Failed += r.Failed
+		a.stats.Moved += uint64(r.Moved)
+		a.stats.Remapped += uint64(r.Remapped)
+		a.stats.Failed += uint64(r.Failed)
+
+		a.pending = a.pending[n:]
+		for _, mv := range batch {
+			delete(a.queued, mv.VP)
+		}
+	}
+	if len(a.pending) == 0 {
+		a.pending = nil
+	} else {
+		// Reindex the dedup map after consuming a prefix.
+		for i, mv := range a.pending {
+			a.queued[mv.VP] = i
+		}
+	}
+	res.Backlog = len(a.pending)
+	return res
+}
+
+// DropBacklog clears all pending moves (used when a policy epoch
+// invalidates prior decisions).
+func (a *AsyncMigrator) DropBacklog() {
+	a.pending = nil
+	a.queued = make(map[pagetable.VPage]int)
+}

@@ -1,0 +1,349 @@
+// Package migrate implements the page-migration mechanism of §2.1: the
+// five-step pipeline (kernel trap, PTE lock/unmap, TLB shootdown, content
+// copy, PTE remap) with per-phase cycle accounting, synchronous and
+// asynchronous execution, transactional (Nomad-style) retry semantics for
+// pages written mid-copy, and page shadowing for cheap demotion.
+//
+// The engine is policy-free: tiering systems (internal/policy and
+// internal/core) decide *what* to move; this package models *how much it
+// costs* to move it and mutates the page tables, TLBs and frame
+// allocators accordingly.
+package migrate
+
+import (
+	"fmt"
+
+	"vulcan/internal/machine"
+	"vulcan/internal/mem"
+	"vulcan/internal/pagetable"
+)
+
+// Mapper is the page-table surface the engine manipulates. Both
+// *pagetable.Table and *pagetable.Replicated satisfy it.
+type Mapper interface {
+	Lookup(vp pagetable.VPage) (pagetable.PTE, bool)
+	Update(vp pagetable.VPage, fn func(pagetable.PTE) pagetable.PTE) (pagetable.PTE, bool)
+	Unmap(vp pagetable.VPage) (pagetable.PTE, bool)
+}
+
+// Scoper is optionally implemented by mappers that can bound the TLB
+// shootdown scope of a page (pagetable.Replicated). Without it the engine
+// falls back to process-wide shootdowns.
+type Scoper interface {
+	ShootdownScope(vp pagetable.VPage) []int
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	Cost  machine.CostModel
+	Tiers *mem.Tiers
+	Table Mapper
+
+	// Cpus is the machine's core count, which drives baseline migration
+	// preparation cost (Figure 2).
+	Cpus int
+	// ProcessThreads is the number of threads of the owning process; it
+	// is the shootdown fan-out when targeted shootdowns are unavailable.
+	ProcessThreads int
+
+	// OptimizedPrep selects Vulcan's per-application LRU drain (§3.2)
+	// instead of the kernel's global on_each_cpu synchronization.
+	OptimizedPrep bool
+	// TargetedShootdown uses per-thread page-table ownership (§3.4) to
+	// IPI only the page's sharing threads. Requires Table to implement
+	// Scoper; silently falls back to process-wide otherwise.
+	TargetedShootdown bool
+	// Shadowing retains slow-tier copies of promoted pages so that clean
+	// pages demote by remap alone (§3.5, borrowed from Nomad).
+	Shadowing bool
+
+	// Invalidate, when non-nil, receives every (page, thread) TLB
+	// invalidation so the system can evict entries from its per-thread
+	// TLB models.
+	Invalidate func(vp pagetable.VPage, threads []int)
+
+	// PreMigrate, when non-nil, runs before each page enters the
+	// migration path and returns extra cycles the page's preparation
+	// costs (e.g. splitting a covering 2MiB huge mapping, §3.5).
+	PreMigrate func(vp pagetable.VPage) float64
+}
+
+// Move asks for one page to be migrated to a destination tier.
+type Move struct {
+	VP pagetable.VPage
+	To mem.TierID
+}
+
+// Outcome classifies what happened to one requested move.
+type Outcome uint8
+
+// Possible per-page outcomes.
+const (
+	Moved        Outcome = iota // migrated, content copied
+	Remapped                    // migrated by shadow remap, no copy
+	AlreadyThere                // page already resided in the target tier
+	NotMapped                   // page has no translation
+	NoFrame                     // destination tier exhausted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Moved:
+		return "moved"
+	case Remapped:
+		return "remapped"
+	case AlreadyThere:
+		return "already-there"
+	case NotMapped:
+		return "not-mapped"
+	case NoFrame:
+		return "no-frame"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// Result reports one batch migration.
+type Result struct {
+	Breakdown machine.Breakdown
+	Outcomes  []Outcome
+	Moved     int // pages copied
+	Remapped  int // pages committed via shadow remap
+	Failed    int // NotMapped + NoFrame
+	Targets   int // shootdown IPI fan-out used
+}
+
+// Cycles returns the batch's total cycle cost.
+func (r Result) Cycles() float64 { return r.Breakdown.Total() }
+
+// Engine executes migrations against one process's address space.
+type Engine struct {
+	cfg     Config
+	shadows *shadowStore
+}
+
+// NewEngine validates cfg and builds an engine.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Tiers == nil || cfg.Table == nil {
+		panic("migrate: Config requires Tiers and Table")
+	}
+	if cfg.Cpus <= 0 {
+		panic("migrate: Config.Cpus must be positive")
+	}
+	if cfg.ProcessThreads <= 0 {
+		panic("migrate: Config.ProcessThreads must be positive")
+	}
+	return &Engine{cfg: cfg, shadows: newShadowStore()}
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Shadows exposes shadow-store statistics.
+func (e *Engine) Shadows() ShadowStats { return e.shadows.stats() }
+
+// scope returns the thread ids to invalidate for vp.
+func (e *Engine) scope(vp pagetable.VPage) []int {
+	if e.cfg.TargetedShootdown {
+		if s, ok := e.cfg.Table.(Scoper); ok {
+			return s.ShootdownScope(vp)
+		}
+	}
+	all := make([]int, e.cfg.ProcessThreads)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// MigrateSync performs a synchronous batch migration of moves, returning
+// the full cost breakdown. The caller decides whom the stall is charged
+// to (the faulting thread for TPP-style promotions, a migration thread
+// for background demotions).
+func (e *Engine) MigrateSync(moves []Move) Result {
+	res := Result{Outcomes: make([]Outcome, len(moves))}
+
+	// Phase 0/1: preparation + kernel trap happen once per batch.
+	union := make(map[int]struct{})
+	attempted := 0
+
+	type staged struct {
+		idx      int
+		vp       pagetable.VPage
+		old      pagetable.PTE
+		to       mem.TierID
+		viaShdow bool
+	}
+	var batch []staged
+
+	// Lock/unmap each page, collecting shootdown scope.
+	splitCycles := 0.0
+	for i, mv := range moves {
+		pte, ok := e.cfg.Table.Lookup(mv.VP)
+		if !ok {
+			res.Outcomes[i] = NotMapped
+			res.Failed++
+			continue
+		}
+		if pte.Frame().Tier == mv.To {
+			res.Outcomes[i] = AlreadyThere
+			continue
+		}
+		if e.cfg.PreMigrate != nil {
+			splitCycles += e.cfg.PreMigrate(mv.VP)
+		}
+		attempted++
+		for _, t := range e.scope(mv.VP) {
+			union[t] = struct{}{}
+		}
+		old, _ := e.cfg.Table.Unmap(mv.VP)
+		batch = append(batch, staged{idx: i, vp: mv.VP, old: old, to: mv.To})
+	}
+
+	// TLB shootdown over the union scope.
+	scopeList := make([]int, 0, len(union))
+	for t := range union {
+		scopeList = append(scopeList, t)
+	}
+	if e.cfg.Invalidate != nil {
+		for _, s := range batch {
+			e.cfg.Invalidate(s.vp, scopeList)
+		}
+	}
+	res.Targets = len(scopeList)
+
+	// Copy + remap each staged page.
+	copied := 0
+	for _, s := range batch {
+		newPTE, outcome := e.commitPage(s.vp, s.old, s.to)
+		res.Outcomes[s.idx] = outcome
+		switch outcome {
+		case Moved:
+			copied++
+			res.Moved++
+		case Remapped:
+			res.Remapped++
+		case NoFrame:
+			res.Failed++
+		}
+		_ = newPTE
+	}
+
+	res.Breakdown = machine.Breakdown{
+		Pages: attempted,
+		Prep:  e.cfg.Cost.PrepCycles(e.cfg.Cpus, e.cfg.OptimizedPrep),
+		Trap:  e.cfg.Cost.TrapCycles,
+		Unmap: float64(attempted) * e.cfg.Cost.LockUnmapPerPage,
+		TLB:   e.cfg.Cost.ShootdownCycles(attempted, res.Targets),
+		Copy:  e.cfg.Cost.CopyCycles(copied),
+		Remap: float64(attempted) * e.cfg.Cost.RemapPerPage,
+		Split: splitCycles,
+	}
+	if attempted == 0 {
+		// Nothing actually entered the kernel migration path: no cost.
+		res.Breakdown = machine.Breakdown{}
+	}
+	return res
+}
+
+// commitPage moves one unmapped page's content and reinstalls its PTE.
+// On allocation failure the original mapping is restored.
+func (e *Engine) commitPage(vp pagetable.VPage, old pagetable.PTE, to mem.TierID) (pagetable.PTE, Outcome) {
+	srcFrame := old.Frame()
+
+	// Shadow fast-path: demoting a clean page whose slow-tier shadow is
+	// intact needs no copy — just remap to the shadow (Nomad §3.5).
+	if e.cfg.Shadowing && to == mem.TierSlow {
+		if !old.Dirty() {
+			if shadow, ok := e.shadows.take(vp); ok {
+				newPTE := old.WithFrame(shadow).WithAccessed(false)
+				e.mustRemap(vp, newPTE)
+				e.cfg.Tiers.Free(srcFrame)
+				return newPTE, Remapped
+			}
+		} else if stale, ok := e.shadows.drop(vp); ok {
+			// The page was written after promotion: its shadow is stale
+			// and the demotion must copy; release the shadow frame.
+			e.cfg.Tiers.Free(stale)
+		}
+	}
+
+	dst, ok := e.cfg.Tiers.Alloc(to)
+	if !ok {
+		// Destination exhausted: restore the original mapping.
+		e.mustRemap(vp, old)
+		return old, NoFrame
+	}
+
+	newPTE := old.WithFrame(dst).WithAccessed(false).WithDirty(false)
+	e.mustRemap(vp, newPTE)
+
+	if e.cfg.Shadowing && to == mem.TierFast && srcFrame.Tier == mem.TierSlow {
+		// Keep the slow copy as a shadow instead of freeing it; a stale
+		// prior shadow (from an earlier promotion cycle) is released.
+		if prev, ok := e.shadows.drop(vp); ok {
+			e.cfg.Tiers.Free(prev)
+		}
+		e.shadows.put(vp, srcFrame)
+	} else {
+		e.cfg.Tiers.Free(srcFrame)
+	}
+	return newPTE, Moved
+}
+
+// mustRemap reinstalls a PTE for a page the engine itself unmapped; the
+// page cannot have disappeared in between in a single-owner simulation.
+func (e *Engine) mustRemap(vp pagetable.VPage, p pagetable.PTE) {
+	if err := e.remap(vp, p); err != nil {
+		panic(fmt.Sprintf("migrate: remap of %#x failed: %v", uint64(vp), err))
+	}
+}
+
+func (e *Engine) remap(vp pagetable.VPage, p pagetable.PTE) error {
+	type mapper interface {
+		Map(tid int, vp pagetable.VPage, p pagetable.PTE) error
+	}
+	type plainMapper interface {
+		Map(vp pagetable.VPage, p pagetable.PTE) error
+	}
+	switch m := e.cfg.Table.(type) {
+	case mapper:
+		owner := p.Owner()
+		tid := 0
+		if owner != pagetable.OwnerShared {
+			tid = int(owner)
+		}
+		if err := m.Map(tid, vp, p); err != nil {
+			return err
+		}
+		// Map stamps the mapping thread as owner; restore the true
+		// ownership (possibly shared).
+		e.cfg.Table.Update(vp, func(cur pagetable.PTE) pagetable.PTE {
+			return cur.WithOwner(owner).WithAccessed(p.Accessed()).WithDirty(p.Dirty())
+		})
+		return nil
+	case plainMapper:
+		return m.Map(vp, p)
+	default:
+		return fmt.Errorf("migrate: table type %T lacks Map", e.cfg.Table)
+	}
+}
+
+// InvalidateShadow drops vp's shadow copy (called when the page is
+// written after promotion, making the slow-tier copy stale). The freed
+// frame returns to the slow tier.
+func (e *Engine) InvalidateShadow(vp pagetable.VPage) {
+	if f, ok := e.shadows.drop(vp); ok {
+		e.cfg.Tiers.Free(f)
+	}
+}
+
+// HasShadow reports whether vp currently holds a shadow copy.
+func (e *Engine) HasShadow(vp pagetable.VPage) bool { return e.shadows.has(vp) }
+
+// DropAllShadows releases every shadow frame (used when reconfiguring).
+func (e *Engine) DropAllShadows() {
+	for _, f := range e.shadows.drain() {
+		e.cfg.Tiers.Free(f)
+	}
+}

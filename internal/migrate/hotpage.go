@@ -1,0 +1,158 @@
+package migrate
+
+import (
+	"vulcan/internal/machine"
+	"vulcan/internal/sim"
+)
+
+// HotPageConfig parameterizes the Figure 4 microbenchmark: one base page
+// is promoted from the slow to the fast tier while a thread keeps
+// accessing it with a given read/write mix.
+type HotPageConfig struct {
+	Cost machine.CostModel
+	// ReadFraction of accesses that are reads (1.0 = read-only).
+	ReadFraction float64
+	// ComputeNs is the fixed per-operation work outside the memory access.
+	ComputeNs sim.Duration
+	// AccessGapNs is the idle gap between successive accesses.
+	AccessGapNs sim.Duration
+	// FastNs / SlowNs are unloaded access latencies of the two tiers.
+	FastNs, SlowNs sim.Duration
+	// Window is the measured interval; promotion starts at PromoteAt.
+	Window    sim.Duration
+	PromoteAt sim.Time
+	// Threads sharing the page (shootdown IPI fan-out at commit).
+	Threads int
+	// Cpus on the machine (baseline preparation cost for sync migration).
+	Cpus int
+	// MaxRetries bounds async transactional retries before abort.
+	MaxRetries int
+	Seed       uint64
+}
+
+// DefaultHotPageConfig returns the microbenchmark settings used by the
+// Figure 4 reproduction.
+func DefaultHotPageConfig() HotPageConfig {
+	return HotPageConfig{
+		Cost:         machine.DefaultCostModel(),
+		ReadFraction: 1.0,
+		ComputeNs:    120 * sim.Nanosecond,
+		AccessGapNs:  80 * sim.Nanosecond,
+		FastNs:       70 * sim.Nanosecond,
+		SlowNs:       162 * sim.Nanosecond,
+		Window:       2 * sim.Millisecond,
+		PromoteAt:    sim.Time(200 * sim.Microsecond),
+		Threads:      8,
+		Cpus:         32,
+		MaxRetries:   3,
+		Seed:         7,
+	}
+}
+
+// HotPageResult reports one run of the microbenchmark.
+type HotPageResult struct {
+	Ops       int
+	OpsPerSec float64
+	Retries   int
+	Aborted   bool
+	Committed bool
+	// CommitAt is when the page became resident in the fast tier
+	// (zero if never).
+	CommitAt sim.Time
+}
+
+// RunHotPageSync promotes the page synchronously: the accessing thread
+// stalls for the entire migration (preparation through remap), then
+// enjoys fast-tier latency. This is TPP-style promotion on the critical
+// path.
+func RunHotPageSync(cfg HotPageConfig) HotPageResult {
+	var res HotPageResult
+	stall := sim.CyclesToDuration(cfg.Cost.MigrationBreakdown(1, cfg.Cpus, machine.MigrationOptions{
+		Targets: cfg.Threads,
+	}).Total())
+
+	t := sim.Time(0)
+	fast := false
+	for t < sim.Time(cfg.Window) {
+		if !fast && t >= cfg.PromoteAt {
+			t += sim.Time(stall)
+			fast = true
+			res.Committed = true
+			res.CommitAt = t
+			continue
+		}
+		t += sim.Time(cfg.ComputeNs + cfg.AccessGapNs + accessLatency(cfg, fast))
+		res.Ops++
+	}
+	res.OpsPerSec = float64(res.Ops) / cfg.Window.Seconds()
+	return res
+}
+
+// RunHotPageAsync promotes the page with background (transactional)
+// copying: accesses continue against the slow tier during the copy; a
+// write landing inside a copy window invalidates that attempt. After
+// MaxRetries invalidated attempts the promotion aborts and the page stays
+// slow. A clean copy commits with a brief unmap+shootdown+remap stall.
+func RunHotPageAsync(cfg HotPageConfig) HotPageResult {
+	var res HotPageResult
+	rng := sim.NewRNG(cfg.Seed)
+
+	copyDur := sim.CyclesToDuration(cfg.Cost.CopyCycles(1))
+	commitStall := sim.CyclesToDuration(cfg.Cost.LockUnmapPerPage +
+		cfg.Cost.ShootdownCycles(1, cfg.Threads) + cfg.Cost.RemapPerPage)
+
+	t := sim.Time(0)
+	fast := false
+	copying := false
+	var copyEnd sim.Time
+	dirtied := false
+	retries := 0
+	aborted := false
+
+	for t < sim.Time(cfg.Window) {
+		// Start or manage the background copy.
+		if !fast && !aborted && !copying && t >= cfg.PromoteAt {
+			copying = true
+			dirtied = false
+			copyEnd = t + sim.Time(copyDur)
+		}
+		if copying && t >= copyEnd {
+			if dirtied {
+				retries++
+				if retries > cfg.MaxRetries {
+					aborted = true
+					copying = false
+				} else {
+					dirtied = false
+					copyEnd = t + sim.Time(copyDur)
+				}
+			} else {
+				// Commit: short critical-path stall for the remap.
+				copying = false
+				fast = true
+				t += sim.Time(commitStall)
+				res.Committed = true
+				res.CommitAt = t
+				continue
+			}
+		}
+
+		write := !rng.Bool(cfg.ReadFraction)
+		if copying && write {
+			dirtied = true
+		}
+		t += sim.Time(cfg.ComputeNs + cfg.AccessGapNs + accessLatency(cfg, fast))
+		res.Ops++
+	}
+	res.Retries = retries
+	res.Aborted = aborted
+	res.OpsPerSec = float64(res.Ops) / cfg.Window.Seconds()
+	return res
+}
+
+func accessLatency(cfg HotPageConfig, fast bool) sim.Duration {
+	if fast {
+		return cfg.FastNs
+	}
+	return cfg.SlowNs
+}

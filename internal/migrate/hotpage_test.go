@@ -1,0 +1,113 @@
+package migrate
+
+import (
+	"testing"
+
+	"vulcan/internal/sim"
+)
+
+func TestHotPageSyncCommitsAndSpeedsUp(t *testing.T) {
+	cfg := DefaultHotPageConfig()
+	res := RunHotPageSync(cfg)
+	if !res.Committed {
+		t.Fatal("sync promotion did not commit")
+	}
+	if res.CommitAt <= cfg.PromoteAt {
+		t.Fatal("commit time not after promotion start")
+	}
+	// A run with no promotion at all (stays slow) must be slower.
+	slowCfg := cfg
+	slowCfg.PromoteAt = sim.Time(cfg.Window) * 2 // never triggers
+	slow := RunHotPageSync(slowCfg)
+	if res.OpsPerSec <= slow.OpsPerSec {
+		t.Fatalf("promoted run (%v ops/s) not faster than slow-only (%v)",
+			res.OpsPerSec, slow.OpsPerSec)
+	}
+}
+
+func TestHotPageAsyncWinsWhenReadOnly(t *testing.T) {
+	cfg := DefaultHotPageConfig()
+	cfg.ReadFraction = 1.0
+	async := RunHotPageAsync(cfg)
+	syncR := RunHotPageSync(cfg)
+	if !async.Committed || async.Aborted {
+		t.Fatalf("read-only async did not commit cleanly: %+v", async)
+	}
+	if async.Retries != 0 {
+		t.Fatalf("read-only async retried %d times", async.Retries)
+	}
+	if async.OpsPerSec <= syncR.OpsPerSec {
+		t.Fatalf("async (%v) not faster than sync (%v) for read-only",
+			async.OpsPerSec, syncR.OpsPerSec)
+	}
+}
+
+func TestHotPageSyncWinsWhenWriteHeavy(t *testing.T) {
+	cfg := DefaultHotPageConfig()
+	cfg.ReadFraction = 0.2
+	async := RunHotPageAsync(cfg)
+	syncR := RunHotPageSync(cfg)
+	if !async.Aborted {
+		t.Fatalf("write-heavy async should abort: %+v", async)
+	}
+	if syncR.OpsPerSec <= async.OpsPerSec {
+		t.Fatalf("sync (%v) not faster than async (%v) for write-heavy",
+			syncR.OpsPerSec, async.OpsPerSec)
+	}
+}
+
+func TestHotPageCrossoverExists(t *testing.T) {
+	// Somewhere between read-only and write-only the winner flips —
+	// Observation #4's "to sync or to async" trade-off.
+	cfg := DefaultHotPageConfig()
+	asyncWinsSomewhere, syncWinsSomewhere := false, false
+	for _, r := range []float64{1.0, 0.9, 0.75, 0.5, 0.25, 0.0} {
+		cfg.ReadFraction = r
+		a := RunHotPageAsync(cfg)
+		s := RunHotPageSync(cfg)
+		if a.OpsPerSec > s.OpsPerSec {
+			asyncWinsSomewhere = true
+		}
+		if s.OpsPerSec > a.OpsPerSec {
+			syncWinsSomewhere = true
+		}
+	}
+	if !asyncWinsSomewhere || !syncWinsSomewhere {
+		t.Fatalf("no crossover: asyncWins=%t syncWins=%t",
+			asyncWinsSomewhere, syncWinsSomewhere)
+	}
+}
+
+func TestHotPageAsyncRetriesAtModerateWrites(t *testing.T) {
+	cfg := DefaultHotPageConfig()
+	cfg.ReadFraction = 0.9
+	res := RunHotPageAsync(cfg)
+	if res.Retries == 0 && !res.Aborted && res.Committed {
+		// With ~7 accesses per copy window at 10% writes, a clean
+		// first-attempt commit is unlikely but possible; accept commits
+		// with at least some dirty pressure visible across seeds.
+		dirtySeen := false
+		for seed := uint64(1); seed <= 10; seed++ {
+			c := cfg
+			c.Seed = seed
+			r := RunHotPageAsync(c)
+			if r.Retries > 0 || r.Aborted {
+				dirtySeen = true
+				break
+			}
+		}
+		if !dirtySeen {
+			t.Fatal("no dirty-copy pressure at 10% writes across 10 seeds")
+		}
+	}
+}
+
+func TestHotPageDeterminism(t *testing.T) {
+	cfg := DefaultHotPageConfig()
+	cfg.ReadFraction = 0.8
+	a := RunHotPageAsync(cfg)
+	b := RunHotPageAsync(cfg)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,83 @@
+package migrate
+
+import (
+	"vulcan/internal/mem"
+	"vulcan/internal/pagetable"
+)
+
+// shadowStore tracks slow-tier shadow frames of promoted pages. A shadow
+// lets a later demotion of a still-clean page complete with a remap
+// instead of a copy, the thrash-mitigation technique Vulcan borrows from
+// Nomad (§3.5).
+type shadowStore struct {
+	frames map[pagetable.VPage]mem.Frame
+	// lifetime counters
+	created  uint64
+	consumed uint64
+	dropped  uint64
+}
+
+// ShadowStats summarizes shadow activity.
+type ShadowStats struct {
+	Live     int
+	Created  uint64
+	Consumed uint64 // demotions satisfied by remap
+	Dropped  uint64 // invalidated by writes or replacement
+}
+
+func newShadowStore() *shadowStore {
+	return &shadowStore{frames: make(map[pagetable.VPage]mem.Frame)}
+}
+
+func (s *shadowStore) put(vp pagetable.VPage, f mem.Frame) {
+	s.frames[vp] = f
+	s.created++
+}
+
+// take removes and returns vp's shadow. The caller owns the frame.
+func (s *shadowStore) take(vp pagetable.VPage) (mem.Frame, bool) {
+	f, ok := s.frames[vp]
+	if !ok {
+		return mem.NilFrame, false
+	}
+	delete(s.frames, vp)
+	s.consumed++
+	return f, true
+}
+
+// drop removes vp's shadow because it became stale (written after
+// promotion, or replaced by a newer promotion). The caller owns the frame.
+func (s *shadowStore) drop(vp pagetable.VPage) (mem.Frame, bool) {
+	f, ok := s.frames[vp]
+	if !ok {
+		return mem.NilFrame, false
+	}
+	delete(s.frames, vp)
+	s.dropped++
+	return f, true
+}
+
+func (s *shadowStore) has(vp pagetable.VPage) bool {
+	_, ok := s.frames[vp]
+	return ok
+}
+
+// drain removes all shadows, returning their frames; counted as dropped.
+func (s *shadowStore) drain() []mem.Frame {
+	out := make([]mem.Frame, 0, len(s.frames))
+	for vp, f := range s.frames {
+		out = append(out, f)
+		delete(s.frames, vp)
+		s.dropped++
+	}
+	return out
+}
+
+func (s *shadowStore) stats() ShadowStats {
+	return ShadowStats{
+		Live:     len(s.frames),
+		Created:  s.created,
+		Consumed: s.consumed,
+		Dropped:  s.dropped,
+	}
+}

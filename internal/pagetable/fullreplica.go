@@ -1,0 +1,125 @@
+package pagetable
+
+import "fmt"
+
+// FullyReplicated replicates the *entire* page table per thread,
+// RadixVM-style — upper levels and leaves. It exists as the comparison
+// point for Vulcan's design choice in §3.4: because "last-level page
+// tables constitute the majority of page table memory", replicating them
+// per thread is what makes full replication unscalable, and sharing them
+// (pagetable.Replicated) is what makes Vulcan's per-thread tables cheap.
+//
+// Functionally it provides the same mapping semantics; the difference is
+// the TableCount() memory accounting and that PTE updates must be
+// broadcast to every thread's copy (the coherence burden RadixVM pays).
+type FullyReplicated struct {
+	nthreads int
+	tables   []*Table // one full tree per thread
+	// canonical mirrors the mapping for queries that are thread-agnostic.
+	canonical *Table
+	// writes counts PTE stores including per-replica broadcasts.
+	writes uint64
+}
+
+// NewFullyReplicated builds an empty fully replicated table set.
+func NewFullyReplicated(nthreads int) *FullyReplicated {
+	if nthreads <= 0 || nthreads > MaxThreads {
+		panic(fmt.Sprintf("pagetable: %d threads outside [1,%d]", nthreads, MaxThreads))
+	}
+	f := &FullyReplicated{
+		nthreads:  nthreads,
+		tables:    make([]*Table, nthreads),
+		canonical: New(),
+	}
+	for i := range f.tables {
+		f.tables[i] = New()
+	}
+	return f
+}
+
+// Threads returns the replica count.
+func (f *FullyReplicated) Threads() int { return f.nthreads }
+
+// Mapped returns the number of mapped pages (canonical view).
+func (f *FullyReplicated) Mapped() int { return f.canonical.Mapped() }
+
+// Lookup reads the canonical mapping.
+func (f *FullyReplicated) Lookup(vp VPage) (PTE, bool) { return f.canonical.Lookup(vp) }
+
+// Range iterates the canonical mapping.
+func (f *FullyReplicated) Range(fn func(vp VPage, p PTE) bool) { f.canonical.Range(fn) }
+
+// Map installs a mapping in every replica (tid records ownership in the
+// PTE, as in the shared-leaf design, for parity of comparison).
+func (f *FullyReplicated) Map(tid int, vp VPage, p PTE) error {
+	if tid < 0 || tid >= f.nthreads {
+		panic(fmt.Sprintf("pagetable: thread %d outside [0,%d)", tid, f.nthreads))
+	}
+	stamped := p.WithOwner(uint8(tid))
+	if err := f.canonical.Map(vp, stamped); err != nil {
+		return err
+	}
+	for _, t := range f.tables {
+		if err := t.Map(vp, stamped); err != nil {
+			panic(fmt.Sprintf("pagetable: replica diverged: %v", err))
+		}
+		f.writes++
+	}
+	return nil
+}
+
+// Update applies fn to the canonical PTE and broadcasts the result to
+// every replica — the write amplification full replication suffers.
+func (f *FullyReplicated) Update(vp VPage, fn func(PTE) PTE) (PTE, bool) {
+	np, ok := f.canonical.Update(vp, fn)
+	if !ok {
+		return 0, false
+	}
+	for _, t := range f.tables {
+		t.Update(vp, func(PTE) PTE { return np })
+		f.writes++
+	}
+	return np, true
+}
+
+// Unmap removes the mapping everywhere.
+func (f *FullyReplicated) Unmap(vp VPage) (PTE, bool) {
+	p, ok := f.canonical.Unmap(vp)
+	if !ok {
+		return 0, false
+	}
+	for _, t := range f.tables {
+		t.Unmap(vp)
+		f.writes++
+	}
+	return p, true
+}
+
+// PTEWrites returns the cumulative PTE stores including replica
+// broadcasts (N× those of a shared-leaf design).
+func (f *FullyReplicated) PTEWrites() uint64 { return f.writes }
+
+// TotalTables returns all allocated page-table pages across replicas plus
+// the canonical tree — the memory cost §3.4's shared-leaf design avoids.
+func (f *FullyReplicated) TotalTables() int {
+	n := f.canonical.TableCount()
+	for _, t := range f.tables {
+		n += t.TableCount()
+	}
+	return n
+}
+
+// ShootdownScope: with fully private tables every thread maps every page,
+// so the conservative scope is all threads (RadixVM instead eliminates
+// shootdowns by other means; for migration-cost comparison the scope is
+// what matters).
+func (f *FullyReplicated) ShootdownScope(vp VPage) []int {
+	if _, ok := f.Lookup(vp); !ok {
+		return nil
+	}
+	out := make([]int, f.nthreads)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package pagetable
+
+import (
+	"testing"
+
+	"vulcan/internal/mem"
+)
+
+func TestFullyReplicatedMappingSemantics(t *testing.T) {
+	f := NewFullyReplicated(4)
+	if err := f.Map(2, VPage(10), NewPTE(fastFrame(1), 0)); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := f.Lookup(10)
+	if !ok || p.Owner() != 2 {
+		t.Fatalf("Lookup = %v,%v", p, ok)
+	}
+	if f.Mapped() != 1 {
+		t.Fatalf("Mapped = %d", f.Mapped())
+	}
+	// Updates broadcast.
+	nf := mem.Frame{Tier: mem.TierSlow, Index: 9}
+	f.Update(10, func(p PTE) PTE { return p.WithFrame(nf) })
+	got, _ := f.Lookup(10)
+	if got.Frame() != nf {
+		t.Fatal("update lost")
+	}
+	// Unmap everywhere.
+	if _, ok := f.Unmap(10); !ok {
+		t.Fatal("unmap failed")
+	}
+	if _, ok := f.Lookup(10); ok {
+		t.Fatal("page survived unmap")
+	}
+}
+
+func TestFullyReplicatedWriteAmplification(t *testing.T) {
+	const threads = 8
+	f := NewFullyReplicated(threads)
+	f.Map(0, VPage(0), NewPTE(fastFrame(0), 0))
+	if got := f.PTEWrites(); got != threads {
+		t.Fatalf("map writes = %d, want %d (one per replica)", got, threads)
+	}
+	f.Update(0, func(p PTE) PTE { return p.WithAccessed(true) })
+	if got := f.PTEWrites(); got != 2*threads {
+		t.Fatalf("after update writes = %d, want %d", got, 2*threads)
+	}
+}
+
+// TestFigure6MemoryComparison quantifies the paper's Figure 6 design
+// rationale: for a multi-thread address space, full per-thread
+// replication multiplies page-table memory by roughly the thread count,
+// while Vulcan's shared-leaf replication adds only small per-thread
+// upper levels.
+func TestFigure6MemoryComparison(t *testing.T) {
+	const threads = 8
+	// 128 leaves worth of mappings (256MB): the regime the paper argues
+	// from, where last-level tables are the bulk of page-table memory.
+	const pages = 65536
+
+	shared := New()
+	vulcanStyle := NewReplicated(threads)
+	full := NewFullyReplicated(threads)
+	for vp := VPage(0); vp < pages; vp++ {
+		pte := NewPTE(fastFrame(uint32(vp)), 0)
+		if err := shared.Map(vp, pte); err != nil {
+			t.Fatal(err)
+		}
+		if err := vulcanStyle.Map(int(vp)%threads, vp, pte); err != nil {
+			t.Fatal(err)
+		}
+		if err := full.Map(int(vp)%threads, vp, pte); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	procTables := shared.TableCount()
+	vulcanTables := vulcanStyle.TotalTables()
+	fullTables := full.TotalTables()
+
+	// Full replication pays ~threads× the process-wide cost.
+	if fullTables < procTables*threads {
+		t.Fatalf("full replication %d tables < %dx process-wide %d",
+			fullTables, threads, procTables)
+	}
+	// Vulcan's shared leaves keep the overhead well under 2x, because
+	// leaves are the majority of table memory (16 leaves vs 3 upper
+	// levels here).
+	if vulcanTables >= procTables*2 {
+		t.Fatalf("shared-leaf replication %d tables >= 2x process-wide %d",
+			vulcanTables, procTables)
+	}
+	if vulcanTables >= fullTables/3 {
+		t.Fatalf("shared-leaf %d not clearly cheaper than full %d",
+			vulcanTables, fullTables)
+	}
+}
+
+func TestFullyReplicatedScope(t *testing.T) {
+	f := NewFullyReplicated(3)
+	f.Map(1, VPage(5), NewPTE(fastFrame(0), 0))
+	scope := f.ShootdownScope(5)
+	if len(scope) != 3 {
+		t.Fatalf("scope = %v, want all threads", scope)
+	}
+	if f.ShootdownScope(99) != nil {
+		t.Fatal("scope of unmapped page not nil")
+	}
+}
+
+func TestFullyReplicatedValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero threads": func() { NewFullyReplicated(0) },
+		"bad tid": func() {
+			NewFullyReplicated(2).Map(5, VPage(0), NewPTE(fastFrame(0), 0))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFullyReplicatedDoubleMapError(t *testing.T) {
+	f := NewFullyReplicated(2)
+	f.Map(0, VPage(1), NewPTE(fastFrame(0), 0))
+	if err := f.Map(1, VPage(1), NewPTE(fastFrame(1), 0)); err == nil {
+		t.Fatal("double map succeeded")
+	}
+}

@@ -1,0 +1,145 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vulcan/internal/mem"
+)
+
+func TestPTERoundTrip(t *testing.T) {
+	f := mem.Frame{Tier: mem.TierSlow, Index: 0xDEADBEEF}
+	p := NewPTE(f, 42)
+	if !p.Present() {
+		t.Fatal("new PTE not present")
+	}
+	if got := p.Frame(); got != f {
+		t.Fatalf("Frame = %v, want %v", got, f)
+	}
+	if p.Owner() != 42 {
+		t.Fatalf("Owner = %d, want 42", p.Owner())
+	}
+	if p.Accessed() || p.Dirty() || p.Shared() {
+		t.Fatal("fresh PTE has stale flags")
+	}
+}
+
+func TestPTEFlagToggles(t *testing.T) {
+	p := NewPTE(mem.Frame{Tier: mem.TierFast, Index: 7}, 0)
+	p = p.WithAccessed(true).WithDirty(true)
+	if !p.Accessed() || !p.Dirty() {
+		t.Fatal("flags did not set")
+	}
+	p = p.WithAccessed(false)
+	if p.Accessed() {
+		t.Fatal("accessed did not clear")
+	}
+	if !p.Dirty() {
+		t.Fatal("clearing accessed clobbered dirty")
+	}
+}
+
+func TestPTEOwnerTransitions(t *testing.T) {
+	p := NewPTE(mem.Frame{Tier: mem.TierFast, Index: 1}, 3)
+	p = p.WithOwner(OwnerShared)
+	if !p.Shared() {
+		t.Fatal("shared pattern not recognized")
+	}
+	p = p.WithOwner(5)
+	if p.Shared() || p.Owner() != 5 {
+		t.Fatalf("owner = %d shared=%t, want 5/false", p.Owner(), p.Shared())
+	}
+}
+
+func TestPTEWithFramePreservesFlags(t *testing.T) {
+	old := mem.Frame{Tier: mem.TierSlow, Index: 99}
+	p := NewPTE(old, 9).WithAccessed(true).WithDirty(true)
+	nf := mem.Frame{Tier: mem.TierFast, Index: 12345}
+	p = p.WithFrame(nf)
+	if p.Frame() != nf {
+		t.Fatalf("Frame = %v, want %v", p.Frame(), nf)
+	}
+	if !p.Accessed() || !p.Dirty() || p.Owner() != 9 {
+		t.Fatal("remap clobbered flags or owner")
+	}
+}
+
+func TestPTEAbsent(t *testing.T) {
+	var p PTE
+	if p.Present() {
+		t.Fatal("zero PTE present")
+	}
+	if !p.Frame().IsNil() {
+		t.Fatal("absent PTE returned a frame")
+	}
+	if p.String() != "PTE{absent}" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestPTEPanics(t *testing.T) {
+	cases := map[string]func(){
+		"nil frame":      func() { NewPTE(mem.NilFrame, 0) },
+		"owner overflow": func() { NewPTE(mem.Frame{Tier: mem.TierFast}, 0x80) },
+		"with-owner overflow": func() {
+			NewPTE(mem.Frame{Tier: mem.TierFast}, 0).WithOwner(0xFF)
+		},
+		"remap nil": func() {
+			NewPTE(mem.Frame{Tier: mem.TierFast}, 0).WithFrame(mem.NilFrame)
+		},
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestPTEEncodingProperty(t *testing.T) {
+	// Property: frame index, tier, and owner survive a round-trip through
+	// the 64-bit word for all representable values.
+	check := func(idx uint32, tierRaw, ownerRaw uint8) bool {
+		tier := mem.TierID(tierRaw % uint8(mem.NumTiers))
+		owner := ownerRaw & 0x7F
+		f := mem.Frame{Tier: tier, Index: idx}
+		p := NewPTE(f, owner)
+		return p.Frame() == f && p.Owner() == owner && p.Present()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitVPage(t *testing.T) {
+	vp := VPage(5)<<27 | VPage(17)<<18 | VPage(300)<<9 | VPage(511)
+	i4, i3, i2, i1 := splitVPage(vp)
+	if i4 != 5 || i3 != 17 || i2 != 300 || i1 != 511 {
+		t.Fatalf("split = %d/%d/%d/%d", i4, i3, i2, i1)
+	}
+}
+
+func TestLeafIndexGrouping(t *testing.T) {
+	if LeafIndex(0) != LeafIndex(511) {
+		t.Fatal("pages 0 and 511 should share a leaf")
+	}
+	if LeafIndex(511) == LeafIndex(512) {
+		t.Fatal("pages 511 and 512 must not share a leaf")
+	}
+}
+
+func TestPTEString(t *testing.T) {
+	p := NewPTE(mem.Frame{Tier: mem.TierFast, Index: 3}, 7).WithAccessed(true)
+	want := "PTE{fast:3 a=true d=false t7}"
+	if p.String() != want {
+		t.Fatalf("String = %q, want %q", p.String(), want)
+	}
+	s := p.WithOwner(OwnerShared)
+	if s.String() != "PTE{fast:3 a=true d=false shared}" {
+		t.Fatalf("shared String = %q", s.String())
+	}
+}

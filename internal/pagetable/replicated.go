@@ -1,0 +1,245 @@
+package pagetable
+
+import "fmt"
+
+// threadSet is a bitmap over thread ids (at most MaxThreads).
+type threadSet struct {
+	bits [2]uint64
+}
+
+func (s *threadSet) add(tid int)      { s.bits[tid>>6] |= 1 << (tid & 63) }
+func (s *threadSet) has(tid int) bool { return s.bits[tid>>6]&(1<<(tid&63)) != 0 }
+func (s *threadSet) count() int {
+	n := 0
+	for _, w := range s.bits {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+func (s *threadSet) members() []int {
+	out := make([]int, 0, 4)
+	for i := 0; i < 2; i++ {
+		w := s.bits[i]
+		for w != 0 {
+			b := w & -w
+			tid := i << 6
+			for t := b; t > 1; t >>= 1 {
+				tid++
+			}
+			out = append(out, tid)
+			w &^= b
+		}
+	}
+	return out
+}
+
+// TouchResult describes what a simulated memory access did to the page
+// tables.
+type TouchResult struct {
+	PTE          PTE  // entry after the access
+	LinkedLeaf   bool // a minor fault linked the shared leaf into this thread's tree
+	BecameShared bool // ownership transitioned private -> shared on this access
+}
+
+// Replicated is Vulcan's per-thread page table structure (Figure 6,
+// right): each thread owns private upper-level tables (PGD/PUD/PMD
+// analogues) while last-level leaf tables are shared by all threads, and
+// PTE owner bits track which thread — or the shared pattern — maps each
+// page.
+//
+// A process-wide union table (the paper's process_pgd) is kept alongside
+// the per-thread roots; it shares the same leaf objects, so a PTE update
+// through either view is immediately visible in both.
+type Replicated struct {
+	proc     *Table
+	nthreads int
+	roots    []*tableL4
+	// leafThreads records, per shared leaf, which threads have linked it
+	// into their private upper levels — the candidate TLB shootdown scope
+	// for shared pages.
+	leafThreads map[uint64]*threadSet
+	// tablesPerThread counts upper-level tables allocated per thread
+	// (including the root), the replication memory overhead of §3.6.
+	tablesPerThread []int
+}
+
+// NewReplicated builds an empty replicated table for nthreads threads.
+func NewReplicated(nthreads int) *Replicated {
+	if nthreads <= 0 || nthreads > MaxThreads {
+		panic(fmt.Sprintf("pagetable: %d threads outside [1,%d]", nthreads, MaxThreads))
+	}
+	r := &Replicated{
+		proc:            New(),
+		nthreads:        nthreads,
+		roots:           make([]*tableL4, nthreads),
+		leafThreads:     make(map[uint64]*threadSet),
+		tablesPerThread: make([]int, nthreads),
+	}
+	for i := range r.roots {
+		r.roots[i] = &tableL4{}
+		r.tablesPerThread[i] = 1
+	}
+	return r
+}
+
+// Threads returns the number of threads the structure was built for.
+func (r *Replicated) Threads() int { return r.nthreads }
+
+// Mapped returns the number of present PTEs (process-wide view).
+func (r *Replicated) Mapped() int { return r.proc.Mapped() }
+
+// Lookup returns the PTE for vp from the shared leaves.
+func (r *Replicated) Lookup(vp VPage) (PTE, bool) { return r.proc.Lookup(vp) }
+
+// Update applies fn to vp's PTE through the shared leaf; both the process
+// view and every thread view observe the result.
+func (r *Replicated) Update(vp VPage, fn func(PTE) PTE) (PTE, bool) {
+	return r.proc.Update(vp, fn)
+}
+
+// Range iterates present PTEs in ascending VPage order.
+func (r *Replicated) Range(fn func(vp VPage, p PTE) bool) { r.proc.Range(fn) }
+
+func (r *Replicated) checkTid(tid int) {
+	if tid < 0 || tid >= r.nthreads {
+		panic(fmt.Sprintf("pagetable: thread %d outside [0,%d)", tid, r.nthreads))
+	}
+}
+
+// linkLeaf ensures the shared leaf covering vp is reachable from tid's
+// private upper levels, allocating private intermediate tables as needed.
+// It reports whether a new link was established (a minor fault).
+func (r *Replicated) linkLeaf(tid int, vp VPage, leaf *Leaf) bool {
+	i4, i3, i2, _ := splitVPage(vp)
+	root := r.roots[tid]
+	l3 := root.l3s[i4]
+	if l3 == nil {
+		l3 = &tableL3{}
+		root.l3s[i4] = l3
+		root.live++
+		r.tablesPerThread[tid]++
+	}
+	l2 := l3.l2s[i3]
+	if l2 == nil {
+		l2 = &tableL2{}
+		l3.l2s[i3] = l2
+		l3.live++
+		r.tablesPerThread[tid]++
+	}
+	if l2.leaves[i2] == leaf {
+		return false
+	}
+	if l2.leaves[i2] != nil {
+		panic("pagetable: conflicting leaf link")
+	}
+	l2.leaves[i2] = leaf
+	l2.live++
+	li := LeafIndex(vp)
+	set := r.leafThreads[li]
+	if set == nil {
+		set = &threadSet{}
+		r.leafThreads[li] = set
+	}
+	set.add(tid)
+	return true
+}
+
+// Map installs the first mapping for vp on behalf of thread tid, which
+// becomes the page's owner ("creates new mappings with thread ID for
+// unmapped pages", paper §4).
+func (r *Replicated) Map(tid int, vp VPage, p PTE) error {
+	r.checkTid(tid)
+	if err := r.proc.Map(vp, p.WithOwner(uint8(tid))); err != nil {
+		return err
+	}
+	leaf, _ := r.proc.walk(vp, false)
+	r.linkLeaf(tid, vp, leaf)
+	return nil
+}
+
+// Touch simulates a hardware access by thread tid: it sets the accessed
+// (and, for writes, dirty) bit and performs the paper's fault-handler
+// ownership transitions — linking the shared leaf into tid's tree when
+// absent and flipping the owner field to the shared pattern when a second
+// thread touches a private page. ok is false when vp is unmapped (a major
+// fault the caller must service by allocating and calling Map).
+func (r *Replicated) Touch(tid int, vp VPage, write bool) (TouchResult, bool) {
+	r.checkTid(tid)
+	leaf, i := r.proc.walk(vp, false)
+	if leaf == nil {
+		return TouchResult{}, false
+	}
+	p := leaf.PTE(i)
+	if !p.Present() {
+		return TouchResult{}, false
+	}
+	var res TouchResult
+	res.LinkedLeaf = r.linkLeaf(tid, vp, leaf)
+	if !p.Shared() && p.Owner() != uint8(tid) {
+		p = p.WithOwner(OwnerShared)
+		res.BecameShared = true
+	}
+	p = p.WithAccessed(true)
+	if write {
+		p = p.WithDirty(true)
+	}
+	leaf.SetPTE(i, p)
+	res.PTE = p
+	return res, true
+}
+
+// Unmap clears vp's PTE in the shared leaf (visible to all threads) and
+// returns the prior entry. Private upper-level links are left in place:
+// like real page tables, empty leaves are not eagerly torn down.
+func (r *Replicated) Unmap(vp VPage) (PTE, bool) { return r.proc.Unmap(vp) }
+
+// ShootdownScope returns the thread ids whose TLBs may cache vp's
+// translation and therefore must receive invalidations when it changes:
+// just the owner for private pages, or every thread that linked the
+// page's leaf for shared pages. This is insight ❸ of the paper — the
+// basis of Vulcan's targeted (non-global) TLB shootdowns.
+func (r *Replicated) ShootdownScope(vp VPage) []int {
+	p, ok := r.Lookup(vp)
+	if !ok {
+		return nil
+	}
+	if !p.Shared() {
+		return []int{int(p.Owner())}
+	}
+	set := r.leafThreads[LeafIndex(vp)]
+	if set == nil {
+		return nil
+	}
+	return set.members()
+}
+
+// ThreadMapsLeaf reports whether tid has linked the leaf covering vp.
+func (r *Replicated) ThreadMapsLeaf(tid int, vp VPage) bool {
+	r.checkTid(tid)
+	set := r.leafThreads[LeafIndex(vp)]
+	return set != nil && set.has(tid)
+}
+
+// UpperTables returns the number of private upper-level tables held by
+// tid, including its root.
+func (r *Replicated) UpperTables(tid int) int {
+	r.checkTid(tid)
+	return r.tablesPerThread[tid]
+}
+
+// SharedLeaves returns the number of shared last-level tables.
+func (r *Replicated) SharedLeaves() int { return len(r.leafThreads) }
+
+// TotalTables returns all page-table pages: shared leaves plus every
+// thread's private upper levels plus the process-wide upper levels. The
+// comparison against Table.TableCount for the same mapping quantifies
+// replication overhead (§3.6).
+func (r *Replicated) TotalTables() int {
+	n := r.proc.TableCount() // process view: upper levels + leaves
+	for _, c := range r.tablesPerThread {
+		n += c
+	}
+	return n
+}

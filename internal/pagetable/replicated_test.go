@@ -1,0 +1,252 @@
+package pagetable
+
+import (
+	"reflect"
+	"testing"
+
+	"vulcan/internal/mem"
+)
+
+func TestReplicatedMapAndOwnership(t *testing.T) {
+	r := NewReplicated(4)
+	vp := VPage(100)
+	if err := r.Map(2, vp, NewPTE(fastFrame(5), 0)); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := r.Lookup(vp)
+	if !ok {
+		t.Fatal("mapped page not found")
+	}
+	if p.Owner() != 2 {
+		t.Fatalf("owner = %d, want mapping thread 2", p.Owner())
+	}
+	if !r.ThreadMapsLeaf(2, vp) {
+		t.Fatal("mapping thread does not hold the leaf")
+	}
+	if r.ThreadMapsLeaf(0, vp) {
+		t.Fatal("non-mapping thread holds the leaf")
+	}
+}
+
+func TestReplicatedTouchSameThreadStaysPrivate(t *testing.T) {
+	r := NewReplicated(4)
+	vp := VPage(42)
+	r.Map(1, vp, NewPTE(fastFrame(1), 0))
+	res, ok := r.Touch(1, vp, true)
+	if !ok {
+		t.Fatal("touch of mapped page failed")
+	}
+	if res.BecameShared {
+		t.Fatal("owner's touch made the page shared")
+	}
+	if res.LinkedLeaf {
+		t.Fatal("owner's touch re-linked its own leaf")
+	}
+	if !res.PTE.Accessed() || !res.PTE.Dirty() {
+		t.Fatal("touch did not set accessed/dirty")
+	}
+}
+
+func TestReplicatedSecondThreadSharesPage(t *testing.T) {
+	r := NewReplicated(4)
+	vp := VPage(42)
+	r.Map(1, vp, NewPTE(fastFrame(1), 0))
+	res, ok := r.Touch(3, vp, false)
+	if !ok {
+		t.Fatal("touch failed")
+	}
+	if !res.BecameShared {
+		t.Fatal("cross-thread touch did not share the page")
+	}
+	if !res.LinkedLeaf {
+		t.Fatal("cross-thread touch did not link the leaf")
+	}
+	p, _ := r.Lookup(vp)
+	if !p.Shared() {
+		t.Fatal("PTE not marked shared")
+	}
+	// A third touch by yet another thread: already shared, just links.
+	res, _ = r.Touch(0, vp, false)
+	if res.BecameShared {
+		t.Fatal("touch of already-shared page reported transition")
+	}
+}
+
+func TestReplicatedTouchUnmappedFails(t *testing.T) {
+	r := NewReplicated(2)
+	if _, ok := r.Touch(0, VPage(9), false); ok {
+		t.Fatal("touch of unmapped page succeeded")
+	}
+}
+
+func TestShootdownScopePrivate(t *testing.T) {
+	r := NewReplicated(8)
+	vp := VPage(7)
+	r.Map(5, vp, NewPTE(fastFrame(0), 0))
+	r.Touch(5, vp, false)
+	scope := r.ShootdownScope(vp)
+	if !reflect.DeepEqual(scope, []int{5}) {
+		t.Fatalf("private scope = %v, want [5]", scope)
+	}
+}
+
+func TestShootdownScopeShared(t *testing.T) {
+	r := NewReplicated(8)
+	vp := VPage(7)
+	r.Map(1, vp, NewPTE(fastFrame(0), 0))
+	r.Touch(4, vp, false)
+	r.Touch(6, vp, false)
+	scope := r.ShootdownScope(vp)
+	if !reflect.DeepEqual(scope, []int{1, 4, 6}) {
+		t.Fatalf("shared scope = %v, want [1 4 6]", scope)
+	}
+}
+
+func TestShootdownScopeLeafGranularity(t *testing.T) {
+	// Thread 2 touches a *different* page in the same leaf; for a shared
+	// page in that leaf it is conservatively in scope (it can reach the
+	// leaf), matching the paper's per-leaf sharing.
+	r := NewReplicated(4)
+	r.Map(0, VPage(10), NewPTE(fastFrame(0), 0))
+	r.Map(2, VPage(20), NewPTE(fastFrame(1), 0)) // same leaf (pages 0..511)
+	r.Touch(1, VPage(10), false)                 // page 10 becomes shared
+	scope := r.ShootdownScope(VPage(10))
+	if !reflect.DeepEqual(scope, []int{0, 1, 2}) {
+		t.Fatalf("scope = %v, want [0 1 2]", scope)
+	}
+}
+
+func TestShootdownScopeUnmapped(t *testing.T) {
+	r := NewReplicated(2)
+	if s := r.ShootdownScope(VPage(1)); s != nil {
+		t.Fatalf("scope of unmapped page = %v, want nil", s)
+	}
+}
+
+func TestReplicatedUnmapVisibleToAllThreads(t *testing.T) {
+	r := NewReplicated(3)
+	vp := VPage(1000)
+	r.Map(0, vp, NewPTE(fastFrame(9), 0))
+	r.Touch(1, vp, false)
+	p, ok := r.Unmap(vp)
+	if !ok || p.Frame() != fastFrame(9) {
+		t.Fatalf("Unmap = %v,%v", p, ok)
+	}
+	if _, ok := r.Touch(1, vp, false); ok {
+		t.Fatal("thread 1 still sees unmapped page (leaf not shared?)")
+	}
+}
+
+func TestReplicatedUpdateThroughSharedLeaf(t *testing.T) {
+	r := NewReplicated(2)
+	vp := VPage(55)
+	r.Map(0, vp, NewPTE(fastFrame(1), 0))
+	r.Touch(1, vp, false)
+	nf := mem.Frame{Tier: mem.TierSlow, Index: 77}
+	r.Update(vp, func(p PTE) PTE { return p.WithFrame(nf) })
+	res, ok := r.Touch(1, vp, false)
+	if !ok || res.PTE.Frame() != nf {
+		t.Fatal("update not visible through thread view")
+	}
+}
+
+func TestReplicatedTableAccounting(t *testing.T) {
+	r := NewReplicated(2)
+	if r.UpperTables(0) != 1 || r.UpperTables(1) != 1 {
+		t.Fatal("fresh threads should hold only a root")
+	}
+	r.Map(0, VPage(0), NewPTE(fastFrame(0), 0))
+	// Thread 0 gained l3+l2: root(1)+2 = 3.
+	if got := r.UpperTables(0); got != 3 {
+		t.Fatalf("UpperTables(0) = %d, want 3", got)
+	}
+	if got := r.UpperTables(1); got != 1 {
+		t.Fatalf("UpperTables(1) = %d, want 1", got)
+	}
+	if r.SharedLeaves() != 1 {
+		t.Fatalf("SharedLeaves = %d, want 1", r.SharedLeaves())
+	}
+	r.Touch(1, VPage(0), false)
+	if got := r.UpperTables(1); got != 3 {
+		t.Fatalf("UpperTables(1) after touch = %d, want 3", got)
+	}
+	// Replication overhead: replicated structure holds strictly more
+	// tables than a process-wide one for the same mapping.
+	single := New()
+	single.Map(VPage(0), NewPTE(fastFrame(0), 0))
+	if r.TotalTables() <= single.TableCount() {
+		t.Fatalf("replicated tables %d not greater than single %d",
+			r.TotalTables(), single.TableCount())
+	}
+}
+
+func TestReplicatedSharedLeafNotDuplicated(t *testing.T) {
+	// 512 pages in one leaf mapped by one thread: still one shared leaf.
+	r := NewReplicated(4)
+	for vp := VPage(0); vp < 512; vp++ {
+		if err := r.Map(0, vp, NewPTE(fastFrame(uint32(vp)), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.SharedLeaves() != 1 {
+		t.Fatalf("SharedLeaves = %d, want 1", r.SharedLeaves())
+	}
+	if r.Mapped() != 512 {
+		t.Fatalf("Mapped = %d, want 512", r.Mapped())
+	}
+}
+
+func TestReplicatedRange(t *testing.T) {
+	r := NewReplicated(2)
+	r.Map(0, VPage(3), NewPTE(fastFrame(0), 0))
+	r.Map(1, VPage(600), NewPTE(fastFrame(1), 0))
+	var got []VPage
+	r.Range(func(vp VPage, p PTE) bool {
+		got = append(got, vp)
+		return true
+	})
+	if !reflect.DeepEqual(got, []VPage{3, 600}) {
+		t.Fatalf("Range = %v", got)
+	}
+}
+
+func TestReplicatedPanics(t *testing.T) {
+	cases := map[string]func(){
+		"zero threads": func() { NewReplicated(0) },
+		"too many":     func() { NewReplicated(MaxThreads + 1) },
+		"bad tid": func() {
+			r := NewReplicated(2)
+			r.Map(5, VPage(0), NewPTE(fastFrame(0), 0))
+		},
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestThreadSet(t *testing.T) {
+	var s threadSet
+	for _, tid := range []int{0, 63, 64, 126} {
+		s.add(tid)
+	}
+	if s.count() != 4 {
+		t.Fatalf("count = %d, want 4", s.count())
+	}
+	if !reflect.DeepEqual(s.members(), []int{0, 63, 64, 126}) {
+		t.Fatalf("members = %v", s.members())
+	}
+	if s.has(1) || !s.has(64) {
+		t.Fatal("membership wrong")
+	}
+	s.add(63) // idempotent
+	if s.count() != 4 {
+		t.Fatal("duplicate add changed count")
+	}
+}

@@ -1,0 +1,189 @@
+// Package policy implements the state-of-the-art tiering systems the
+// paper compares against (§5): TPP (hint-fault promotion with
+// watermark-driven reclaim), Memtis (PEBS-based global hotness ranking),
+// and Nomad (asynchronous transactional migration with page shadowing).
+// All run against the same simulated substrate as Vulcan, differing only
+// in policy logic and the mechanisms they declare.
+package policy
+
+import (
+	"sort"
+
+	"vulcan/internal/mem"
+	"vulcan/internal/migrate"
+	"vulcan/internal/pagetable"
+	"vulcan/internal/system"
+)
+
+// GlobalPage is one page in a cross-application ranking. Heat is weighted
+// by the owning app's sample weight so that absolute access rates are
+// comparable across apps of different intensity — exactly the
+// normalization-free ranking that produces the cold-page dilemma.
+type GlobalPage struct {
+	App  *system.App
+	VP   pagetable.VPage
+	Heat float64
+}
+
+// MergedRanking returns every profiled page of every started app, hottest
+// first, with app-intensity weighting.
+func MergedRanking(sys *system.System) []GlobalPage {
+	var all []GlobalPage
+	for _, a := range sys.StartedApps() {
+		w := a.SampleWeight()
+		for _, ph := range a.Profiler.Snapshot() {
+			all = append(all, GlobalPage{App: a, VP: ph.VP, Heat: ph.Heat * w})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Heat != all[j].Heat {
+			return all[i].Heat > all[j].Heat
+		}
+		if all[i].App.Index != all[j].App.Index {
+			return all[i].App.Index < all[j].App.Index
+		}
+		return all[i].VP < all[j].VP
+	})
+	return all
+}
+
+// ColdestFastPages returns up to n of app's fast-tier pages ordered by
+// ascending profiled heat (unprofiled pages count as coldest), skipping
+// pages in keep.
+func ColdestFastPages(a *system.App, n int, keep map[pagetable.VPage]bool) []pagetable.VPage {
+	if n <= 0 {
+		return nil
+	}
+	type cand struct {
+		vp   pagetable.VPage
+		heat float64
+	}
+	var cands []cand
+	a.Table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
+		if p.Frame().Tier != mem.TierFast {
+			return true
+		}
+		if keep != nil && keep[vp] {
+			return true
+		}
+		cands = append(cands, cand{vp, a.Profiler.Heat(vp)})
+		return true
+	})
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].heat != cands[j].heat {
+			return cands[i].heat < cands[j].heat
+		}
+		return cands[i].vp < cands[j].vp
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]pagetable.VPage, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].vp
+	}
+	return out
+}
+
+// GlobalVictim is one demotion candidate in a cross-app cold ranking.
+type GlobalVictim struct {
+	App *system.App
+	VP  pagetable.VPage
+}
+
+// GlobalColdestFastPages returns up to n fast-resident pages across all
+// started apps, coldest first by intensity-weighted heat — the victim
+// order of a global (fairness-blind) reclaim pass. Pages in keep[app]
+// are skipped.
+func GlobalColdestFastPages(sys *system.System, n int, keep map[*system.App]map[pagetable.VPage]bool) []GlobalVictim {
+	if n <= 0 {
+		return nil
+	}
+	type cand struct {
+		v    GlobalVictim
+		heat float64
+	}
+	var cands []cand
+	for _, a := range sys.StartedApps() {
+		w := a.SampleWeight()
+		ka := keep[a]
+		a.Table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
+			if p.Frame().Tier != mem.TierFast {
+				return true
+			}
+			if ka != nil && ka[vp] {
+				return true
+			}
+			cands = append(cands, cand{GlobalVictim{a, vp}, a.Profiler.Heat(vp) * w})
+			return true
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].heat != cands[j].heat {
+			return cands[i].heat < cands[j].heat
+		}
+		if cands[i].v.App.Index != cands[j].v.App.Index {
+			return cands[i].v.App.Index < cands[j].v.App.Index
+		}
+		return cands[i].v.VP < cands[j].v.VP
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]GlobalVictim, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].v
+	}
+	return out
+}
+
+// EnqueueVictims spreads demotions onto each victim's own app queue.
+func EnqueueVictims(victims []GlobalVictim) {
+	for _, v := range victims {
+		v.App.Async.Enqueue(DemoteMoves([]pagetable.VPage{v.VP})...)
+	}
+}
+
+// DemoteMoves builds slow-tier moves for the given pages.
+func DemoteMoves(vps []pagetable.VPage) []migrate.Move {
+	out := make([]migrate.Move, len(vps))
+	for i, vp := range vps {
+		out[i] = migrate.Move{VP: vp, To: mem.TierSlow}
+	}
+	return out
+}
+
+// PromoteMoves builds fast-tier moves for the given pages.
+func PromoteMoves(vps []pagetable.VPage) []migrate.Move {
+	out := make([]migrate.Move, len(vps))
+	for i, vp := range vps {
+		out[i] = migrate.Move{VP: vp, To: mem.TierFast}
+	}
+	return out
+}
+
+// profilerSeed derives a deterministic per-app profiler seed.
+func profilerSeed(app *system.App) uint64 {
+	return uint64(app.Index)*2654435761 + 17
+}
+
+// FreeFastFraction returns the fast tier's free-page fraction.
+func FreeFastFraction(sys *system.System) float64 {
+	f := sys.Tiers().Fast()
+	return float64(f.FreePages()) / float64(f.Capacity())
+}
+
+// SlowPagesWithHeat returns app pages resident in the slow tier that have
+// nonzero profiled heat, hottest first, capped at limit.
+func SlowPagesWithHeat(a *system.App, limit int) []pagetable.VPage {
+	var out []pagetable.VPage
+	for _, ph := range a.Profiler.Snapshot() {
+		if len(out) >= limit {
+			break
+		}
+		if p, ok := a.Table.Lookup(ph.VP); ok && p.Frame().Tier == mem.TierSlow {
+			out = append(out, ph.VP)
+		}
+	}
+	return out
+}

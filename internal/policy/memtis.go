@@ -1,0 +1,141 @@
+package policy
+
+import (
+	"vulcan/internal/mem"
+	"vulcan/internal/pagetable"
+	"vulcan/internal/profile"
+	"vulcan/internal/system"
+)
+
+// Memtis reimplements the policy core of MEMTIS (Lee et al., SOSP'23):
+//
+//   - PEBS-based access sampling feeds a hotness distribution.
+//   - Pages are ranked by absolute (raw) access counts across all
+//     co-located applications; the hottest pages up to fast-tier capacity
+//     form the target hot set.
+//   - A background migration thread (kmigrated) promotes hot pages and
+//     demotes displaced cold ones within a CPU budget, off the critical
+//     path.
+//
+// Because the ranking never normalizes for workload characteristics,
+// high-intensity streaming workloads monopolize the fast tier — the
+// cold-page dilemma of §2.2 reproduces directly from this logic.
+type Memtis struct {
+	// SampleRate is the PEBS sampling period over simulated accesses.
+	SampleRate int
+	// HeatDecay is the per-epoch cooling factor; Memtis cools slowly
+	// (count halving every cooling period), so warm footprints linger.
+	HeatDecay float64
+	// KmigratedBudget is background migration CPU per epoch, in multiples
+	// of one core's epoch cycles (Memtis caps daemon overhead at ~3%;
+	// one dedicated core at our scale).
+	KmigratedBudget float64
+	// MaxMovesPerEpoch bounds promotion/demotion batches per epoch.
+	MaxMovesPerEpoch int
+	// Headroom keeps a small fraction of the fast tier free to absorb
+	// allocation bursts.
+	Headroom float64
+}
+
+// NewMemtis returns Memtis with representative defaults.
+func NewMemtis() *Memtis {
+	return &Memtis{
+		SampleRate:       4,
+		HeatDecay:        0.8,
+		KmigratedBudget:  1.0,
+		MaxMovesPerEpoch: 16384,
+		Headroom:         0.01,
+	}
+}
+
+// Name implements system.Tiering.
+func (m *Memtis) Name() string { return "memtis" }
+
+// Mechanisms implements system.Tiering: stock kernel migration paths.
+func (m *Memtis) Mechanisms() system.Mechanisms { return system.Mechanisms{} }
+
+// NewProfiler implements system.ProfilerFactory: PEBS sampling.
+func (m *Memtis) NewProfiler(app *system.App) profile.Profiler {
+	return profile.NewPEBSWithDecay(m.SampleRate, m.HeatDecay, profilerSeed(app))
+}
+
+// AppStarted implements system.Tiering.
+func (m *Memtis) AppStarted(*system.System, *system.App) {}
+
+// EndEpoch implements system.Tiering.
+func (m *Memtis) EndEpoch(sys *system.System) {
+	ranking := MergedRanking(sys)
+	capacity := sys.Tiers().Fast().Capacity()
+	target := int(float64(capacity) * (1 - m.Headroom))
+
+	// The hot set: globally hottest pages up to fast capacity. Pages
+	// below the resulting hotness threshold are classified cold — they
+	// are demoted even when the fast tier has room, exactly like
+	// Memtis's histogram-threshold split.
+	hotByApp := make(map[*system.App]map[pagetable.VPage]bool)
+	type promo struct {
+		app *system.App
+		vp  pagetable.VPage
+	}
+	var promote []promo
+	count := 0
+	hotInFast := 0
+	for _, gp := range ranking {
+		if count >= target {
+			break
+		}
+		count++
+		set := hotByApp[gp.App]
+		if set == nil {
+			set = make(map[pagetable.VPage]bool)
+			hotByApp[gp.App] = set
+		}
+		set[gp.VP] = true
+		if p, ok := gp.App.Table.Lookup(gp.VP); ok {
+			if p.Frame().Tier == mem.TierFast {
+				hotInFast++
+			} else if len(promote) < m.MaxMovesPerEpoch {
+				promote = append(promote, promo{gp.App, gp.VP})
+			}
+		}
+	}
+
+	// Record each app's hot/cold classification so Figure 1 can plot the
+	// dilemma: pages in the global hot set vs the rest of the RSS.
+	for _, a := range sys.StartedApps() {
+		hot := len(hotByApp[a])
+		sys.Recorder().Record(a.Name()+".memtis_hot", float64(hot))
+		sys.Recorder().Record(a.Name()+".memtis_cold", float64(a.RSSMapped()-hot))
+	}
+
+	// Demote every fast page classified cold (not in the hot set),
+	// coldest first — Memtis's ranking is system-wide and fairness-blind,
+	// so a tenant whose pages rank low loses them regardless of who it
+	// is.
+	coldInFast := sys.Tiers().Fast().Used() - hotInFast
+	if coldInFast > m.MaxMovesPerEpoch {
+		coldInFast = m.MaxMovesPerEpoch
+	}
+	if coldInFast > 0 {
+		EnqueueVictims(GlobalColdestFastPages(sys, coldInFast, hotByApp))
+	}
+	for _, p := range promote {
+		p.app.Async.Enqueue(PromoteMoves([]pagetable.VPage{p.vp})...)
+	}
+
+	// kmigrated works the queues within its budget, demotions and
+	// promotions interleaved per app (split budget by backlog share).
+	apps := sys.StartedApps()
+	totalBacklog := 0
+	for _, a := range apps {
+		totalBacklog += a.Async.Backlog()
+	}
+	if totalBacklog == 0 {
+		return
+	}
+	budget := m.KmigratedBudget * sys.EpochCycles()
+	for _, a := range apps {
+		share := budget * float64(a.Async.Backlog()) / float64(totalBacklog)
+		a.Async.RunEpoch(share, a.WriteProbability)
+	}
+}

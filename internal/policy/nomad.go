@@ -1,0 +1,97 @@
+package policy
+
+import (
+	"vulcan/internal/profile"
+	"vulcan/internal/system"
+)
+
+// Nomad reimplements the policy core of Nomad (Xiang et al., OSDI'24):
+// non-exclusive memory tiering via transactional page migration.
+//
+//   - Promotion candidates come from NUMA-hint-style recency signals
+//     (Nomad builds on the kernel's NUMA balancing), like TPP — but
+//     migration is moved *completely off the critical path*: candidates
+//     are enqueued and copied asynchronously; a page written during its
+//     copy window aborts the transaction and is retried later.
+//   - Page shadowing keeps the slow-tier copy of a promoted page, so
+//     demoting a still-clean page is a remap, not a copy.
+//   - Demotion is watermark-driven like TPP's reclaim.
+//
+// Nomad fixes migration overhead but inherits hotness-only, fairness-blind
+// placement — which is why it shares the cold-page dilemma.
+type Nomad struct {
+	PromoteLimit    int
+	LowWatermark    float64
+	HighWatermark   float64
+	HintWindowPages int
+	// MigratorBudget is the async migration thread budget per epoch, in
+	// multiples of one core's epoch cycles.
+	MigratorBudget float64
+}
+
+// NewNomad returns Nomad with representative defaults. With migration
+// cost off the critical path, nothing throttles promotion: every recently
+// touched slow page is a candidate, so high-intensity streaming workloads
+// flood the fast tier harder than under TPP's rate-limited synchronous
+// promotion — which is why Nomad is the least fair of the baselines.
+func NewNomad() *Nomad {
+	return &Nomad{
+		PromoteLimit:    32768,
+		LowWatermark:    0.02,
+		HighWatermark:   0.08,
+		HintWindowPages: 24576,
+		MigratorBudget:  2.0,
+	}
+}
+
+// Name implements system.Tiering.
+func (n *Nomad) Name() string { return "nomad" }
+
+// Mechanisms implements system.Tiering: Nomad contributes page shadowing
+// (its "page shadowing" technique) but keeps kernel prep and process-wide
+// shootdowns.
+func (n *Nomad) Mechanisms() system.Mechanisms {
+	return system.Mechanisms{Shadowing: true}
+}
+
+// NewProfiler implements system.ProfilerFactory.
+func (n *Nomad) NewProfiler(app *system.App) profile.Profiler {
+	return profile.NewHintFault(app.Table, n.HintWindowPages, app.CostModel().HintFaultCycles)
+}
+
+// AppStarted implements system.Tiering.
+func (n *Nomad) AppStarted(*system.System, *system.App) {}
+
+// EndEpoch implements system.Tiering.
+func (n *Nomad) EndEpoch(sys *system.System) {
+	apps := sys.StartedApps()
+
+	// Watermark-driven async demotion (shadow remaps make clean-page
+	// demotion nearly free).
+	if FreeFastFraction(sys) < n.LowWatermark {
+		fast := sys.Tiers().Fast()
+		need := int(n.HighWatermark*float64(fast.Capacity())) - fast.FreePages()
+		if need > 0 {
+			EnqueueVictims(GlobalColdestFastPages(sys, need, nil))
+		}
+	}
+
+	// Fully asynchronous transactional promotion: enqueue candidates;
+	// the migrator thread works through them within budget, aborting
+	// copies dirtied in flight.
+	for _, a := range apps {
+		a.Async.Enqueue(PromoteMoves(SlowPagesWithHeat(a, n.PromoteLimit))...)
+	}
+	totalBacklog := 0
+	for _, a := range apps {
+		totalBacklog += a.Async.Backlog()
+	}
+	if totalBacklog == 0 {
+		return
+	}
+	budget := n.MigratorBudget * sys.EpochCycles()
+	for _, a := range apps {
+		share := budget * float64(a.Async.Backlog()) / float64(totalBacklog)
+		a.Async.RunEpoch(share, a.WriteProbability)
+	}
+}

@@ -1,0 +1,108 @@
+package profile
+
+import (
+	"vulcan/internal/pagetable"
+)
+
+// Chrono is a timer-based hotness profiler (Qi et al., EuroSys'25 — the
+// "variant of NUMA hinting faults" of §2.1): instead of counting
+// accesses, it measures each page's *idle time*. Every epoch it records
+// which pages were touched (accessed bit); a page's heat is derived from
+// how recently and how consistently it has been non-idle. Compared to
+// plain hint faults this separates "touched once long ago" from "touched
+// every epoch" without needing high-rate sampling.
+type Chrono struct {
+	table Table
+	heat  *heatMap
+	// idleEpochs tracks consecutive untouched epochs per known page.
+	idleEpochs map[pagetable.VPage]int
+	// touchBoost is the heat credited per non-idle epoch; consistency
+	// compounds through the shared decay.
+	touchBoost float64
+	// forgetAfter drops pages idle this many epochs.
+	forgetAfter int
+	scanCost    float64
+}
+
+// NewChrono builds the profiler over table.
+func NewChrono(table Table) *Chrono {
+	if table == nil {
+		panic("profile: Chrono requires a table")
+	}
+	return &Chrono{
+		table:       table,
+		heat:        newHeatMap(0.6),
+		idleEpochs:  make(map[pagetable.VPage]int),
+		touchBoost:  48,
+		forgetAfter: 16,
+		scanCost:    15,
+	}
+}
+
+// Name implements Profiler.
+func (c *Chrono) Name() string { return "chrono" }
+
+// Record is a no-op: Chrono reads page-table state at epoch boundaries.
+func (c *Chrono) Record(Access) float64 { return 0 }
+
+// IdleEpochs returns how long vp has been idle (0 = touched last epoch;
+// -1 = unknown page).
+func (c *Chrono) IdleEpochs(vp pagetable.VPage) int {
+	if n, ok := c.idleEpochs[vp]; ok {
+		return n
+	}
+	return -1
+}
+
+// EndEpoch harvests accessed/dirty bits into idle-time bookkeeping.
+func (c *Chrono) EndEpoch() EpochReport {
+	var rep EpochReport
+	var touched []pagetable.VPage
+	var dirty []bool
+	c.table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
+		rep.ScannedPages++
+		if p.Accessed() {
+			touched = append(touched, vp)
+			dirty = append(dirty, p.Dirty())
+		}
+		return true
+	})
+
+	// Ageing first: every known page gets one epoch older.
+	for vp, idle := range c.idleEpochs {
+		if idle+1 > c.forgetAfter {
+			delete(c.idleEpochs, vp)
+		} else {
+			c.idleEpochs[vp] = idle + 1
+		}
+	}
+	// Touched pages reset their idle clocks and gain heat scaled by how
+	// short their idle period was (recently-idle pages are likelier hot).
+	for i, vp := range touched {
+		prevIdle := c.forgetAfter
+		if n, ok := c.idleEpochs[vp]; ok {
+			prevIdle = n
+		}
+		boost := c.touchBoost / float64(1+prevIdle)
+		c.heat.record(vp, dirty[i], boost)
+		c.idleEpochs[vp] = 0
+		c.table.Update(vp, func(p pagetable.PTE) pagetable.PTE {
+			return p.WithAccessed(false).WithDirty(false)
+		})
+	}
+	rep.OverheadCycles = float64(rep.ScannedPages) * c.scanCost
+	c.heat.endEpoch()
+	return rep
+}
+
+// Heat implements Profiler.
+func (c *Chrono) Heat(vp pagetable.VPage) float64 { return c.heat.heat(vp) }
+
+// WriteFraction implements Profiler.
+func (c *Chrono) WriteFraction(vp pagetable.VPage) float64 { return c.heat.writeFraction(vp) }
+
+// Snapshot implements Profiler.
+func (c *Chrono) Snapshot() []PageHeat { return c.heat.snapshot() }
+
+// Tracked implements Profiler.
+func (c *Chrono) Tracked() int { return c.heat.tracked() }

@@ -1,0 +1,190 @@
+package profile
+
+import (
+	"testing"
+)
+
+func TestChronoIdleTracking(t *testing.T) {
+	tbl := buildTable(t, 16)
+	c := NewChrono(tbl)
+	touch(tbl, 3, false)
+	c.EndEpoch()
+	if got := c.IdleEpochs(3); got != 0 {
+		t.Fatalf("idle after touch = %d, want 0", got)
+	}
+	if c.IdleEpochs(4) != -1 {
+		t.Fatal("never-touched page has idle state")
+	}
+	// Two idle epochs age the clock.
+	c.EndEpoch()
+	c.EndEpoch()
+	if got := c.IdleEpochs(3); got != 2 {
+		t.Fatalf("idle = %d, want 2", got)
+	}
+}
+
+func TestChronoConsistentlyHotOutranksOneShot(t *testing.T) {
+	tbl := buildTable(t, 16)
+	c := NewChrono(tbl)
+	// Page 1: touched every epoch. Page 2: touched once, then idle.
+	touch(tbl, 2, false)
+	for e := 0; e < 6; e++ {
+		touch(tbl, 1, false)
+		c.EndEpoch()
+	}
+	if c.Heat(1) <= c.Heat(2) {
+		t.Fatalf("steady page heat %v not above one-shot %v", c.Heat(1), c.Heat(2))
+	}
+}
+
+func TestChronoShortIdleGapsBoostMore(t *testing.T) {
+	tbl := buildTable(t, 16)
+	c := NewChrono(tbl)
+	// Both pages start together and are both touched in the final epoch;
+	// page 1 additionally kept a short idle gap (re-touched mid-way), so
+	// its per-touch boosts are larger and its heat must end higher.
+	touch(tbl, 1, false)
+	touch(tbl, 2, false)
+	c.EndEpoch()
+	touch(tbl, 1, false)
+	c.EndEpoch()
+	c.EndEpoch()
+	touch(tbl, 1, false)
+	touch(tbl, 2, false)
+	c.EndEpoch()
+	if c.Heat(1) <= c.Heat(2) {
+		t.Fatalf("short-gap heat %v not above long-gap %v", c.Heat(1), c.Heat(2))
+	}
+}
+
+func TestChronoForgetsLongIdle(t *testing.T) {
+	tbl := buildTable(t, 4)
+	c := NewChrono(tbl)
+	touch(tbl, 0, false)
+	c.EndEpoch()
+	for e := 0; e < 20; e++ {
+		c.EndEpoch()
+	}
+	if c.IdleEpochs(0) != -1 {
+		t.Fatal("long-idle page not forgotten")
+	}
+}
+
+func TestChronoClearsBitsAndCharges(t *testing.T) {
+	tbl := buildTable(t, 8)
+	c := NewChrono(tbl)
+	touch(tbl, 5, true)
+	rep := c.EndEpoch()
+	if rep.ScannedPages != 8 || rep.OverheadCycles <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	p, _ := tbl.Lookup(5)
+	if p.Accessed() || p.Dirty() {
+		t.Fatal("bits not cleared")
+	}
+	if c.WriteFraction(5) != 1 {
+		t.Fatalf("write fraction = %v", c.WriteFraction(5))
+	}
+}
+
+func TestChronoValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil table did not panic")
+		}
+	}()
+	NewChrono(nil)
+}
+
+func TestRegionScanBackoff(t *testing.T) {
+	// Two leaves: pages 0..511 (region A, active) and 512+ (region B,
+	// idle). B's scan frequency must back off; A stays hot-scanned.
+	tbl := buildTable(t, 1024)
+	s := NewRegionScan(tbl)
+
+	costs := make([]int, 0, 8)
+	for e := 0; e < 8; e++ {
+		touch(tbl, 5, false) // keep region A active
+		rep := s.EndEpoch()
+		costs = append(costs, rep.ScannedPages)
+	}
+	if s.BackoffLevel(5) != 0 {
+		t.Fatalf("active region backed off to level %d", s.BackoffLevel(5))
+	}
+	if s.BackoffLevel(600) == 0 {
+		t.Fatal("idle region never backed off")
+	}
+	// Scanned-page counts must drop once B starts being skipped.
+	if costs[0] != 1024 {
+		t.Fatalf("first scan covered %d pages, want 1024", costs[0])
+	}
+	later := costs[len(costs)-1]
+	if later > 600 {
+		t.Fatalf("late scan still covers %d pages; backoff ineffective", later)
+	}
+}
+
+func TestRegionScanReactivation(t *testing.T) {
+	tbl := buildTable(t, 1024)
+	s := NewRegionScan(tbl)
+	for e := 0; e < 6; e++ {
+		s.EndEpoch() // both regions idle: deep backoff
+	}
+	if s.BackoffLevel(600) == 0 {
+		t.Fatal("setup: no backoff accumulated")
+	}
+	// Region B becomes active; once its skip window expires the scanner
+	// must see it and reset the backoff.
+	for e := 0; e < 20; e++ {
+		touch(tbl, 600, false)
+		s.EndEpoch()
+		if s.BackoffLevel(600) == 0 {
+			break
+		}
+	}
+	if s.BackoffLevel(600) != 0 {
+		t.Fatal("reactivated region never reset its backoff")
+	}
+	if s.Heat(600) <= 0 {
+		t.Fatal("reactivated page gained no heat")
+	}
+}
+
+func TestRegionScanStillFindsHotPages(t *testing.T) {
+	tbl := buildTable(t, 2048)
+	s := NewRegionScan(tbl)
+	for e := 0; e < 5; e++ {
+		touch(tbl, 10, true)
+		touch(tbl, 1500, false)
+		s.EndEpoch()
+	}
+	if s.Heat(10) <= 0 || s.Heat(1500) <= 0 {
+		t.Fatal("hot pages missed")
+	}
+	if s.WriteFraction(10) != 1 || s.WriteFraction(1500) != 0 {
+		t.Fatal("write fractions wrong")
+	}
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %d pages, want 2", len(snap))
+	}
+}
+
+func TestRegionScanValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil table did not panic")
+		}
+	}()
+	NewRegionScan(nil)
+}
+
+func TestNewProfilerNamesExtended(t *testing.T) {
+	tbl := buildTable(t, 8)
+	if NewChrono(tbl).Name() != "chrono" {
+		t.Fatal("chrono name")
+	}
+	if NewRegionScan(tbl).Name() != "regionscan" {
+		t.Fatal("regionscan name")
+	}
+}

@@ -1,0 +1,122 @@
+package profile
+
+import (
+	"vulcan/internal/pagetable"
+)
+
+// HintFault is a NUMA-hinting-fault profiler (AutoTiering/TPP/FlexMem
+// style): each epoch it "poisons" a rotating window of mapped pages; the
+// next access to a poisoned page takes a minor fault, which both reveals
+// the access (a strong recency signal) and costs the faulting thread
+// real latency — the mechanism's signature drawback.
+type HintFault struct {
+	heat  *heatMap
+	table Table
+
+	poisoned map[pagetable.VPage]struct{}
+	cursor   pagetable.VPage
+	// windowPages is how many pages are poisoned per epoch.
+	windowPages int
+	// faultCycles is the latency one hint fault adds to the access.
+	faultCycles float64
+	// faultBoost is the heat credited per observed fault.
+	faultBoost float64
+
+	faultsThisEpoch int
+}
+
+// NewHintFault builds a hint-fault profiler poisoning windowPages per
+// epoch.
+func NewHintFault(table Table, windowPages int, faultCycles float64) *HintFault {
+	if table == nil {
+		panic("profile: HintFault requires a table")
+	}
+	if windowPages <= 0 {
+		panic("profile: HintFault window must be positive")
+	}
+	return &HintFault{
+		heat:        newHeatMap(DefaultDecay),
+		table:       table,
+		poisoned:    make(map[pagetable.VPage]struct{}),
+		windowPages: windowPages,
+		faultCycles: faultCycles,
+		faultBoost:  96,
+	}
+}
+
+// Name implements Profiler.
+func (h *HintFault) Name() string { return "hintfault" }
+
+// Record fires a hint fault when the access touches a poisoned page,
+// returning the fault's latency so the system charges it to the thread.
+func (h *HintFault) Record(a Access) float64 {
+	if _, ok := h.poisoned[a.VP]; !ok {
+		return 0
+	}
+	delete(h.poisoned, a.VP)
+	h.faultsThisEpoch++
+	h.heat.record(a.VP, a.Write, h.faultBoost)
+	return h.faultCycles
+}
+
+// EndEpoch rotates the poison window across the address space and ages
+// heat.
+func (h *HintFault) EndEpoch() EpochReport {
+	rep := EpochReport{
+		Faults: h.faultsThisEpoch,
+		// Poisoning a PTE is a table write; unpoisoned leftovers from the
+		// previous window are also rewritten.
+		OverheadCycles: float64(h.windowPages+len(h.poisoned)) * 20,
+	}
+	h.faultsThisEpoch = 0
+
+	// Rebuild the window: walk forward from the cursor, wrapping once.
+	for vp := range h.poisoned {
+		delete(h.poisoned, vp)
+	}
+	count := 0
+	var firstPass []pagetable.VPage
+	h.table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
+		if vp < h.cursor {
+			if len(firstPass) < h.windowPages {
+				firstPass = append(firstPass, vp)
+			}
+			return true
+		}
+		if count < h.windowPages {
+			h.poisoned[vp] = struct{}{}
+			count++
+			h.cursor = vp + 1
+			return true
+		}
+		return false
+	})
+	// Wrap around if the tail of the address space was short.
+	for _, vp := range firstPass {
+		if count >= h.windowPages {
+			break
+		}
+		if _, dup := h.poisoned[vp]; !dup {
+			h.poisoned[vp] = struct{}{}
+			count++
+			h.cursor = vp + 1
+		}
+	}
+	h.heat.endEpoch()
+	return rep
+}
+
+// PoisonedPages returns the number of currently poisoned pages.
+func (h *HintFault) PoisonedPages() int { return len(h.poisoned) }
+
+// Heat implements Profiler.
+func (h *HintFault) Heat(vp pagetable.VPage) float64 { return h.heat.heat(vp) }
+
+// WriteFraction implements Profiler.
+func (h *HintFault) WriteFraction(vp pagetable.VPage) float64 { return h.heat.writeFraction(vp) }
+
+// Snapshot implements Profiler.
+func (h *HintFault) Snapshot() []PageHeat { return h.heat.snapshot() }
+
+// Tracked implements Profiler.
+func (h *HintFault) Tracked() int { return h.heat.tracked() }

@@ -1,0 +1,119 @@
+package profile
+
+import (
+	"vulcan/internal/pagetable"
+	"vulcan/internal/sim"
+)
+
+// Hybrid is Vulcan's default profiler (§3.2, inspired by FlexMem): PEBS
+// sampling provides cheap frequency estimates, while an epoch-boundary
+// page-table sweep harvests accessed bits to cover the pages sampling
+// missed — overcoming "the limitations of sampling-based memory
+// tracking" at the cost of the scan.
+type Hybrid struct {
+	heat  *heatMap
+	table Table
+	rng   *sim.RNG
+
+	sampleRate   int
+	sampleWeight float64
+	scanBoost    float64
+	scanCost     float64
+	samples      uint64
+}
+
+// NewHybrid builds the hybrid profiler with the default decay.
+func NewHybrid(table Table, sampleRate int, seed uint64) *Hybrid {
+	return NewHybridWithDecay(table, sampleRate, DefaultDecay, seed)
+}
+
+// NewHybridWithDecay selects the per-epoch heat aging factor. A slow
+// decay (e.g. 0.9) makes steadily re-accessed pages outrank one-shot
+// streaming spikes, which is what lets the migration policy distinguish
+// genuine working sets from scan traffic.
+func NewHybridWithDecay(table Table, sampleRate int, decay float64, seed uint64) *Hybrid {
+	if table == nil {
+		panic("profile: Hybrid requires a table")
+	}
+	if sampleRate <= 0 {
+		panic("profile: Hybrid sample rate must be positive")
+	}
+	return &Hybrid{
+		heat:         newHeatMap(decay),
+		table:        table,
+		rng:          sim.NewRNG(seed),
+		sampleRate:   sampleRate,
+		sampleWeight: float64(sampleRate),
+		// The scan backfill is a coverage signal for pages sampling never
+		// saw; it must stay below one sample's weight or it would swamp
+		// the PEBS frequency ranking.
+		scanBoost: float64(sampleRate) / 2,
+		scanCost:  15,
+	}
+}
+
+// Name implements Profiler.
+func (h *Hybrid) Name() string { return "hybrid" }
+
+// Record samples like PEBS; no inline cost.
+func (h *Hybrid) Record(a Access) float64 {
+	if h.rng.Intn(h.sampleRate) != 0 {
+		return 0
+	}
+	h.samples++
+	h.heat.record(a.VP, a.Write, h.sampleWeight)
+	return 0
+}
+
+// EndEpoch sweeps accessed bits to backfill sampling misses, then ages.
+func (h *Hybrid) EndEpoch() EpochReport {
+	var rep EpochReport
+	rep.OverheadCycles = float64(h.samples) * 40
+	h.samples = 0
+
+	var touched []pagetable.VPage
+	var dirty []bool
+	h.table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
+		rep.ScannedPages++
+		if p.Accessed() {
+			// Only backfill pages sampling missed entirely: pages with
+			// PEBS-derived heat already carry a better frequency signal.
+			if h.heat.heat(vp) == 0 {
+				touched = append(touched, vp)
+				dirty = append(dirty, p.Dirty())
+			}
+		}
+		return true
+	})
+	for i, vp := range touched {
+		h.heat.record(vp, dirty[i], h.scanBoost)
+	}
+	// Clear A/D bits table-wide so next epoch's bits are fresh.
+	var all []pagetable.VPage
+	h.table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
+		if p.Accessed() || p.Dirty() {
+			all = append(all, vp)
+		}
+		return true
+	})
+	for _, vp := range all {
+		h.table.Update(vp, func(p pagetable.PTE) pagetable.PTE {
+			return p.WithAccessed(false).WithDirty(false)
+		})
+	}
+	rep.OverheadCycles += float64(rep.ScannedPages) * h.scanCost
+	h.heat.endEpoch()
+	return rep
+}
+
+// Heat implements Profiler.
+func (h *Hybrid) Heat(vp pagetable.VPage) float64 { return h.heat.heat(vp) }
+
+// WriteFraction implements Profiler.
+func (h *Hybrid) WriteFraction(vp pagetable.VPage) float64 { return h.heat.writeFraction(vp) }
+
+// Snapshot implements Profiler.
+func (h *Hybrid) Snapshot() []PageHeat { return h.heat.snapshot() }
+
+// Tracked implements Profiler.
+func (h *Hybrid) Tracked() int { return h.heat.tracked() }

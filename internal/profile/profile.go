@@ -1,0 +1,162 @@
+// Package profile implements the page-access profiling mechanisms
+// surveyed in §2.1 of the paper: PEBS-style event sampling, page-table
+// accessed-bit scanning, NUMA-hint-fault poisoning, and the FlexMem-style
+// hybrid that Vulcan adopts by default. All profilers consume the same
+// access stream and expose per-page heat and write-intensity estimates;
+// each has the blind spots of its real counterpart (sampling misses,
+// scan staleness, fault overhead).
+package profile
+
+import (
+	"sort"
+
+	"vulcan/internal/pagetable"
+)
+
+// Access is one observed memory reference, as delivered by the workload
+// simulation.
+type Access struct {
+	VP     pagetable.VPage
+	Thread int
+	Write  bool
+	// Fast records which tier served the access (profilers such as PEBS
+	// see the distinction through the sampled event's data source).
+	Fast bool
+}
+
+// PageHeat is one page's profiled state.
+type PageHeat struct {
+	VP        pagetable.VPage
+	Heat      float64
+	WriteFrac float64
+}
+
+// EpochReport summarizes what a profiler did at an epoch boundary,
+// including the overhead it imposed (profiling is not free: Observation
+// work in §2.1 — scanning costs CPU, hint faults cost app latency).
+type EpochReport struct {
+	OverheadCycles float64
+	ScannedPages   int
+	Faults         int
+}
+
+// Profiler estimates page heat from an access stream.
+type Profiler interface {
+	// Name identifies the mechanism ("pebs", "scan", ...).
+	Name() string
+	// Record offers one access to the profiler. Sampling profilers may
+	// ignore most calls; Record returns any extra cycles the mechanism
+	// imposed on the accessing thread (e.g. a hint fault).
+	Record(a Access) float64
+	// EndEpoch ages state, performs scans, and reports overhead.
+	EndEpoch() EpochReport
+	// Heat returns the page's current heat estimate (0 if untracked).
+	Heat(vp pagetable.VPage) float64
+	// WriteFraction estimates the fraction of writes among the page's
+	// observed accesses (0 if untracked).
+	WriteFraction(vp pagetable.VPage) float64
+	// Snapshot returns all tracked pages, hottest first (ties broken by
+	// ascending page number for determinism).
+	Snapshot() []PageHeat
+	// Tracked returns the number of pages with live heat state.
+	Tracked() int
+}
+
+// DefaultDecay is the per-epoch heat aging factor (Memtis-style halving).
+const DefaultDecay = 0.5
+
+// evictBelow drops pages whose heat decayed to noise, bounding memory.
+const evictBelow = 1e-3
+
+// heatMap is the shared heat bookkeeping used by every profiler.
+type heatMap struct {
+	m     map[pagetable.VPage]*heatStat
+	decay float64
+}
+
+type heatStat struct {
+	heat   float64
+	reads  float64
+	writes float64
+}
+
+func newHeatMap(decay float64) *heatMap {
+	if decay <= 0 || decay >= 1 {
+		panic("profile: decay must be in (0,1)")
+	}
+	return &heatMap{m: make(map[pagetable.VPage]*heatStat), decay: decay}
+}
+
+func (h *heatMap) record(vp pagetable.VPage, write bool, weight float64) {
+	s := h.m[vp]
+	if s == nil {
+		s = &heatStat{}
+		h.m[vp] = s
+	}
+	s.heat += weight
+	if write {
+		s.writes += weight
+	} else {
+		s.reads += weight
+	}
+}
+
+func (h *heatMap) endEpoch() {
+	for vp, s := range h.m {
+		s.heat *= h.decay
+		s.reads *= h.decay
+		s.writes *= h.decay
+		if s.heat < evictBelow {
+			delete(h.m, vp)
+		}
+	}
+}
+
+func (h *heatMap) heat(vp pagetable.VPage) float64 {
+	if s := h.m[vp]; s != nil {
+		return s.heat
+	}
+	return 0
+}
+
+func (h *heatMap) writeFraction(vp pagetable.VPage) float64 {
+	s := h.m[vp]
+	if s == nil {
+		return 0
+	}
+	total := s.reads + s.writes
+	if total == 0 {
+		return 0
+	}
+	return s.writes / total
+}
+
+func (h *heatMap) snapshot() []PageHeat {
+	out := make([]PageHeat, 0, len(h.m))
+	for vp, s := range h.m {
+		total := s.reads + s.writes
+		wf := 0.0
+		if total > 0 {
+			wf = s.writes / total
+		}
+		out = append(out, PageHeat{VP: vp, Heat: s.heat, WriteFrac: wf})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Heat != out[j].Heat {
+			return out[i].Heat > out[j].Heat
+		}
+		return out[i].VP < out[j].VP
+	})
+	return out
+}
+
+func (h *heatMap) tracked() int { return len(h.m) }
+
+// WriteIntensiveThreshold is the write fraction above which a page is
+// treated as write-intensive by migration policies (Table 1).
+const WriteIntensiveThreshold = 0.25
+
+// IsWriteIntensive classifies a page from its profiled write fraction.
+func IsWriteIntensive(writeFrac float64) bool {
+	return writeFrac > WriteIntensiveThreshold
+}

@@ -1,0 +1,126 @@
+package profile
+
+import (
+	"vulcan/internal/pagetable"
+)
+
+// RegionTable extends Table with leaf-level iteration, letting a scanner
+// skip entire 2MiB regions. *pagetable.Table and *pagetable.Replicated
+// both satisfy it through Range; the region structure is recovered from
+// pagetable.LeafIndex.
+
+// RegionScan is a Telescope-style profiler (Nair et al., ATC'24) for
+// huge address spaces: it scans at 2MiB-region granularity with
+// exponential backoff — a region whose pages were all idle on the last
+// visit is revisited half as often — so scan overhead concentrates on
+// the active fraction of a terabyte-scale footprint instead of touching
+// every PTE every period.
+type RegionScan struct {
+	table Table
+	heat  *heatMap
+	// backoff per region: skip the region for 2^level-1 epochs.
+	backoff   map[uint64]uint8
+	skipUntil map[uint64]int
+	epoch     int
+
+	maxBackoff  uint8
+	accessBoost float64
+	scanCost    float64
+}
+
+// NewRegionScan builds the profiler over table.
+func NewRegionScan(table Table) *RegionScan {
+	if table == nil {
+		panic("profile: RegionScan requires a table")
+	}
+	return &RegionScan{
+		table:       table,
+		heat:        newHeatMap(DefaultDecay),
+		backoff:     make(map[uint64]uint8),
+		skipUntil:   make(map[uint64]int),
+		maxBackoff:  4, // skip at most 15 epochs
+		accessBoost: 64,
+		scanCost:    15,
+	}
+}
+
+// Name implements Profiler.
+func (s *RegionScan) Name() string { return "regionscan" }
+
+// Record is a no-op.
+func (s *RegionScan) Record(Access) float64 { return 0 }
+
+// EndEpoch scans non-backed-off regions, harvesting accessed bits.
+func (s *RegionScan) EndEpoch() EpochReport {
+	var rep EpochReport
+	activeRegions := make(map[uint64]bool)
+	var touched []pagetable.VPage
+	var dirty []bool
+
+	s.table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
+		region := pagetable.LeafIndex(vp)
+		if s.epoch < s.skipUntil[region] {
+			return true // backed off; not visited, not counted
+		}
+		rep.ScannedPages++
+		if p.Accessed() {
+			activeRegions[region] = true
+			touched = append(touched, vp)
+			dirty = append(dirty, p.Dirty())
+		}
+		return true
+	})
+
+	// Update backoff: active regions reset to every-epoch scanning; idle
+	// scanned regions back off exponentially.
+	seen := make(map[uint64]bool)
+	for _, vp := range touched {
+		seen[pagetable.LeafIndex(vp)] = true
+	}
+	s.table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
+		region := pagetable.LeafIndex(vp)
+		if s.epoch < s.skipUntil[region] || seen[region] {
+			return true
+		}
+		seen[region] = true // idle region, evaluated once
+		level := s.backoff[region]
+		if level < s.maxBackoff {
+			level++
+		}
+		s.backoff[region] = level
+		s.skipUntil[region] = s.epoch + (1 << level) - 1
+		return true
+	})
+	for region := range activeRegions {
+		s.backoff[region] = 0
+		s.skipUntil[region] = 0
+	}
+
+	for i, vp := range touched {
+		s.heat.record(vp, dirty[i], s.accessBoost)
+		s.table.Update(vp, func(p pagetable.PTE) pagetable.PTE {
+			return p.WithAccessed(false).WithDirty(false)
+		})
+	}
+	rep.OverheadCycles = float64(rep.ScannedPages) * s.scanCost
+	s.heat.endEpoch()
+	s.epoch++
+	return rep
+}
+
+// BackoffLevel returns the current backoff exponent of vp's region.
+func (s *RegionScan) BackoffLevel(vp pagetable.VPage) uint8 {
+	return s.backoff[pagetable.LeafIndex(vp)]
+}
+
+// Heat implements Profiler.
+func (s *RegionScan) Heat(vp pagetable.VPage) float64 { return s.heat.heat(vp) }
+
+// WriteFraction implements Profiler.
+func (s *RegionScan) WriteFraction(vp pagetable.VPage) float64 { return s.heat.writeFraction(vp) }
+
+// Snapshot implements Profiler.
+func (s *RegionScan) Snapshot() []PageHeat { return s.heat.snapshot() }
+
+// Tracked implements Profiler.
+func (s *RegionScan) Tracked() int { return s.heat.tracked() }

@@ -1,0 +1,85 @@
+package profile
+
+import (
+	"vulcan/internal/pagetable"
+)
+
+// Table is the page-table surface scanners need: iteration plus the
+// ability to clear accessed/dirty bits. Both *pagetable.Table and
+// *pagetable.Replicated satisfy it.
+type Table interface {
+	Range(fn func(vp pagetable.VPage, p pagetable.PTE) bool)
+	Update(vp pagetable.VPage, fn func(pagetable.PTE) pagetable.PTE) (pagetable.PTE, bool)
+}
+
+// Scan is a page-table scanning profiler (Nimble/MULTI-CLOCK style): at
+// every epoch boundary it walks the page table, credits heat to pages
+// with the accessed bit set, reads write intensity from the dirty bit,
+// and clears both. Within an epoch it sees nothing — the staleness and
+// the per-page scan cost are the mechanism's real drawbacks (§2.1:
+// "faces scalability challenges with per-page scanning").
+type Scan struct {
+	heat  *heatMap
+	table Table
+	// scanCostPerPage is the per-PTE visit cost in cycles.
+	scanCostPerPage float64
+	// accessBoost is the heat credited for one set accessed bit. A bit is
+	// binary per epoch, so the boost approximates "at least this many
+	// accesses" — scanners cannot see frequency.
+	accessBoost float64
+}
+
+// NewScan builds a scanning profiler over table.
+func NewScan(table Table) *Scan {
+	if table == nil {
+		panic("profile: Scan requires a table")
+	}
+	return &Scan{
+		heat:            newHeatMap(DefaultDecay),
+		table:           table,
+		scanCostPerPage: 15,
+		accessBoost:     64,
+	}
+}
+
+// Name implements Profiler.
+func (s *Scan) Name() string { return "scan" }
+
+// Record is a no-op: scanners observe nothing inline.
+func (s *Scan) Record(Access) float64 { return 0 }
+
+// EndEpoch walks the table, harvesting and clearing A/D bits.
+func (s *Scan) EndEpoch() EpochReport {
+	var rep EpochReport
+	var touched []pagetable.VPage
+	var dirty []bool
+	s.table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
+		rep.ScannedPages++
+		if p.Accessed() {
+			touched = append(touched, vp)
+			dirty = append(dirty, p.Dirty())
+		}
+		return true
+	})
+	for i, vp := range touched {
+		s.heat.record(vp, dirty[i], s.accessBoost)
+		s.table.Update(vp, func(p pagetable.PTE) pagetable.PTE {
+			return p.WithAccessed(false).WithDirty(false)
+		})
+	}
+	rep.OverheadCycles = float64(rep.ScannedPages) * s.scanCostPerPage
+	s.heat.endEpoch()
+	return rep
+}
+
+// Heat implements Profiler.
+func (s *Scan) Heat(vp pagetable.VPage) float64 { return s.heat.heat(vp) }
+
+// WriteFraction implements Profiler.
+func (s *Scan) WriteFraction(vp pagetable.VPage) float64 { return s.heat.writeFraction(vp) }
+
+// Snapshot implements Profiler.
+func (s *Scan) Snapshot() []PageHeat { return s.heat.snapshot() }
+
+// Tracked implements Profiler.
+func (s *Scan) Tracked() int { return s.heat.tracked() }

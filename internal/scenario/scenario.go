@@ -1,0 +1,262 @@
+// Package scenario loads co-location experiments from JSON files, so
+// experiments can be defined, shared and versioned without writing Go.
+//
+// Example:
+//
+//	{
+//	  "policy": "vulcan",
+//	  "seconds": 120,
+//	  "seed": 7,
+//	  "scale": 4,
+//	  "apps": [
+//	    {"preset": "memcached", "start_at_s": 0},
+//	    {"preset": "liblinear", "start_at_s": 50},
+//	    {"name": "custom-scan", "class": "BE", "threads": 4,
+//	     "rss_pages": 20000, "generator": "zipf", "zipf_skew": 0.9,
+//	     "write_frac": 0.2, "compute_ns": 80}
+//	  ]
+//	}
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"vulcan/internal/machine"
+	"vulcan/internal/mem"
+	"vulcan/internal/sim"
+	"vulcan/internal/workload"
+)
+
+// File is the JSON schema of a scenario.
+type File struct {
+	Policy  string `json:"policy"`
+	Seconds int    `json:"seconds"`
+	Seed    uint64 `json:"seed"`
+	// Scale divides the default machine and preset footprints.
+	Scale int   `json:"scale"`
+	Apps  []App `json:"apps"`
+	// Machine optionally overrides the default host.
+	Machine *Machine `json:"machine,omitempty"`
+}
+
+// Machine overrides host parameters.
+type Machine struct {
+	Cores     int `json:"cores,omitempty"`
+	FastPages int `json:"fast_pages,omitempty"`
+	SlowPages int `json:"slow_pages,omitempty"`
+}
+
+// App describes one application: either a named preset (memcached,
+// pagerank, liblinear) or a custom generator spec.
+type App struct {
+	Preset   string `json:"preset,omitempty"`
+	StartAtS int    `json:"start_at_s,omitempty"`
+
+	// Custom-app fields (ignored when Preset is set).
+	Name      string  `json:"name,omitempty"`
+	Class     string  `json:"class,omitempty"` // "LC" or "BE"
+	Threads   int     `json:"threads,omitempty"`
+	RSSPages  int     `json:"rss_pages,omitempty"`
+	Shared    float64 `json:"shared_fraction,omitempty"`
+	ComputeNs int     `json:"compute_ns,omitempty"`
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	Generator string  `json:"generator,omitempty"` // zipf|uniform|scan|keyvalue|graph|mltrain|webserver|micro
+	ZipfSkew  float64 `json:"zipf_skew,omitempty"`
+	WriteFrac float64 `json:"write_frac,omitempty"`
+	LLCHit    float64 `json:"llc_hit,omitempty"`
+	WSSPages  int     `json:"wss_pages,omitempty"`
+	// PremapFraction < 1 makes the resident set grow at runtime.
+	PremapFraction float64 `json:"premap_fraction,omitempty"`
+}
+
+// Parsed is a fully resolved scenario ready to run.
+type Parsed struct {
+	Policy   string
+	Duration sim.Duration
+	Seed     uint64
+	Machine  machine.Config
+	Apps     []workload.AppConfig
+}
+
+// Load reads and resolves a scenario from JSON.
+func Load(r io.Reader) (*Parsed, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return Resolve(f)
+}
+
+// Resolve turns the JSON schema into runnable configuration.
+func Resolve(f File) (*Parsed, error) {
+	if f.Policy == "" {
+		f.Policy = "vulcan"
+	}
+	if f.Seconds <= 0 {
+		f.Seconds = 120
+	}
+	if f.Seed == 0 {
+		f.Seed = 1
+	}
+	if f.Scale < 1 {
+		f.Scale = 1
+	}
+	if len(f.Apps) == 0 {
+		return nil, fmt.Errorf("scenario: no apps")
+	}
+
+	mcfg := machine.DefaultConfig()
+	mcfg.Tiers[mem.TierFast].CapacityPages /= f.Scale
+	mcfg.Tiers[mem.TierSlow].CapacityPages /= f.Scale
+	if f.Machine != nil {
+		if f.Machine.Cores > 0 {
+			mcfg.Cores = f.Machine.Cores
+		}
+		if f.Machine.FastPages > 0 {
+			mcfg.Tiers[mem.TierFast].CapacityPages = f.Machine.FastPages
+		}
+		if f.Machine.SlowPages > 0 {
+			mcfg.Tiers[mem.TierSlow].CapacityPages = f.Machine.SlowPages
+		}
+	}
+
+	p := &Parsed{
+		Policy:   f.Policy,
+		Duration: sim.Duration(f.Seconds) * sim.Second,
+		Seed:     f.Seed,
+		Machine:  mcfg,
+	}
+	for i, a := range f.Apps {
+		cfg, err := resolveApp(a, f.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: app %d: %w", i, err)
+		}
+		p.Apps = append(p.Apps, cfg)
+	}
+	return p, nil
+}
+
+func resolveApp(a App, scale int) (workload.AppConfig, error) {
+	var cfg workload.AppConfig
+	switch a.Preset {
+	case "memcached":
+		cfg = workload.MemcachedConfig()
+	case "pagerank":
+		cfg = workload.PageRankConfig()
+	case "liblinear":
+		cfg = workload.LiblinearConfig()
+	case "":
+		custom, err := resolveCustom(a)
+		if err != nil {
+			return cfg, err
+		}
+		cfg = custom
+	default:
+		return cfg, fmt.Errorf("unknown preset %q", a.Preset)
+	}
+	if a.Preset != "" {
+		cfg.RSSPages /= scale
+	}
+	cfg.StartAt = sim.Time(a.StartAtS) * sim.Time(sim.Second)
+	if a.PremapFraction != 0 {
+		cfg.PremapFraction = a.PremapFraction
+	}
+	return cfg, nil
+}
+
+func resolveCustom(a App) (workload.AppConfig, error) {
+	var cfg workload.AppConfig
+	if a.Name == "" {
+		return cfg, fmt.Errorf("custom app needs a name")
+	}
+	class := workload.BE
+	switch a.Class {
+	case "LC":
+		class = workload.LC
+	case "BE", "":
+	default:
+		return cfg, fmt.Errorf("unknown class %q", a.Class)
+	}
+	threads := a.Threads
+	if threads == 0 {
+		threads = 4
+	}
+	shared := a.Shared
+	if shared == 0 {
+		shared = 0.9
+	}
+	llc := a.LLCHit
+	if llc == 0 {
+		llc = 0.1
+	}
+	skew := a.ZipfSkew
+	if skew == 0 {
+		skew = 0.99
+	}
+	gen, err := generatorFactory(a.Generator, skew, a.WriteFrac, llc, a.WSSPages)
+	if err != nil {
+		return cfg, err
+	}
+	cfg = workload.AppConfig{
+		Name:           a.Name,
+		Class:          class,
+		Threads:        threads,
+		RSSPages:       a.RSSPages,
+		SharedFraction: shared,
+		ComputeNs:      sim.Duration(a.ComputeNs) * sim.Nanosecond,
+		OpsPerSec:      a.OpsPerSec,
+		NewGen:         gen,
+	}
+	cfg.Validate()
+	return cfg, nil
+}
+
+func generatorFactory(kind string, skew, writeFrac, llc float64, wss int) (workload.GenFactory, error) {
+	switch kind {
+	case "zipf", "":
+		return func(p int, rng *sim.RNG) workload.Generator {
+			return workload.NewZipfian(p, skew, writeFrac, llc, rng)
+		}, nil
+	case "uniform":
+		return func(p int, rng *sim.RNG) workload.Generator {
+			return workload.NewUniform(p, writeFrac, llc, rng)
+		}, nil
+	case "scan":
+		return func(p int, rng *sim.RNG) workload.Generator {
+			return workload.NewScan(p, writeFrac, llc, rng)
+		}, nil
+	case "keyvalue":
+		return func(p int, rng *sim.RNG) workload.Generator {
+			return workload.NewKeyValue(p, workload.KeyValueParams{}, rng)
+		}, nil
+	case "graph":
+		return func(p int, rng *sim.RNG) workload.Generator {
+			return workload.NewGraphWalk(p, rng)
+		}, nil
+	case "mltrain":
+		return func(p int, rng *sim.RNG) workload.Generator {
+			return workload.NewMLTrain(p, rng)
+		}, nil
+	case "webserver":
+		return func(p int, rng *sim.RNG) workload.Generator {
+			return workload.NewWebServer(p, rng)
+		}, nil
+	case "micro":
+		if wss <= 0 {
+			return nil, fmt.Errorf("micro generator needs wss_pages")
+		}
+		return func(p int, rng *sim.RNG) workload.Generator {
+			w := wss
+			if w > p {
+				w = p
+			}
+			return workload.NewNomadMicro(p, w, writeFrac, rng)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", kind)
+	}
+}

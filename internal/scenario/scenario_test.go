@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"vulcan/internal/figures"
+	"vulcan/internal/sim"
+	"vulcan/internal/system"
+	"vulcan/internal/workload"
+)
+
+const sampleJSON = `{
+  "policy": "memtis",
+  "seconds": 30,
+  "seed": 9,
+  "scale": 16,
+  "apps": [
+    {"preset": "memcached"},
+    {"preset": "liblinear", "start_at_s": 10},
+    {"name": "scanner", "class": "BE", "threads": 2, "rss_pages": 5000,
+     "generator": "scan", "write_frac": 0.1, "compute_ns": 60}
+  ]
+}`
+
+func TestLoadSample(t *testing.T) {
+	p, err := Load(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Policy != "memtis" || p.Seed != 9 {
+		t.Fatalf("header: %+v", p)
+	}
+	if p.Duration != 30*sim.Second {
+		t.Fatalf("duration = %v", p.Duration)
+	}
+	if len(p.Apps) != 3 {
+		t.Fatalf("apps = %d", len(p.Apps))
+	}
+	if p.Apps[0].RSSPages != workload.MemcachedConfig().RSSPages/16 {
+		t.Fatalf("preset scaling wrong: %d", p.Apps[0].RSSPages)
+	}
+	if p.Apps[1].StartAt != sim.Time(10*sim.Second) {
+		t.Fatalf("start_at = %v", p.Apps[1].StartAt)
+	}
+	custom := p.Apps[2]
+	if custom.Name != "scanner" || custom.Class != workload.BE || custom.Threads != 2 {
+		t.Fatalf("custom app: %+v", custom)
+	}
+	g := custom.NewGen(100, sim.NewRNG(1))
+	if g.Name() != "scan" {
+		t.Fatalf("generator = %q", g.Name())
+	}
+}
+
+func TestLoadedScenarioRuns(t *testing.T) {
+	p, err := Load(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := system.New(system.Config{
+		Machine:          p.Machine,
+		Apps:             p.Apps,
+		Policy:           figures.NewPolicy(p.Policy),
+		Seed:             p.Seed,
+		SamplesPerThread: 400,
+	})
+	sys.Run(5 * sim.Second)
+	if len(sys.StartedApps()) == 0 {
+		t.Fatal("nothing started")
+	}
+	if rep := sys.Audit(); !rep.Ok() {
+		t.Fatalf("audit failed: %v", rep.Errors)
+	}
+	r := sys.Report()
+	if r.Policy != "memtis" || len(r.Apps) != 3 {
+		t.Fatalf("report: %+v", r)
+	}
+}
+
+func TestMachineOverride(t *testing.T) {
+	p, err := Load(strings.NewReader(`{
+	  "apps": [{"preset": "memcached"}],
+	  "machine": {"cores": 16, "fast_pages": 1234, "slow_pages": 99999}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Machine.Cores != 16 {
+		t.Fatalf("cores = %d", p.Machine.Cores)
+	}
+	if p.Machine.Tiers[0].CapacityPages != 1234 || p.Machine.Tiers[1].CapacityPages != 99999 {
+		t.Fatalf("tier override: %+v", p.Machine.Tiers)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p, err := Load(strings.NewReader(`{"apps": [{"preset": "pagerank"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Policy != "vulcan" || p.Seed != 1 || p.Duration != 120*sim.Second {
+		t.Fatalf("defaults: %+v", p)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":           `{`,
+		"unknown field":     `{"bogus": 1, "apps":[{"preset":"memcached"}]}`,
+		"no apps":           `{"policy":"tpp"}`,
+		"bad preset":        `{"apps":[{"preset":"redis"}]}`,
+		"custom no name":    `{"apps":[{"generator":"zipf","rss_pages":10}]}`,
+		"bad class":         `{"apps":[{"name":"x","class":"MEDIUM","rss_pages":10}]}`,
+		"bad generator":     `{"apps":[{"name":"x","rss_pages":10,"generator":"lru"}]}`,
+		"micro without wss": `{"apps":[{"name":"x","rss_pages":10,"generator":"micro"}]}`,
+	}
+	for name, js := range cases {
+		if _, err := Load(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPremapFractionPlumbing(t *testing.T) {
+	p, err := Load(strings.NewReader(
+		`{"apps":[{"preset":"memcached","premap_fraction":0.5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Apps[0].PremapFraction != 0.5 {
+		t.Fatalf("premap fraction = %v", p.Apps[0].PremapFraction)
+	}
+}
+
+func TestAllGeneratorKinds(t *testing.T) {
+	for _, kind := range []string{"zipf", "uniform", "scan", "keyvalue", "graph", "mltrain", "webserver", "micro"} {
+		js := `{"apps":[{"name":"g","rss_pages":2000,"generator":"` + kind + `","wss_pages":100}]}`
+		p, err := Load(strings.NewReader(js))
+		if err != nil {
+			t.Errorf("%s: %v", kind, err)
+			continue
+		}
+		g := p.Apps[0].NewGen(1000, sim.NewRNG(2))
+		for i := 0; i < 100; i++ {
+			if r := g.Next(); r.Page < 0 || r.Page >= 1000 {
+				t.Errorf("%s: page %d out of range", kind, r.Page)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled to fire at a simulated time. Events with
+// equal times fire in scheduling order (FIFO), which keeps runs
+// deterministic regardless of heap internals.
+type Event struct {
+	At Time
+	Fn func(now Time)
+
+	seq   uint64
+	index int // heap bookkeeping; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event has been removed from its queue
+// (either fired or cancelled).
+func (e *Event) Cancelled() bool { return e.index < 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is a discrete-event scheduler bound to a Clock. The zero value is
+// unusable; construct with NewQueue.
+type Queue struct {
+	clock *Clock
+	h     eventHeap
+	seq   uint64
+}
+
+// NewQueue returns an event queue driving clock.
+func NewQueue(clock *Clock) *Queue {
+	return &Queue{clock: clock}
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past panics: it would silently reorder causality.
+func (q *Queue) At(t Time, fn func(now Time)) *Event {
+	if t < q.clock.Now() {
+		panic("sim: scheduling event in the past")
+	}
+	e := &Event{At: t, Fn: fn, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (q *Queue) After(d Duration, fn func(now Time)) *Event {
+	return q.At(q.clock.Now()+Time(d), fn)
+}
+
+// Cancel removes a pending event; it is a no-op if the event already fired.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&q.h, e.index)
+}
+
+// PeekTime returns the time of the next pending event, or ok=false when
+// the queue is empty.
+func (q *Queue) PeekTime() (Time, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+// Step fires the single next event, advancing the clock to its time. It
+// returns false when no events remain.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	q.clock.AdvanceTo(e.At)
+	e.Fn(e.At)
+	return true
+}
+
+// RunUntil fires events in order until the queue is empty or the next
+// event is after deadline, then advances the clock to deadline.
+func (q *Queue) RunUntil(deadline Time) {
+	for {
+		t, ok := q.PeekTime()
+		if !ok || t > deadline {
+			break
+		}
+		q.Step()
+	}
+	if q.clock.Now() < deadline {
+		q.clock.AdvanceTo(deadline)
+	}
+}
+
+// Drain fires every pending event. Intended for test teardown; production
+// loops should bound execution with RunUntil.
+func (q *Queue) Drain() {
+	for q.Step() {
+	}
+}

@@ -1,0 +1,201 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** seeded via SplitMix64). Every simulated component draws
+// from its own RNG stream forked off a scenario seed, so experiments are
+// reproducible and components do not perturb each other's streams when
+// code is added or reordered.
+//
+// RNG is not safe for concurrent use; fork one per goroutine with Fork.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via SplitMix64, as
+// recommended by the xoshiro authors to avoid correlated low-entropy
+// states.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed re-initializes the generator state from seed.
+func (r *RNG) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+}
+
+// Fork derives an independent generator from this one. The child stream is
+// decorrelated by hashing a draw from the parent.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the Box–Muller transform.
+func (r *RNG) NormFloat64() float64 {
+	// Rejection-free Box–Muller; u1 in (0,1] to avoid log(0).
+	u1 := 1.0 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	return -math.Log(1.0 - r.Float64())
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf draws from a Zipfian distribution over [0, n) with skew parameter
+// s > 0 using precomputed tables; construct with NewZipf.
+type Zipf struct {
+	rng     *RNG
+	n       int
+	cdf     []float64 // cumulative probabilities, len n (exact mode)
+	approx  bool
+	s       float64
+	hIntegX float64 // integral-based sampler state for large n
+	hX0     float64
+}
+
+// zipfExactThreshold bounds the table-based sampler; beyond it we use the
+// rejection-inversion method (Hörmann & Derflinger) that needs O(1) space.
+const zipfExactThreshold = 1 << 20
+
+// NewZipf builds a Zipfian sampler over ranks [0, n) where rank k has
+// probability proportional to 1/(k+1)^s.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("sim: Zipf with non-positive n")
+	}
+	if s <= 0 {
+		panic("sim: Zipf with non-positive skew")
+	}
+	z := &Zipf{rng: rng, n: n, s: s}
+	if n <= zipfExactThreshold {
+		z.cdf = make([]float64, n)
+		sum := 0.0
+		for k := 0; k < n; k++ {
+			sum += 1.0 / math.Pow(float64(k+1), s)
+			z.cdf[k] = sum
+		}
+		inv := 1.0 / sum
+		for k := range z.cdf {
+			z.cdf[k] *= inv
+		}
+		return z
+	}
+	z.approx = true
+	z.hIntegX = z.hInteg(float64(n) + 0.5)
+	z.hX0 = z.hInteg(1.5) - 1.0
+	return z
+}
+
+// hInteg is the antiderivative of 1/x^s (rejection-inversion helper).
+func (z *Zipf) hInteg(x float64) float64 {
+	if z.s == 1.0 {
+		return math.Log(x)
+	}
+	return (math.Pow(x, 1.0-z.s) - 1.0) / (1.0 - z.s)
+}
+
+func (z *Zipf) hIntegInv(x float64) float64 {
+	if z.s == 1.0 {
+		return math.Exp(x)
+	}
+	return math.Pow(1.0+x*(1.0-z.s), 1.0/(1.0-z.s))
+}
+
+// Next returns the next Zipf-distributed rank in [0, n).
+func (z *Zipf) Next() int {
+	if !z.approx {
+		u := z.rng.Float64()
+		// Binary search the CDF.
+		lo, hi := 0, z.n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if z.cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	// Rejection-inversion for large n.
+	for {
+		u := z.hX0 + z.rng.Float64()*(z.hIntegX-z.hX0)
+		x := z.hIntegInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		if u >= z.hInteg(k+0.5)-math.Pow(k, -z.s) {
+			return int(k) - 1
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package system
+
+import (
+	"fmt"
+
+	"vulcan/internal/machine"
+	"vulcan/internal/mem"
+	"vulcan/internal/metrics"
+	"vulcan/internal/migrate"
+	"vulcan/internal/pagetable"
+	"vulcan/internal/profile"
+	"vulcan/internal/sim"
+	"vulcan/internal/tlb"
+	"vulcan/internal/workload"
+)
+
+// App is one admitted application: a simulated process with its own
+// address space, threads, TLBs, profiler and migration engine.
+type App struct {
+	Cfg   workload.AppConfig
+	Index int
+
+	Table    *pagetable.Replicated
+	TLBs     []*tlb.TLB
+	Threads  []*workload.Thread
+	Engine   *migrate.Engine
+	Async    *migrate.AsyncMigrator
+	Profiler profile.Profiler
+
+	sys     *System
+	rng     *sim.RNG
+	started bool
+	huge    *HugeSet // nil when THP disabled
+
+	// sampleWeight converts one simulated sample access into real
+	// operations, so heat is comparable across apps with different
+	// intensities. It lags one epoch.
+	sampleWeight float64
+
+	// Per-epoch measurements (reset each epoch).
+	epochFastSamples float64
+	epochSlowSamples float64
+	epochActualCyc   float64 // measured per-operation cycles across the samples
+	epochIdealCyc    float64 // same samples under all-fast, TLB-hit placement
+	// epochEventCyc accumulates per-page events (hint faults, leaf links,
+	// demand faults) that occur once per page rather than once per
+	// operation; they are epoch overhead, not per-op latency.
+	epochEventCyc float64
+	epochOps      float64
+	pendingStall  float64 // sync-migration cycles to charge next epoch
+
+	// Smoothed / cumulative state.
+	fthr       *metrics.EMA
+	totalOps   float64
+	perfSeries *metrics.Running // normalized perf per epoch
+
+	// Cached placement census, refreshed each epoch.
+	fastPages int
+	rssMapped int
+}
+
+// Name returns the configured application name.
+func (a *App) Name() string { return a.Cfg.Name }
+
+// CostModel returns the machine's cost model (available once admitted).
+func (a *App) CostModel() machine.CostModel { return a.sys.cost }
+
+// Class returns LC or BE.
+func (a *App) Class() workload.Class { return a.Cfg.Class }
+
+// Started reports whether the app has been admitted.
+func (a *App) Started() bool { return a.started }
+
+// FTHR returns the smoothed fast-tier hit ratio (paper Eq. 1–2).
+func (a *App) FTHR() float64 { return a.fthr.Value() }
+
+// FastPages returns the app's pages resident in the fast tier (census at
+// the last epoch boundary).
+func (a *App) FastPages() int { return a.fastPages }
+
+// RSSMapped returns the app's mapped page count.
+func (a *App) RSSMapped() int { return a.rssMapped }
+
+// EpochOps returns operations completed in the last finished epoch.
+func (a *App) EpochOps() float64 { return a.epochOps }
+
+// TotalOps returns cumulative operations.
+func (a *App) TotalOps() float64 { return a.totalOps }
+
+// NormalizedPerf returns the mean of per-epoch performance normalized to
+// the app's own all-fast ideal (1.0 = as if its whole working set were in
+// fast memory with no migration interference).
+func (a *App) NormalizedPerf() *metrics.Running { return a.perfSeries }
+
+// ChargeStall debits cycles of synchronous migration stall against the
+// app's next epoch (promotions on the critical path, TPP-style).
+func (a *App) ChargeStall(cycles float64) {
+	if cycles < 0 {
+		panic("system: negative stall")
+	}
+	a.pendingStall += cycles
+}
+
+// SampleWeight returns real operations represented by one sample access.
+func (a *App) SampleWeight() float64 { return a.sampleWeight }
+
+// WriteProbability estimates the chance that a page is written during
+// one migration copy window — the dirty-retry input for transactional
+// async migration. It combines the page's profiled write fraction with
+// its heat (a write-heavy page that is barely touched rarely dirties a
+// copy in flight).
+func (a *App) WriteProbability(vp pagetable.VPage) float64 {
+	wf := a.Profiler.WriteFraction(vp)
+	if wf == 0 {
+		return 0
+	}
+	heat := a.Profiler.Heat(vp)
+	intensity := heat / (heat + 1000)
+	p := wf * intensity * 1.8
+	if p > 0.98 {
+		p = 0.98
+	}
+	return p
+}
+
+// admit builds the app's runtime state and premaps its RSS with
+// first-touch placement (the paper's workloads are warmed before
+// measurement).
+func (a *App) admit(sys *System, placer Placer) {
+	a.sys = sys
+	a.Table = pagetable.NewReplicated(a.Cfg.Threads)
+	a.TLBs = make([]*tlb.TLB, a.Cfg.Threads)
+	for i := range a.TLBs {
+		a.TLBs[i] = tlb.New(tlb.DefaultEntries)
+	}
+	a.Threads = workload.BuildThreads(a.Cfg, a.rng)
+	a.fthr = metrics.NewEMA(FTHRAlpha)
+	a.perfSeries = &metrics.Running{}
+	a.sampleWeight = 1
+
+	mech := sys.mechanisms()
+	eng := migrate.NewEngine(migrate.Config{
+		Cost:              sys.cost,
+		Tiers:             sys.tiers,
+		Table:             a.Table,
+		Cpus:              sys.cores,
+		ProcessThreads:    a.Cfg.Threads,
+		OptimizedPrep:     mech.OptimizedPrep,
+		TargetedShootdown: mech.TargetedShootdown,
+		Shadowing:         mech.Shadowing,
+		Invalidate:        a.invalidateTLBs,
+		PreMigrate:        a.splitTHP,
+	})
+	a.Engine = eng
+	a.Async = migrate.NewAsyncMigrator(migrate.AsyncConfig{
+		Engine:     eng,
+		MaxRetries: 3,
+		BatchPages: 64,
+		RNG:        a.rng.Fork(),
+	})
+	if pf, ok := sys.policy.(ProfilerFactory); ok {
+		a.Profiler = pf.NewProfiler(a)
+	} else {
+		a.Profiler = sys.cfg.NewProfiler(a)
+	}
+
+	a.premap(placer)
+	if !sys.cfg.DisableTHP {
+		a.huge = NewHugeSet(a.rssMapped)
+	}
+	a.started = true
+}
+
+// splitTHP breaks the huge mapping covering a page about to migrate,
+// returning the one-time split cost (§3.5).
+func (a *App) splitTHP(vp pagetable.VPage) float64 {
+	if a.huge.Split(vp) {
+		return a.sys.cost.THPSplitCycles
+	}
+	return 0
+}
+
+// Huge exposes the app's THP state (nil when disabled).
+func (a *App) Huge() *HugeSet { return a.huge }
+
+// invalidateTLBs evicts vp from the TLBs of the threads in scope.
+func (a *App) invalidateTLBs(vp pagetable.VPage, threads []int) {
+	for _, t := range threads {
+		if t >= 0 && t < len(a.TLBs) {
+			a.TLBs[t].Invalidate(vp)
+		}
+	}
+}
+
+// premap faults in the RSS (or the configured fraction of it): private
+// slices by their owning thread, the shared region round-robin (true
+// sharing emerges as threads touch). Pages beyond the premapped prefix
+// demand-fault as the access stream reaches them, growing the resident
+// set over time.
+func (a *App) premap(placer Placer) {
+	sharedPages := int(float64(a.Cfg.RSSPages) * a.Cfg.SharedFraction)
+	if sharedPages < 1 {
+		sharedPages = 1
+	}
+	privPer := (a.Cfg.RSSPages - sharedPages) / a.Cfg.Threads
+	mapped := sharedPages + privPer*a.Cfg.Threads
+	frac := a.Cfg.PremapFraction
+	if frac == 0 {
+		frac = 1
+	}
+	mapped = int(float64(mapped) * frac)
+	for vp := 0; vp < mapped; vp++ {
+		tid := 0
+		if vp < sharedPages {
+			tid = vp % a.Cfg.Threads
+		} else {
+			tid = (vp - sharedPages) / privPer
+		}
+		a.mapNewPage(pagetable.VPage(vp), tid, placer)
+	}
+	a.rssMapped = a.Table.Mapped()
+}
+
+// mapNewPage allocates a frame (policy placement with fast-first
+// fallback) and installs the mapping with tid as owner.
+func (a *App) mapNewPage(vp pagetable.VPage, tid int, placer Placer) {
+	var frame mem.Frame
+	var ok bool
+	if placer != nil {
+		if tier := placer.Place(a.sys, a); tier.Valid() {
+			frame, ok = a.sys.tiers.Alloc(tier)
+			if !ok && tier == mem.TierFast {
+				frame, ok = a.sys.tiers.Alloc(mem.TierSlow)
+			} else if !ok {
+				frame, ok = a.sys.tiers.Alloc(mem.TierFast)
+			}
+		}
+	}
+	if !ok {
+		frame, ok = a.sys.tiers.AllocPreferFast()
+	}
+	if !ok {
+		panic(fmt.Sprintf("system: out of physical memory mapping %s page %d",
+			a.Cfg.Name, vp))
+	}
+	if err := a.Table.Map(tid, vp, pagetable.NewPTE(frame, uint8(tid))); err != nil {
+		panic(fmt.Sprintf("system: premap collision: %v", err))
+	}
+}
+
+// runEpochAccesses simulates the app's memory activity for one epoch and
+// computes achieved operations. samples is per thread.
+func (a *App) runEpochAccesses(samples int, epochCycles float64, bwUtil [mem.NumTiers]float64) {
+	a.epochFastSamples, a.epochSlowSamples = 0, 0
+	a.epochActualCyc, a.epochIdealCyc, a.epochEventCyc = 0, 0, 0
+
+	cost := a.sys.cost
+	computeCyc := float64(a.Cfg.ComputeNs) * sim.CyclesPerNs
+	fastTier := a.sys.tiers.Fast()
+
+	for tid, th := range a.Threads {
+		tlbT := a.TLBs[tid]
+		for s := 0; s < samples; s++ {
+			ref := th.Next()
+			vp := pagetable.VPage(ref.Page)
+
+			res, ok := a.Table.Touch(tid, vp, ref.Write)
+			if !ok {
+				// Beyond the premapped region (integer division slack):
+				// demand-fault it in.
+				a.mapNewPage(vp, tid, a.sys.placer)
+				res, _ = a.Table.Touch(tid, vp, ref.Write)
+				a.epochEventCyc += cost.MinorFaultCycles
+			}
+			if res.LinkedLeaf {
+				a.epochEventCyc += cost.LeafLinkCycles
+			}
+
+			frame := res.PTE.Frame()
+			fast := frame.Tier == mem.TierFast
+
+			// Shadow invalidation: a store to a promoted page makes its
+			// slow-tier shadow stale (write-protection fault in Nomad).
+			if ref.Write && a.Engine.HasShadow(vp) {
+				a.Engine.InvalidateShadow(vp)
+			}
+
+			actual := computeCyc
+			ideal := computeCyc
+			if a.rng.Bool(ref.LLCHitProb) {
+				// Served by the CPU cache: no memory traffic, invisible
+				// to miss-based profilers.
+				actual += LLCHitCycles
+				ideal += LLCHitCycles
+			} else {
+				// A huge mapping translates the whole 2MiB group through
+				// one TLB entry.
+				tag := vp
+				if a.huge.IsHuge(vp) {
+					tag = hugeTLBTag(vp)
+				}
+				hit := tlbT.Access(tag)
+				tier := a.sys.tiers.Tier(frame.Tier)
+				actual += cost.AccessCycles(tier, hit, bwUtil[frame.Tier])
+				ideal += cost.AccessCycles(fastTier, true, bwUtil[mem.TierFast])
+				// A profiling fault (hint-fault poisoning) fires once per
+				// poisoned page, not once per operation: epoch overhead.
+				a.epochEventCyc += a.Profiler.Record(profile.Access{
+					VP: vp, Thread: tid, Write: ref.Write, Fast: fast,
+				})
+				a.sys.tiers.RecordAccess(frame, ref.Write)
+				if fast {
+					a.epochFastSamples++
+				} else {
+					a.epochSlowSamples++
+				}
+			}
+			a.epochActualCyc += actual
+			a.epochIdealCyc += ideal
+		}
+	}
+
+	// Convert sampled costs to epoch throughput: each thread has
+	// epochCycles of CPU, minus its share of pending migration stalls.
+	totalSamples := float64(samples * a.Cfg.Threads)
+	avgActual := a.epochActualCyc / totalSamples
+	avgIdeal := a.epochIdealCyc / totalSamples
+	available := epochCycles*float64(a.Cfg.Threads) - a.pendingStall - a.epochEventCyc
+	if available < 0 {
+		available = 0
+	}
+	a.pendingStall = 0
+	capacityOps := available / avgActual
+
+	if a.Cfg.OpsPerSec > 0 {
+		// Open-loop service: arrivals bound throughput; performance is
+		// per-operation latency relative to the all-fast ideal, degraded
+		// further if the CPU cannot even keep up with arrivals.
+		epochSeconds := epochCycles / sim.CyclesPerNs / 1e9
+		arrivals := a.Cfg.OpsPerSec * epochSeconds
+		a.epochOps = arrivals
+		if a.epochOps > capacityOps {
+			a.epochOps = capacityOps
+		}
+		perf := avgIdeal / avgActual
+		if arrivals > 0 {
+			perf *= a.epochOps / arrivals
+		}
+		a.perfSeries.Add(perf)
+	} else {
+		// Closed-loop: throughput-bound; performance is achieved ops
+		// versus the all-fast ideal over the full epoch.
+		a.epochOps = capacityOps
+		idealOps := epochCycles * float64(a.Cfg.Threads) / avgIdeal
+		a.perfSeries.Add(a.epochOps / idealOps)
+	}
+	a.totalOps += a.epochOps
+	a.sampleWeight = a.epochOps / totalSamples
+
+	// FTHR sample (Eq. 1) and EMA update (Eq. 2).
+	if a.epochFastSamples+a.epochSlowSamples > 0 {
+		h := a.epochFastSamples / (a.epochFastSamples + a.epochSlowSamples)
+		a.fthr.Update(h)
+	}
+}
+
+// refreshCensus recounts tier placement from the page table.
+func (a *App) refreshCensus() {
+	fast, mapped := 0, 0
+	a.Table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
+		mapped++
+		if p.Frame().Tier == mem.TierFast {
+			fast++
+		}
+		return true
+	})
+	a.fastPages = fast
+	a.rssMapped = mapped
+}
+
+// LLCHitCycles is the cost of an access absorbed by the on-chip cache.
+const LLCHitCycles = 40
+
+// FTHRAlpha is the paper's EMA weight for FTHR smoothing (§3.3, α=0.8).
+const FTHRAlpha = 0.8

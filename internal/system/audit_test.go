@@ -1,0 +1,82 @@
+package system
+
+import (
+	"testing"
+
+	"vulcan/internal/pagetable"
+	"vulcan/internal/sim"
+	"vulcan/internal/workload"
+)
+
+func TestAuditCleanSystem(t *testing.T) {
+	sys := New(Config{
+		Machine:     tinyMachine(256, 2048),
+		Apps:        []workload.AppConfig{tinyApp("a", workload.LC, 500, 0)},
+		EpochLength: 10 * sim.Millisecond,
+	})
+	sys.RunEpoch()
+	rep := sys.Audit()
+	if !rep.Ok() {
+		t.Fatalf("clean system failed audit: %v", rep.Errors)
+	}
+	if rep.MappedFrames == 0 {
+		t.Fatal("audit saw no mapped frames")
+	}
+	// used + free accounting is covered by Ok(); the counts must also be
+	// self-consistent.
+	if rep.MappedFrames+rep.ShadowFrames+rep.FreeFrames !=
+		sys.Tiers().Fast().Capacity()+sys.Tiers().Slow().Capacity() {
+		t.Fatalf("audit counts inconsistent: %v", rep)
+	}
+}
+
+func TestAuditUnderMigrationChurn(t *testing.T) {
+	// The promoteAll test policy migrates heavily; the ownership
+	// invariant must hold after every epoch.
+	sys := New(Config{
+		Machine:     tinyMachine(128, 4096),
+		Apps:        []workload.AppConfig{tinyApp("a", workload.LC, 2000, 0)},
+		EpochLength: 10 * sim.Millisecond,
+		Policy:      &promoteAll{},
+	})
+	for i := 0; i < 20; i++ {
+		sys.RunEpoch()
+		if rep := sys.Audit(); !rep.Ok() {
+			t.Fatalf("audit failed after epoch %d: %v", i, rep.Errors)
+		}
+	}
+}
+
+func TestAuditMultiApp(t *testing.T) {
+	sys := New(Config{
+		Machine: tinyMachine(256, 4096),
+		Apps: []workload.AppConfig{
+			tinyApp("a", workload.LC, 400, 0),
+			tinyApp("b", workload.BE, 600, 0),
+		},
+		EpochLength: 10 * sim.Millisecond,
+	})
+	sys.Run(50 * sim.Millisecond)
+	if rep := sys.Audit(); !rep.Ok() {
+		t.Fatalf("multi-app audit failed: %v", rep.Errors)
+	}
+}
+
+func TestAuditDetectsDoubleMapping(t *testing.T) {
+	// Sabotage: map the same frame from two pages; the audit must flag it.
+	sys := New(Config{
+		Machine:     tinyMachine(256, 2048),
+		Apps:        []workload.AppConfig{tinyApp("a", workload.LC, 100, 0)},
+		EpochLength: 10 * sim.Millisecond,
+	})
+	sys.RunEpoch()
+	a := sys.App("a")
+	p0, _ := a.Table.Lookup(0)
+	a.Table.Update(1, func(p1 pagetable.PTE) pagetable.PTE {
+		return p1.WithFrame(p0.Frame())
+	})
+	rep := sys.Audit()
+	if rep.Ok() {
+		t.Fatal("audit missed a double-mapped frame")
+	}
+}

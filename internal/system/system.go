@@ -1,0 +1,270 @@
+package system
+
+import (
+	"fmt"
+
+	"vulcan/internal/machine"
+	"vulcan/internal/mem"
+	"vulcan/internal/metrics"
+	"vulcan/internal/profile"
+	"vulcan/internal/sim"
+	"vulcan/internal/workload"
+)
+
+// Config assembles one co-location experiment.
+type Config struct {
+	Machine machine.Config
+	Apps    []workload.AppConfig
+	Policy  Tiering
+
+	// EpochLength is the policy/measurement period (default 1s — the
+	// cadence of the paper's migration daemons).
+	EpochLength sim.Duration
+	// SamplesPerThread is the number of representative accesses simulated
+	// per thread per epoch (default 400).
+	SamplesPerThread int
+	// NewProfiler builds each app's profiler when the policy does not
+	// implement ProfilerFactory (default: Vulcan's hybrid).
+	NewProfiler func(app *App) profile.Profiler
+
+	// MechanismOverride, when non-nil, replaces the policy's declared
+	// Mechanisms — used by ablation experiments to switch individual
+	// optimizations on or off.
+	MechanismOverride *Mechanisms
+
+	// DisableTHP turns off transparent huge pages. By default every
+	// app's RSS is mapped as 2MiB huge pages for TLB coverage and split
+	// into base pages when migration touches a group (§3.5).
+	DisableTHP bool
+
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Machine.Cores == 0 {
+		c.Machine = machine.DefaultConfig()
+	}
+	if c.Policy == nil {
+		c.Policy = NullPolicy{}
+	}
+	if c.EpochLength == 0 {
+		c.EpochLength = 1 * sim.Second
+	}
+	if c.SamplesPerThread == 0 {
+		c.SamplesPerThread = 400
+	}
+	if c.NewProfiler == nil {
+		c.NewProfiler = func(app *App) profile.Profiler {
+			return profile.NewHybrid(app.Table, 8, app.rng.Uint64())
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// System is the live co-location runtime.
+type System struct {
+	cfg    Config
+	m      *machine.Machine
+	apps   []*App
+	policy Tiering
+	placer Placer
+
+	cores int
+	rng   *sim.RNG
+
+	recorder *metrics.Recorder
+	cfi      *metrics.CFITracker
+	epoch    int
+
+	// bwUtil carries the previous epoch's measured bandwidth utilization
+	// into the next epoch's latency model.
+	bwUtil [mem.NumTiers]float64
+
+	// tiers and cost are aliases of the machine's fields for brevity.
+	tiers *mem.Tiers
+	cost  machine.CostModel
+}
+
+// New validates cfg and builds the system; apps are admitted lazily at
+// their StartAt times during RunEpoch.
+func New(cfg Config) *System {
+	cfg.fillDefaults()
+	if len(cfg.Apps) == 0 {
+		panic("system: no applications configured")
+	}
+	m := machine.New(cfg.Machine)
+	s := &System{
+		cfg:      cfg,
+		m:        m,
+		policy:   cfg.Policy,
+		cores:    cfg.Machine.Cores,
+		rng:      sim.NewRNG(cfg.Seed),
+		recorder: metrics.NewRecorder(m.Clock),
+		cfi:      metrics.NewCFITracker(len(cfg.Apps)),
+		tiers:    m.Tiers,
+		cost:     cfg.Machine.Cost,
+	}
+	if p, ok := cfg.Policy.(Placer); ok {
+		s.placer = p
+	}
+	totalThreads := 0
+	for i, ac := range cfg.Apps {
+		ac.Validate()
+		totalThreads += ac.Threads
+		s.apps = append(s.apps, &App{Cfg: ac, Index: i, rng: s.rng.Fork()})
+	}
+	if totalThreads > cfg.Machine.Cores {
+		panic(fmt.Sprintf("system: %d app threads exceed %d cores (the paper pins one thread per core)",
+			totalThreads, cfg.Machine.Cores))
+	}
+	return s
+}
+
+// Apps returns every configured app (started or not).
+func (s *System) Apps() []*App { return s.apps }
+
+// StartedApps returns the currently admitted apps.
+func (s *System) StartedApps() []*App {
+	out := make([]*App, 0, len(s.apps))
+	for _, a := range s.apps {
+		if a.started {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// App returns the app with the given name, or nil.
+func (s *System) App(name string) *App {
+	for _, a := range s.apps {
+		if a.Cfg.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Tiers returns the machine's memory tiers.
+func (s *System) Tiers() *mem.Tiers { return s.tiers }
+
+// Cost returns the machine's cost model.
+func (s *System) Cost() machine.CostModel { return s.cost }
+
+// Cores returns the machine's core count.
+func (s *System) Cores() int { return s.cores }
+
+// Now returns the current simulated time.
+func (s *System) Now() sim.Time { return s.m.Now() }
+
+// Epoch returns the number of completed epochs.
+func (s *System) Epoch() int { return s.epoch }
+
+// EpochLength returns the configured epoch duration.
+func (s *System) EpochLength() sim.Duration { return s.cfg.EpochLength }
+
+// EpochCycles returns the per-thread CPU cycles available in one epoch.
+func (s *System) EpochCycles() float64 {
+	return float64(s.cfg.EpochLength) * sim.CyclesPerNs
+}
+
+// Recorder returns the time-series recorder.
+func (s *System) Recorder() *metrics.Recorder { return s.recorder }
+
+// CFI returns the FTHR-weighted cumulative fairness tracker (Eq. 4).
+func (s *System) CFI() *metrics.CFITracker { return s.cfi }
+
+// Policy returns the active tiering policy.
+func (s *System) Policy() Tiering { return s.policy }
+
+// RunEpoch advances the simulation by one epoch: admission, access
+// simulation, profiler harvest, policy migrations, accounting.
+func (s *System) RunEpoch() {
+	now := s.m.Now()
+
+	// Admission.
+	for _, a := range s.apps {
+		if !a.started && a.Cfg.StartAt <= now {
+			a.admit(s, s.placer)
+			a.refreshCensus()
+			s.policy.AppStarted(s, a)
+		}
+	}
+
+	// Access simulation against last epoch's bandwidth picture.
+	s.tiers.ResetEpoch()
+	epochCycles := s.EpochCycles()
+	for _, a := range s.apps {
+		if a.started {
+			a.runEpochAccesses(s.cfg.SamplesPerThread, epochCycles, s.bwUtil)
+		}
+	}
+
+	// Profiler harvest; overhead lands on the app's next epoch.
+	for _, a := range s.apps {
+		if a.started {
+			rep := a.Profiler.EndEpoch()
+			a.ChargeStall(rep.OverheadCycles)
+		}
+	}
+
+	// Policy decisions and migrations.
+	s.policy.EndEpoch(s)
+
+	// Post-migration accounting.
+	var weighted [mem.NumTiers]float64
+	for _, a := range s.apps {
+		if !a.started {
+			continue
+		}
+		a.refreshCensus()
+		s.cfi.Observe(a.Index, float64(a.fastPages), a.FTHR())
+		prefix := a.Cfg.Name + "."
+		s.recorder.Record(prefix+"fast_pages", float64(a.fastPages))
+		s.recorder.Record(prefix+"fthr", a.FTHR())
+		s.recorder.Record(prefix+"ops", a.epochOps)
+		weighted[mem.TierFast] += a.epochFastSamples * a.sampleWeight
+		weighted[mem.TierSlow] += a.epochSlowSamples * a.sampleWeight
+	}
+	s.recorder.Record("fast_tier_used", float64(s.tiers.Fast().Used()))
+
+	// Bandwidth utilization for the next epoch's latency ramp: weighted
+	// accesses × one cache line over the epoch.
+	seconds := s.cfg.EpochLength.Seconds()
+	for t := mem.TierID(0); t < mem.NumTiers; t++ {
+		gbs := weighted[t] * 64 / seconds / 1e9
+		u := gbs / s.tiers.Tier(t).Config().BandwidthGBs
+		if u > 1 {
+			u = 1
+		}
+		s.bwUtil[t] = u
+	}
+
+	s.m.Clock.Advance(s.cfg.EpochLength)
+	s.epoch++
+}
+
+// Run advances the simulation for d of simulated time.
+func (s *System) Run(d sim.Duration) {
+	deadline := s.m.Now() + sim.Time(d)
+	for s.m.Now() < deadline {
+		s.RunEpoch()
+	}
+}
+
+// BandwidthUtil returns the previous epoch's per-tier bandwidth
+// utilization estimate.
+func (s *System) BandwidthUtil() [mem.NumTiers]float64 { return s.bwUtil }
+
+// mechanisms resolves the engine-level optimization set: the config
+// override wins, otherwise the policy's declaration applies.
+func (s *System) mechanisms() Mechanisms {
+	if s.cfg.MechanismOverride != nil {
+		return *s.cfg.MechanismOverride
+	}
+	return s.policy.Mechanisms()
+}
+
+// Mechanisms returns the optimization set in effect.
+func (s *System) Mechanisms() Mechanisms { return s.mechanisms() }

@@ -1,0 +1,325 @@
+package system
+
+import (
+	"sort"
+	"testing"
+
+	"vulcan/internal/machine"
+	"vulcan/internal/mem"
+	"vulcan/internal/migrate"
+	"vulcan/internal/pagetable"
+	"vulcan/internal/sim"
+	"vulcan/internal/workload"
+)
+
+// tinyMachine returns a small machine config so tests run in micro-scale.
+func tinyMachine(fastPages, slowPages int) machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 8
+	cfg.Tiers[mem.TierFast].CapacityPages = fastPages
+	cfg.Tiers[mem.TierSlow].CapacityPages = slowPages
+	return cfg
+}
+
+func tinyApp(name string, class workload.Class, pages int, startAt sim.Time) workload.AppConfig {
+	return workload.AppConfig{
+		Name:           name,
+		Class:          class,
+		Threads:        2,
+		RSSPages:       pages,
+		SharedFraction: 0.5,
+		ComputeNs:      100 * sim.Nanosecond,
+		StartAt:        startAt,
+		NewGen: func(p int, rng *sim.RNG) workload.Generator {
+			return workload.NewZipfian(p, 0.99, 0.1, 0.1, rng)
+		},
+	}
+}
+
+func TestSystemSingleAppBasics(t *testing.T) {
+	sys := New(Config{
+		Machine:     tinyMachine(256, 2048),
+		Apps:        []workload.AppConfig{tinyApp("a", workload.LC, 500, 0)},
+		EpochLength: 10 * sim.Millisecond,
+	})
+	sys.RunEpoch()
+	a := sys.App("a")
+	if a == nil || !a.Started() {
+		t.Fatal("app not admitted at epoch 0")
+	}
+	if a.RSSMapped() < 490 {
+		t.Fatalf("premap mapped only %d pages", a.RSSMapped())
+	}
+	// First-touch fills fast (256) then slow.
+	if a.FastPages() != 256 {
+		t.Fatalf("fast pages = %d, want 256 (first-touch)", a.FastPages())
+	}
+	if a.EpochOps() <= 0 {
+		t.Fatal("no operations completed")
+	}
+	if a.FTHR() <= 0 || a.FTHR() > 1 {
+		t.Fatalf("FTHR = %v", a.FTHR())
+	}
+	if sys.Epoch() != 1 {
+		t.Fatalf("epoch = %d", sys.Epoch())
+	}
+	if sys.Now() != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("clock = %v", sys.Now())
+	}
+}
+
+func TestSystemStaggeredAdmission(t *testing.T) {
+	sys := New(Config{
+		Machine: tinyMachine(256, 4096),
+		Apps: []workload.AppConfig{
+			tinyApp("early", workload.LC, 300, 0),
+			tinyApp("late", workload.BE, 300, sim.Time(25*sim.Millisecond)),
+		},
+		EpochLength: 10 * sim.Millisecond,
+	})
+	sys.RunEpoch()
+	if sys.App("late").Started() {
+		t.Fatal("late app admitted early")
+	}
+	if len(sys.StartedApps()) != 1 {
+		t.Fatalf("started = %d", len(sys.StartedApps()))
+	}
+	sys.RunEpoch() // t=10..20ms
+	sys.RunEpoch() // t=20..30ms: StartAt 25ms > 20ms? admission checks at epoch start
+	if sys.App("late").Started() {
+		t.Fatal("late app admitted before its start time")
+	}
+	sys.RunEpoch() // t=30ms >= 25ms
+	if !sys.App("late").Started() {
+		t.Fatal("late app never admitted")
+	}
+}
+
+func TestSystemDeterminism(t *testing.T) {
+	run := func() (float64, float64) {
+		sys := New(Config{
+			Machine:     tinyMachine(256, 2048),
+			Apps:        []workload.AppConfig{tinyApp("a", workload.LC, 500, 0)},
+			EpochLength: 10 * sim.Millisecond,
+			Seed:        42,
+		})
+		sys.Run(50 * sim.Millisecond)
+		a := sys.App("a")
+		return a.TotalOps(), a.FTHR()
+	}
+	ops1, fthr1 := run()
+	ops2, fthr2 := run()
+	if ops1 != ops2 || fthr1 != fthr2 {
+		t.Fatalf("same seed diverged: ops %v/%v fthr %v/%v", ops1, ops2, fthr1, fthr2)
+	}
+}
+
+func TestSystemSeedSensitivity(t *testing.T) {
+	run := func(seed uint64) float64 {
+		sys := New(Config{
+			Machine:     tinyMachine(256, 2048),
+			Apps:        []workload.AppConfig{tinyApp("a", workload.LC, 500, 0)},
+			EpochLength: 10 * sim.Millisecond,
+			Seed:        seed,
+		})
+		sys.Run(30 * sim.Millisecond)
+		return sys.App("a").TotalOps()
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds produced identical totals")
+	}
+}
+
+// promoteAll is a test policy that synchronously promotes the hottest
+// profiled pages each epoch.
+type promoteAll struct{ charged bool }
+
+func (promoteAll) Name() string             { return "promote-all" }
+func (promoteAll) Mechanisms() Mechanisms   { return Mechanisms{} }
+func (promoteAll) AppStarted(*System, *App) {}
+func (p *promoteAll) EndEpoch(sys *System) {
+	for _, a := range sys.StartedApps() {
+		hot := make(map[pagetable.VPage]bool)
+		var promote []migrate.Move
+		for _, ph := range a.Profiler.Snapshot() {
+			hot[ph.VP] = true
+			if pte, ok := a.Table.Lookup(ph.VP); ok && pte.Frame().Tier != mem.TierFast {
+				promote = append(promote, migrate.Move{VP: ph.VP, To: mem.TierFast})
+			}
+			if len(hot) >= 64 {
+				break
+			}
+		}
+		// Make room: demote the coldest non-hot fast pages.
+		type cold struct {
+			vp   pagetable.VPage
+			heat float64
+		}
+		var colds []cold
+		a.Table.Range(func(vp pagetable.VPage, pte pagetable.PTE) bool {
+			if pte.Frame().Tier == mem.TierFast && !hot[vp] {
+				colds = append(colds, cold{vp, a.Profiler.Heat(vp)})
+			}
+			return true
+		})
+		sort.Slice(colds, func(i, j int) bool { return colds[i].heat < colds[j].heat })
+		var demote []migrate.Move
+		for _, c := range colds {
+			if len(demote) >= len(promote) {
+				break
+			}
+			demote = append(demote, migrate.Move{VP: c.vp, To: mem.TierSlow})
+		}
+		res := a.Engine.MigrateSync(append(demote, promote...))
+		a.ChargeStall(res.Cycles())
+		p.charged = true
+	}
+}
+
+func TestSystemPolicyPromotionImprovesFTHR(t *testing.T) {
+	pol := &promoteAll{}
+	sys := New(Config{
+		Machine:     tinyMachine(128, 4096),
+		Apps:        []workload.AppConfig{tinyApp("a", workload.LC, 2000, 0)},
+		EpochLength: 10 * sim.Millisecond,
+		Policy:      pol,
+	})
+	sys.RunEpoch()
+	early := sys.App("a").FTHR()
+	sys.Run(200 * sim.Millisecond)
+	late := sys.App("a").FTHR()
+	if !pol.charged {
+		t.Fatal("policy never ran")
+	}
+	// Hot Zipf head moves to fast: hit ratio must improve beyond the
+	// first-touch baseline (128/2000 fast pages but hot head promoted).
+	if late <= early {
+		t.Fatalf("FTHR did not improve: %v -> %v", early, late)
+	}
+	// The optimal split of 128 fast pages across this workload's three
+	// Zipf heads yields ~0.6; the greedy top-64 policy should reach ~0.45+.
+	if late < 0.45 {
+		t.Fatalf("FTHR = %v after promotion of Zipf head, want > 0.45", late)
+	}
+}
+
+func TestSystemRecorderSeries(t *testing.T) {
+	sys := New(Config{
+		Machine:     tinyMachine(256, 2048),
+		Apps:        []workload.AppConfig{tinyApp("a", workload.LC, 500, 0)},
+		EpochLength: 10 * sim.Millisecond,
+	})
+	sys.Run(30 * sim.Millisecond)
+	for _, name := range []string{"a.fast_pages", "a.fthr", "a.ops", "fast_tier_used"} {
+		if sys.Recorder().Series(name).Len() != 3 {
+			t.Fatalf("series %s has %d points, want 3", name, sys.Recorder().Series(name).Len())
+		}
+	}
+}
+
+func TestSystemCFIAccumulates(t *testing.T) {
+	sys := New(Config{
+		Machine: tinyMachine(256, 4096),
+		Apps: []workload.AppConfig{
+			tinyApp("a", workload.LC, 400, 0),
+			tinyApp("b", workload.BE, 400, 0),
+		},
+		EpochLength: 10 * sim.Millisecond,
+	})
+	sys.Run(30 * sim.Millisecond)
+	idx := sys.CFI().Index()
+	if idx <= 0 || idx > 1 {
+		t.Fatalf("CFI = %v", idx)
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"no apps": {Machine: tinyMachine(16, 16)},
+		"too many threads": {
+			Machine: tinyMachine(16, 1024),
+			Apps: []workload.AppConfig{
+				{
+					Name: "x", Threads: 64, RSSPages: 10,
+					NewGen: func(p int, rng *sim.RNG) workload.Generator {
+						return workload.NewUniform(p, 0, 0, rng)
+					},
+				},
+			},
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestPartialPremapGrowsRSS(t *testing.T) {
+	cfg := tinyApp("a", workload.LC, 2000, 0)
+	cfg.PremapFraction = 0.25
+	sys := New(Config{
+		Machine:     tinyMachine(256, 4096),
+		Apps:        []workload.AppConfig{cfg},
+		EpochLength: 10 * sim.Millisecond,
+		Seed:        21,
+	})
+	sys.RunEpoch()
+	a := sys.App("a")
+	initial := a.RSSMapped()
+	if initial >= 1200 {
+		t.Fatalf("premap mapped %d pages, want ~quarter of 2000", initial)
+	}
+	for i := 0; i < 30; i++ {
+		sys.RunEpoch()
+	}
+	grown := a.RSSMapped()
+	if grown <= initial {
+		t.Fatalf("RSS did not grow: %d -> %d", initial, grown)
+	}
+	if rep := sys.Audit(); !rep.Ok() {
+		t.Fatalf("audit failed under growth: %v", rep.Errors)
+	}
+}
+
+func TestPremapFractionValidation(t *testing.T) {
+	cfg := tinyApp("a", workload.LC, 100, 0)
+	cfg.PremapFraction = 1.5
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid premap fraction did not panic")
+		}
+	}()
+	cfg.Validate()
+}
+
+func TestSystemStallReducesThroughput(t *testing.T) {
+	mk := func(stall bool) float64 {
+		sys := New(Config{
+			Machine:     tinyMachine(256, 2048),
+			Apps:        []workload.AppConfig{tinyApp("a", workload.LC, 500, 0)},
+			EpochLength: 10 * sim.Millisecond,
+			Seed:        9,
+		})
+		sys.RunEpoch()
+		a := sys.App("a")
+		if stall {
+			// Half the app's epoch time in migration stalls.
+			a.ChargeStall(sys.EpochCycles())
+		}
+		sys.RunEpoch()
+		return a.EpochOps()
+	}
+	free, stalled := mk(false), mk(true)
+	if stalled >= free {
+		t.Fatalf("stall did not reduce throughput: %v vs %v", stalled, free)
+	}
+	ratio := stalled / free
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Fatalf("stall ratio = %v, want ~0.5", ratio)
+	}
+}

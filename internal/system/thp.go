@@ -1,0 +1,76 @@
+package system
+
+import "vulcan/internal/pagetable"
+
+// HugeSet tracks which 2MiB-aligned groups of an application's address
+// space are currently mapped as transparent huge pages. Vulcan "enables
+// transparent huge pages to maximize TLB coverage by default, despite
+// proactively splitting them into base pages during promotion" (§3.5);
+// the same trade-off applies to the baselines running on a THP-enabled
+// kernel.
+//
+// The model keeps base-page PTEs as the source of truth and overlays
+// huge-ness per 512-page group: an access to a huge group occupies one
+// TLB entry for the whole group (2MiB reach), and migrating any page of
+// a huge group first splits it (a one-time cost, after which the group's
+// pages translate individually).
+type HugeSet struct {
+	groups map[uint64]bool
+	splits uint64
+}
+
+// hugeGroup returns vp's 2MiB group index.
+func hugeGroup(vp pagetable.VPage) uint64 { return uint64(vp) >> 9 }
+
+// hugeTLBTag returns the TLB tag for a huge mapping: group index offset
+// into a disjoint tag space so huge and base tags never collide.
+func hugeTLBTag(vp pagetable.VPage) pagetable.VPage {
+	return pagetable.VPage(hugeGroup(vp)) | pagetable.VPage(1)<<40
+}
+
+// NewHugeSet marks the first rssPages of an address space as huge, in
+// whole 512-page groups (the tail partial group stays base-mapped, as
+// the kernel would leave it).
+func NewHugeSet(rssPages int) *HugeSet {
+	h := &HugeSet{groups: make(map[uint64]bool)}
+	for g := uint64(0); g < uint64(rssPages)/pagetable.EntriesPerTable; g++ {
+		h.groups[g] = true
+	}
+	return h
+}
+
+// IsHuge reports whether vp is covered by a huge mapping.
+func (h *HugeSet) IsHuge(vp pagetable.VPage) bool {
+	return h != nil && h.groups[hugeGroup(vp)]
+}
+
+// Split breaks the huge mapping covering vp, reporting whether a split
+// actually happened (callers charge the split cost only then).
+func (h *HugeSet) Split(vp pagetable.VPage) bool {
+	if h == nil {
+		return false
+	}
+	g := hugeGroup(vp)
+	if !h.groups[g] {
+		return false
+	}
+	delete(h.groups, g)
+	h.splits++
+	return true
+}
+
+// HugeGroups returns the number of intact huge mappings.
+func (h *HugeSet) HugeGroups() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.groups)
+}
+
+// Splits returns the lifetime split count.
+func (h *HugeSet) Splits() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.splits
+}

@@ -1,0 +1,166 @@
+package system
+
+import (
+	"testing"
+
+	"vulcan/internal/migrate"
+	"vulcan/internal/pagetable"
+	"vulcan/internal/sim"
+	"vulcan/internal/workload"
+)
+
+func TestHugeSetGrouping(t *testing.T) {
+	h := NewHugeSet(1536) // exactly 3 groups
+	if h.HugeGroups() != 3 {
+		t.Fatalf("groups = %d, want 3", h.HugeGroups())
+	}
+	if !h.IsHuge(0) || !h.IsHuge(511) || !h.IsHuge(1535) {
+		t.Fatal("pages inside groups not huge")
+	}
+	if h.IsHuge(1536) {
+		t.Fatal("page beyond RSS huge")
+	}
+	// A partial tail group stays base-mapped.
+	h2 := NewHugeSet(1000) // 1 full group + 488 tail pages
+	if h2.HugeGroups() != 1 {
+		t.Fatalf("partial-tail groups = %d, want 1", h2.HugeGroups())
+	}
+	if h2.IsHuge(700) {
+		t.Fatal("tail page mapped huge")
+	}
+}
+
+func TestHugeSetSplit(t *testing.T) {
+	h := NewHugeSet(1024)
+	if !h.Split(5) {
+		t.Fatal("first split failed")
+	}
+	if h.Split(100) { // same group (0..511)
+		t.Fatal("second split of same group reported true")
+	}
+	if h.IsHuge(5) || h.IsHuge(100) {
+		t.Fatal("group still huge after split")
+	}
+	if !h.IsHuge(512) {
+		t.Fatal("neighbouring group lost huge-ness")
+	}
+	if h.Splits() != 1 {
+		t.Fatalf("splits = %d", h.Splits())
+	}
+}
+
+func TestHugeSetNilSafe(t *testing.T) {
+	var h *HugeSet
+	if h.IsHuge(0) || h.Split(0) || h.HugeGroups() != 0 || h.Splits() != 0 {
+		t.Fatal("nil HugeSet not inert")
+	}
+}
+
+func TestHugeTLBTagDisjoint(t *testing.T) {
+	// Huge tags must never collide with base-page numbers.
+	if hugeTLBTag(0) <= pagetable.MaxVPage {
+		t.Fatal("huge tag overlaps base vpage space")
+	}
+	if hugeTLBTag(0) == hugeTLBTag(512) {
+		t.Fatal("distinct groups share a tag")
+	}
+	if hugeTLBTag(0) != hugeTLBTag(511) {
+		t.Fatal("same group has distinct tags")
+	}
+}
+
+func TestTHPEnabledByDefault(t *testing.T) {
+	sys := New(Config{
+		Machine:     tinyMachine(256, 4096),
+		Apps:        []workload.AppConfig{tinyApp("a", workload.LC, 2000, 0)},
+		EpochLength: 10 * sim.Millisecond,
+	})
+	sys.RunEpoch()
+	a := sys.App("a")
+	if a.Huge() == nil {
+		t.Fatal("THP not enabled by default")
+	}
+	// 2000 premapped pages -> 3 full groups.
+	if got := a.Huge().HugeGroups(); got != 3 {
+		t.Fatalf("huge groups = %d, want 3", got)
+	}
+}
+
+func TestTHPDisable(t *testing.T) {
+	sys := New(Config{
+		Machine:     tinyMachine(256, 4096),
+		Apps:        []workload.AppConfig{tinyApp("a", workload.LC, 2000, 0)},
+		EpochLength: 10 * sim.Millisecond,
+		DisableTHP:  true,
+	})
+	sys.RunEpoch()
+	if sys.App("a").Huge() != nil {
+		t.Fatal("THP active despite DisableTHP")
+	}
+}
+
+func TestTHPImprovesTLBHitRate(t *testing.T) {
+	run := func(disable bool) float64 {
+		sys := New(Config{
+			Machine:     tinyMachine(256, 1<<15),
+			Apps:        []workload.AppConfig{tinyApp("a", workload.BE, 20000, 0)},
+			EpochLength: 10 * sim.Millisecond,
+			DisableTHP:  disable,
+			Seed:        3,
+		})
+		for i := 0; i < 5; i++ {
+			sys.RunEpoch()
+		}
+		hits, misses := uint64(0), uint64(0)
+		for _, tb := range sys.App("a").TLBs {
+			st := tb.Stats()
+			hits += st.Hits
+			misses += st.Misses
+		}
+		return float64(hits) / float64(hits+misses)
+	}
+	withTHP := run(false)
+	without := run(true)
+	if withTHP <= without {
+		t.Fatalf("THP did not improve TLB hit rate: %v vs %v", withTHP, without)
+	}
+}
+
+func TestTHPSplitOnMigration(t *testing.T) {
+	sys := New(Config{
+		Machine:     tinyMachine(1024, 4096),
+		Apps:        []workload.AppConfig{tinyApp("a", workload.LC, 2000, 0)},
+		EpochLength: 10 * sim.Millisecond,
+	})
+	sys.RunEpoch()
+	a := sys.App("a")
+	groupsBefore := a.Huge().HugeGroups()
+
+	// Demote one fast page from a huge group: its covering group must
+	// split and the cost must appear in the breakdown.
+	victim := pagetable.VPage(0) // premapped first-touch into fast
+	if p, _ := a.Table.Lookup(victim); p.Frame().Tier != 0 {
+		t.Fatal("setup: page 0 not in fast tier")
+	}
+	if !a.Huge().IsHuge(victim) {
+		t.Fatal("setup: page 0 not huge")
+	}
+	res := a.Engine.MigrateSync([]migrate.Move{{VP: victim, To: 1}})
+	if res.Moved != 1 {
+		t.Fatalf("migration failed: %+v", res)
+	}
+	if res.Breakdown.Split != sys.Cost().THPSplitCycles {
+		t.Fatalf("split cost = %v, want %v", res.Breakdown.Split, sys.Cost().THPSplitCycles)
+	}
+	if a.Huge().HugeGroups() != groupsBefore-1 {
+		t.Fatal("group did not split")
+	}
+	// Second migration in the same (now split) group: no second charge.
+	res2 := a.Engine.MigrateSync([]migrate.Move{{VP: victim + 1, To: 1}})
+	if res2.Moved != 1 {
+		t.Fatalf("second migration failed: %+v", res2)
+	}
+	if res2.Breakdown.Split != 0 {
+		t.Fatalf("already-split group charged again: %v", res2.Breakdown.Split)
+	}
+}

@@ -1,0 +1,109 @@
+// Package tlb models per-CPU translation lookaside buffers. The model is
+// a direct-mapped tag array — deliberately simple so that workload
+// simulation can evaluate millions of accesses cheaply — but it captures
+// the two properties the paper's mechanisms depend on: bounded reach
+// (misses force page walks whose cost the machine model charges) and
+// invalidation (shootdowns evict translations and the next access pays a
+// walk).
+package tlb
+
+import (
+	"fmt"
+
+	"vulcan/internal/pagetable"
+)
+
+// DefaultEntries approximates a modern L2 STLB (e.g. Ice Lake: 2048
+// 4KiB entries).
+const DefaultEntries = 2048
+
+// Stats are cumulative TLB counters.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64 // entries actually evicted by Invalidate
+	Flushes       uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 for an unused TLB.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// TLB is a single hardware translation cache (one per simulated CPU or
+// thread context).
+type TLB struct {
+	tags  []uint64 // vp+1; 0 means empty
+	mask  uint64
+	stats Stats
+}
+
+// New builds a TLB with at least the requested number of entries
+// (rounded up to a power of two).
+func New(entries int) *TLB {
+	if entries <= 0 {
+		panic(fmt.Sprintf("tlb: non-positive entry count %d", entries))
+	}
+	size := 1
+	for size < entries {
+		size <<= 1
+	}
+	return &TLB{tags: make([]uint64, size), mask: uint64(size - 1)}
+}
+
+func (t *TLB) slot(vp pagetable.VPage) uint64 {
+	// Fibonacci hashing spreads adjacent vpages across the array.
+	return (uint64(vp) * 0x9E3779B97F4A7C15 >> 32) & t.mask
+}
+
+// Access looks vp up, inserting it on miss, and reports whether it hit.
+func (t *TLB) Access(vp pagetable.VPage) bool {
+	s := t.slot(vp)
+	if t.tags[s] == uint64(vp)+1 {
+		t.stats.Hits++
+		return true
+	}
+	t.stats.Misses++
+	t.tags[s] = uint64(vp) + 1
+	return false
+}
+
+// Contains reports whether vp is currently cached, without perturbing
+// stats or contents.
+func (t *TLB) Contains(vp pagetable.VPage) bool {
+	return t.tags[t.slot(vp)] == uint64(vp)+1
+}
+
+// Invalidate removes vp's translation if present, reporting whether an
+// entry was evicted. This is the per-page invalidation a shootdown IPI
+// performs on its target CPU.
+func (t *TLB) Invalidate(vp pagetable.VPage) bool {
+	s := t.slot(vp)
+	if t.tags[s] == uint64(vp)+1 {
+		t.tags[s] = 0
+		t.stats.Invalidations++
+		return true
+	}
+	return false
+}
+
+// Flush empties the TLB (a full CR3 reload without PCID).
+func (t *TLB) Flush() {
+	for i := range t.tags {
+		t.tags[i] = 0
+	}
+	t.stats.Flushes++
+}
+
+// Entries returns the TLB capacity.
+func (t *TLB) Entries() int { return len(t.tags) }
+
+// Stats returns the cumulative counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the counters, keeping contents.
+func (t *TLB) ResetStats() { t.stats = Stats{} }

@@ -1,0 +1,125 @@
+package tlb
+
+import (
+	"testing"
+
+	"vulcan/internal/pagetable"
+)
+
+func TestMissThenHit(t *testing.T) {
+	tb := New(64)
+	vp := pagetable.VPage(42)
+	if tb.Access(vp) {
+		t.Fatal("cold access hit")
+	}
+	if !tb.Access(vp) {
+		t.Fatal("second access missed")
+	}
+	s := tb.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	tb := New(64)
+	vp := pagetable.VPage(7)
+	tb.Access(vp)
+	if !tb.Contains(vp) {
+		t.Fatal("entry missing after insert")
+	}
+	if !tb.Invalidate(vp) {
+		t.Fatal("invalidate of cached entry returned false")
+	}
+	if tb.Contains(vp) {
+		t.Fatal("entry survived invalidation")
+	}
+	if tb.Invalidate(vp) {
+		t.Fatal("double invalidate returned true")
+	}
+	if tb.Access(vp) {
+		t.Fatal("access after invalidation hit")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tb := New(64)
+	for vp := pagetable.VPage(0); vp < 32; vp++ {
+		tb.Access(vp)
+	}
+	tb.Flush()
+	for vp := pagetable.VPage(0); vp < 32; vp++ {
+		if tb.Contains(vp) {
+			t.Fatalf("vp %d survived flush", vp)
+		}
+	}
+	if tb.Stats().Flushes != 1 {
+		t.Fatal("flush not counted")
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	if got := New(100).Entries(); got != 128 {
+		t.Fatalf("Entries = %d, want 128", got)
+	}
+	if got := New(64).Entries(); got != 64 {
+		t.Fatalf("Entries = %d, want 64", got)
+	}
+}
+
+func TestConflictEviction(t *testing.T) {
+	// Fill far beyond capacity: the working set cannot all be resident.
+	tb := New(16)
+	for vp := pagetable.VPage(0); vp < 1024; vp++ {
+		tb.Access(vp)
+	}
+	resident := 0
+	for vp := pagetable.VPage(0); vp < 1024; vp++ {
+		if tb.Contains(vp) {
+			resident++
+		}
+	}
+	if resident > 16 {
+		t.Fatalf("%d residents in a 16-entry TLB", resident)
+	}
+}
+
+func TestHitRateSmallWorkingSet(t *testing.T) {
+	tb := New(DefaultEntries)
+	// 128-page working set revisited many times: hit rate must approach 1.
+	for round := 0; round < 100; round++ {
+		for vp := pagetable.VPage(0); vp < 128; vp++ {
+			tb.Access(vp)
+		}
+	}
+	if hr := tb.Stats().HitRate(); hr < 0.95 {
+		t.Fatalf("hit rate = %v for resident working set", hr)
+	}
+}
+
+func TestHitRateZeroOnFresh(t *testing.T) {
+	if New(8).Stats().HitRate() != 0 {
+		t.Fatal("fresh TLB hit rate nonzero")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	tb := New(8)
+	tb.Access(1)
+	tb.ResetStats()
+	if s := tb.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+	if !tb.Contains(1) {
+		t.Fatal("ResetStats dropped contents")
+	}
+}
+
+func TestNonPositiveEntriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

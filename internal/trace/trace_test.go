@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vulcan/internal/sim"
+	"vulcan/internal/workload"
+)
+
+func sampleTrace(t *testing.T, n int) *Trace {
+	t.Helper()
+	g := workload.NewKeyValue(1000, workload.KeyValueParams{}, sim.NewRNG(3))
+	return Capture(g, n)
+}
+
+func TestCaptureBasics(t *testing.T) {
+	tr := sampleTrace(t, 5000)
+	if tr.Len() != 5000 || tr.Pages() != 1000 {
+		t.Fatalf("len=%d pages=%d", tr.Len(), tr.Pages())
+	}
+	st := tr.Stats()
+	if st.Refs != 5000 {
+		t.Fatalf("stats refs = %d", st.Refs)
+	}
+	if st.WriteFrac < 0.07 || st.WriteFrac > 0.14 {
+		t.Fatalf("write frac = %v, want ~0.10 (YCSB-C SETs)", st.WriteFrac)
+	}
+	if st.UniquePages == 0 || st.UniquePages > 1000 {
+		t.Fatalf("unique pages = %d", st.UniquePages)
+	}
+	if st.MeanLLCHit < 0.4 || st.MeanLLCHit > 0.8 {
+		t.Fatalf("mean LLC hit = %v", st.MeanLLCHit)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace(t, 2000)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() || got.Pages() != tr.Pages() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			got.Len(), got.Pages(), tr.Len(), tr.Pages())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		a, b := tr.At(i), got.At(i)
+		if a.Page != b.Page || a.Write != b.Write {
+			t.Fatalf("ref %d: %+v vs %+v", i, a, b)
+		}
+		// LLC probability survives within quantization error.
+		if d := a.LLCHitProb - b.LLCHitProb; d > 0.005 || d < -0.005 {
+			t.Fatalf("ref %d LLC prob drifted: %v vs %v", i, a.LLCHitProb, b.LLCHitProb)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	check := func(pagesRaw uint16, picks []uint16, writeBits []bool) bool {
+		pages := int(pagesRaw%500) + 1
+		tr := New(pages)
+		for i, p := range picks {
+			w := i < len(writeBits) && writeBits[i]
+			tr.Append(workload.Ref{Page: int(p) % pages, Write: w, LLCHitProb: 0.5})
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != tr.Len() {
+			return false
+		}
+		for i := 0; i < tr.Len(); i++ {
+			if got.At(i).Page != tr.At(i).Page || got.At(i).Write != tr.At(i).Write {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOPE\x01"),
+		"bad version": {'V', 'T', 'R', 'C', 99},
+		"truncated":   {'V', 'T', 'R', 'C', 1, 10},
+	}
+	for name, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: Read accepted garbage", name)
+		}
+	}
+}
+
+func TestReadRejectsOutOfRangePages(t *testing.T) {
+	// Hand-craft a trace whose delta walks outside the region.
+	tr := New(10)
+	tr.refs = append(tr.refs, workload.Ref{Page: 5})
+	var buf bytes.Buffer
+	tr.WriteTo(&buf)
+	// Corrupt: bump the stored region size down by rewriting the header
+	// is fiddly; instead append a ref beyond range via a second trace
+	// with a larger region and splice its body onto a smaller header.
+	big := New(100)
+	big.Append(workload.Ref{Page: 50})
+	var bigBuf bytes.Buffer
+	big.WriteTo(&bigBuf)
+	raw := bigBuf.Bytes()
+	// Region varint (100) is at offset 5; patch it to 10 (single byte in
+	// both cases).
+	raw[5] = 10
+	if _, err := Read(bytes.NewReader(raw)); err == nil ||
+		!strings.Contains(err.Error(), "outside region") {
+		t.Fatalf("out-of-range page not rejected: %v", err)
+	}
+}
+
+func TestReplayerLoops(t *testing.T) {
+	tr := New(10)
+	for i := 0; i < 4; i++ {
+		tr.Append(workload.Ref{Page: i})
+	}
+	r := NewReplayer(tr)
+	if r.Name() != "trace-replay" || r.Pages() != 10 {
+		t.Fatal("replayer identity wrong")
+	}
+	var got []int
+	for i := 0; i < 10; i++ {
+		got = append(got, r.Next().Page)
+	}
+	want := []int{0, 1, 2, 3, 0, 1, 2, 3, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replay order %v, want %v", got, want)
+		}
+	}
+	if r.Loops() != 2 {
+		t.Fatalf("loops = %d, want 2", r.Loops())
+	}
+}
+
+func TestReplayerAsAppGenerator(t *testing.T) {
+	// A captured trace must be usable as an AppConfig generator.
+	tr := sampleTrace(t, 10000)
+	cfg := workload.AppConfig{
+		Name: "replay", Class: workload.LC, Threads: 2, RSSPages: 1000,
+		SharedFraction: 1.0, ComputeNs: 100,
+		NewGen: func(pages int, rng *sim.RNG) workload.Generator {
+			return NewReplayer(tr)
+		},
+	}
+	cfg.Validate()
+	threads := workload.BuildThreads(cfg, sim.NewRNG(1))
+	for _, th := range threads {
+		for i := 0; i < 100; i++ {
+			if p := th.Next().Page; p < 0 || p >= 1000 {
+				t.Fatalf("replayed page %d out of range", p)
+			}
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero region":  func() { New(0) },
+		"range append": func() { New(5).Append(workload.Ref{Page: 7}) },
+		"empty replay": func() { NewReplayer(New(5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLLCQuantizationClamps(t *testing.T) {
+	tr := New(4)
+	tr.Append(workload.Ref{Page: 0, LLCHitProb: -0.5})
+	tr.Append(workload.Ref{Page: 1, LLCHitProb: 1.5})
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0).LLCHitProb != 0 {
+		t.Fatalf("negative prob clamped to %v", got.At(0).LLCHitProb)
+	}
+	if got.At(1).LLCHitProb != 1 {
+		t.Fatalf("over-unity prob clamped to %v", got.At(1).LLCHitProb)
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// Sequential traces should compress to ~2 bytes/ref (delta 1 + flag).
+	g := workload.NewScan(100000, 0, 0, sim.NewRNG(1))
+	tr := Capture(g, 50000)
+	var buf bytes.Buffer
+	tr.WriteTo(&buf)
+	perRef := float64(buf.Len()) / 50000
+	if perRef > 2.5 {
+		t.Fatalf("sequential trace uses %.2f bytes/ref, want ~2", perRef)
+	}
+}

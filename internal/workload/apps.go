@@ -1,0 +1,284 @@
+package workload
+
+import "vulcan/internal/sim"
+
+// KeyValue models a Memcached-style in-memory store under YCSB-C-like
+// load: a small hot key set absorbs most requests (paper §5.3: "a hot key
+// set accessed 90% of the time"), GET/SET mix defaults to 90/10, and the
+// hot set is substantially cache-friendly — which is exactly why
+// miss-based profilers underestimate its heat.
+type KeyValue struct {
+	pages    int
+	hotPages int
+	hotProb  float64
+	setFrac  float64
+	hotHit   float64
+	coldHit  float64
+	rng      *sim.RNG
+}
+
+// KeyValueParams tunes a KeyValue generator; zero values select the
+// paper's defaults.
+type KeyValueParams struct {
+	HotFraction float64 // of pages in the hot set (default 0.10)
+	HotProb     float64 // of accesses hitting the hot set (default 0.90)
+	SetFraction float64 // writes (default 0.10: 90% GETs / 10% SETs)
+	HotLLCHit   float64 // default 0.70
+	ColdLLCHit  float64 // default 0.05
+}
+
+func (p *KeyValueParams) defaults() {
+	if p.HotFraction == 0 {
+		p.HotFraction = 0.10
+	}
+	if p.HotProb == 0 {
+		p.HotProb = 0.90
+	}
+	if p.SetFraction == 0 {
+		p.SetFraction = 0.10
+	}
+	if p.HotLLCHit == 0 {
+		p.HotLLCHit = 0.70
+	}
+	if p.ColdLLCHit == 0 {
+		p.ColdLLCHit = 0.05
+	}
+}
+
+// NewKeyValue builds the generator over pages pages.
+func NewKeyValue(pages int, params KeyValueParams, rng *sim.RNG) *KeyValue {
+	checkRegion(pages, 0)
+	params.defaults()
+	hot := int(float64(pages) * params.HotFraction)
+	if hot < 1 {
+		hot = 1
+	}
+	return &KeyValue{
+		pages:    pages,
+		hotPages: hot,
+		hotProb:  params.HotProb,
+		setFrac:  params.SetFraction,
+		hotHit:   params.HotLLCHit,
+		coldHit:  params.ColdLLCHit,
+		rng:      rng,
+	}
+}
+
+// Name implements Generator.
+func (k *KeyValue) Name() string { return "keyvalue" }
+
+// Pages implements Generator.
+func (k *KeyValue) Pages() int { return k.pages }
+
+// HotPages returns the size of the hot key region.
+func (k *KeyValue) HotPages() int { return k.hotPages }
+
+// Next implements Generator.
+func (k *KeyValue) Next() Ref {
+	write := k.rng.Bool(k.setFrac)
+	if k.rng.Bool(k.hotProb) {
+		// Hot keys are roughly equally popular: every hot page matters,
+		// so losing part of the hot set to the slow tier hurts
+		// proportionally (the cold-page dilemma's victim profile).
+		return Ref{Page: k.rng.Intn(k.hotPages), Write: write, LLCHitProb: k.hotHit}
+	}
+	cold := k.hotPages + k.rng.Intn(k.pages-k.hotPages)
+	return Ref{Page: cold, Write: write, LLCHitProb: k.coldHit}
+}
+
+// GraphWalk models PageRank-style graph processing: streaming reads of
+// edge lists mixed with power-law random access to vertex state, with
+// rank updates writing the vertex region (paper: "memory- and
+// compute-intensive graph algorithm execution", "intensive irregular
+// random access").
+type GraphWalk struct {
+	pages       int
+	vertexPages int
+	vertexProb  float64
+	vertexWrite float64
+	vertexZipf  *sim.Zipf
+	edgeCursor  int
+	rng         *sim.RNG
+}
+
+// NewGraphWalk builds the generator: the first 20% of pages hold vertex
+// state (rank arrays), the rest hold edge lists.
+func NewGraphWalk(pages int, rng *sim.RNG) *GraphWalk {
+	checkRegion(pages, 0)
+	v := pages / 5
+	if v < 1 {
+		v = 1
+	}
+	return &GraphWalk{
+		pages:       pages,
+		vertexPages: v,
+		vertexProb:  0.45,
+		vertexWrite: 0.30,
+		vertexZipf:  sim.NewZipf(rng, v, 0.75),
+		rng:         rng,
+	}
+}
+
+// Name implements Generator.
+func (g *GraphWalk) Name() string { return "graphwalk" }
+
+// Pages implements Generator.
+func (g *GraphWalk) Pages() int { return g.pages }
+
+// VertexPages returns the size of the vertex-state region.
+func (g *GraphWalk) VertexPages() int { return g.vertexPages }
+
+// Next implements Generator.
+func (g *GraphWalk) Next() Ref {
+	if g.rng.Bool(g.vertexProb) {
+		// Vertex access: power-law popularity (high in-degree vertices),
+		// moderately cache-resident.
+		return Ref{
+			Page:       g.vertexZipf.Next(),
+			Write:      g.rng.Bool(g.vertexWrite),
+			LLCHitProb: 0.45,
+		}
+	}
+	// Edge-list streaming: sequential, read-only, cache-hostile.
+	p := g.vertexPages + g.edgeCursor
+	g.edgeCursor++
+	if g.vertexPages+g.edgeCursor >= g.pages {
+		g.edgeCursor = 0
+	}
+	return Ref{Page: p, Write: false, LLCHitProb: 0.05}
+}
+
+// MLTrain models Liblinear-style linear classification over a large
+// dataset (KDD12) using dual coordinate descent with shrinking: frequent
+// writes to a small cache-hot weight vector, repeated random access to an
+// "active set" of examples that survives shrinking, and high-intensity
+// sequential passes over the full training data. The streaming majority
+// makes its footprint look persistently hot to miss-based profilers —
+// the fast-tier monopolizer of Figure 1 — while the active set gives the
+// workload genuine tiering upside.
+type MLTrain struct {
+	pages       int
+	weightPages int
+	activePages int
+	dataCursor  int
+	rng         *sim.RNG
+}
+
+// NewMLTrain builds the generator: ~3% of pages are the model (weights),
+// the next ~20% the active set, the rest streamed training data.
+func NewMLTrain(pages int, rng *sim.RNG) *MLTrain {
+	checkRegion(pages, 0)
+	w := pages / 32
+	if w < 1 {
+		w = 1
+	}
+	active := pages / 5
+	if w+active >= pages {
+		active = (pages - w) / 2
+	}
+	if active < 1 {
+		active = 1
+	}
+	return &MLTrain{
+		pages:       pages,
+		weightPages: w,
+		activePages: active,
+		rng:         rng,
+	}
+}
+
+// Name implements Generator.
+func (m *MLTrain) Name() string { return "mltrain" }
+
+// Pages implements Generator.
+func (m *MLTrain) Pages() int { return m.pages }
+
+// WeightPages returns the size of the model region.
+func (m *MLTrain) WeightPages() int { return m.weightPages }
+
+// ActivePages returns the size of the shrinking active set.
+func (m *MLTrain) ActivePages() int { return m.activePages }
+
+// Next implements Generator.
+func (m *MLTrain) Next() Ref {
+	r := m.rng.Float64()
+	switch {
+	case r < 0.10:
+		// Model updates: cache-resident, write-heavy.
+		return Ref{
+			Page:       m.rng.Intn(m.weightPages),
+			Write:      m.rng.Bool(0.5),
+			LLCHitProb: 0.90,
+		}
+	case r < 0.40:
+		// Active-set revisits: random, too large for the LLC, rewarding
+		// fast-tier placement.
+		return Ref{
+			Page:       m.weightPages + m.rng.Intn(m.activePages),
+			Write:      false,
+			LLCHitProb: 0.05,
+		}
+	default:
+		// Full-dataset streaming pass.
+		base := m.weightPages + m.activePages
+		p := base + m.dataCursor
+		m.dataCursor++
+		if base+m.dataCursor >= m.pages {
+			m.dataCursor = 0
+		}
+		return Ref{Page: p, Write: false, LLCHitProb: 0.02}
+	}
+}
+
+// NomadMicro reproduces the microbenchmark Nomad (and §5.2) uses to
+// stress tiering: data is allocated across tiers, a working set of
+// wssPages inside the rssPages region is accessed with a Zipfian
+// distribution, and the read/write mix is configurable.
+type NomadMicro struct {
+	rssPages  int
+	wssPages  int
+	writeFrac float64
+	wssZipf   *sim.Zipf
+	rng       *sim.RNG
+}
+
+// NewNomadMicro builds the generator. wssPages must not exceed rssPages.
+func NewNomadMicro(rssPages, wssPages int, writeFrac float64, rng *sim.RNG) *NomadMicro {
+	checkRegion(rssPages, writeFrac)
+	if wssPages <= 0 || wssPages > rssPages {
+		panic("workload: WSS must be in (0, RSS]")
+	}
+	return &NomadMicro{
+		rssPages:  rssPages,
+		wssPages:  wssPages,
+		writeFrac: writeFrac,
+		wssZipf:   sim.NewZipf(rng, wssPages, 0.99),
+		rng:       rng,
+	}
+}
+
+// Name implements Generator.
+func (n *NomadMicro) Name() string { return "nomad-micro" }
+
+// Pages implements Generator.
+func (n *NomadMicro) Pages() int { return n.rssPages }
+
+// WSSPages returns the working-set size.
+func (n *NomadMicro) WSSPages() int { return n.wssPages }
+
+// Next implements Generator.
+func (n *NomadMicro) Next() Ref {
+	// 98% of accesses hit the working set, Zipf-distributed.
+	if n.rng.Bool(0.98) {
+		return Ref{
+			Page:       n.wssZipf.Next(),
+			Write:      n.rng.Bool(n.writeFrac),
+			LLCHitProb: 0.15,
+		}
+	}
+	return Ref{
+		Page:       n.rng.Intn(n.rssPages),
+		Write:      n.rng.Bool(n.writeFrac),
+		LLCHitProb: 0.02,
+	}
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"vulcan/internal/sim"
+)
+
+func TestWebServerRegions(t *testing.T) {
+	g := NewWebServer(2000, sim.NewRNG(1))
+	if g.SessionPages() != 100 {
+		t.Fatalf("session pages = %d, want 100", g.SessionPages())
+	}
+	session, cache, content := 0, 0, 0
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		switch {
+		case r.Page < 100:
+			session++
+		case r.Page < 400:
+			cache++
+		default:
+			content++
+			if r.Write {
+				t.Fatal("write to read-only content store")
+			}
+		}
+	}
+	if f := float64(session) / n; math.Abs(f-0.45) > 0.02 {
+		t.Fatalf("session fraction = %v, want ~0.45", f)
+	}
+	if f := float64(cache) / n; math.Abs(f-0.35) > 0.02 {
+		t.Fatalf("cache fraction = %v, want ~0.35", f)
+	}
+	if f := float64(content) / n; math.Abs(f-0.20) > 0.02 {
+		t.Fatalf("content fraction = %v, want ~0.20", f)
+	}
+}
+
+func TestWebServerSessionSkew(t *testing.T) {
+	g := NewWebServer(2000, sim.NewRNG(2))
+	counts := make(map[int]int)
+	for i := 0; i < 50_000; i++ {
+		if r := g.Next(); r.Page < g.SessionPages() {
+			counts[r.Page]++
+		}
+	}
+	if counts[0] < 20*counts[90] && counts[90] > 0 {
+		t.Fatalf("session popularity not skewed: head=%d tail=%d", counts[0], counts[90])
+	}
+}
+
+func TestWebServerTinyRegion(t *testing.T) {
+	g := NewWebServer(5, sim.NewRNG(3))
+	for i := 0; i < 200; i++ {
+		if p := g.Next().Page; p < 0 || p >= 5 {
+			t.Fatalf("page %d out of range", p)
+		}
+	}
+}
+
+func TestHashJoinPhases(t *testing.T) {
+	g := NewHashJoin(1000, 500, sim.NewRNG(4))
+	if g.HashPages() != 200 {
+		t.Fatalf("hash pages = %d, want 200", g.HashPages())
+	}
+	if !g.InBuildPhase() {
+		t.Fatal("join must start in build phase")
+	}
+	// During build: hash-table accesses are writes, streaming hits the
+	// build relation (pages 200..399).
+	for i := 0; i < 500; i++ {
+		r := g.Next()
+		if r.Page < 200 {
+			if !r.Write {
+				t.Fatal("build-phase hash access not a write")
+			}
+		} else if r.Page >= 400 {
+			t.Fatalf("build phase touched probe relation page %d", r.Page)
+		}
+	}
+	if g.InBuildPhase() {
+		t.Fatal("phase did not flip after phaseLength refs")
+	}
+	// During probe: hash accesses are reads, streaming hits pages 400+.
+	for i := 0; i < 500; i++ {
+		r := g.Next()
+		if r.Page < 200 {
+			if r.Write {
+				t.Fatal("probe-phase hash access is a write")
+			}
+		} else if r.Page < 400 {
+			t.Fatalf("probe phase touched build relation page %d", r.Page)
+		}
+	}
+	if !g.InBuildPhase() {
+		t.Fatal("phase did not flip back")
+	}
+}
+
+func TestHashJoinWriteIntensityFlips(t *testing.T) {
+	// The hash region's write intensity must flip between phases — the
+	// signal Vulcan's biased queues react to (Table 1 classification).
+	g := NewHashJoin(1000, 2000, sim.NewRNG(5))
+	countWrites := func(n int) (hashWrites, hashRefs int) {
+		for i := 0; i < n; i++ {
+			r := g.Next()
+			if r.Page < g.HashPages() {
+				hashRefs++
+				if r.Write {
+					hashWrites++
+				}
+			}
+		}
+		return
+	}
+	w1, r1 := countWrites(2000) // build
+	w2, r2 := countWrites(2000) // probe
+	if r1 == 0 || r2 == 0 {
+		t.Fatal("no hash refs sampled")
+	}
+	if w1 != r1 {
+		t.Fatalf("build-phase hash writes %d/%d, want all", w1, r1)
+	}
+	if w2 != 0 {
+		t.Fatalf("probe-phase hash writes %d, want none", w2)
+	}
+}
+
+func TestHashJoinValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero phase length did not panic")
+		}
+	}()
+	NewHashJoin(100, 0, sim.NewRNG(1))
+}
+
+func TestExtraGeneratorIdentity(t *testing.T) {
+	rng := sim.NewRNG(1)
+	if NewWebServer(100, rng).Name() != "webserver" {
+		t.Fatal("webserver name")
+	}
+	if NewHashJoin(100, 10, rng).Name() != "hashjoin" {
+		t.Fatal("hashjoin name")
+	}
+}
