@@ -1,0 +1,35 @@
+# Local and CI invocations are identical: .github/workflows/ci.yml runs
+# exactly these targets.
+
+GO ?= go
+
+.PHONY: check build fmt vet lint test race
+
+# check is the full gate, in fail-fast order: cheap static checks first,
+# then the test suites.
+check: build fmt vet lint test race
+
+build:
+	$(GO) build ./...
+
+# fmt fails (listing the offenders) when any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# lint runs vulcanvet, the repo's own determinism/accounting analyzers
+# (see internal/analysis). `make lint A=./internal/policy` narrows scope.
+A ?= ./...
+lint:
+	$(GO) run ./cmd/vulcanvet $(A)
+
+test:
+	$(GO) test ./...
+
+# race proves the simulation core stays goroutine-free or correctly
+# synchronized.
+race:
+	$(GO) test -race ./...

@@ -1,0 +1,66 @@
+// Command vulcanvet is the multichecker for the repository's
+// determinism and accounting invariants. It loads the module's packages
+// offline (standard-library importer only), runs every analyzer in
+// internal/analysis, and prints findings in file:line:col order.
+//
+// Usage:
+//
+//	go run ./cmd/vulcanvet ./...
+//	go run ./cmd/vulcanvet -list
+//	go run ./cmd/vulcanvet ./internal/policy ./internal/core
+//
+// A finding can be suppressed where it is a deliberate exception with a
+// trailing "//vulcanvet:ok <analyzer>" comment on the same or preceding
+// line. Exit status: 0 clean, 1 findings, 2 load or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vulcan/internal/analysis"
+	"vulcan/internal/analysis/driver"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vulcanvet [-list] package-pattern...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	root, err := driver.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vulcanvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := driver.Load(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vulcanvet:", err)
+		os.Exit(2)
+	}
+	findings := driver.Run(pkgs, suite)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "vulcanvet: %d finding(s) in %d package(s)\n",
+			len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,142 @@
+// Package analysis implements vulcanvet, a static-analysis suite that
+// mechanically enforces the repository's determinism contract (DESIGN.md
+// "Determinism contract"): given a scenario seed, every simulation run
+// must replay byte-identically, so Vulcan-vs-baseline deltas are policy
+// decisions rather than noise.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer / Pass / Diagnostic) so analyzers could be ported to the
+// upstream multichecker verbatim, but it is self-contained: the driver
+// in internal/analysis/driver type-checks the module offline with the
+// standard library's source importer, so the suite builds with no
+// third-party dependencies.
+//
+// Shipped analyzers:
+//
+//   - determinism: forbids wall-clock time, global math/rand, and
+//     environment reads inside simulation packages (use sim.Clock and
+//     forked sim.RNG streams).
+//   - maporder: flags map iteration whose body has order-dependent
+//     effects (slice appends, queue Enqueues, floating-point
+//     accumulation) without a subsequent deterministic sort.
+//   - ptebits: confines raw manipulation of the stolen PTE owner bits
+//     52–58 to internal/pagetable/pte.go's named accessors.
+//   - floateq: forbids exact ==/!= between computed floating-point
+//     values (cycle and budget math), pointing at sim.ApproxEq.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker. The shape follows
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//vulcanvet:ok <name>" suppression comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Applies filters package import paths; a nil Applies means the
+	// analyzer runs on every package the driver loads. Test fixtures
+	// bypass this filter and always run the analyzer.
+	Applies func(pkgPath string) bool
+	// Run reports diagnostics for one type-checked package via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, positioned inside pass.Fset.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report receives each diagnostic as it is found.
+	Report func(Diagnostic)
+}
+
+// Reportf records a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Preorder walks every file's AST in depth-first order, calling fn for
+// each node; returning false from fn prunes the subtree.
+func (p *Pass) Preorder(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// Filename returns the base file name containing pos ("" if unknown).
+func (p *Pass) Filename(pos token.Pos) string {
+	if f := p.Fset.File(pos); f != nil {
+		return f.Name()
+	}
+	return ""
+}
+
+// TypeOf returns the static type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.TypesInfo.Types[e]; ok {
+		return t.Type
+	}
+	return nil
+}
+
+// ConstValue returns the compile-time constant value of e, or nil when e
+// is not constant.
+func (p *Pass) ConstValue(e ast.Expr) interface{} {
+	if t, ok := p.TypesInfo.Types[e]; ok && t.Value != nil {
+		return t.Value
+	}
+	return nil
+}
+
+// PkgNameOf resolves a selector's qualifier to an imported package path:
+// for an expression like rand.Intn, PkgNameOf(sel) returns "math/rand".
+// It returns "" when the qualifier is not a package name (for example a
+// variable with a method of the same name).
+func (p *Pass) PkgNameOf(sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	obj := p.TypesInfo.Uses[id]
+	pn, ok := obj.(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// IsFloat reports whether t's underlying type is a floating-point basic
+// type.
+func IsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// IsInteger reports whether t's underlying type is an integer basic
+// type (signed or unsigned, including untyped int constants).
+func IsInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,66 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"vulcan/internal/analysis"
+	"vulcan/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism, "determinism")
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "maporder")
+}
+
+func TestPTEBits(t *testing.T) {
+	analysistest.Run(t, analysis.PTEBits, "ptebits")
+}
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, analysis.FloatEq, "floateq")
+}
+
+func TestSuiteComplete(t *testing.T) {
+	suite := analysis.Suite()
+	if len(suite) < 4 {
+		t.Fatalf("suite has %d analyzers, want >= 4", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, a := range suite {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range []string{"determinism", "maporder", "ptebits", "floateq"} {
+		if !seen[name] {
+			t.Errorf("suite missing analyzer %q", name)
+		}
+	}
+}
+
+// TestDeterminismScope pins the package filter: the contract covers the
+// simulation tree, not cmd/ or examples/.
+func TestDeterminismScope(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		want bool
+	}{
+		{"vulcan/internal/sim", true},
+		{"vulcan/internal/figures", true},
+		{"vulcan/internal/policy", true},
+		{"vulcan/cmd/vulcansim", false},
+		{"vulcan/examples/quickstart", false},
+		{"vulcan", false},
+	} {
+		if got := analysis.Determinism.Applies(tc.path); got != tc.want {
+			t.Errorf("Determinism.Applies(%q) = %t, want %t", tc.path, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+// Package driver loads and type-checks this module's packages without
+// any dependency outside the standard library, then runs vulcanvet
+// analyzers over them. Module-local imports are resolved recursively
+// from source; standard-library imports go through go/importer's source
+// importer, so the whole pipeline works offline.
+package driver
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vulcan/internal/analysis"
+)
+
+// Package is one parsed, type-checked module package.
+type Package struct {
+	// Path is the import path (module path + directory).
+	Path string
+	// Dir is the absolute directory holding the sources.
+	Dir string
+	// Fset positions every file of every package in this load.
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Finding is one diagnostic, resolved to a file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// ModuleRoot walks up from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("driver: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load parses and type-checks the module packages under root matched by
+// patterns ("./...", "./internal/...", "./cmd/vulcanvet"). Only non-test
+// files are loaded: the determinism contract governs shipped simulation
+// code, and fixtures under testdata/ are skipped entirely.
+func Load(root string, patterns []string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expand(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(root, modPath)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		p, err := l.load(importPathFor(root, modPath, dir))
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// Run applies every analyzer to every package it covers and returns the
+// unsuppressed findings in file/position order.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup := suppressions(pkg)
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			a := a
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.allows(a.Name, pos) {
+					return
+				}
+				out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				pos := token.Position{Filename: pkg.Dir}
+				out = append(out, Finding{Analyzer: a.Name, Pos: pos,
+					Message: "analyzer error: " + err.Error()})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// suppressed records "//vulcanvet:ok <analyzer>" escape hatches: a
+// diagnostic is dropped when such a comment sits on the same line or the
+// line directly above it.
+type suppressed map[string]map[int]map[string]bool
+
+func (s suppressed) allows(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if names := lines[line]; names[analyzer] || names["all"] {
+			return true
+		}
+	}
+	return false
+}
+
+func suppressions(pkg *Package) suppressed {
+	s := suppressed{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "vulcanvet:ok") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "vulcanvet:ok"))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if s[pos.Filename] == nil {
+					s[pos.Filename] = map[int]map[string]bool{}
+				}
+				if s[pos.Filename][pos.Line] == nil {
+					s[pos.Filename][pos.Line] = map[string]bool{}
+				}
+				s[pos.Filename][pos.Line][fields[0]] = true
+			}
+		}
+	}
+	return s
+}
+
+// modulePath reads the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	f, err := os.Open(gomod)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("driver: no module directive in %s", gomod)
+}
+
+// expand resolves package patterns to package directories.
+func expand(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		}
+		if pat == "" || pat == "." || pat == "./" {
+			pat = "."
+		}
+		base := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !recursive {
+			if !hasGoFiles(base) {
+				return nil, fmt.Errorf("driver: no Go files in %s", base)
+			}
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if isSourceFile(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+}
+
+func importPathFor(root, modPath, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}
+
+// loader type-checks module packages from source, memoizing results and
+// delegating standard-library imports to the offline source importer.
+type loader struct {
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	root    string
+	modPath string
+	pkgs    map[string]*loadResult
+}
+
+type loadResult struct {
+	pkg     *Package
+	err     error
+	loading bool
+}
+
+func newLoader(root, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		root:    root,
+		modPath: modPath,
+		pkgs:    map[string]*loadResult{},
+	}
+}
+
+// Import implements types.Importer for the type-checker's resolution of
+// this module's own import paths.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("driver: no Go files in package %s", path)
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// load parses and type-checks one module package (nil when the directory
+// holds no non-test Go files).
+func (l *loader) load(path string) (*Package, error) {
+	if r, ok := l.pkgs[path]; ok {
+		if r.loading {
+			return nil, fmt.Errorf("driver: import cycle through %s", path)
+		}
+		return r.pkg, r.err
+	}
+	r := &loadResult{loading: true}
+	l.pkgs[path] = r
+	r.pkg, r.err = l.loadUncached(path)
+	r.loading = false
+	return r.pkg, r.err
+}
+
+func (l *loader) loadUncached(path string) (*Package, error) {
+	dir := l.root
+	if rel := strings.TrimPrefix(path, l.modPath); rel != "" {
+		dir = filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("driver: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if !isSourceFile(e) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	cfg := types.Config{Importer: l}
+	tpkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("driver: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,108 @@
+package driver_test
+
+import (
+	"strings"
+	"testing"
+
+	"vulcan/internal/analysis"
+	"vulcan/internal/analysis/driver"
+)
+
+// TestRepoIsVetClean is the enforcement point: the whole module must
+// pass every vulcanvet analyzer. A failure here means a change
+// reintroduced a determinism or accounting hazard — fix the code (or,
+// for a deliberate exception, add a "//vulcanvet:ok <analyzer>" comment
+// with a justification).
+func TestRepoIsVetClean(t *testing.T) {
+	root, err := driver.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := driver.Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(pkgs))
+	}
+	for _, f := range driver.Run(pkgs, analysis.Suite()) {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestLoadTypesPackages spot-checks that the offline loader produces
+// real type information for module-local and stdlib imports alike.
+func TestLoadTypesPackages(t *testing.T) {
+	root, err := driver.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := driver.Load(root, []string{"./internal/policy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "vulcan/internal/policy" {
+		t.Errorf("path = %q", p.Path)
+	}
+	if p.Types == nil || !p.Types.Complete() {
+		t.Error("package not fully type-checked")
+	}
+	if len(p.Info.Uses) == 0 || len(p.Info.Types) == 0 {
+		t.Error("type info empty")
+	}
+	found := false
+	for _, imp := range p.Types.Imports() {
+		if imp.Path() == "vulcan/internal/system" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("module-local import vulcan/internal/system not resolved")
+	}
+}
+
+// TestSuppressionEscapeHatch proves the //vulcanvet:ok mechanism: the
+// raw floateq analyzer must flag the deliberate exact compare inside
+// sim.ApproxEqEps, and the driver must drop that finding because of the
+// annotation.
+func TestSuppressionEscapeHatch(t *testing.T) {
+	root, err := driver.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := driver.Load(root, []string{"./internal/sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+
+	raw := 0
+	pass := &analysis.Pass{
+		Analyzer:  analysis.FloatEq,
+		Fset:      p.Fset,
+		Files:     p.Files,
+		Pkg:       p.Types,
+		TypesInfo: p.Info,
+		Report: func(d analysis.Diagnostic) {
+			if strings.HasSuffix(p.Fset.Position(d.Pos).Filename, "float.go") {
+				raw++
+			}
+		},
+	}
+	if err := analysis.FloatEq.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	if raw == 0 {
+		t.Error("raw floateq run found nothing in sim/float.go; suppression test is vacuous")
+	}
+	if fs := driver.Run(pkgs, []*analysis.Analyzer{analysis.FloatEq}); len(fs) != 0 {
+		t.Errorf("driver did not honor //vulcanvet:ok: %v", fs)
+	}
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq forbids exact ==/!= between two computed floating-point
+// values. Cycle and budget totals are sums of float work terms, and the
+// associativity of float addition depends on evaluation order — so an
+// exact comparison that happens to hold today diverges after a harmless
+// refactor reorders the sum. Use sim.ApproxEq (epsilon compare) or
+// restructure comparators as </> chains.
+//
+// Comparing against a compile-time constant (x == 0, decay != 1.0) is
+// allowed: sentinel and default checks test for an exactly-representable
+// value that was assigned, not computed.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "forbid exact ==/!= between computed floating-point values; " +
+		"use sim.ApproxEq or a </> comparator chain",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	pass.Preorder(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if be.Op != token.EQL && be.Op != token.NEQ {
+			return true
+		}
+		if !IsFloat(pass.TypeOf(be.X)) || !IsFloat(pass.TypeOf(be.Y)) {
+			return true
+		}
+		if pass.ConstValue(be.X) != nil || pass.ConstValue(be.Y) != nil {
+			return true
+		}
+		pass.Reportf(be.Pos(),
+			"exact %s between computed floats (%s %s %s) diverges under reordering; use sim.ApproxEq or a </> chain",
+			be.Op, types.ExprString(be.X), be.Op, types.ExprString(be.Y))
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// pteOwnerLo..pteOwnerHi is the PTE bit range the paper steals for
+// thread ownership (§3.4): 7 previously-ignored bits, 52–58.
+const (
+	pteOwnerLo = 52
+	pteOwnerHi = 58
+)
+
+// pteOwnerMask covers bits 52–58 of a 64-bit PTE word.
+const pteOwnerMask = uint64(0x7F) << pteOwnerLo
+
+// PTEBits confines raw manipulation of the stolen owner bits to
+// internal/pagetable/pte.go, where the named constants and accessors
+// (Owner, WithOwner, Shared, NewPTE) live. Anywhere else, a shift by a
+// constant in [52, 58] on an integer value, or an AND/AND-NOT mask whose
+// constant touches those bits, indicates code re-deriving the layout by
+// hand — which silently breaks when the layout moves.
+//
+// Float-typed shifts (for example the mantissa constant 1<<53 used in
+// RNG float conversion) are not PTE words and are ignored.
+var PTEBits = &Analyzer{
+	Name: "ptebits",
+	Doc: "confine raw shifts/masks of PTE owner bits 52-58 to " +
+		"internal/pagetable/pte.go's named constants and accessors",
+	// The vet suite itself must spell out the bit range it polices.
+	Applies: func(pkgPath string) bool {
+		return !strings.Contains(pkgPath, "/internal/analysis")
+	},
+	Run: runPTEBits,
+}
+
+func runPTEBits(pass *Pass) error {
+	pass.Preorder(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if filepath.Base(pass.Filename(be.Pos())) == "pte.go" {
+			return true
+		}
+		switch be.Op {
+		case token.SHL, token.SHR:
+			if !IsInteger(pass.TypeOf(be)) {
+				return true
+			}
+			if k, ok := constUint(pass, be.Y); ok && k >= pteOwnerLo && k <= pteOwnerHi {
+				pass.Reportf(be.Pos(),
+					"raw shift by %d touches PTE owner bits %d-%d; use the pagetable.PTE accessors (Owner/WithOwner/Shared)",
+					k, pteOwnerLo, pteOwnerHi)
+			}
+		case token.AND, token.AND_NOT:
+			for _, operand := range []ast.Expr{be.X, be.Y} {
+				v, ok := constUint(pass, operand)
+				if !ok {
+					continue
+				}
+				// A mask constant that includes owner bits but no bits
+				// above them is an owner-field extraction; full-word or
+				// higher-bit masks are unrelated.
+				if v&pteOwnerMask != 0 && v>>(pteOwnerHi+1) == 0 {
+					pass.Reportf(be.Pos(),
+						"raw mask %#x touches PTE owner bits %d-%d; use the pagetable.PTE accessors (Owner/WithOwner/Shared)",
+						v, pteOwnerLo, pteOwnerHi)
+					break
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// constUint returns e's compile-time constant value as a uint64.
+func constUint(pass *Pass, e ast.Expr) (uint64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Uint64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,6 @@
+package analysis
+
+// Suite returns every analyzer vulcanvet runs, in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{Determinism, MapOrder, PTEBits, FloatEq}
+}

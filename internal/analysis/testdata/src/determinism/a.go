@@ -1,0 +1,42 @@
+// Package determinism is a vulcanvet fixture: wall-clock, global rand,
+// and environment reads must be flagged; pure value helpers must not.
+package determinism
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func badWallClock() time.Duration {
+	start := time.Now()                  // want `wall-clock time\.Now breaks seeded replay`
+	time.Sleep(time.Millisecond)         // want `wall-clock time\.Sleep`
+	if time.Since(start) > time.Second { // want `wall-clock time\.Since`
+		<-time.After(time.Second) // want `wall-clock time\.After`
+	}
+	return time.Since(start) // want `wall-clock time\.Since`
+}
+
+func badGlobalRand() int {
+	n := rand.Intn(10)               // want `global math/rand \(Intn\) is not replay-safe`
+	r := rand.New(rand.NewSource(1)) // want `global math/rand \(New\)` `global math/rand \(NewSource\)`
+	return n + r.Intn(10)
+}
+
+func badEnv() string {
+	if v, ok := os.LookupEnv("VULCAN_SEED"); ok { // want `os\.LookupEnv couples the run to the host environment`
+		return v
+	}
+	return os.Getenv("HOME") // want `os\.Getenv couples the run to the host environment`
+}
+
+// goodValues uses only stateless helpers of the same packages: duration
+// arithmetic and non-environment os calls carry no hidden clock state.
+func goodValues() (time.Duration, error) {
+	var d time.Duration = 5 * time.Millisecond
+	d += time.Duration(3) * time.Microsecond
+	if err := os.WriteFile(os.DevNull, nil, 0o644); err != nil {
+		return d, err
+	}
+	return d, nil
+}

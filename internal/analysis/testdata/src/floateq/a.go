@@ -1,0 +1,47 @@
+// Package floateq is a vulcanvet fixture: exact equality between two
+// computed floats is flagged; comparisons against compile-time constants
+// and integer equality are not.
+package floateq
+
+// badEq compares two computed cycle totals exactly.
+func badEq(chargedCycles, budgetCycles float64) bool {
+	return chargedCycles == budgetCycles // want `exact == between computed floats`
+}
+
+// badNeq is the comparator-tiebreak form that reorders under refactors.
+func badNeq(heats []float64, i, j int) bool {
+	if heats[i] != heats[j] { // want `exact != between computed floats`
+		return heats[i] > heats[j]
+	}
+	return i < j
+}
+
+// badFloat32 applies to every float width.
+func badFloat32(a, b float32) bool {
+	return a == b // want `exact == between computed floats`
+}
+
+// goodSentinel compares against exact, assigned constants — the
+// unset-default idiom is legal.
+func goodSentinel(decay float64) float64 {
+	if decay == 0 {
+		decay = 0.8
+	}
+	if decay != 1.0 {
+		decay *= 1.0000001
+	}
+	return decay
+}
+
+// goodInts is integer equality, always exact.
+func goodInts(a, b int) bool {
+	return a == b
+}
+
+// goodOrdering uses </> chains, the recommended comparator shape.
+func goodOrdering(a, b float64) bool {
+	if a > b {
+		return true
+	}
+	return a < b && b-a > 1e-9
+}

@@ -1,0 +1,72 @@
+// Package maporder is a vulcanvet fixture: map iteration with
+// order-dependent effects must be flagged unless the collected slice is
+// deterministically sorted afterwards.
+package maporder
+
+import "sort"
+
+type queue struct{}
+
+func (queue) Enqueue(vals ...int) {}
+
+// badAppend leaks map order into the returned slice.
+func badAppend(m map[int]string) []int {
+	var keys []int
+	for k := range m { // want `iteration over map m appends to keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// badEnqueue feeds a work queue in map order.
+func badEnqueue(m map[int]string, q queue) {
+	for k := range m { // want `iteration over map m enqueues work via q\.Enqueue`
+		q.Enqueue(k)
+	}
+}
+
+// badFloatSum accumulates floats in map order; float addition is not
+// associative, so the total depends on iteration order.
+func badFloatSum(cycles map[string]float64) float64 {
+	total := 0.0
+	for _, c := range cycles { // want `iteration over map cycles accumulates float total`
+		total += c
+	}
+	return total
+}
+
+// goodSorted collects then sorts — the canonical deterministic pattern.
+func goodSorted(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// goodCounting has only order-independent effects: integer counting and
+// building another map.
+func goodCounting(m map[int]string) (int, map[string]int) {
+	n := 0
+	inverse := make(map[string]int)
+	for k, v := range m {
+		n++
+		inverse[v] = k
+	}
+	return n, inverse
+}
+
+// goodLocal appends to a slice that lives and dies inside the loop body,
+// so no ordering can leak out.
+func goodLocal(m map[int][]int) int {
+	longest := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		if len(local) > longest {
+			longest = len(local)
+		}
+	}
+	return longest
+}

@@ -1,0 +1,45 @@
+// Package ptebits is a vulcanvet fixture: raw shifts/masks touching the
+// stolen PTE owner bits 52-58 are flagged outside pte.go; other bit
+// fields and float-typed mantissa shifts are not.
+package ptebits
+
+// badShift re-derives the owner field by hand.
+func badShift(w uint64) uint64 {
+	return (w >> 52) & 0x7F // want `raw shift by 52 touches PTE owner bits 52-58`
+}
+
+// badSet pokes an owner bit directly.
+func badSet(w uint64) uint64 {
+	w |= 1 << 54 // want `raw shift by 54 touches PTE owner bits 52-58`
+	return w
+}
+
+// badMask extracts the owner field with a precomputed mask constant.
+func badMask(w uint64) uint64 {
+	return w & 0x7F0000000000000 // want `raw mask 0x7f0000000000000 touches PTE owner bits 52-58`
+}
+
+// badClear clears owner bits with an AND-NOT mask.
+func badClear(w uint64) uint64 {
+	return w &^ (0x3 << 52) // want `raw shift by 52 touches PTE owner bits` `raw mask 0x30000000000000 touches PTE owner bits`
+}
+
+// goodOtherFields touches the frame and tier fields, which live below
+// bit 52 and stay legal everywhere.
+func goodOtherFields(w uint64) uint64 {
+	frame := (w >> 12) & (1<<32 - 1)
+	tier := (w >> 44) & 0x3
+	return frame | tier<<44
+}
+
+// goodMantissa mirrors sim.RNG's float conversion: 1<<53 is float-typed
+// in context and is not a PTE word.
+func goodMantissa(u uint64) float64 {
+	return float64(u>>11) / (1 << 53)
+}
+
+// goodHighMask masks above the owner field (bit 59 and up), which is not
+// an owner-field extraction.
+func goodHighMask(w uint64) uint64 {
+	return w & (uint64(0xF) << 60)
+}

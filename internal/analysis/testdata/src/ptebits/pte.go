@@ -1,0 +1,19 @@
+package ptebits
+
+// This file is named pte.go, the one place allowed to manipulate the
+// owner bits raw — nothing here may be flagged.
+
+const (
+	ownerShift = 52
+	ownerMask  = uint64(0x7F) << ownerShift
+)
+
+// canonicalOwner is the accessor pattern the analyzer directs callers
+// to.
+func canonicalOwner(w uint64) uint8 {
+	return uint8((w & ownerMask) >> ownerShift)
+}
+
+func canonicalWithOwner(w uint64, owner uint8) uint64 {
+	return w&^ownerMask | uint64(owner)<<ownerShift
+}

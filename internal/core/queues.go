@@ -114,8 +114,11 @@ func (pq *PromotionQueues) Rebuild(app *system.App, candidates []profile.PageHea
 	for c := range pq.queues {
 		q := pq.queues[c]
 		sort.Slice(q, func(i, j int) bool {
-			if q[i].heat != q[j].heat {
-				return q[i].heat > q[j].heat
+			if q[i].heat > q[j].heat {
+				return true
+			}
+			if q[i].heat < q[j].heat {
+				return false
 			}
 			return q[i].vp < q[j].vp
 		})

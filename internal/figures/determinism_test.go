@@ -1,0 +1,77 @@
+package figures
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"vulcan/internal/sim"
+)
+
+// replayDump runs one co-location scenario and serializes everything
+// observable about it: the full JSON report plus every recorded time
+// series as CSV. Byte-identity of two dumps is the determinism contract
+// the vulcanvet analyzers exist to protect — this test is the golden
+// replay guard for the dynamic behavior no static check can prove.
+func replayDump(t *testing.T, policy string, seed uint64) []byte {
+	t.Helper()
+	res := RunColocation(ColocationConfig{
+		Policy:   policy,
+		Duration: 30 * sim.Second,
+		Seed:     seed,
+		Scale:    8,
+	})
+	var buf bytes.Buffer
+	if err := res.System.Report().WriteJSON(&buf); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	fmt.Fprintf(&buf, "cfi=%.17g\n", res.CFI)
+	for _, a := range res.Apps {
+		fmt.Fprintf(&buf, "app=%s perf=%.17g ci=%.17g fthr=%.17g meanfthr=%.17g fast=%d rss=%d\n",
+			a.Name, a.Perf, a.PerfCI, a.FTHR, a.MeanFTHR, a.Fast, a.RSS)
+	}
+	if err := res.System.Recorder().WriteCSV(&buf); err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestReplayByteIdentical reruns the same seeded scenario and requires
+// the complete metrics output to match byte for byte, for the paper's
+// policy and for the most map-heavy baseline.
+func TestReplayByteIdentical(t *testing.T) {
+	for _, policy := range []string{"vulcan", "memtis"} {
+		t.Run(policy, func(t *testing.T) {
+			a := replayDump(t, policy, 7)
+			b := replayDump(t, policy, 7)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("replay diverged:\n%s", firstDiff(a, b))
+			}
+		})
+	}
+}
+
+// TestReplaySeedSensitivity guards the other direction: a different seed
+// must actually change the run, or the byte-identity test is vacuous.
+func TestReplaySeedSensitivity(t *testing.T) {
+	a := replayDump(t, "vulcan", 7)
+	b := replayDump(t, "vulcan", 8)
+	if bytes.Equal(a, b) {
+		t.Fatal("different seeds produced identical dumps; replay guard is vacuous")
+	}
+}
+
+// firstDiff renders the first divergent line of two dumps.
+func firstDiff(a, b []byte) string {
+	la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			return fmt.Sprintf("line %d:\n  run1: %s\n  run2: %s", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("dumps differ in length: %d vs %d lines", len(la), len(lb))
+}

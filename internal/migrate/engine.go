@@ -12,6 +12,7 @@ package migrate
 
 import (
 	"fmt"
+	"sort"
 
 	"vulcan/internal/machine"
 	"vulcan/internal/mem"
@@ -200,11 +201,13 @@ func (e *Engine) MigrateSync(moves []Move) Result {
 		batch = append(batch, staged{idx: i, vp: mv.VP, old: old, to: mv.To})
 	}
 
-	// TLB shootdown over the union scope.
+	// TLB shootdown over the union scope, in thread order so the IPI
+	// sequence (and any per-target accounting) replays identically.
 	scopeList := make([]int, 0, len(union))
 	for t := range union {
 		scopeList = append(scopeList, t)
 	}
+	sort.Ints(scopeList)
 	if e.cfg.Invalidate != nil {
 		for _, s := range batch {
 			e.cfg.Invalidate(s.vp, scopeList)

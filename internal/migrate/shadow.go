@@ -1,6 +1,8 @@
 package migrate
 
 import (
+	"sort"
+
 	"vulcan/internal/mem"
 	"vulcan/internal/pagetable"
 )
@@ -63,10 +65,18 @@ func (s *shadowStore) has(vp pagetable.VPage) bool {
 }
 
 // drain removes all shadows, returning their frames; counted as dropped.
+// Frames come back in VPage order: they are released to the tier free
+// list, so map-order iteration here would scramble every later
+// allocation and break seeded replay.
 func (s *shadowStore) drain() []mem.Frame {
-	out := make([]mem.Frame, 0, len(s.frames))
-	for vp, f := range s.frames {
-		out = append(out, f)
+	vps := make([]pagetable.VPage, 0, len(s.frames))
+	for vp := range s.frames {
+		vps = append(vps, vp)
+	}
+	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
+	out := make([]mem.Frame, 0, len(vps))
+	for _, vp := range vps {
+		out = append(out, s.frames[vp])
 		delete(s.frames, vp)
 		s.dropped++
 	}

@@ -36,8 +36,11 @@ func MergedRanking(sys *system.System) []GlobalPage {
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].Heat != all[j].Heat {
-			return all[i].Heat > all[j].Heat
+		if all[i].Heat > all[j].Heat {
+			return true
+		}
+		if all[i].Heat < all[j].Heat {
+			return false
 		}
 		if all[i].App.Index != all[j].App.Index {
 			return all[i].App.Index < all[j].App.Index
@@ -70,8 +73,11 @@ func ColdestFastPages(a *system.App, n int, keep map[pagetable.VPage]bool) []pag
 		return true
 	})
 	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].heat != cands[j].heat {
-			return cands[i].heat < cands[j].heat
+		if cands[i].heat < cands[j].heat {
+			return true
+		}
+		if cands[i].heat > cands[j].heat {
+			return false
 		}
 		return cands[i].vp < cands[j].vp
 	})
@@ -119,8 +125,11 @@ func GlobalColdestFastPages(sys *system.System, n int, keep map[*system.App]map[
 		})
 	}
 	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].heat != cands[j].heat {
-			return cands[i].heat < cands[j].heat
+		if cands[i].heat < cands[j].heat {
+			return true
+		}
+		if cands[i].heat > cands[j].heat {
+			return false
 		}
 		if cands[i].v.App.Index != cands[j].v.App.Index {
 			return cands[i].v.App.Index < cands[j].v.App.Index

@@ -142,8 +142,11 @@ func (h *heatMap) snapshot() []PageHeat {
 		out = append(out, PageHeat{VP: vp, Heat: s.heat, WriteFrac: wf})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Heat != out[j].Heat {
-			return out[i].Heat > out[j].Heat
+		if out[i].Heat > out[j].Heat {
+			return true
+		}
+		if out[i].Heat < out[j].Heat {
+			return false
 		}
 		return out[i].VP < out[j].VP
 	})

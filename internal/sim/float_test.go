@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEq(t *testing.T) {
+	for _, tc := range []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + 1e-12, true},
+		{1, 1 + 1e-6, false},
+		{0, 1e-12, true},
+		{0, 1e-6, false},
+		// Relative tolerance: large magnitudes absorb proportionally
+		// larger absolute error, the shape of reassociated cycle sums.
+		{3e12, 3e12 + 1, true},
+		{3e12, 3.1e12, false},
+		{-5, -5 - 1e-12, true},
+		{-5, 5, false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.NaN(), math.NaN(), false},
+	} {
+		if got := ApproxEq(tc.a, tc.b); got != tc.want {
+			t.Errorf("ApproxEq(%g, %g) = %t, want %t", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestApproxEqEpsSymmetry(t *testing.T) {
+	for _, pair := range [][2]float64{{1, 1.5}, {100, 100.001}, {-3, -3.0000001}} {
+		a, b := pair[0], pair[1]
+		if ApproxEqEps(a, b, 1e-4) != ApproxEqEps(b, a, 1e-4) {
+			t.Errorf("ApproxEqEps not symmetric for (%g, %g)", a, b)
+		}
+	}
+}
+
+// TestReassociatedSumWithinEps pins the motivating property: summing the
+// same terms in a different order lands within ApproxEq tolerance.
+func TestReassociatedSumWithinEps(t *testing.T) {
+	rng := NewRNG(11)
+	terms := make([]float64, 1000)
+	for i := range terms {
+		terms[i] = rng.Float64() * 1e6
+	}
+	fwd := 0.0
+	for _, v := range terms {
+		fwd += v
+	}
+	rev := 0.0
+	for i := len(terms) - 1; i >= 0; i-- {
+		rev += terms[i]
+	}
+	if fwd == rev { //vulcanvet:ok floateq — asserting the two orders really differ bit-wise is the point
+		t.Log("sums happen to agree exactly; property still holds")
+	}
+	if !ApproxEq(fwd, rev) {
+		t.Errorf("reassociated sums not ApproxEq: %v vs %v", fwd, rev)
+	}
+}
