@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt vet lint test race
+.PHONY: check build fmt vet lint test race obs-demo
 
 # check is the full gate, in fail-fast order: cheap static checks first,
 # then the test suites.
@@ -33,3 +33,21 @@ test:
 # synchronized.
 race:
 	$(GO) test -race ./...
+
+# obs-demo runs one seeded scenario twice with telemetry export and
+# byte-compares the artifacts: the executable form of the determinism
+# contract for the trace/metrics exporters. Artifacts land in
+# out/obs-demo/ (gitignored); run1's trace.json opens in Perfetto.
+OBS_DEMO_FLAGS = -policy vulcan -seconds 20 -scale 8 -seed 7
+obs-demo:
+	@mkdir -p out/obs-demo
+	$(GO) run ./cmd/vulcansim $(OBS_DEMO_FLAGS) \
+		-trace-out out/obs-demo/trace.json -metrics-out out/obs-demo/metrics.csv \
+		> out/obs-demo/report.txt
+	$(GO) run ./cmd/vulcansim $(OBS_DEMO_FLAGS) \
+		-trace-out out/obs-demo/trace2.json -metrics-out out/obs-demo/metrics2.csv \
+		> out/obs-demo/report2.txt
+	cmp out/obs-demo/trace.json out/obs-demo/trace2.json
+	cmp out/obs-demo/metrics.csv out/obs-demo/metrics2.csv
+	cmp out/obs-demo/report.txt out/obs-demo/report2.txt
+	@echo "obs-demo: trace, metrics and report byte-identical across replays"

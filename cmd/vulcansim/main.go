@@ -12,12 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
 
 	"vulcan"
 	"vulcan/internal/figures"
+	"vulcan/internal/obs"
 	"vulcan/internal/scenario"
 	"vulcan/internal/sim"
 )
@@ -33,11 +35,16 @@ func main() {
 		seriesOut  = flag.String("series", "", "write per-epoch time series CSV to this file")
 		configPath = flag.String("config", "", "load the scenario from a JSON file (see internal/scenario) instead of flags")
 		jsonOut    = flag.Bool("json", false, "emit the final report as JSON")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
+		metricsOut = flag.String("metrics-out", "", "write per-epoch metric samples as CSV to this file")
+		obsFilter  = flag.String("obs-filter", "", "comma-separated event types to record (default all; see internal/obs)")
 	)
 	flag.Parse()
 
+	rec := buildRecorder(*traceOut, *metricsOut, *obsFilter)
+
 	if *configPath != "" {
-		runConfigFile(*configPath, *seriesOut, *jsonOut)
+		runConfigFile(*configPath, *seriesOut, *jsonOut, rec, *traceOut, *metricsOut)
 		return
 	}
 
@@ -64,19 +71,41 @@ func main() {
 	}
 
 	mcfg := figures.ColocationMachine(*scale)
-	sys := vulcan.NewSystem(vulcan.Config{
+	cfg := vulcan.Config{
 		Machine:          mcfg,
 		Apps:             apps,
 		Policy:           figures.NewPolicy(*policyName),
 		Seed:             *seed,
 		SamplesPerThread: figures.SamplesForScale(*scale),
-	})
+	}
+	if rec != nil {
+		cfg.Obs = rec
+	}
+	sys := vulcan.NewSystem(cfg)
 	sys.Run(vulcan.Duration(*seconds) * vulcan.Second)
-	finish(sys, *jsonOut, *seriesOut)
+	finish(sys, *jsonOut, *seriesOut, rec, *traceOut, *metricsOut)
+}
+
+// buildRecorder returns a telemetry recorder when any -trace-out,
+// -metrics-out or -obs-filter flag asks for one, nil otherwise (so the
+// simulation pays nothing for telemetry it will not export).
+func buildRecorder(traceOut, metricsOut, obsFilter string) *obs.Recorder {
+	if traceOut == "" && metricsOut == "" && obsFilter == "" {
+		return nil
+	}
+	rec := obs.NewRecorder()
+	if obsFilter != "" {
+		filter, err := obs.ParseFilter(obsFilter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec.SetFilter(filter)
+	}
+	return rec
 }
 
 // runConfigFile executes a JSON-defined scenario.
-func runConfigFile(path, seriesOut string, jsonOut bool) {
+func runConfigFile(path, seriesOut string, jsonOut bool, rec *obs.Recorder, traceOut, metricsOut string) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -86,52 +115,50 @@ func runConfigFile(path, seriesOut string, jsonOut bool) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys := vulcan.NewSystem(vulcan.Config{
+	cfg := vulcan.Config{
 		Machine: parsed.Machine,
 		Apps:    parsed.Apps,
 		Policy:  figures.NewPolicy(parsed.Policy),
 		Seed:    parsed.Seed,
-	})
+	}
+	if rec != nil {
+		cfg.Obs = rec
+	}
+	sys := vulcan.NewSystem(cfg)
 	sys.Run(vulcan.Duration(parsed.Duration))
-	finish(sys, jsonOut, seriesOut)
+	finish(sys, jsonOut, seriesOut, rec, traceOut, metricsOut)
 }
 
 // finish prints the run summary and optional artifacts.
-func finish(sys *vulcan.System, jsonOut bool, seriesOut string) {
+func finish(sys *vulcan.System, jsonOut bool, seriesOut string, rec *obs.Recorder, traceOut, metricsOut string) {
 	if jsonOut {
 		if err := sys.Report().WriteJSON(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
-	} else {
-		rep := sys.Report()
-		fmt.Printf("policy=%s  simulated=%.0fs  fast tier used %d/%d pages\n",
-			rep.Policy, rep.SimSeconds, rep.FastUsed, rep.FastCapacity)
-		fmt.Printf("%-12s %-5s %12s %10s %10s %12s %12s\n",
-			"app", "class", "perf", "±ci95", "fthr", "fast pages", "rss pages")
-		for _, a := range rep.Apps {
-			if !a.Started {
-				fmt.Printf("%-12s (never started)\n", a.Name)
-				continue
-			}
-			fmt.Printf("%-12s %-5s %12.3f %10.3f %10.3f %12d %12d\n",
-				a.Name, a.Class, a.MeanPerf, a.PerfCI95, a.FTHR,
-				a.FastPages, a.RSSPages)
-		}
-		fmt.Printf("CFI (FTHR-weighted cumulative fairness, Eq.4): %.3f\n", rep.CFI)
-		if !rep.AuditOK {
-			fmt.Printf("WARNING: frame-ownership audit failed: %v\n", rep.AuditProblems)
-		}
+	} else if err := sys.Report().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 
 	if seriesOut != "" {
-		f, err := os.Create(seriesOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if err := sys.Recorder().WriteCSV(f); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "time series written to %s\n", seriesOut)
+		writeArtifact(seriesOut, "time series", sys.Recorder().WriteCSV)
 	}
+	if traceOut != "" {
+		writeArtifact(traceOut, "chrome trace", rec.WriteChromeTrace)
+	}
+	if metricsOut != "" {
+		writeArtifact(metricsOut, "metric samples", rec.WriteMetricsCSV)
+	}
+}
+
+// writeArtifact creates path and streams one exporter's output into it.
+func writeArtifact(path, what string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s written to %s\n", what, path)
 }

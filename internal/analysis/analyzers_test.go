@@ -11,6 +11,13 @@ func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, analysis.Determinism, "determinism")
 }
 
+// TestDeterminismObsExporter runs the determinism analyzer over an
+// exporter-shaped fixture mirroring internal/obs, which joined the
+// contract's package list in PR 2.
+func TestDeterminismObsExporter(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism, "obsexport")
+}
+
 func TestMapOrder(t *testing.T) {
 	analysistest.Run(t, analysis.MapOrder, "maporder")
 }
@@ -55,6 +62,7 @@ func TestDeterminismScope(t *testing.T) {
 		{"vulcan/internal/sim", true},
 		{"vulcan/internal/figures", true},
 		{"vulcan/internal/policy", true},
+		{"vulcan/internal/obs", true},
 		{"vulcan/cmd/vulcansim", false},
 		{"vulcan/examples/quickstart", false},
 		{"vulcan", false},

@@ -1,0 +1,65 @@
+// Package obsexport is a vulcanvet fixture shaped like the telemetry
+// exporters of internal/obs, which PR 2 brought under the determinism
+// contract: an exporter must never stamp events from the wall clock,
+// jitter output with global rand, or vary by host environment — a seeded
+// replay must reproduce every exported byte.
+package obsexport
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+type event struct {
+	ts   int64
+	name string
+}
+
+// badStampNow is the classic exporter mistake: stamping flush time from
+// the host instead of the simulation clock.
+func badStampNow(events []event) []event {
+	for i := range events {
+		events[i].ts = time.Now().UnixNano() // want `wall-clock time\.Now breaks seeded replay`
+	}
+	return events
+}
+
+// badJitteredFlush staggers trace rows with global rand, so two replays
+// of one seed interleave differently.
+func badJitteredFlush(rows []string) []string {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		if rand.Intn(2) == 0 { // want `global math/rand \(Intn\) is not replay-safe`
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// badEnvGatedTrack drops tracks named by the host environment.
+func badEnvGatedTrack(track string) bool {
+	return track == os.Getenv("OBS_SKIP_TRACK") // want `os\.Getenv couples the run to the host environment`
+}
+
+// goodSortedExport is the sanctioned exporter shape: deterministic input
+// order via sorted keys, timestamps taken from the recorded events
+// themselves, durations as plain value arithmetic.
+func goodSortedExport(byTrack map[string][]event) []event {
+	names := make([]string, 0, len(byTrack))
+	for name := range byTrack {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []event
+	cutoff := int64(5 * time.Millisecond)
+	for _, name := range names {
+		for _, e := range byTrack[name] {
+			if e.ts >= cutoff {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}

@@ -5,6 +5,47 @@ import (
 	"vulcan/internal/workload"
 )
 
+// TransferKind classifies one CBFRP quota movement.
+type TransferKind uint8
+
+// Transfer kinds, mirroring Algorithm 1's branches.
+const (
+	// TransferSeed is a newcomer's initial allocation (line 2).
+	TransferSeed TransferKind = iota
+	// TransferPool grants unallocated capacity at no credit cost.
+	TransferPool
+	// TransferDonate moves surplus from the min-credit donor.
+	TransferDonate
+	// TransferReclaim is an LC borrower clawing back from an
+	// over-entitled BE workload (lines 11–13).
+	TransferReclaim
+)
+
+// String names the kind for telemetry notes.
+func (k TransferKind) String() string {
+	switch k {
+	case TransferSeed:
+		return "seed"
+	case TransferPool:
+		return "pool"
+	case TransferDonate:
+		return "donate"
+	case TransferReclaim:
+		return "reclaim"
+	default:
+		return "transfer"
+	}
+}
+
+// Transfer records one quota movement of the latest CBFRP invocation.
+// From is "" for movements out of the free pool.
+type Transfer struct {
+	Kind  TransferKind
+	From  string
+	To    string
+	Units int
+}
+
 // CBFRP runs Credit-Based Fair Resource Partitioning (Algorithm 1) over
 // the registered workloads, producing updated fast-tier quotas
 // (QoSState.Alloc) and credit balances.
@@ -27,6 +68,7 @@ import (
 //     left, an LC borrower reclaims from a randomly chosen BE workload
 //     allocated above GFMC.
 func (q *QoSController) CBFRP(fastCapacity int, rng *sim.RNG) {
+	q.Transfers = q.Transfers[:0]
 	n := len(q.states)
 	if n == 0 {
 		return
@@ -59,6 +101,10 @@ func (q *QoSController) CBFRP(fastCapacity int, rng *sim.RNG) {
 		st.Alloc = alloc
 		pool -= alloc
 		st.initialized = true
+		if alloc > 0 {
+			q.Transfers = append(q.Transfers, Transfer{
+				Kind: TransferSeed, To: st.App.Name(), Units: alloc})
+		}
 	}
 
 	borrower := func(class workload.Class) *QoSState {
@@ -117,6 +163,8 @@ func (q *QoSController) CBFRP(fastCapacity int, rng *sim.RNG) {
 			}
 			pool -= step
 			b.Alloc += step
+			q.Transfers = append(q.Transfers, Transfer{
+				Kind: TransferPool, To: b.App.Name(), Units: step})
 		case minCreditDonor() != nil:
 			d := minCreditDonor()
 			if surplus := d.Alloc - d.Demand; step > surplus {
@@ -126,6 +174,8 @@ func (q *QoSController) CBFRP(fastCapacity int, rng *sim.RNG) {
 			b.Alloc += step
 			d.Credits += step
 			b.Credits -= step
+			q.Transfers = append(q.Transfers, Transfer{
+				Kind: TransferDonate, From: d.App.Name(), To: b.App.Name(), Units: step})
 		case b.App.Class() == workload.LC:
 			d := overEntitledBE()
 			if d == nil {
@@ -138,6 +188,8 @@ func (q *QoSController) CBFRP(fastCapacity int, rng *sim.RNG) {
 			b.Alloc += step
 			d.Credits += step
 			b.Credits -= step
+			q.Transfers = append(q.Transfers, Transfer{
+				Kind: TransferReclaim, From: d.App.Name(), To: b.App.Name(), Units: step})
 		default:
 			return
 		}

@@ -47,6 +47,11 @@ type QoSController struct {
 	// UnitPages is CBFRP's transfer quantum.
 	UnitPages int
 
+	// Transfers records the latest CBFRP invocation's quota movements in
+	// execution order (reset on each call) — the qos-adapt telemetry
+	// feed and a debugging aid for partitioning behavior.
+	Transfers []Transfer
+
 	// Probe-shrink tuning for satisfied workloads (§3.3's efficiency
 	// goal: reclaim "excessive resources" from workloads that do not
 	// need them). ShrinkFrac of the allocation is probed away per epoch;

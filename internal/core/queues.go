@@ -157,6 +157,30 @@ type QueueItem struct {
 // Len returns the number of entries in class c's queue.
 func (pq *PromotionQueues) Len(c PageClass) int { return len(pq.queues[c]) }
 
+// Depths returns the per-queue entry counts after the last Rebuild, in
+// priority order — the queue-adaptation telemetry snapshot.
+func (pq *PromotionQueues) Depths() [NumClasses]int {
+	var d [NumClasses]int
+	for c := range pq.queues {
+		d[c] = len(pq.queues[c])
+	}
+	return d
+}
+
+// BoostedCount returns how many entries of the last Rebuild were MLFQ-
+// escalated one priority level.
+func (pq *PromotionQueues) BoostedCount() int {
+	n := 0
+	for c := range pq.queues {
+		for _, e := range pq.queues[c] {
+			if e.boosted {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // Total returns entries across all queues.
 func (pq *PromotionQueues) Total() int {
 	n := 0

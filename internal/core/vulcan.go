@@ -3,6 +3,7 @@ package core
 import (
 	"vulcan/internal/mem"
 	"vulcan/internal/migrate"
+	"vulcan/internal/obs"
 	"vulcan/internal/pagetable"
 	"vulcan/internal/policy"
 	"vulcan/internal/profile"
@@ -181,6 +182,12 @@ func (v *Vulcan) EndEpoch(sys *system.System) {
 		if v.colloidSuspended {
 			// Bandwidth contention has erased the fast tier's advantage:
 			// hold quotas and skip all migration this epoch.
+			if obs.Enabled(sys.Obs(), obs.EvQoSAdapt) {
+				e := obs.E(obs.EvQoSAdapt, "", "qos", 0,
+					obs.F("bw_fast", sys.BandwidthUtil()[mem.TierFast]))
+				e.Note = "colloid-suspend"
+				sys.Obs().Event(e)
+			}
 			return
 		}
 	}
@@ -193,6 +200,18 @@ func (v *Vulcan) EndEpoch(sys *system.System) {
 		}
 	} else {
 		v.qos.CBFRP(fastCap, v.rng)
+		if obs.Enabled(sys.Obs(), obs.EvQoSAdapt) {
+			for _, tr := range v.qos.Transfers {
+				from := tr.From
+				if from == "" {
+					from = "pool"
+				}
+				e := obs.E(obs.EvQoSAdapt, "", "cbfrp", 0,
+					obs.F("units", float64(tr.Units)))
+				e.Note = tr.Kind.String() + " " + from + "->" + tr.To
+				sys.Obs().Event(e)
+			}
+		}
 	}
 
 	for _, st := range v.qos.States() {
@@ -204,6 +223,18 @@ func (v *Vulcan) EndEpoch(sys *system.System) {
 		sys.Recorder().Record(prefix+"vulcan_gpt", st.GPT)
 		sys.Recorder().Record(prefix+"vulcan_demand", float64(st.Demand))
 		sys.Recorder().Record(prefix+"vulcan_credits", float64(st.Credits))
+		if obs.Enabled(sys.Obs(), obs.EvQoSAdapt) {
+			shrink := 0.0
+			if st.shrankLast {
+				shrink = 1
+			}
+			sys.Obs().Event(obs.E(obs.EvQoSAdapt, st.App.Name(), "qos", 0,
+				obs.F("alloc", float64(st.Alloc)),
+				obs.F("demand", float64(st.Demand)),
+				obs.F("credits", float64(st.Credits)),
+				obs.F("gpt", st.GPT),
+				obs.F("probe_shrink", shrink)))
+		}
 	}
 }
 
@@ -217,6 +248,13 @@ func (v *Vulcan) enforce(sys *system.System, st *QoSState) {
 		// Over quota: demote the coldest pages; shadow remaps make the
 		// clean ones nearly free.
 		victims := policy.ColdestFastPages(app, cur-st.Alloc, nil)
+		if obs.Enabled(sys.Obs(), obs.EvDecision) {
+			e := obs.E(obs.EvDecision, app.Name(), "policy", 0,
+				obs.F("over", float64(cur-st.Alloc)),
+				obs.F("victims", float64(len(victims))))
+			e.Note = "demote"
+			sys.Obs().Event(e)
+		}
 		app.Async.Enqueue(policy.DemoteMoves(victims)...)
 		app.Async.RunEpoch(budget, app.WriteProbability)
 		return
@@ -251,6 +289,8 @@ func (v *Vulcan) enforce(sys *system.System, st *QoSState) {
 
 	q := v.queues[app]
 	q.Rebuild(app, candidates)
+	depths := q.Depths()
+	boosted := q.BoostedCount()
 
 	var syncBatch []migrate.Move
 	taken := 0
@@ -266,6 +306,16 @@ func (v *Vulcan) enforce(sys *system.System, st *QoSState) {
 		}
 		return true
 	})
+	if obs.Enabled(sys.Obs(), obs.EvQueueAdapt) {
+		sys.Obs().Event(obs.E(obs.EvQueueAdapt, app.Name(), "queues", 0,
+			obs.F("private_read", float64(depths[PrivateRead])),
+			obs.F("shared_read", float64(depths[SharedRead])),
+			obs.F("private_write", float64(depths[PrivateWrite])),
+			obs.F("shared_write", float64(depths[SharedWrite])),
+			obs.F("boosted", float64(boosted)),
+			obs.F("sync_batch", float64(len(syncBatch))),
+			obs.F("taken", float64(taken))))
+	}
 
 	// Write-intensive pages migrate synchronously (Table 1): a dirty
 	// page's writers block for the copy, so the copy phase is charged to
@@ -301,6 +351,12 @@ func (v *Vulcan) swapWithinQuota(sys *system.System, app *system.App, budget flo
 		n++
 	}
 	if n > 0 {
+		if obs.Enabled(sys.Obs(), obs.EvDecision) {
+			e := obs.E(obs.EvDecision, app.Name(), "policy", 0,
+				obs.F("pairs", float64(n)))
+			e.Note = "swap"
+			sys.Obs().Event(e)
+		}
 		app.Async.Enqueue(policy.DemoteMoves(victims[:n])...)
 		q := v.queues[app]
 		q.Rebuild(app, candidates[:n])

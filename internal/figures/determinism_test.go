@@ -5,21 +5,25 @@ import (
 	"fmt"
 	"testing"
 
+	"vulcan/internal/obs"
 	"vulcan/internal/sim"
 )
 
 // replayDump runs one co-location scenario and serializes everything
-// observable about it: the full JSON report plus every recorded time
-// series as CSV. Byte-identity of two dumps is the determinism contract
-// the vulcanvet analyzers exist to protect — this test is the golden
-// replay guard for the dynamic behavior no static check can prove.
+// observable about it: the full JSON report, every recorded time series
+// as CSV, and both telemetry exports (Chrome trace, metric samples).
+// Byte-identity of two dumps is the determinism contract the vulcanvet
+// analyzers exist to protect — this test is the golden replay guard for
+// the dynamic behavior no static check can prove.
 func replayDump(t *testing.T, policy string, seed uint64) []byte {
 	t.Helper()
+	rec := obs.NewRecorder()
 	res := RunColocation(ColocationConfig{
 		Policy:   policy,
 		Duration: 30 * sim.Second,
 		Seed:     seed,
 		Scale:    8,
+		Obs:      rec,
 	})
 	var buf bytes.Buffer
 	if err := res.System.Report().WriteJSON(&buf); err != nil {
@@ -32,6 +36,12 @@ func replayDump(t *testing.T, policy string, seed uint64) []byte {
 	}
 	if err := res.System.Recorder().WriteCSV(&buf); err != nil {
 		t.Fatalf("csv: %v", err)
+	}
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("chrome trace: %v", err)
+	}
+	if err := rec.WriteMetricsCSV(&buf); err != nil {
+		t.Fatalf("metrics csv: %v", err)
 	}
 	return buf.Bytes()
 }

@@ -12,6 +12,7 @@ import (
 	"vulcan/internal/machine"
 	"vulcan/internal/mem"
 	"vulcan/internal/metrics"
+	"vulcan/internal/obs"
 	"vulcan/internal/policy"
 	"vulcan/internal/sim"
 	"vulcan/internal/system"
@@ -53,6 +54,10 @@ type ColocationConfig struct {
 	Scale int
 	// SamplesPerThread overrides the system default when nonzero.
 	SamplesPerThread int
+	// Obs, when non-nil, receives the run's structured telemetry (see
+	// internal/obs) — the figures runner's hookup for trace/metrics
+	// export alongside the usual series CSV.
+	Obs obs.Sink
 }
 
 // AppResult summarizes one application after a co-location run.
@@ -177,6 +182,7 @@ func RunColocation(cfg ColocationConfig) ColocationResult {
 		Policy:           NewPolicy(cfg.Policy),
 		Seed:             cfg.Seed,
 		SamplesPerThread: cfg.SamplesPerThread,
+		Obs:              cfg.Obs,
 	})
 	sys.Run(cfg.Duration)
 

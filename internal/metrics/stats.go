@@ -170,6 +170,29 @@ func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
 // Buckets returns the bucket count.
 func (h *Histogram) Buckets() int { return len(h.buckets) }
 
+// HistSummary condenses a histogram into the percentiles dashboards and
+// the obs registry exporter report.
+type HistSummary struct {
+	Count uint64
+	P50   float64
+	P95   float64
+	P99   float64
+}
+
+// Summary returns the p50/p95/p99 summary of the histogram. An empty
+// histogram summarizes to the zero value.
+func (h *Histogram) Summary() HistSummary {
+	if h.count == 0 {
+		return HistSummary{}
+	}
+	return HistSummary{
+		Count: h.count,
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
 // Quantile returns an approximate q-quantile from the histogram.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.count == 0 {

@@ -193,3 +193,52 @@ func TestHistogramEmptyQuantile(t *testing.T) {
 		t.Fatal("empty histogram quantile not 0")
 	}
 }
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	// Bucket midpoints put each percentile within one bucket width.
+	if s.P50 < 49 || s.P50 > 52 {
+		t.Errorf("P50 = %v, want ~50", s.P50)
+	}
+	if s.P95 < 94 || s.P95 > 97 {
+		t.Errorf("P95 = %v, want ~95", s.P95)
+	}
+	if s.P99 < 98 || s.P99 > 100 {
+		t.Errorf("P99 = %v, want ~99", s.P99)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Errorf("percentiles not monotone: %+v", s)
+	}
+}
+
+func TestHistogramSummaryEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if s := h.Summary(); s != (HistSummary{}) {
+		t.Fatalf("empty summary = %+v, want zero value", s)
+	}
+}
+
+func TestHistogramSummarySkewed(t *testing.T) {
+	// A tail-heavy distribution must separate p50 from p99.
+	h := NewHistogram(0, 1000, 1000)
+	for i := 0; i < 990; i++ {
+		h.Add(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(900)
+	}
+	s := h.Summary()
+	if s.P50 > 20 {
+		t.Errorf("P50 = %v, want ~10", s.P50)
+	}
+	if s.P99 < 100 {
+		t.Errorf("P99 = %v, want in the tail", s.P99)
+	}
+}

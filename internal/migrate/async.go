@@ -1,6 +1,7 @@
 package migrate
 
 import (
+	"vulcan/internal/obs"
 	"vulcan/internal/pagetable"
 	"vulcan/internal/sim"
 )
@@ -166,6 +167,18 @@ func (a *AsyncMigrator) RunEpoch(budgetCycles float64, writeProb func(vp pagetab
 		}
 	}
 	res.Backlog = len(a.pending)
+	eng := a.cfg.Engine
+	if res.Cycles > 0 && obs.Enabled(eng.cfg.Obs, obs.EvMigrateAsync) {
+		eng.cfg.Obs.Event(obs.E(obs.EvMigrateAsync, eng.cfg.Owner, "migrate",
+			sim.CyclesToDuration(res.Cycles),
+			obs.F("moved", float64(res.Moved)),
+			obs.F("remapped", float64(res.Remapped)),
+			obs.F("retries", float64(res.Retries)),
+			obs.F("aborted", float64(res.Aborted)),
+			obs.F("failed", float64(res.Failed)),
+			obs.F("cycles", res.Cycles),
+			obs.F("backlog", float64(res.Backlog))))
+	}
 	return res
 }
 

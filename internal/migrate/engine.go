@@ -16,7 +16,9 @@ import (
 
 	"vulcan/internal/machine"
 	"vulcan/internal/mem"
+	"vulcan/internal/obs"
 	"vulcan/internal/pagetable"
+	"vulcan/internal/sim"
 )
 
 // Mapper is the page-table surface the engine manipulates. Both
@@ -67,6 +69,12 @@ type Config struct {
 	// migration path and returns extra cycles the page's preparation
 	// costs (e.g. splitting a covering 2MiB huge mapping, §3.5).
 	PreMigrate func(vp pagetable.VPage) float64
+
+	// Obs receives migration and shootdown telemetry; nil disables
+	// emission at zero cost. Owner labels the events with the owning
+	// application's name.
+	Obs   obs.Sink
+	Owner string
 }
 
 // Move asks for one page to be migrated to a destination tier.
@@ -246,7 +254,40 @@ func (e *Engine) MigrateSync(moves []Move) Result {
 		// Nothing actually entered the kernel migration path: no cost.
 		res.Breakdown = machine.Breakdown{}
 	}
+	e.emitSync(res, attempted)
 	return res
+}
+
+// emitSync publishes one batch's telemetry: the shootdown (scope and
+// cost) and the five-phase cycle breakdown.
+func (e *Engine) emitSync(res Result, attempted int) {
+	if attempted == 0 {
+		return
+	}
+	if obs.Enabled(e.cfg.Obs, obs.EvShootdown) {
+		e.cfg.Obs.Event(obs.E(obs.EvShootdown, e.cfg.Owner, "migrate",
+			sim.CyclesToDuration(res.Breakdown.TLB),
+			obs.F("pages", float64(attempted)),
+			obs.F("targets", float64(res.Targets)),
+			obs.F("cycles", res.Breakdown.TLB)))
+	}
+	if obs.Enabled(e.cfg.Obs, obs.EvMigrateSync) {
+		sh := e.shadows.stats()
+		e.cfg.Obs.Event(obs.E(obs.EvMigrateSync, e.cfg.Owner, "migrate",
+			sim.CyclesToDuration(res.Breakdown.Total()),
+			obs.F("pages", float64(attempted)),
+			obs.F("moved", float64(res.Moved)),
+			obs.F("remapped", float64(res.Remapped)),
+			obs.F("failed", float64(res.Failed)),
+			obs.F("prep_cycles", res.Breakdown.Prep),
+			obs.F("trap_cycles", res.Breakdown.Trap),
+			obs.F("unmap_cycles", res.Breakdown.Unmap),
+			obs.F("tlb_cycles", res.Breakdown.TLB),
+			obs.F("copy_cycles", res.Breakdown.Copy),
+			obs.F("remap_cycles", res.Breakdown.Remap),
+			obs.F("split_cycles", res.Breakdown.Split),
+			obs.F("shadows_live", float64(sh.Live))))
+	}
 }
 
 // commitPage moves one unmapped page's content and reinstalls its PTE.

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteChromeTrace exports the buffered events as Chrome trace-event
+// JSON (the "JSON Array Format" with metadata), loadable in Perfetto or
+// chrome://tracing. Layout:
+//
+//   - one trace "process" per application plus one for the machine,
+//     ordered machine first then apps sorted by name;
+//   - one thread (track) per component lane within each process
+//     ("migrate", "profile", "qos", ...), sorted by name;
+//   - events with a duration render as complete ("X") slices, instants
+//     as thread-scoped instant ("i") marks; event fields and the note
+//     become args.
+//
+// Slices on one track are laid out back-to-back when the model stamps
+// several with the same epoch-boundary timestamp: a per-track cursor
+// shifts an overlapping slice to the end of the previous one. That
+// keeps the visual timeline readable without touching recorded data,
+// and — because events are processed strictly in emission order — stays
+// byte-deterministic.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	j := jsonWriter{w: bw}
+
+	pids, tids := r.traceLayout()
+
+	j.raw(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	sep := func() {
+		if !first {
+			j.raw(",")
+		}
+		first = false
+		j.raw("\n")
+	}
+
+	// Metadata: process and thread names, in pid/tid order.
+	type proc struct {
+		name string
+		pid  int
+	}
+	procs := make([]proc, 0, len(pids))
+	for name, pid := range pids {
+		procs = append(procs, proc{name: name, pid: pid})
+	}
+	sort.Slice(procs, func(i, k int) bool { return procs[i].pid < procs[k].pid })
+	for _, p := range procs {
+		display := p.name
+		if display == "" {
+			display = "machine"
+		}
+		sep()
+		j.raw(`{"name":"process_name","ph":"M","pid":` + strconv.Itoa(p.pid) +
+			`,"tid":0,"args":{"name":`)
+		j.str(display)
+		j.raw(`}}`)
+		lanes := tids[p.name]
+		laneNames := sortedKeys(lanes)
+		for _, lane := range laneNames {
+			if lane == "" {
+				continue // alias of the "events" lane, named once
+			}
+			sep()
+			j.raw(`{"name":"thread_name","ph":"M","pid":` + strconv.Itoa(p.pid) +
+				`,"tid":` + strconv.Itoa(lanes[lane]) + `,"args":{"name":`)
+			j.str(lane)
+			j.raw(`}}`)
+		}
+	}
+
+	// Events, in emission order, with per-track layout cursors (ns).
+	type trackKey struct{ pid, tid int }
+	cursor := make(map[trackKey]int64)
+	for _, e := range r.events {
+		pid := pids[e.App]
+		tid := tids[e.App][e.Track]
+		key := trackKey{pid, tid}
+		ts := int64(e.Time)
+		if c := cursor[key]; ts < c {
+			ts = c
+		}
+		sep()
+		j.raw(`{"name":`)
+		j.str(e.Type.String())
+		j.raw(`,"cat":`)
+		j.str(e.Type.String())
+		if e.Dur > 0 {
+			j.raw(`,"ph":"X"`)
+		} else {
+			j.raw(`,"ph":"i","s":"t"`)
+		}
+		j.raw(`,"pid":` + strconv.Itoa(pid) + `,"tid":` + strconv.Itoa(tid))
+		j.raw(`,"ts":` + microseconds(ts))
+		if e.Dur > 0 {
+			j.raw(`,"dur":` + microseconds(int64(e.Dur)))
+			cursor[key] = ts + int64(e.Dur)
+		}
+		j.raw(`,"args":{`)
+		argFirst := true
+		arg := func() {
+			if !argFirst {
+				j.raw(",")
+			}
+			argFirst = false
+		}
+		if e.Note != "" {
+			arg()
+			j.raw(`"note":`)
+			j.str(e.Note)
+		}
+		for _, f := range e.Fields {
+			arg()
+			j.str(f.Key)
+			j.raw(`:` + formatVal(f.Val))
+		}
+		j.raw(`}}`)
+	}
+
+	j.raw("\n]}\n")
+	if j.err != nil {
+		return j.err
+	}
+	return bw.Flush()
+}
+
+// microseconds renders a nanosecond count as the trace format's
+// microsecond timestamp, with sub-µs precision kept as decimals.
+func microseconds(ns int64) string {
+	us := ns / 1000
+	frac := ns % 1000
+	if frac == 0 {
+		return strconv.FormatInt(us, 10)
+	}
+	// Always three fractional digits: 1234 ns -> "1.234".
+	s := strconv.FormatInt(frac, 10)
+	for len(s) < 3 {
+		s = "0" + s
+	}
+	return strconv.FormatInt(us, 10) + "." + s
+}
+
+// traceLayout assigns stable pid/tid numbers: machine scope is pid 1,
+// apps take pid 2+ sorted by name; each scope's tracks take tid 1+
+// sorted by track name.
+func (r *Recorder) traceLayout() (map[string]int, map[string]map[string]int) {
+	scopes := map[string]map[string]struct{}{}
+	for _, e := range r.events {
+		lanes := scopes[e.App]
+		if lanes == nil {
+			lanes = make(map[string]struct{})
+			scopes[e.App] = lanes
+		}
+		track := e.Track
+		if track == "" {
+			track = "events"
+		}
+		lanes[track] = struct{}{}
+	}
+	// Machine scope always exists so traces have a stable pid 1.
+	if _, ok := scopes[""]; !ok {
+		scopes[""] = map[string]struct{}{"events": {}}
+	}
+
+	names := make([]string, 0, len(scopes))
+	for name := range scopes {
+		names = append(names, name)
+	}
+	sort.Strings(names) // "" (machine) sorts first
+
+	pids := make(map[string]int, len(names))
+	tids := make(map[string]map[string]int, len(names))
+	for i, name := range names {
+		pids[name] = i + 1
+		laneSet := scopes[name]
+		laneNames := make([]string, 0, len(laneSet))
+		for lane := range laneSet {
+			laneNames = append(laneNames, lane)
+		}
+		sort.Strings(laneNames)
+		lanes := make(map[string]int, len(laneNames))
+		for k, lane := range laneNames {
+			lanes[lane] = k + 1
+		}
+		// Events with an empty track land on the "events" lane.
+		if tid, ok := lanes["events"]; ok {
+			lanes[""] = tid
+		}
+		tids[name] = lanes
+	}
+	return pids, tids
+}
+
+// jsonWriter is a minimal error-latching JSON emitter. The exporter
+// writes structure by hand so field order (and therefore output bytes)
+// is exactly the emission order, not encoding/json's choices.
+type jsonWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (j *jsonWriter) raw(s string) {
+	if j.err == nil {
+		_, j.err = j.w.WriteString(s)
+	}
+}
+
+// str writes a JSON string literal with the escapes our names can need.
+func (j *jsonWriter) str(s string) {
+	if j.err != nil {
+		return
+	}
+	buf := make([]byte, 0, len(s)+2)
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			buf = append(buf, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xF])
+		default:
+			buf = append(buf, c)
+		}
+	}
+	buf = append(buf, '"')
+	_, j.err = j.w.Write(buf)
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"vulcan/internal/sim"
+)
+
+// Recorder is the standard Sink: it buffers events, hosts the metrics
+// registry, and snapshots the registry once per epoch for the CSV
+// exporter. All timestamps come from the bound sim.Clock; a recorder
+// with no clock stamps t=0 (useful in unit tests that set Event.Time
+// explicitly).
+type Recorder struct {
+	clock   *sim.Clock
+	filter  TypeSet
+	events  []Event
+	reg     *Registry
+	samples []epochSample
+}
+
+// epochSample is one per-epoch registry snapshot row.
+type epochSample struct {
+	Epoch int
+	T     sim.Time
+	Row   metricRow
+}
+
+// NewRecorder returns a recorder that admits every event type.
+func NewRecorder() *Recorder {
+	return &Recorder{reg: NewRegistry()}
+}
+
+// BindClock attaches the simulation clock; the system calls this during
+// construction so emission sites never handle clocks themselves.
+func (r *Recorder) BindClock(c *sim.Clock) { r.clock = c }
+
+// SetFilter restricts recording to the given type set (zero = all).
+func (r *Recorder) SetFilter(f TypeSet) { r.filter = f }
+
+// Enabled implements Sink.
+func (r *Recorder) Enabled(t EventType) bool { return r.filter.Enabled(t) }
+
+// Event implements Sink: the event is stamped with the sim clock's
+// current time (unless the caller pre-stamped it) and buffered.
+func (r *Recorder) Event(e Event) {
+	if !r.filter.Enabled(e.Type) {
+		return
+	}
+	if e.Time == 0 && r.clock != nil {
+		e.Time = r.clock.Now()
+	}
+	r.events = append(r.events, e)
+}
+
+// Metrics returns the registry (see RegistryOf).
+func (r *Recorder) Metrics() *Registry { return r.reg }
+
+// Events returns the buffered events in emission order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// EventCount returns the number of buffered events of type t.
+func (r *Recorder) EventCount(t EventType) int {
+	n := 0
+	for _, e := range r.events {
+		if e.Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+// FlushEpoch snapshots every registry instrument as one CSV row set for
+// the given epoch. The system calls it at each epoch boundary, before
+// the clock advances, so rows carry the epoch's start time.
+func (r *Recorder) FlushEpoch(epoch int) {
+	var t sim.Time
+	if r.clock != nil {
+		t = r.clock.Now()
+	}
+	for _, row := range r.reg.snapshot(nil) {
+		r.samples = append(r.samples, epochSample{Epoch: epoch, T: t, Row: row})
+	}
+}
+
+// formatVal renders a metric value in the shortest round-trippable
+// form, so output is byte-stable across runs and Go versions.
+func formatVal(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteMetricsCSV emits the per-epoch registry snapshots as long-format
+// CSV: epoch, sim time (ns), metric identity, value. Rows appear in
+// (epoch, sorted metric identity) order — never map order.
+func (r *Recorder) WriteMetricsCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("epoch,t_ns,metric,value\n"); err != nil {
+		return err
+	}
+	for _, s := range r.samples {
+		bw.WriteString(strconv.Itoa(s.Epoch))
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatInt(int64(s.T), 10))
+		bw.WriteByte(',')
+		bw.WriteString(s.Row.ID)
+		bw.WriteByte(',')
+		bw.WriteString(formatVal(s.Row.Val))
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

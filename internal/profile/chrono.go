@@ -92,6 +92,7 @@ func (c *Chrono) EndEpoch() EpochReport {
 	}
 	rep.OverheadCycles = float64(rep.ScannedPages) * c.scanCost
 	c.heat.endEpoch()
+	rep.Tracked = c.heat.tracked()
 	return rep
 }
 

@@ -103,6 +103,7 @@ func (h *HintFault) EndEpoch() EpochReport {
 		}
 	}
 	h.heat.endEpoch()
+	rep.Tracked = h.heat.tracked()
 	return rep
 }
 

@@ -103,6 +103,7 @@ func (h *Hybrid) EndEpoch() EpochReport {
 	}
 	rep.OverheadCycles += float64(rep.ScannedPages) * h.scanCost
 	h.heat.endEpoch()
+	rep.Tracked = h.heat.tracked()
 	return rep
 }
 

@@ -68,6 +68,7 @@ func (p *PEBS) EndEpoch() EpochReport {
 	rep := EpochReport{OverheadCycles: float64(p.samples) * 40}
 	p.samples = 0
 	p.heat.endEpoch()
+	rep.Tracked = p.heat.tracked()
 	return rep
 }
 

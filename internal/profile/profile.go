@@ -38,6 +38,10 @@ type EpochReport struct {
 	OverheadCycles float64
 	ScannedPages   int
 	Faults         int
+	// Tracked is the number of pages holding live heat state after the
+	// boundary — the profiler's working-set estimate, exported as
+	// profile-epoch telemetry.
+	Tracked int
 }
 
 // Profiler estimates page heat from an access stream.

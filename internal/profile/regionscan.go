@@ -105,6 +105,7 @@ func (s *RegionScan) EndEpoch() EpochReport {
 	rep.OverheadCycles = float64(rep.ScannedPages) * s.scanCost
 	s.heat.endEpoch()
 	s.epoch++
+	rep.Tracked = s.heat.tracked()
 	return rep
 }
 

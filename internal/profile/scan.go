@@ -69,6 +69,7 @@ func (s *Scan) EndEpoch() EpochReport {
 	}
 	rep.OverheadCycles = float64(rep.ScannedPages) * s.scanCostPerPage
 	s.heat.endEpoch()
+	rep.Tracked = s.heat.tracked()
 	return rep
 }
 

@@ -49,6 +49,11 @@ type App struct {
 	epochOps      float64
 	pendingStall  float64 // sync-migration cycles to charge next epoch
 
+	// Telemetry accumulators (reset or harvested each epoch).
+	epochDemandFaults int
+	epochTHPSplits    int
+	epochPerf         float64 // last epoch's normalized performance
+
 	// Smoothed / cumulative state.
 	fthr       *metrics.EMA
 	totalOps   float64
@@ -150,6 +155,8 @@ func (a *App) admit(sys *System, placer Placer) {
 		Shadowing:         mech.Shadowing,
 		Invalidate:        a.invalidateTLBs,
 		PreMigrate:        a.splitTHP,
+		Obs:               sys.obs,
+		Owner:             a.Cfg.Name,
 	})
 	a.Engine = eng
 	a.Async = migrate.NewAsyncMigrator(migrate.AsyncConfig{
@@ -175,9 +182,19 @@ func (a *App) admit(sys *System, placer Placer) {
 // returning the one-time split cost (§3.5).
 func (a *App) splitTHP(vp pagetable.VPage) float64 {
 	if a.huge.Split(vp) {
+		a.epochTHPSplits++
 		return a.sys.cost.THPSplitCycles
 	}
 	return 0
+}
+
+// TLBStats aggregates the app's per-thread TLB counters.
+func (a *App) TLBStats() tlb.Stats {
+	var s tlb.Stats
+	for _, t := range a.TLBs {
+		s = s.Merge(t.Stats())
+	}
+	return s
 }
 
 // Huge exposes the app's THP state (nil when disabled).
@@ -253,6 +270,7 @@ func (a *App) mapNewPage(vp pagetable.VPage, tid int, placer Placer) {
 func (a *App) runEpochAccesses(samples int, epochCycles float64, bwUtil [mem.NumTiers]float64) {
 	a.epochFastSamples, a.epochSlowSamples = 0, 0
 	a.epochActualCyc, a.epochIdealCyc, a.epochEventCyc = 0, 0, 0
+	a.epochDemandFaults = 0
 
 	cost := a.sys.cost
 	computeCyc := float64(a.Cfg.ComputeNs) * sim.CyclesPerNs
@@ -271,6 +289,7 @@ func (a *App) runEpochAccesses(samples int, epochCycles float64, bwUtil [mem.Num
 				a.mapNewPage(vp, tid, a.sys.placer)
 				res, _ = a.Table.Touch(tid, vp, ref.Write)
 				a.epochEventCyc += cost.MinorFaultCycles
+				a.epochDemandFaults++
 			}
 			if res.LinkedLeaf {
 				a.epochEventCyc += cost.LeafLinkCycles
@@ -346,13 +365,15 @@ func (a *App) runEpochAccesses(samples int, epochCycles float64, bwUtil [mem.Num
 		if arrivals > 0 {
 			perf *= a.epochOps / arrivals
 		}
+		a.epochPerf = perf
 		a.perfSeries.Add(perf)
 	} else {
 		// Closed-loop: throughput-bound; performance is achieved ops
 		// versus the all-fast ideal over the full epoch.
 		a.epochOps = capacityOps
 		idealOps := epochCycles * float64(a.Cfg.Threads) / avgIdeal
-		a.perfSeries.Add(a.epochOps / idealOps)
+		a.epochPerf = a.epochOps / idealOps
+		a.perfSeries.Add(a.epochPerf)
 	}
 	a.totalOps += a.epochOps
 	a.sampleWeight = a.epochOps / totalSamples

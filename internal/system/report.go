@@ -2,7 +2,10 @@ package system
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
+	"strings"
 
 	"vulcan/internal/sim"
 )
@@ -92,6 +95,36 @@ func (r Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// WriteText renders the human-readable run summary (vulcansim's default
+// output). A report with no applications means the run never configured
+// anything worth summarizing, so it is rejected rather than printed as
+// a bare header.
+func (r Report) WriteText(w io.Writer) error {
+	if len(r.Apps) == 0 {
+		return errors.New("report: empty run (no applications)")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy=%s  simulated=%.0fs  fast tier used %d/%d pages\n",
+		r.Policy, r.SimSeconds, r.FastUsed, r.FastCapacity)
+	fmt.Fprintf(&b, "%-12s %-5s %12s %10s %10s %12s %12s\n",
+		"app", "class", "perf", "±ci95", "fthr", "fast pages", "rss pages")
+	for _, a := range r.Apps {
+		if !a.Started {
+			fmt.Fprintf(&b, "%-12s (never started)\n", a.Name)
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %-5s %12.3f %10.3f %10.3f %12d %12d\n",
+			a.Name, a.Class, a.MeanPerf, a.PerfCI95, a.FTHR,
+			a.FastPages, a.RSSPages)
+	}
+	fmt.Fprintf(&b, "CFI (FTHR-weighted cumulative fairness, Eq.4): %.3f\n", r.CFI)
+	if !r.AuditOK {
+		fmt.Fprintf(&b, "WARNING: frame-ownership audit failed: %v\n", r.AuditProblems)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // TierUtilization returns fast-tier used fraction, a convenience for

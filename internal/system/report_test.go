@@ -82,6 +82,70 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReportWriteTextGolden pins the text formatter byte-for-byte: the
+// table is parsed by eyeballs and by scripts in equal measure, so layout
+// drift is a breaking change.
+func TestReportWriteTextGolden(t *testing.T) {
+	r := Report{
+		Policy:       "vulcan",
+		Epochs:       120,
+		SimSeconds:   120,
+		FastCapacity: 256,
+		FastUsed:     200,
+		CFI:          0.925,
+		AuditOK:      true,
+		Apps: []AppReport{
+			{
+				Name: "memcached", Class: "LC", Started: true,
+				MeanPerf: 0.912, PerfCI95: 0.01, FTHR: 0.875,
+				FastPages: 150, RSSPages: 400,
+			},
+			{Name: "idle", Class: "BE"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "policy=vulcan  simulated=120s  fast tier used 200/256 pages\n" +
+		"app          class         perf      ±ci95       fthr   fast pages    rss pages\n" +
+		"memcached    LC           0.912      0.010      0.875          150          400\n" +
+		"idle         (never started)\n" +
+		"CFI (FTHR-weighted cumulative fairness, Eq.4): 0.925\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestReportWriteTextAuditWarning(t *testing.T) {
+	r := Report{
+		Policy:        "static",
+		Apps:          []AppReport{{Name: "a", Class: "LC"}},
+		AuditProblems: []string{"frame 7 double-owned"},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "frame 7 double-owned") {
+		t.Fatalf("audit warning missing:\n%s", buf.String())
+	}
+}
+
+func TestReportWriteTextEmptyRun(t *testing.T) {
+	var buf bytes.Buffer
+	err := (Report{Policy: "vulcan"}).WriteText(&buf)
+	if err == nil {
+		t.Fatal("empty run accepted")
+	}
+	if !strings.Contains(err.Error(), "empty run") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("partial output on error: %q", buf.String())
+	}
+}
+
 func TestSystemAccessors(t *testing.T) {
 	pol := NullPolicy{}
 	sys := New(Config{

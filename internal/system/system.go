@@ -6,6 +6,7 @@ import (
 	"vulcan/internal/machine"
 	"vulcan/internal/mem"
 	"vulcan/internal/metrics"
+	"vulcan/internal/obs"
 	"vulcan/internal/profile"
 	"vulcan/internal/sim"
 	"vulcan/internal/workload"
@@ -36,6 +37,13 @@ type Config struct {
 	// app's RSS is mapped as 2MiB huge pages for TLB coverage and split
 	// into base pages when migration touches a group (§3.5).
 	DisableTHP bool
+
+	// Obs receives structured telemetry from every layer of the run
+	// (see internal/obs). nil — the default — disables telemetry at the
+	// cost of a nil check per emission site. If the sink can bind a
+	// clock (obs.Recorder), the system binds it to the machine clock so
+	// all event timestamps are simulated time.
+	Obs obs.Sink
 
 	Seed uint64
 }
@@ -76,6 +84,7 @@ type System struct {
 
 	recorder *metrics.Recorder
 	cfi      *metrics.CFITracker
+	obs      obs.Sink
 	epoch    int
 
 	// bwUtil carries the previous epoch's measured bandwidth utilization
@@ -103,8 +112,12 @@ func New(cfg Config) *System {
 		rng:      sim.NewRNG(cfg.Seed),
 		recorder: metrics.NewRecorder(m.Clock),
 		cfi:      metrics.NewCFITracker(len(cfg.Apps)),
+		obs:      cfg.Obs,
 		tiers:    m.Tiers,
 		cost:     cfg.Machine.Cost,
+	}
+	if b, ok := cfg.Obs.(interface{ BindClock(*sim.Clock) }); ok {
+		b.BindClock(m.Clock)
 	}
 	if p, ok := cfg.Policy.(Placer); ok {
 		s.placer = p
@@ -178,6 +191,10 @@ func (s *System) CFI() *metrics.CFITracker { return s.cfi }
 // Policy returns the active tiering policy.
 func (s *System) Policy() Tiering { return s.policy }
 
+// Obs returns the telemetry sink (nil when telemetry is disabled).
+// Policies emit their decision/adaptation events through it.
+func (s *System) Obs() obs.Sink { return s.obs }
+
 // RunEpoch advances the simulation by one epoch: admission, access
 // simulation, profiler harvest, policy migrations, accounting.
 func (s *System) RunEpoch() {
@@ -189,6 +206,11 @@ func (s *System) RunEpoch() {
 			a.admit(s, s.placer)
 			a.refreshCensus()
 			s.policy.AppStarted(s, a)
+			if obs.Enabled(s.obs, obs.EvAppStart) {
+				s.obs.Event(obs.E(obs.EvAppStart, a.Cfg.Name, "", 0,
+					obs.F("rss_pages", float64(a.rssMapped)),
+					obs.F("threads", float64(a.Cfg.Threads))))
+			}
 		}
 	}
 
@@ -198,6 +220,11 @@ func (s *System) RunEpoch() {
 	for _, a := range s.apps {
 		if a.started {
 			a.runEpochAccesses(s.cfg.SamplesPerThread, epochCycles, s.bwUtil)
+			if a.epochDemandFaults > 0 && obs.Enabled(s.obs, obs.EvDemandFault) {
+				s.obs.Event(obs.E(obs.EvDemandFault, a.Cfg.Name, "faults", 0,
+					obs.F("count", float64(a.epochDemandFaults)),
+					obs.F("cycles", float64(a.epochDemandFaults)*s.cost.MinorFaultCycles)))
+			}
 		}
 	}
 
@@ -206,6 +233,18 @@ func (s *System) RunEpoch() {
 		if a.started {
 			rep := a.Profiler.EndEpoch()
 			a.ChargeStall(rep.OverheadCycles)
+			if obs.Enabled(s.obs, obs.EvProfileEpoch) {
+				s.obs.Event(obs.E(obs.EvProfileEpoch, a.Cfg.Name, "profile",
+					sim.CyclesToDuration(rep.OverheadCycles),
+					obs.F("overhead_cycles", rep.OverheadCycles),
+					obs.F("scanned_pages", float64(rep.ScannedPages)),
+					obs.F("faults", float64(rep.Faults)),
+					obs.F("tracked", float64(rep.Tracked))))
+			}
+			if rep.Faults > 0 && obs.Enabled(s.obs, obs.EvHintFault) {
+				s.obs.Event(obs.E(obs.EvHintFault, a.Cfg.Name, "faults", 0,
+					obs.F("count", float64(rep.Faults))))
+			}
 		}
 	}
 
@@ -226,6 +265,7 @@ func (s *System) RunEpoch() {
 		s.recorder.Record(prefix+"ops", a.epochOps)
 		weighted[mem.TierFast] += a.epochFastSamples * a.sampleWeight
 		weighted[mem.TierSlow] += a.epochSlowSamples * a.sampleWeight
+		s.observeApp(a)
 	}
 	s.recorder.Record("fast_tier_used", float64(s.tiers.Fast().Used()))
 
@@ -241,8 +281,66 @@ func (s *System) RunEpoch() {
 		s.bwUtil[t] = u
 	}
 
+	s.observeEpoch()
+
 	s.m.Clock.Advance(s.cfg.EpochLength)
 	s.epoch++
+}
+
+// observeApp publishes one started app's end-of-epoch telemetry: THP
+// split events plus the per-app gauge/histogram refresh. No-ops at zero
+// cost when no sink (or no registry-bearing sink) is configured.
+func (s *System) observeApp(a *App) {
+	if a.epochTHPSplits > 0 {
+		if obs.Enabled(s.obs, obs.EvTHPSplit) {
+			s.obs.Event(obs.E(obs.EvTHPSplit, a.Cfg.Name, "thp", 0,
+				obs.F("count", float64(a.epochTHPSplits)),
+				obs.F("cycles", float64(a.epochTHPSplits)*s.cost.THPSplitCycles)))
+		}
+		a.epochTHPSplits = 0
+	}
+	reg := obs.RegistryOf(s.obs)
+	if reg == nil {
+		return
+	}
+	app := obs.App(a.Cfg.Name)
+	reg.Gauge("fast_pages", app).Set(float64(a.fastPages))
+	reg.Gauge("rss_pages", app).Set(float64(a.rssMapped))
+	reg.Gauge("fthr", app).Set(a.FTHR())
+	reg.Gauge("ops", app).Set(a.epochOps)
+	ts := a.TLBStats()
+	reg.Gauge("tlb_hit_rate", app).Set(ts.HitRate())
+	reg.Gauge("tlb_invalidations", app).Set(float64(ts.Invalidations))
+	if a.huge != nil {
+		reg.Gauge("thp_groups", app).Set(float64(a.huge.HugeGroups()))
+		reg.Gauge("thp_splits", app).Set(float64(a.huge.Splits()))
+	}
+	as := a.Async.Stats()
+	reg.Gauge("async_moved", app).Set(float64(as.Moved))
+	reg.Gauge("async_aborted", app).Set(float64(as.Aborted))
+	reg.Histogram("epoch_perf", 0, 1.5, 60, app).Add(a.epochPerf)
+}
+
+// observeEpoch emits the machine-scope epoch summary event, refreshes
+// machine gauges, and flushes the epoch's metric samples (the sink is
+// flushed before the clock advances so samples carry this epoch's
+// boundary timestamp).
+func (s *System) observeEpoch() {
+	if obs.Enabled(s.obs, obs.EvEpoch) {
+		s.obs.Event(obs.E(obs.EvEpoch, "", "epoch", s.cfg.EpochLength,
+			obs.F("epoch", float64(s.epoch)),
+			obs.F("fast_used_pages", float64(s.tiers.Fast().Used())),
+			obs.F("bw_fast", s.bwUtil[mem.TierFast]),
+			obs.F("bw_slow", s.bwUtil[mem.TierSlow])))
+	}
+	if reg := obs.RegistryOf(s.obs); reg != nil {
+		reg.Gauge("fast_tier_used").Set(float64(s.tiers.Fast().Used()))
+		reg.Gauge("bw_util", obs.Tier("fast")).Set(s.bwUtil[mem.TierFast])
+		reg.Gauge("bw_util", obs.Tier("slow")).Set(s.bwUtil[mem.TierSlow])
+	}
+	if f, ok := s.obs.(interface{ FlushEpoch(int) }); ok {
+		f.FlushEpoch(s.epoch)
+	}
 }
 
 // Run advances the simulation for d of simulated time.

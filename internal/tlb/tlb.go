@@ -25,6 +25,17 @@ type Stats struct {
 	Flushes       uint64
 }
 
+// Merge returns the element-wise sum of two counter sets — used to
+// aggregate a process's per-thread TLBs into one telemetry view.
+func (s Stats) Merge(o Stats) Stats {
+	return Stats{
+		Hits:          s.Hits + o.Hits,
+		Misses:        s.Misses + o.Misses,
+		Invalidations: s.Invalidations + o.Invalidations,
+		Flushes:       s.Flushes + o.Flushes,
+	}
+}
+
 // HitRate returns hits/(hits+misses), or 0 for an unused TLB.
 func (s Stats) HitRate() float64 {
 	total := s.Hits + s.Misses

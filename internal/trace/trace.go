@@ -161,7 +161,7 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, errors.New("trace: bad magic")
 	}
 	if hdr[4] != version {
-		return nil, fmt.Errorf("trace: unsupported version %d", hdr[4])
+		return nil, fmt.Errorf("trace: unsupported version %d (this reader understands only version %d; regenerate the trace with this build's tracegen)", hdr[4], version)
 	}
 	pages, err := binary.ReadUvarint(br)
 	if err != nil {

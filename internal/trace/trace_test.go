@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -104,6 +105,33 @@ func TestReadRejectsGarbage(t *testing.T) {
 		if _, err := Read(bytes.NewReader(data)); err == nil {
 			t.Errorf("%s: Read accepted garbage", name)
 		}
+	}
+}
+
+func TestReadVersionGate(t *testing.T) {
+	// Every unknown version byte must be rejected with an error that
+	// names both the found and the supported version, so a user holding
+	// a future-format trace learns what to do rather than just "no".
+	for _, bad := range []byte{0, 2, 99, 255} {
+		hdr := []byte{'V', 'T', 'R', 'C', bad, 10, 0}
+		_, err := Read(bytes.NewReader(hdr))
+		if err == nil {
+			t.Fatalf("version %d accepted", bad)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, fmt.Sprintf("unsupported version %d", bad)) {
+			t.Errorf("version %d: error does not name found version: %v", bad, err)
+		}
+		if !strings.Contains(msg, fmt.Sprintf("only version %d", version)) {
+			t.Errorf("version %d: error does not name supported version: %v", bad, err)
+		}
+	}
+	// The supported version must still pass the gate (failure, if any,
+	// comes later in the stream).
+	hdr := []byte{'V', 'T', 'R', 'C', version}
+	if _, err := Read(bytes.NewReader(hdr)); err != nil &&
+		strings.Contains(err.Error(), "unsupported version") {
+		t.Fatalf("current version rejected: %v", err)
 	}
 }
 
