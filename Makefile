@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt vet lint test race obs-demo
+.PHONY: check build fmt vet lint test race obs-demo obs-demo-parallel bench
 
 # check is the full gate, in fail-fast order: cheap static checks first,
 # then the test suites.
@@ -51,3 +51,32 @@ obs-demo:
 	cmp out/obs-demo/metrics.csv out/obs-demo/metrics2.csv
 	cmp out/obs-demo/report.txt out/obs-demo/report2.txt
 	@echo "obs-demo: trace, metrics and report byte-identical across replays"
+
+# obs-demo-parallel is the parallel-determinism gate: the same 3-seed
+# sweep on 4 workers and on 1 must emit byte-identical reports, traces
+# and metric CSVs (internal/lab's ordered-commit contract, DESIGN.md
+# "Parallel determinism").
+obs-demo-parallel:
+	@mkdir -p out/obs-demo
+	$(GO) run ./cmd/vulcansim $(OBS_DEMO_FLAGS) -seeds 3 -parallel 4 \
+		-trace-out out/obs-demo/ptrace.json -metrics-out out/obs-demo/pmetrics.csv \
+		> out/obs-demo/preport.txt
+	$(GO) run ./cmd/vulcansim $(OBS_DEMO_FLAGS) -seeds 3 -parallel 1 \
+		-trace-out out/obs-demo/strace.json -metrics-out out/obs-demo/smetrics.csv \
+		> out/obs-demo/sreport.txt
+	cmp out/obs-demo/preport.txt out/obs-demo/sreport.txt
+	for s in 7 8 9; do \
+		cmp out/obs-demo/ptrace.seed$$s.json out/obs-demo/strace.seed$$s.json && \
+		cmp out/obs-demo/pmetrics.seed$$s.csv out/obs-demo/smetrics.seed$$s.csv || exit 1; \
+	done
+	@echo "obs-demo-parallel: workers=4 output byte-identical to serial"
+
+# bench runs the figure benchmarks with allocation accounting and
+# records the numbers as structured JSON (committed as
+# BENCH_parallel.json so perf regressions show up in review diffs).
+# Narrow with e.g. `make bench BENCHES='BenchmarkFig2|BenchmarkFig8'`.
+BENCHES ?= BenchmarkFig
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson > BENCH_parallel.json
+	@cat BENCH_parallel.json

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"vulcan/internal/figures"
+	"vulcan/internal/lab"
 	"vulcan/internal/sim"
 )
 
@@ -34,8 +35,10 @@ func main() {
 		seconds   = flag.Int("seconds", 120, "simulated seconds for co-location figures")
 		scale     = flag.Int("scale", 4, "extra capacity scale divisor (1 = full 1/64 scale)")
 		seed      = flag.Uint64("seed", 1, "base random seed")
+		parallel  = flag.Int("parallel", 0, "worker goroutines for independent runs (0 = GOMAXPROCS); output is byte-identical at any value")
 	)
 	flag.Parse()
+	lab.SetDefaultWorkers(*parallel)
 
 	duration := sim.Duration(*seconds) * sim.Second
 	did := false

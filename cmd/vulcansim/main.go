@@ -7,18 +7,27 @@
 //	vulcansim -policy vulcan -seconds 180
 //	vulcansim -policy memtis -apps memcached,liblinear -seconds 120
 //	vulcansim -policy vulcan -staggered -series timeline.csv
+//	vulcansim -policy vulcan -seeds 5 -parallel 4   # seeds 1..5 in parallel
+//
+// Multi-seed mode (-seeds N) runs N consecutive seeds as independent
+// simulations on a worker pool (-parallel, default GOMAXPROCS) and
+// reports them in seed order; per-seed artifacts get a ".seedK" suffix
+// before the extension. Output is byte-identical at any -parallel value.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"vulcan"
 	"vulcan/internal/figures"
+	"vulcan/internal/lab"
 	"vulcan/internal/obs"
 	"vulcan/internal/scenario"
 	"vulcan/internal/sim"
@@ -38,12 +47,17 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
 		metricsOut = flag.String("metrics-out", "", "write per-epoch metric samples as CSV to this file")
 		obsFilter  = flag.String("obs-filter", "", "comma-separated event types to record (default all; see internal/obs)")
+		seedsN     = flag.Int("seeds", 1, "run this many consecutive seeds (seed, seed+1, ...) as independent simulations")
+		parallel   = flag.Int("parallel", 0, "worker goroutines for multi-seed mode (0 = GOMAXPROCS); output is byte-identical at any value")
 	)
 	flag.Parse()
-
-	rec := buildRecorder(*traceOut, *metricsOut, *obsFilter)
+	lab.SetDefaultWorkers(*parallel)
 
 	if *configPath != "" {
+		if *seedsN > 1 {
+			log.Fatal("-seeds applies to flag-defined scenarios, not -config runs")
+		}
+		rec := buildRecorder(*traceOut, *metricsOut, *obsFilter)
 		runConfigFile(*configPath, *seriesOut, *jsonOut, rec, *traceOut, *metricsOut)
 		return
 	}
@@ -70,6 +84,68 @@ func main() {
 		}
 	}
 
+	if *seedsN > 1 {
+		// Validate the filter once before fanning out; workers reparse
+		// it (deterministically) for their private recorders.
+		if *obsFilter != "" {
+			if _, err := obs.ParseFilter(*obsFilter); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Each seed is a self-contained run: fresh policy, recorder and
+		// system per worker. Output is rendered to buffers in parallel
+		// and committed to stdout/disk serially in seed order, so bytes
+		// never depend on -parallel.
+		type seedOut struct {
+			report, series, trace, metrics []byte
+		}
+		outs := lab.Map(0, *seedsN, func(i int) seedOut {
+			rec := buildRecorder(*traceOut, *metricsOut, *obsFilter)
+			cfg := vulcan.Config{
+				Machine:          figures.ColocationMachine(*scale),
+				Apps:             apps,
+				Policy:           figures.NewPolicy(*policyName),
+				Seed:             *seed + uint64(i),
+				SamplesPerThread: figures.SamplesForScale(*scale),
+			}
+			if rec != nil {
+				cfg.Obs = rec
+			}
+			sys := vulcan.NewSystem(cfg)
+			sys.Run(vulcan.Duration(*seconds) * vulcan.Second)
+			var o seedOut
+			o.report = renderReport(sys, *jsonOut)
+			if *seriesOut != "" {
+				o.series = renderTo(sys.Recorder().WriteCSV)
+			}
+			if *traceOut != "" {
+				o.trace = renderTo(rec.WriteChromeTrace)
+			}
+			if *metricsOut != "" {
+				o.metrics = renderTo(rec.WriteMetricsCSV)
+			}
+			return o
+		})
+		for i, o := range outs {
+			s := *seed + uint64(i)
+			if !*jsonOut {
+				fmt.Printf("### seed %d\n", s)
+			}
+			os.Stdout.Write(o.report)
+			if *seriesOut != "" {
+				writeBytesArtifact(seedPath(*seriesOut, s), "time series", o.series)
+			}
+			if *traceOut != "" {
+				writeBytesArtifact(seedPath(*traceOut, s), "chrome trace", o.trace)
+			}
+			if *metricsOut != "" {
+				writeBytesArtifact(seedPath(*metricsOut, s), "metric samples", o.metrics)
+			}
+		}
+		return
+	}
+
+	rec := buildRecorder(*traceOut, *metricsOut, *obsFilter)
 	mcfg := figures.ColocationMachine(*scale)
 	cfg := vulcan.Config{
 		Machine:          mcfg,
@@ -84,6 +160,45 @@ func main() {
 	sys := vulcan.NewSystem(cfg)
 	sys.Run(vulcan.Duration(*seconds) * vulcan.Second)
 	finish(sys, *jsonOut, *seriesOut, rec, *traceOut, *metricsOut)
+}
+
+// renderReport buffers the final report in the requested format.
+func renderReport(sys *vulcan.System, jsonOut bool) []byte {
+	var b bytes.Buffer
+	var err error
+	if jsonOut {
+		err = sys.Report().WriteJSON(&b)
+	} else {
+		err = sys.Report().WriteText(&b)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// renderTo buffers one exporter's output.
+func renderTo(write func(io.Writer) error) []byte {
+	var b bytes.Buffer
+	if err := write(&b); err != nil {
+		log.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// seedPath derives a per-seed artifact path by inserting the seed
+// before the extension: trace.json -> trace.seed7.json.
+func seedPath(path string, seed uint64) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.seed%d%s", strings.TrimSuffix(path, ext), seed, ext)
+}
+
+// writeBytesArtifact writes one pre-rendered artifact to path.
+func writeBytesArtifact(path, what string, data []byte) {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s written to %s\n", what, path)
 }
 
 // buildRecorder returns a telemetry recorder when any -trace-out,

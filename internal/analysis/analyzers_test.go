@@ -30,10 +30,34 @@ func TestFloatEq(t *testing.T) {
 	analysistest.Run(t, analysis.FloatEq, "floateq")
 }
 
+func TestLabOnly(t *testing.T) {
+	analysistest.Run(t, analysis.LabOnly, "labonly")
+}
+
+// TestLabOnlyScope pins the containment boundary: the rule covers the
+// simulation tree but exempts the lab itself (and, like the rest of
+// the contract, cmd/ and examples/).
+func TestLabOnlyScope(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		want bool
+	}{
+		{"vulcan/internal/figures", true},
+		{"vulcan/internal/migrate", true},
+		{"vulcan/internal/lab", false},
+		{"vulcan/cmd/vulcansim", false},
+		{"vulcan/examples/quickstart", false},
+	} {
+		if got := analysis.LabOnly.Applies(tc.path); got != tc.want {
+			t.Errorf("LabOnly.Applies(%q) = %t, want %t", tc.path, got, tc.want)
+		}
+	}
+}
+
 func TestSuiteComplete(t *testing.T) {
 	suite := analysis.Suite()
-	if len(suite) < 4 {
-		t.Fatalf("suite has %d analyzers, want >= 4", len(suite))
+	if len(suite) < 5 {
+		t.Fatalf("suite has %d analyzers, want >= 5", len(suite))
 	}
 	seen := map[string]bool{}
 	for _, a := range suite {
@@ -45,7 +69,7 @@ func TestSuiteComplete(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, name := range []string{"determinism", "maporder", "ptebits", "floateq"} {
+	for _, name := range []string{"determinism", "maporder", "ptebits", "floateq", "labonly"} {
 		if !seen[name] {
 			t.Errorf("suite missing analyzer %q", name)
 		}

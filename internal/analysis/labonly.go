@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// concurrencyPkgs are the stdlib packages whose mention marks code as
+// concurrent. Channels need no extra rule: without go statements there
+// is nobody to communicate with, and the go statement itself is
+// flagged.
+var concurrencyPkgs = map[string]bool{
+	"sync":        true,
+	"sync/atomic": true,
+}
+
+// isLabPackage reports whether pkgPath is the deterministic worker-pool
+// harness itself — the one simulation package allowed to spawn
+// goroutines and hold locks.
+func isLabPackage(pkgPath string) bool {
+	return strings.HasSuffix(pkgPath, "/internal/lab")
+}
+
+// LabOnly enforces concurrency containment: simulation code is
+// single-threaded by contract (DESIGN.md "Parallel determinism"), and
+// parallelism exists only as whole-run fan-out through internal/lab,
+// whose ordered-commit discipline keeps output byte-identical to a
+// serial run. A stray go statement or mutex anywhere else would let
+// scheduling order leak into results, silently breaking seeded replay.
+var LabOnly = &Analyzer{
+	Name: "labonly",
+	Doc: "confine go statements and sync primitives to internal/lab; simulation " +
+		"code stays single-threaded and independent runs fan out through the lab worker pool",
+	Applies: func(pkgPath string) bool {
+		return inSimTree(pkgPath) && !isLabPackage(pkgPath)
+	},
+	Run: runLabOnly,
+}
+
+func runLabOnly(pass *Pass) error {
+	pass.Preorder(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"go statement outside internal/lab lets goroutine scheduling into simulation state; fan independent runs out through lab.Map or lab.Sweep")
+		case *ast.SelectorExpr:
+			if pkg := pass.PkgNameOf(n); concurrencyPkgs[pkg] {
+				pass.Reportf(n.Pos(),
+					"%s.%s outside internal/lab: concurrency primitives are confined to the lab worker pool",
+					pkg, n.Sel.Name)
+			}
+		}
+		return true
+	})
+	return nil
+}

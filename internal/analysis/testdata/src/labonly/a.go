@@ -1,0 +1,59 @@
+// Package labonly is a vulcanvet fixture: go statements and sync
+// primitives must be flagged outside internal/lab; single-threaded
+// simulation code must not.
+package labonly
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+func badGoStatement(results []int) {
+	for i := range results {
+		i := i
+		go func() { // want `go statement outside internal/lab`
+			results[i] = i * i
+		}()
+	}
+}
+
+func badWaitGroup() {
+	var wg sync.WaitGroup // want `sync\.WaitGroup outside internal/lab`
+	wg.Add(1)
+	go func() { // want `go statement outside internal/lab`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func badMutex() {
+	var mu sync.Mutex // want `sync\.Mutex outside internal/lab`
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func badAtomic() int64 {
+	var n atomic.Int64 // want `sync/atomic\.Int64 outside internal/lab`
+	n.Add(1)
+	var raw int64
+	atomic.AddInt64(&raw, 1) // want `sync/atomic\.AddInt64 outside internal/lab`
+	return n.Load() + raw
+}
+
+// goodSerialFold shows the compliant shape: order-sensitive work stays
+// on one goroutine; methods named like sync primitives on non-package
+// receivers are fine.
+type accumulator struct{ sum float64 }
+
+func (a *accumulator) Add(v float64) { a.sum += v }
+
+func goodSerialFold(vals []float64) float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	var acc accumulator
+	for _, v := range sorted {
+		acc.Add(v)
+	}
+	return acc.sum
+}

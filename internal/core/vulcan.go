@@ -300,7 +300,7 @@ func (v *Vulcan) enforce(sys *system.System, st *QoSState) {
 		}
 		taken++
 		if it.Class.Async() {
-			app.Async.Enqueue(migrate.Move{VP: it.VP, To: mem.TierFast})
+			app.Async.EnqueueOne(migrate.Move{VP: it.VP, To: mem.TierFast})
 		} else if len(syncBatch) < v.opts.SyncBatchLimit {
 			syncBatch = append(syncBatch, migrate.Move{VP: it.VP, To: mem.TierFast})
 		}
@@ -361,7 +361,7 @@ func (v *Vulcan) swapWithinQuota(sys *system.System, app *system.App, budget flo
 		q := v.queues[app]
 		q.Rebuild(app, candidates[:n])
 		q.Drain(func(it QueueItem) bool {
-			app.Async.Enqueue(migrate.Move{VP: it.VP, To: mem.TierFast})
+			app.Async.EnqueueOne(migrate.Move{VP: it.VP, To: mem.TierFast})
 			return true
 		})
 	}

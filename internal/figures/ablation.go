@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"vulcan/internal/core"
+	"vulcan/internal/lab"
 	"vulcan/internal/sim"
 	"vulcan/internal/system"
 )
@@ -45,29 +46,45 @@ func Ablations(duration sim.Duration, scale int, seed uint64) []AblationRow {
 	if duration == 0 {
 		duration = 120 * sim.Second
 	}
-	run := func(pol system.Tiering) (perf, cfi, migCycles float64) {
-		res := runColocationWith(pol, duration, scale, seed)
+	type ablRun struct {
+		perf, cfi, migCycles float64
+	}
+	run := func(opts core.Options) ablRun {
+		// Construct the (stateful) policy inside the worker so no
+		// instance is shared across goroutines.
+		res := runColocationWith(core.New(opts), duration, scale, seed)
+		var r ablRun
 		sum := 0.0
 		for _, a := range res.Apps {
 			sum += a.Perf
 		}
 		for _, a := range res.System.StartedApps() {
-			migCycles += a.Async.Stats().CyclesUsed
+			r.migCycles += a.Async.Stats().CyclesUsed
 		}
-		return sum / float64(len(res.Apps)), res.CFI, migCycles
+		r.perf = sum / float64(len(res.Apps))
+		r.cfi = res.CFI
+		return r
 	}
-	fullPerf, fullCFI, fullMig := run(core.New(core.Options{}))
+	// Index 0 is full Vulcan, 1..N the ablated variants — all
+	// independent runs, fanned out on the lab pool.
+	runs := lab.Map(0, 1+len(AblationSpecs), func(i int) ablRun {
+		if i == 0 {
+			return run(core.Options{})
+		}
+		return run(AblationSpecs[i-1].Opts)
+	})
+	full := runs[0]
 	var rows []AblationRow
-	for _, spec := range AblationSpecs {
-		p, c, m := run(core.New(spec.Opts))
+	for i, spec := range AblationSpecs {
+		abl := runs[i+1]
 		rows = append(rows, AblationRow{
 			Name:             spec.Name,
-			FullPerf:         fullPerf,
-			AblatedPerf:      p,
-			FullCFI:          fullCFI,
-			AblatedCFI:       c,
-			FullMigCycles:    fullMig,
-			AblatedMigCycles: m,
+			FullPerf:         full.perf,
+			AblatedPerf:      abl.perf,
+			FullCFI:          full.cfi,
+			AblatedCFI:       abl.cfi,
+			FullMigCycles:    full.migCycles,
+			AblatedMigCycles: abl.migCycles,
 		})
 	}
 	return rows

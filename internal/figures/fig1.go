@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"vulcan/internal/lab"
 	"vulcan/internal/sim"
 	"vulcan/internal/system"
 	"vulcan/internal/workload"
@@ -62,9 +63,13 @@ func Fig1(duration sim.Duration, scale int, seed uint64) Fig1Result {
 	mc.RSSPages /= scale
 	ll.RSSPages /= scale
 
-	soloMC := run([]workload.AppConfig{mc})
-	soloLL := run([]workload.AppConfig{ll})
-	colo := run([]workload.AppConfig{mc, ll})
+	// The three scenarios are independent runs (fresh system, policy and
+	// RNG stream each); fan them out on the lab pool in submission order.
+	scenarios := [][]workload.AppConfig{{mc}, {ll}, {mc, ll}}
+	systems := lab.Map(0, len(scenarios), func(i int) *system.System {
+		return run(scenarios[i])
+	})
+	soloMC, soloLL, colo := systems[0], systems[1], systems[2]
 
 	var res Fig1Result
 	collect := func(sys *system.System, scenario, app string) Fig1Series {

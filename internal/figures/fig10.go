@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"vulcan/internal/lab"
 	"vulcan/internal/metrics"
 	"vulcan/internal/sim"
 )
@@ -43,17 +44,38 @@ func Fig10(trials int, duration sim.Duration, scale int) Fig10Result {
 
 	perf := make(map[string]map[string]*metrics.Running)
 	cfi := make(map[string]*metrics.Running)
-	var appNames []string
 	for _, pol := range policies {
 		perf[pol] = make(map[string]*metrics.Running)
 		cfi[pol] = &metrics.Running{}
+	}
+
+	// Flatten the policy × trial grid (policy-major, matching the old
+	// serial loop). Runs execute in parallel; the Running accumulators
+	// are order-sensitive floating-point folds, so lab.Collect commits
+	// each result serially in submission order — the accumulated bits
+	// match a serial sweep exactly.
+	type spec struct {
+		pol   string
+		trial int
+	}
+	var specs []spec
+	for _, pol := range policies {
 		for trial := 0; trial < trials; trial++ {
-			res := RunColocation(ColocationConfig{
-				Policy:   pol,
+			specs = append(specs, spec{pol, trial})
+		}
+	}
+	var appNames []string
+	lab.Collect(0, len(specs),
+		func(i int) ColocationResult {
+			return RunColocation(ColocationConfig{
+				Policy:   specs[i].pol,
 				Duration: duration,
-				Seed:     uint64(trial)*31 + 1,
+				Seed:     uint64(specs[i].trial)*31 + 1,
 				Scale:    scale,
 			})
+		},
+		func(i int, res ColocationResult) {
+			pol := specs[i].pol
 			cfi[pol].Add(res.CFI)
 			for _, a := range res.Apps {
 				r := perf[pol][a.Name]
@@ -68,8 +90,7 @@ func Fig10(trials int, duration sim.Duration, scale int) Fig10Result {
 					appNames = append(appNames, a.Name)
 				}
 			}
-		}
-	}
+		})
 
 	out := Fig10Result{
 		Policies: policies,

@@ -26,8 +26,9 @@ type Fig2Row struct {
 // cycles at 2 CPUs to ~77% of ~750K cycles at 32.
 func Fig2() []Fig2Row {
 	cost := machine.DefaultCostModel()
-	var rows []Fig2Row
-	for _, cpus := range []int{2, 4, 8, 16, 32} {
+	cpuCounts := []int{2, 4, 8, 16, 32}
+	rows := make([]Fig2Row, 0, len(cpuCounts))
+	for _, cpus := range cpuCounts {
 		b := cost.MigrationBreakdown(1, cpus, machine.MigrationOptions{Targets: cpus})
 		rows = append(rows, Fig2Row{
 			CPUs:        cpus,

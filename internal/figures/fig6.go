@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"vulcan/internal/lab"
 	"vulcan/internal/mem"
 	"vulcan/internal/pagetable"
 )
@@ -32,8 +33,11 @@ const Fig6MappedPages = 65536
 // extra tables per thread, while fully replicated tables multiply the
 // entire structure (and every PTE store) by the thread count.
 func Fig6() []Fig6Row {
-	var rows []Fig6Row
-	for _, threads := range []int{2, 4, 8, 16, 32} {
+	// Each thread-count point builds its own tables from scratch; the
+	// points are independent, so fan them out on the lab pool.
+	threadCounts := []int{2, 4, 8, 16, 32}
+	return lab.Map(0, len(threadCounts), func(i int) Fig6Row {
+		threads := threadCounts[i]
 		shared := pagetable.New()
 		vulcanT := pagetable.NewReplicated(threads)
 		full := pagetable.NewFullyReplicated(threads)
@@ -50,7 +54,7 @@ func Fig6() []Fig6Row {
 			}
 		}
 		s, v, f := shared.TableCount(), vulcanT.TotalTables(), full.TotalTables()
-		rows = append(rows, Fig6Row{
+		return Fig6Row{
 			Threads:          threads,
 			SharedTables:     s,
 			VulcanTables:     v,
@@ -59,9 +63,8 @@ func Fig6() []Fig6Row {
 			FullOverheadPc:   100 * (float64(f)/float64(s) - 1),
 			VulcanPTEWrites:  uint64(Fig6MappedPages),
 			FullPTEWrites:    full.PTEWrites(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // RenderFig6 renders the comparison.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"vulcan/internal/lab"
 	"vulcan/internal/machine"
 )
 
@@ -34,8 +35,10 @@ const fig7SharedFraction = 0.9
 func Fig7() []Fig7Row {
 	cost := machine.DefaultCostModel()
 	const cpus, threads = 32, 32
-	var rows []Fig7Row
-	for _, pages := range Fig7Pages {
+	// The cost model is read-only after construction; each batch-size
+	// point is pure math, so fan them out on the lab pool.
+	return lab.Map(0, len(Fig7Pages), func(i int) Fig7Row {
+		pages := Fig7Pages[i]
 		base := cost.MigrationBreakdown(pages, cpus, machine.MigrationOptions{
 			Targets: threads,
 		}).Total()
@@ -53,16 +56,15 @@ func Fig7() []Fig7Row {
 			cost.CopyCycles(pages) +
 			cost.ShootdownCycles(shared, threads) +
 			cost.ShootdownCycles(private, 0)
-		rows = append(rows, Fig7Row{
+		return Fig7Row{
 			Pages:          pages,
 			BaselineCycles: base,
 			PrepOptCycles:  prepOpt,
 			BothOptCycles:  both,
 			PrepOptSpeedup: base / prepOpt,
 			BothOptSpeedup: base / both,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // RenderFig7 renders the speedup table.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"vulcan/internal/lab"
 	"vulcan/internal/mem"
 	"vulcan/internal/system"
 	"vulcan/internal/workload"
@@ -40,13 +41,23 @@ func Fig8(policies []string, seed uint64) []Fig8Row {
 	if len(policies) == 0 {
 		policies = PolicyNames
 	}
-	var rows []Fig8Row
+	// Flatten the wss × policy grid into one ordered spec list; every
+	// cell is an independent run (own system, policy, RNG stream), so
+	// the lab pool executes them concurrently with results committed in
+	// submission order.
+	type spec struct {
+		wss Fig8WSS
+		pol string
+	}
+	var specs []spec
 	for _, wss := range []Fig8WSS{WSSSmall, WSSMedium, WSSLarge} {
 		for _, pol := range policies {
-			rows = append(rows, runFig8(pol, wss, seed))
+			specs = append(specs, spec{wss, pol})
 		}
 	}
-	return rows
+	return lab.Map(0, len(specs), func(i int) Fig8Row {
+		return runFig8(specs[i].pol, specs[i].wss, seed)
+	})
 }
 
 func runFig8(pol string, wss Fig8WSS, seed uint64) Fig8Row {

@@ -1,0 +1,75 @@
+package figures
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"vulcan/internal/lab"
+	"vulcan/internal/obs"
+	"vulcan/internal/sim"
+)
+
+// sweepDump runs a policy × seed figure sweep on the lab pool with the
+// given worker count and serializes every run's observable output —
+// report text, recorder CSV, Chrome trace JSON, and metric samples —
+// concatenated in submission order. Each run owns its recorder and
+// system; the only thing the worker count may change is wall clock.
+func sweepDump(t *testing.T, workers int) []byte {
+	t.Helper()
+	type spec struct {
+		policy string
+		seed   uint64
+	}
+	var specs []spec
+	for _, policy := range []string{"vulcan", "memtis"} {
+		for _, seed := range []uint64{3, 4} {
+			specs = append(specs, spec{policy, seed})
+		}
+	}
+	dumps := lab.Map(workers, len(specs), func(i int) []byte {
+		rec := obs.NewRecorder()
+		res := RunColocation(ColocationConfig{
+			Policy:   specs[i].policy,
+			Duration: 10 * sim.Second,
+			Seed:     specs[i].seed,
+			Scale:    8,
+			Obs:      rec,
+		})
+		var buf bytes.Buffer
+		if err := res.System.Report().WriteText(&buf); err != nil {
+			t.Errorf("report: %v", err)
+		}
+		if err := res.System.Recorder().WriteCSV(&buf); err != nil {
+			t.Errorf("csv: %v", err)
+		}
+		if err := rec.WriteChromeTrace(&buf); err != nil {
+			t.Errorf("chrome trace: %v", err)
+		}
+		if err := rec.WriteMetricsCSV(&buf); err != nil {
+			t.Errorf("metrics csv: %v", err)
+		}
+		return buf.Bytes()
+	})
+	var all bytes.Buffer
+	for i, d := range dumps {
+		fmt.Fprintf(&all, "=== %s seed %d ===\n", specs[i].policy, specs[i].seed)
+		all.Write(d)
+	}
+	return all.Bytes()
+}
+
+// TestSweepByteIdentical is the parallel-determinism guard for the
+// figure pipeline: the same sweep at workers=1 (the serial fast path,
+// identical to the pre-lab code), 2, and 7 must produce byte-identical
+// trace JSON, metrics CSV, and report text. Any shared mutable state
+// crossing a goroutine boundary, or any completion-order commit, shows
+// up here as a byte diff.
+func TestSweepByteIdentical(t *testing.T) {
+	serial := sweepDump(t, 1)
+	for _, workers := range []int{2, 7} {
+		if got := sweepDump(t, workers); !bytes.Equal(serial, got) {
+			t.Fatalf("workers=%d diverged from serial:\n%s", workers, firstDiff(serial, got))
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"vulcan/internal/core"
+	"vulcan/internal/lab"
 	"vulcan/internal/mem"
 	"vulcan/internal/workload"
 )
@@ -25,8 +26,8 @@ func Table1() []Table1Row {
 	classes := []core.PageClass{
 		core.SharedRead, core.SharedWrite, core.PrivateRead, core.PrivateWrite,
 	}
-	var rows []Table1Row
-	for _, c := range classes {
+	return lab.Map(0, len(classes), func(i int) Table1Row {
+		c := classes[i]
 		name := c.String() // e.g. "shared-read"
 		parts := strings.SplitN(name, "-", 2)
 		pattern := "Read-intensive"
@@ -37,14 +38,13 @@ func Table1() []Table1Row {
 		if c.Async() {
 			strategy = "Async copy"
 		}
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			PageType: strings.Title(parts[0]),
 			Pattern:  pattern,
 			Priority: int(core.NumClasses) - int(c), // 4 stars down to 1
 			Strategy: strategy,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // RenderTable1 renders the promotion matrix.
@@ -81,18 +81,17 @@ func Table2() []Table2Row {
 		{workload.PageRankConfig(), "Compute the PageRank score of Web pages", 42},
 		{workload.LiblinearConfig(), "Linear classification of KDD12 dataset", 69},
 	}
-	var rows []Table2Row
-	for _, e := range entries {
-		rows = append(rows, Table2Row{
+	return lab.Map(0, len(entries), func(i int) Table2Row {
+		e := entries[i]
+		return Table2Row{
 			App:         e.cfg.Name,
 			Workload:    e.desc,
 			Class:       e.cfg.Class,
 			PaperRSSGB:  e.gb,
 			ScaledPages: e.cfg.RSSPages,
 			ScaledMB:    e.cfg.RSSPages * mem.PageSize >> 20,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // RenderTable2 renders the workload table.

@@ -52,6 +52,9 @@ type AsyncMigrator struct {
 	pending []Move
 	queued  map[pagetable.VPage]int // vp -> index in pending (for dedup)
 	stats   AsyncStats
+	// commitBuf is the per-batch commit list, reused across epochs so a
+	// steady-state RunEpoch allocates no Move batches.
+	commitBuf []Move
 }
 
 // NewAsyncMigrator builds an async migrator around an engine.
@@ -78,14 +81,21 @@ func NewAsyncMigrator(cfg AsyncConfig) *AsyncMigrator {
 // pending replaces its destination rather than duplicating the entry.
 func (a *AsyncMigrator) Enqueue(moves ...Move) {
 	for _, mv := range moves {
-		if i, ok := a.queued[mv.VP]; ok {
-			a.pending[i].To = mv.To
-			continue
-		}
-		a.queued[mv.VP] = len(a.pending)
-		a.pending = append(a.pending, mv)
-		a.stats.Enqueued++
+		a.EnqueueOne(mv)
 	}
+}
+
+// EnqueueOne adds a single move to the backlog with the same dedup
+// semantics as Enqueue but without the variadic slice allocation —
+// policies enqueueing page-at-a-time sit on the per-access hot path.
+func (a *AsyncMigrator) EnqueueOne(mv Move) {
+	if i, ok := a.queued[mv.VP]; ok {
+		a.pending[i].To = mv.To
+		return
+	}
+	a.queued[mv.VP] = len(a.pending)
+	a.pending = append(a.pending, mv)
+	a.stats.Enqueued++
 }
 
 // Backlog returns the number of pending moves.
@@ -111,7 +121,7 @@ func (a *AsyncMigrator) RunEpoch(budgetCycles float64, writeProb func(vp pagetab
 		// Transactional filter: each copy attempt is invalidated with the
 		// page's write probability; after MaxRetries invalidated retries
 		// the migration aborts and every attempted copy was wasted work.
-		var commit []Move
+		commit := a.commitBuf[:0]
 		extraCopies := 0
 		for _, mv := range batch {
 			p := 0.0
@@ -142,6 +152,7 @@ func (a *AsyncMigrator) RunEpoch(budgetCycles float64, writeProb func(vp pagetab
 			commit = append(commit, mv)
 		}
 
+		a.commitBuf = commit // retain any growth for the next batch
 		r := a.cfg.Engine.MigrateSync(commit)
 		cycles := r.Cycles() + a.cfg.Engine.cfg.Cost.CopyCycles(extraCopies)
 		res.Cycles += cycles
@@ -153,18 +164,17 @@ func (a *AsyncMigrator) RunEpoch(budgetCycles float64, writeProb func(vp pagetab
 		a.stats.Remapped += uint64(r.Remapped)
 		a.stats.Failed += uint64(r.Failed)
 
-		a.pending = a.pending[n:]
 		for _, mv := range batch {
 			delete(a.queued, mv.VP)
 		}
+		// Compact the consumed prefix in place so the backlog's backing
+		// array is pooled across epochs instead of re-allocated as the
+		// window slides.
+		a.pending = a.pending[:copy(a.pending, a.pending[n:])]
 	}
-	if len(a.pending) == 0 {
-		a.pending = nil
-	} else {
-		// Reindex the dedup map after consuming a prefix.
-		for i, mv := range a.pending {
-			a.queued[mv.VP] = i
-		}
+	// Reindex the dedup map after consuming a prefix.
+	for i, mv := range a.pending {
+		a.queued[mv.VP] = i
 	}
 	res.Backlog = len(a.pending)
 	eng := a.cfg.Engine
@@ -185,6 +195,8 @@ func (a *AsyncMigrator) RunEpoch(budgetCycles float64, writeProb func(vp pagetab
 // DropBacklog clears all pending moves (used when a policy epoch
 // invalidates prior decisions).
 func (a *AsyncMigrator) DropBacklog() {
-	a.pending = nil
-	a.queued = make(map[pagetable.VPage]int)
+	a.pending = a.pending[:0]
+	for vp := range a.queued {
+		delete(a.queued, vp)
+	}
 }

@@ -12,7 +12,7 @@ package migrate
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"vulcan/internal/machine"
 	"vulcan/internal/mem"
@@ -34,6 +34,14 @@ type Mapper interface {
 // falls back to process-wide shootdowns.
 type Scoper interface {
 	ShootdownScope(vp pagetable.VPage) []int
+}
+
+// ScopeAppender is the allocation-free refinement of Scoper: the scope
+// is appended into a caller-owned buffer so the engine can reuse one
+// scratch slice across a whole batch. pagetable.Replicated implements
+// it; the engine prefers it over Scoper when available.
+type ScopeAppender interface {
+	AppendShootdownScope(dst []int, vp pagetable.VPage) []int
 }
 
 // Config parameterizes an Engine.
@@ -125,10 +133,28 @@ type Result struct {
 // Cycles returns the batch's total cycle cost.
 func (r Result) Cycles() float64 { return r.Breakdown.Total() }
 
+// staged is one move that survived lookup and was unmapped, awaiting
+// shootdown + copy + remap.
+type staged struct {
+	idx int
+	vp  pagetable.VPage
+	old pagetable.PTE
+	to  mem.TierID
+}
+
 // Engine executes migrations against one process's address space.
 type Engine struct {
 	cfg     Config
 	shadows *shadowStore
+
+	// Per-batch scratch reused across MigrateSync calls (allocation
+	// diet): the shootdown-scope union lives in a thread-id bitmap that
+	// decodes in ascending order, replacing the per-call map + slice +
+	// sort.Ints of the original implementation.
+	scopeBits []uint64
+	scopeList []int
+	scopeBuf  []int
+	batch     []staged
 }
 
 // NewEngine validates cfg and builds an engine.
@@ -142,7 +168,15 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.ProcessThreads <= 0 {
 		panic("migrate: Config.ProcessThreads must be positive")
 	}
-	return &Engine{cfg: cfg, shadows: newShadowStore()}
+	scopeMax := cfg.ProcessThreads
+	if scopeMax < pagetable.MaxThreads {
+		scopeMax = pagetable.MaxThreads
+	}
+	return &Engine{
+		cfg:       cfg,
+		shadows:   newShadowStore(),
+		scopeBits: make([]uint64, (scopeMax+63)/64),
+	}
 }
 
 // Config returns the engine's configuration.
@@ -151,18 +185,26 @@ func (e *Engine) Config() Config { return e.cfg }
 // Shadows exposes shadow-store statistics.
 func (e *Engine) Shadows() ShadowStats { return e.shadows.stats() }
 
-// scope returns the thread ids to invalidate for vp.
-func (e *Engine) scope(vp pagetable.VPage) []int {
+// addScope ors vp's shootdown scope into the batch's scope bitmap.
+func (e *Engine) addScope(vp pagetable.VPage) {
 	if e.cfg.TargetedShootdown {
-		if s, ok := e.cfg.Table.(Scoper); ok {
-			return s.ShootdownScope(vp)
+		switch t := e.cfg.Table.(type) {
+		case ScopeAppender:
+			e.scopeBuf = t.AppendShootdownScope(e.scopeBuf[:0], vp)
+			for _, tid := range e.scopeBuf {
+				e.scopeBits[tid>>6] |= 1 << (tid & 63)
+			}
+			return
+		case Scoper:
+			for _, tid := range t.ShootdownScope(vp) {
+				e.scopeBits[tid>>6] |= 1 << (tid & 63)
+			}
+			return
 		}
 	}
-	all := make([]int, e.cfg.ProcessThreads)
-	for i := range all {
-		all[i] = i
+	for tid := 0; tid < e.cfg.ProcessThreads; tid++ {
+		e.scopeBits[tid>>6] |= 1 << (tid & 63)
 	}
-	return all
 }
 
 // MigrateSync performs a synchronous batch migration of moves, returning
@@ -172,18 +214,14 @@ func (e *Engine) scope(vp pagetable.VPage) []int {
 func (e *Engine) MigrateSync(moves []Move) Result {
 	res := Result{Outcomes: make([]Outcome, len(moves))}
 
-	// Phase 0/1: preparation + kernel trap happen once per batch.
-	union := make(map[int]struct{})
-	attempted := 0
-
-	type staged struct {
-		idx      int
-		vp       pagetable.VPage
-		old      pagetable.PTE
-		to       mem.TierID
-		viaShdow bool
+	// Phase 0/1: preparation + kernel trap happen once per batch. The
+	// scope bitmap and staging buffer are engine scratch, cleared here
+	// and refilled, so a steady-state batch allocates only Outcomes.
+	for i := range e.scopeBits {
+		e.scopeBits[i] = 0
 	}
-	var batch []staged
+	e.batch = e.batch[:0]
+	attempted := 0
 
 	// Lock/unmap each page, collecting shootdown scope.
 	splitCycles := 0.0
@@ -202,30 +240,30 @@ func (e *Engine) MigrateSync(moves []Move) Result {
 			splitCycles += e.cfg.PreMigrate(mv.VP)
 		}
 		attempted++
-		for _, t := range e.scope(mv.VP) {
-			union[t] = struct{}{}
-		}
+		e.addScope(mv.VP)
 		old, _ := e.cfg.Table.Unmap(mv.VP)
-		batch = append(batch, staged{idx: i, vp: mv.VP, old: old, to: mv.To})
+		e.batch = append(e.batch, staged{idx: i, vp: mv.VP, old: old, to: mv.To})
 	}
 
-	// TLB shootdown over the union scope, in thread order so the IPI
-	// sequence (and any per-target accounting) replays identically.
-	scopeList := make([]int, 0, len(union))
-	for t := range union {
-		scopeList = append(scopeList, t)
-	}
-	sort.Ints(scopeList)
-	if e.cfg.Invalidate != nil {
-		for _, s := range batch {
-			e.cfg.Invalidate(s.vp, scopeList)
+	// TLB shootdown over the union scope. Decoding the bitmap yields
+	// ascending thread order for free, so the IPI sequence (and any
+	// per-target accounting) replays identically without a sort.
+	e.scopeList = e.scopeList[:0]
+	for w, word := range e.scopeBits {
+		for ; word != 0; word &= word - 1 {
+			e.scopeList = append(e.scopeList, w<<6+bits.TrailingZeros64(word))
 		}
 	}
-	res.Targets = len(scopeList)
+	if e.cfg.Invalidate != nil {
+		for _, s := range e.batch {
+			e.cfg.Invalidate(s.vp, e.scopeList)
+		}
+	}
+	res.Targets = len(e.scopeList)
 
 	// Copy + remap each staged page.
 	copied := 0
-	for _, s := range batch {
+	for _, s := range e.batch {
 		newPTE, outcome := e.commitPage(s.vp, s.old, s.to)
 		res.Outcomes[s.idx] = outcome
 		switch outcome {
@@ -344,6 +382,9 @@ func (e *Engine) mustRemap(vp pagetable.VPage, p pagetable.PTE) {
 }
 
 func (e *Engine) remap(vp pagetable.VPage, p pagetable.PTE) error {
+	type installer interface {
+		Install(tid int, vp pagetable.VPage, p pagetable.PTE) error
+	}
 	type mapper interface {
 		Map(tid int, vp pagetable.VPage, p pagetable.PTE) error
 	}
@@ -351,6 +392,16 @@ func (e *Engine) remap(vp pagetable.VPage, p pagetable.PTE) error {
 		Map(vp pagetable.VPage, p pagetable.PTE) error
 	}
 	switch m := e.cfg.Table.(type) {
+	case installer:
+		// Exact-PTE reinstall (pagetable.Replicated): one call, no
+		// ownership-restoring Update closure — the closure capture was a
+		// heap allocation on every remap in the hot path.
+		owner := p.Owner()
+		tid := 0
+		if owner != pagetable.OwnerShared {
+			tid = int(owner)
+		}
+		return m.Install(tid, vp, p)
 	case mapper:
 		owner := p.Owner()
 		tid := 0

@@ -1,6 +1,9 @@
 package pagetable
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // threadSet is a bitmap over thread ids (at most MaxThreads).
 type threadSet struct {
@@ -19,20 +22,18 @@ func (s *threadSet) count() int {
 	return n
 }
 func (s *threadSet) members() []int {
-	out := make([]int, 0, 4)
-	for i := 0; i < 2; i++ {
-		w := s.bits[i]
-		for w != 0 {
-			b := w & -w
-			tid := i << 6
-			for t := b; t > 1; t >>= 1 {
-				tid++
-			}
-			out = append(out, tid)
-			w &^= b
+	return s.appendMembers(make([]int, 0, 4))
+}
+
+// appendMembers appends the set's thread ids to dst in ascending order
+// and returns it, so hot callers can reuse one buffer across pages.
+func (s *threadSet) appendMembers(dst []int) []int {
+	for i, w := range s.bits {
+		for ; w != 0; w &= w - 1 {
+			dst = append(dst, i<<6+bits.TrailingZeros64(w))
 		}
 	}
-	return out
+	return dst
 }
 
 // TouchResult describes what a simulated memory access did to the page
@@ -159,6 +160,21 @@ func (r *Replicated) Map(tid int, vp VPage, p PTE) error {
 	return nil
 }
 
+// Install reinstalls vp's mapping with the exact PTE p — owner,
+// accessed and dirty bits preserved — linking the shared leaf into
+// tid's private tree. It is the allocation-free remap path used by the
+// migration engine: Map would stamp tid as owner and force a follow-up
+// Update closure to restore the true ownership.
+func (r *Replicated) Install(tid int, vp VPage, p PTE) error {
+	r.checkTid(tid)
+	if err := r.proc.Map(vp, p); err != nil {
+		return err
+	}
+	leaf, _ := r.proc.walk(vp, false)
+	r.linkLeaf(tid, vp, leaf)
+	return nil
+}
+
 // Touch simulates a hardware access by thread tid: it sets the accessed
 // (and, for writes, dirty) bit and performs the paper's fault-handler
 // ownership transitions — linking the shared leaf into tid's tree when
@@ -201,18 +217,25 @@ func (r *Replicated) Unmap(vp VPage) (PTE, bool) { return r.proc.Unmap(vp) }
 // page's leaf for shared pages. This is insight ❸ of the paper — the
 // basis of Vulcan's targeted (non-global) TLB shootdowns.
 func (r *Replicated) ShootdownScope(vp VPage) []int {
+	return r.AppendShootdownScope(nil, vp)
+}
+
+// AppendShootdownScope appends vp's shootdown scope to dst (ascending
+// thread order) and returns it, so the migration engine can reuse one
+// scratch buffer across a batch instead of allocating per page.
+func (r *Replicated) AppendShootdownScope(dst []int, vp VPage) []int {
 	p, ok := r.Lookup(vp)
 	if !ok {
-		return nil
+		return dst
 	}
 	if !p.Shared() {
-		return []int{int(p.Owner())}
+		return append(dst, int(p.Owner()))
 	}
 	set := r.leafThreads[LeafIndex(vp)]
 	if set == nil {
-		return nil
+		return dst
 	}
-	return set.members()
+	return set.appendMembers(dst)
 }
 
 // ThreadMapsLeaf reports whether tid has linked the leaf covering vp.

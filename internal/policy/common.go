@@ -149,7 +149,7 @@ func GlobalColdestFastPages(sys *system.System, n int, keep map[*system.App]map[
 // EnqueueVictims spreads demotions onto each victim's own app queue.
 func EnqueueVictims(victims []GlobalVictim) {
 	for _, v := range victims {
-		v.App.Async.Enqueue(DemoteMoves([]pagetable.VPage{v.VP})...)
+		v.App.Async.EnqueueOne(migrate.Move{VP: v.VP, To: mem.TierSlow})
 	}
 }
 

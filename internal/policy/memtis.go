@@ -2,6 +2,7 @@ package policy
 
 import (
 	"vulcan/internal/mem"
+	"vulcan/internal/migrate"
 	"vulcan/internal/pagetable"
 	"vulcan/internal/profile"
 	"vulcan/internal/system"
@@ -120,7 +121,7 @@ func (m *Memtis) EndEpoch(sys *system.System) {
 		EnqueueVictims(GlobalColdestFastPages(sys, coldInFast, hotByApp))
 	}
 	for _, p := range promote {
-		p.app.Async.Enqueue(PromoteMoves([]pagetable.VPage{p.vp})...)
+		p.app.Async.EnqueueOne(migrate.Move{VP: p.vp, To: mem.TierFast})
 	}
 
 	// kmigrated works the queues within its budget, demotions and
