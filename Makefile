@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt vet lint test race obs-demo obs-demo-parallel bench
+.PHONY: check build fmt vet lint test race obs-demo obs-demo-parallel chaos-demo chaos-golden bench
 
 # check is the full gate, in fail-fast order: cheap static checks first,
 # then the test suites.
@@ -70,6 +70,38 @@ obs-demo-parallel:
 		cmp out/obs-demo/pmetrics.seed$$s.csv out/obs-demo/smetrics.seed$$s.csv || exit 1; \
 	done
 	@echo "obs-demo-parallel: workers=4 output byte-identical to serial"
+
+# chaos-demo is the executable determinism contract for the fault
+# subsystem: a faulted 2-seed sweep must (a) replay byte-identically,
+# (b) match the committed golden report in testdata/chaos/, and (c)
+# actually exercise the resilience machinery — injection, retry and
+# degradation events must appear in the exported trace. Regenerate the
+# golden with `make chaos-golden` after an intentional behavior change.
+CHAOS_DEMO_FLAGS = -policy vulcan -seconds 20 -scale 8 -seed 7 -seeds 2 -faults moderate
+chaos-demo:
+	@mkdir -p out/chaos-demo
+	$(GO) run ./cmd/vulcansim $(CHAOS_DEMO_FLAGS) \
+		-trace-out out/chaos-demo/trace.json -metrics-out out/chaos-demo/metrics.csv \
+		> out/chaos-demo/report.txt
+	$(GO) run ./cmd/vulcansim $(CHAOS_DEMO_FLAGS) \
+		-trace-out out/chaos-demo/trace2.json -metrics-out out/chaos-demo/metrics2.csv \
+		> out/chaos-demo/report2.txt
+	cmp out/chaos-demo/report.txt out/chaos-demo/report2.txt
+	for s in 7 8; do \
+		cmp out/chaos-demo/trace.seed$$s.json out/chaos-demo/trace2.seed$$s.json && \
+		cmp out/chaos-demo/metrics.seed$$s.csv out/chaos-demo/metrics2.seed$$s.csv || exit 1; \
+	done
+	cmp out/chaos-demo/report.txt testdata/chaos/report.golden.txt
+	grep -q 'fault.inject' out/chaos-demo/trace.seed7.json
+	grep -q 'migrate.retry' out/chaos-demo/trace.seed7.json
+	grep -q 'profile.degraded' out/chaos-demo/trace.seed7.json
+	@echo "chaos-demo: faulted sweep byte-identical across replays and matches the golden"
+
+# chaos-golden rewrites the committed chaos-demo golden.
+chaos-golden:
+	@mkdir -p testdata/chaos
+	$(GO) run ./cmd/vulcansim $(CHAOS_DEMO_FLAGS) > testdata/chaos/report.golden.txt
+	@echo "golden updated: testdata/chaos/report.golden.txt"
 
 # bench runs the figure benchmarks with allocation accounting and
 # records the numbers as structured JSON (committed as

@@ -9,6 +9,7 @@
 //	figures -ablations              # Vulcan mechanism ablations
 //	figures -fig 10 -trials 10      # paper-grade trial count
 //	figures -fig 9 -csv             # machine-readable output
+//	figures -figr                   # fault-injection resilience (Figure R)
 //
 // -scale divides capacities and footprints beyond the built-in 1/64
 // scale; larger values run faster at lower fidelity.
@@ -30,6 +31,7 @@ func main() {
 		table     = flag.Int("table", 0, "table number to regenerate (1,2)")
 		all       = flag.Bool("all", false, "regenerate everything")
 		ablations = flag.Bool("ablations", false, "run Vulcan mechanism ablations")
+		figR      = flag.Bool("figr", false, "run the fault-injection resilience comparison (Figure R)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of text tables")
 		trials    = flag.Int("trials", 3, "trials for Figure 10")
 		seconds   = flag.Int("seconds", 120, "simulated seconds for co-location figures")
@@ -88,6 +90,10 @@ func main() {
 	if want(10) {
 		r := figures.Fig10(*trials, duration, *scale)
 		emit(figures.RenderFig10(r), figures.CSVFig10(r))
+	}
+	if *all || *figR {
+		r := figures.FigR(duration, *scale, *seed, nil)
+		emit(figures.RenderFigR(r), figures.CSVFigR(r))
 	}
 	if *all || *table == 1 {
 		emit(figures.RenderTable1(figures.Table1()), "")

@@ -8,11 +8,18 @@
 //	vulcansim -policy memtis -apps memcached,liblinear -seconds 120
 //	vulcansim -policy vulcan -staggered -series timeline.csv
 //	vulcansim -policy vulcan -seeds 5 -parallel 4   # seeds 1..5 in parallel
+//	vulcansim -policy vulcan -faults moderate       # deterministic chaos
+//	vulcansim -policy tpp -fault-rate 0.08 -fault-seed 42
 //
 // Multi-seed mode (-seeds N) runs N consecutive seeds as independent
 // simulations on a worker pool (-parallel, default GOMAXPROCS) and
 // reports them in seed order; per-seed artifacts get a ".seedK" suffix
 // before the extension. Output is byte-identical at any -parallel value.
+//
+// Fault injection (-faults off|light|moderate|heavy, or -fault-rate R
+// for the canonical plan at rate R) is clock-keyed and seed-derived:
+// the same flags replay the same faults byte for byte. -fault-seed
+// varies the fault schedule without touching the workload seed.
 package main
 
 import (
@@ -49,16 +56,26 @@ func main() {
 		obsFilter  = flag.String("obs-filter", "", "comma-separated event types to record (default all; see internal/obs)")
 		seedsN     = flag.Int("seeds", 1, "run this many consecutive seeds (seed, seed+1, ...) as independent simulations")
 		parallel   = flag.Int("parallel", 0, "worker goroutines for multi-seed mode (0 = GOMAXPROCS); output is byte-identical at any value")
+		faultsProf = flag.String("faults", "", "fault-injection profile: off, light, moderate, heavy")
+		faultRate  = flag.Float64("fault-rate", 0, "inject the canonical all-kinds fault plan at this rate (0 = off; excludes -faults)")
+		faultSeed  = flag.Uint64("fault-seed", 0, "vary the fault schedule independently of -seed (needs -faults or -fault-rate)")
 	)
 	flag.Parse()
 	lab.SetDefaultWorkers(*parallel)
+
+	plan, err := buildFaultPlan(*faultsProf, *faultRate, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *configPath != "" {
 		if *seedsN > 1 {
 			log.Fatal("-seeds applies to flag-defined scenarios, not -config runs")
 		}
 		rec := buildRecorder(*traceOut, *metricsOut, *obsFilter)
-		runConfigFile(*configPath, *seriesOut, *jsonOut, rec, *traceOut, *metricsOut)
+		runConfigFile(*configPath, *seriesOut, *jsonOut, rec, *traceOut, *metricsOut, plan)
 		return
 	}
 
@@ -107,6 +124,7 @@ func main() {
 				Policy:           figures.NewPolicy(*policyName),
 				Seed:             *seed + uint64(i),
 				SamplesPerThread: figures.SamplesForScale(*scale),
+				Faults:           plan,
 			}
 			if rec != nil {
 				cfg.Obs = rec
@@ -153,6 +171,7 @@ func main() {
 		Policy:           figures.NewPolicy(*policyName),
 		Seed:             *seed,
 		SamplesPerThread: figures.SamplesForScale(*scale),
+		Faults:           plan,
 	}
 	if rec != nil {
 		cfg.Obs = rec
@@ -219,8 +238,38 @@ func buildRecorder(traceOut, metricsOut, obsFilter string) *obs.Recorder {
 	return rec
 }
 
+// buildFaultPlan resolves the three fault flags to at most one plan.
+// -faults names a canned profile; -fault-rate builds the canonical
+// all-kinds plan at an explicit rate; the two are mutually exclusive.
+// -fault-seed re-keys whichever plan was selected and is an error on
+// its own (it would silently do nothing).
+func buildFaultPlan(profile string, rate float64, seed uint64) (*vulcan.FaultPlan, error) {
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("-fault-rate %v out of range [0,1]", rate)
+	}
+	var plan *vulcan.FaultPlan
+	if rate > 0 {
+		if profile != "" && profile != "off" {
+			return nil, fmt.Errorf("-faults %s and -fault-rate %v are mutually exclusive", profile, rate)
+		}
+		plan = vulcan.FaultPlanAtRate(rate)
+	} else {
+		var err error
+		if plan, err = vulcan.FaultProfile(profile); err != nil {
+			return nil, err
+		}
+	}
+	if seed != 0 {
+		if plan == nil {
+			return nil, fmt.Errorf("-fault-seed %d without -faults or -fault-rate has no effect", seed)
+		}
+		plan.Seed = seed
+	}
+	return plan, nil
+}
+
 // runConfigFile executes a JSON-defined scenario.
-func runConfigFile(path, seriesOut string, jsonOut bool, rec *obs.Recorder, traceOut, metricsOut string) {
+func runConfigFile(path, seriesOut string, jsonOut bool, rec *obs.Recorder, traceOut, metricsOut string, plan *vulcan.FaultPlan) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -235,6 +284,7 @@ func runConfigFile(path, seriesOut string, jsonOut bool, rec *obs.Recorder, trac
 		Apps:    parsed.Apps,
 		Policy:  figures.NewPolicy(parsed.Policy),
 		Seed:    parsed.Seed,
+		Faults:  plan,
 	}
 	if rec != nil {
 		cfg.Obs = rec

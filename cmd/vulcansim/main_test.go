@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"vulcan"
+)
+
+func TestBuildFaultPlan(t *testing.T) {
+	cases := []struct {
+		name    string
+		profile string
+		rate    float64
+		seed    uint64
+		armed   bool
+		wantErr string
+	}{
+		{name: "all off", profile: "", rate: 0, armed: false},
+		{name: "explicit off", profile: "off", rate: 0, armed: false},
+		{name: "profile", profile: "moderate", rate: 0, armed: true},
+		{name: "rate", profile: "", rate: 0.05, armed: true},
+		{name: "rate with explicit off", profile: "off", rate: 0.05, armed: true},
+		{name: "rate and seed", profile: "", rate: 0.05, seed: 9, armed: true},
+		{name: "unknown profile", profile: "catastrophic", wantErr: "catastrophic"},
+		{name: "profile and rate clash", profile: "light", rate: 0.05, wantErr: "mutually exclusive"},
+		{name: "rate above one", rate: 1.5, wantErr: "out of range"},
+		{name: "negative rate", rate: -0.1, wantErr: "out of range"},
+		{name: "orphan fault seed", seed: 42, wantErr: "no effect"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := buildFaultPlan(tc.profile, tc.rate, tc.seed)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Armed() != tc.armed {
+				t.Fatalf("armed = %v, want %v", plan.Armed(), tc.armed)
+			}
+			if tc.seed != 0 && plan.Seed != tc.seed {
+				t.Fatalf("plan.Seed = %d, want %d", plan.Seed, tc.seed)
+			}
+			if plan != nil {
+				if err := plan.Validate(); err != nil {
+					t.Fatalf("built plan fails validation: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestBuildFaultPlanProfilesMatchLibrary pins the flag surface to the
+// canned profiles: every published name must resolve.
+func TestBuildFaultPlanProfilesMatchLibrary(t *testing.T) {
+	for _, name := range []string{"off", "light", "moderate", "heavy"} {
+		if _, err := buildFaultPlan(name, 0, 0); err != nil {
+			t.Errorf("profile %s: %v", name, err)
+		}
+	}
+	var _ *vulcan.FaultPlan // the facade alias is the flag surface's type
+}

@@ -18,6 +18,15 @@ func TestDeterminismObsExporter(t *testing.T) {
 	analysistest.Run(t, analysis.Determinism, "obsexport")
 }
 
+// TestDeterminismFaultRNG runs the determinism analyzer over an
+// injector-shaped fixture mirroring internal/fault, which joined the
+// contract's package list with the fault-injection subsystem: fault
+// schedules must be pure hashes of (seed, coordinates), never wall-clock
+// seeds or global math/rand draws.
+func TestDeterminismFaultRNG(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism, "faultrng")
+}
+
 func TestMapOrder(t *testing.T) {
 	analysistest.Run(t, analysis.MapOrder, "maporder")
 }
@@ -87,6 +96,7 @@ func TestDeterminismScope(t *testing.T) {
 		{"vulcan/internal/figures", true},
 		{"vulcan/internal/policy", true},
 		{"vulcan/internal/obs", true},
+		{"vulcan/internal/fault", true},
 		{"vulcan/cmd/vulcansim", false},
 		{"vulcan/examples/quickstart", false},
 		{"vulcan", false},

@@ -1,0 +1,58 @@
+// Package faultrng is a vulcanvet fixture shaped like internal/fault,
+// which joined the determinism contract's package list alongside the
+// fault-injection subsystem. An injector must answer every query from a
+// pure hash of (seed, coordinates): wall-clock seeding and the global
+// math/rand generators would make the fault schedule depend on when and
+// in what order queries arrive, breaking faulted-replay byte-identity.
+package faultrng
+
+import (
+	"math/rand"
+	"time"
+)
+
+type plan struct {
+	Seed uint64
+	Rate float64
+}
+
+// badTimeSeededPlan derives a fault schedule from the wall clock, so no
+// two runs inject the same faults.
+func badTimeSeededPlan(rate float64) plan {
+	return plan{
+		Seed: uint64(time.Now().UnixNano()), // want `wall-clock time\.Now breaks seeded replay`
+		Rate: rate,
+	}
+}
+
+// badGlobalRandFires answers an injection query from the process-global
+// generator: the answer depends on every draw made before it, so the
+// schedule shifts with query order and worker count.
+func badGlobalRandFires(p plan) bool {
+	return rand.Float64() < p.Rate // want `global math/rand \(Float64\) is not replay-safe`
+}
+
+// badJitteredBackoff perturbs a retry deadline with global randomness.
+func badJitteredBackoff(base int) int {
+	return base + rand.Intn(base) // want `global math/rand \(Intn\) is not replay-safe`
+}
+
+// goodHashedFires is the canonical deterministic shape: a splitmix-style
+// finalizer over the plan seed and the query coordinates. Same plan and
+// coordinates, same answer — in any order, at any worker count.
+func goodHashedFires(p plan, kind uint64, a, b uint64) bool {
+	h := p.Seed ^ kind*0x9e3779b97f4a7c15 ^ a*0xc4ceb9fe1a85ec53 ^ b*0xd6e8feb86659fd93
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return float64(h>>11)/(1<<53) < p.Rate
+}
+
+// goodBoundedBackoff computes deadlines from simulated epochs only.
+func goodBoundedBackoff(base, attempts, cap int) int {
+	d := base << attempts
+	if d > cap {
+		d = cap
+	}
+	return d
+}

@@ -35,6 +35,20 @@ func badFloatSum(cycles map[string]float64) float64 {
 	return total
 }
 
+// badFaultSchedule builds a fault-injection schedule in map order — the
+// shape the fault subsystem must avoid: pending faults keyed by page in
+// a map, drained into an ordered schedule.
+func badFaultSchedule(pending map[uint64]float64, q queue) []uint64 {
+	var schedule []uint64
+	for vp := range pending { // want `iteration over map pending appends to schedule`
+		schedule = append(schedule, vp)
+	}
+	for vp := range pending { // want `iteration over map pending enqueues work via q\.Enqueue`
+		q.Enqueue(int(vp))
+	}
+	return schedule
+}
+
 // goodSorted collects then sorts — the canonical deterministic pattern.
 func goodSorted(m map[int]string) []int {
 	var keys []int

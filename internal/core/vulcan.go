@@ -215,6 +215,16 @@ func (v *Vulcan) EndEpoch(sys *system.System) {
 	}
 
 	for _, st := range v.qos.States() {
+		// Graceful degradation under injected sample loss: when the
+		// app's profile fell below the fault plan's confidence
+		// threshold, its heat ranking is built from starved data —
+		// enforcing it would demote pages that only look cold. Hold the
+		// prior placement for the epoch (quota bookkeeping above still
+		// ran, so credits and demand stay current).
+		if st.App.ProfileDegraded() {
+			v.placed[st.App] = st.App.FastPages()
+			continue
+		}
 		v.enforce(sys, st)
 		v.placed[st.App] = st.App.FastPages()
 		// Figure 9 instrumentation: quota, GPT and demand over time.

@@ -1,0 +1,57 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ProfileNames lists the named fault profiles accepted by
+// `vulcansim -faults`, mildest first.
+var ProfileNames = []string{"off", "light", "moderate", "heavy"}
+
+// ParseProfile resolves a named fault profile to a plan. "off" (and "")
+// return nil — chaos disabled. The profiles arm every fault kind at a
+// calibrated base rate (see PlanAtRate); vulcansim's -fault-rate builds
+// the same plan at an arbitrary rate.
+func ParseProfile(name string) (*Plan, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "off":
+		return nil, nil
+	case "light":
+		return PlanAtRate(0.02), nil
+	case "moderate":
+		return PlanAtRate(0.05), nil
+	case "heavy":
+		return PlanAtRate(0.10), nil
+	}
+	return nil, fmt.Errorf("fault: unknown profile %q (known: %s)",
+		name, strings.Join(ProfileNames, ", "))
+}
+
+// PlanAtRate builds the canonical all-kinds plan used by the FigR sweep
+// and the named profiles: every fault kind armed, per-opportunity rates
+// proportional to rate, severities fixed so that sweeping rate isolates
+// fault frequency from fault magnitude. rate ≤ 0 returns nil (no plan),
+// so the zero point of a sweep exercises the exact faults-off path.
+func PlanAtRate(rate float64) *Plan {
+	if rate <= 0 {
+		return nil
+	}
+	return &Plan{
+		Rules: []Rule{
+			// Per-page migration failures are the most frequent
+			// opportunity class, so they take the rate directly.
+			{Kind: MigrationFail, Rate: rate},
+			// Sample loss at half the rate keeps profiles usable at the
+			// light end while still forcing confidence downgrades at the
+			// heavy end (overflow epochs dump 80% of samples).
+			{Kind: PEBSDrop, Rate: rate / 2},
+			{Kind: PEBSOverflow, Rate: 2 * rate, Severity: 0.8},
+			// Substrate windows: epoch-granular, moderate magnitude.
+			{Kind: BandwidthDegrade, Scope: "fast", Rate: 2 * rate, Severity: 0.4},
+			{Kind: LatencySpike, Scope: "slow", Rate: 2 * rate, Severity: 0.5},
+			{Kind: IPIDelay, Rate: 2 * rate, Severity: 400},
+			{Kind: MemPressure, Rate: rate, Severity: 0.05},
+		},
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"vulcan/internal/fault"
 	"vulcan/internal/obs"
 	"vulcan/internal/sim"
 )
@@ -15,7 +16,7 @@ import (
 // Byte-identity of two dumps is the determinism contract the vulcanvet
 // analyzers exist to protect — this test is the golden replay guard for
 // the dynamic behavior no static check can prove.
-func replayDump(t *testing.T, policy string, seed uint64) []byte {
+func replayDump(t *testing.T, policy string, seed uint64, plan *fault.Plan) []byte {
 	t.Helper()
 	rec := obs.NewRecorder()
 	res := RunColocation(ColocationConfig{
@@ -24,6 +25,7 @@ func replayDump(t *testing.T, policy string, seed uint64) []byte {
 		Seed:     seed,
 		Scale:    8,
 		Obs:      rec,
+		Faults:   plan,
 	})
 	var buf bytes.Buffer
 	if err := res.System.Report().WriteJSON(&buf); err != nil {
@@ -52,8 +54,8 @@ func replayDump(t *testing.T, policy string, seed uint64) []byte {
 func TestReplayByteIdentical(t *testing.T) {
 	for _, policy := range []string{"vulcan", "memtis"} {
 		t.Run(policy, func(t *testing.T) {
-			a := replayDump(t, policy, 7)
-			b := replayDump(t, policy, 7)
+			a := replayDump(t, policy, 7, nil)
+			b := replayDump(t, policy, 7, nil)
 			if !bytes.Equal(a, b) {
 				t.Fatalf("replay diverged:\n%s", firstDiff(a, b))
 			}
@@ -61,11 +63,44 @@ func TestReplayByteIdentical(t *testing.T) {
 	}
 }
 
+// TestFaultedReplayByteIdentical extends the replay guard to a chaotic
+// run: the full fault schedule, retry traffic, and degradation events
+// must replay byte for byte.
+func TestFaultedReplayByteIdentical(t *testing.T) {
+	plan := fault.PlanAtRate(0.05)
+	a := replayDump(t, "vulcan", 7, plan)
+	b := replayDump(t, "vulcan", 7, plan)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("faulted replay diverged:\n%s", firstDiff(a, b))
+	}
+	// The faulted dump must actually differ from the clean one, or the
+	// guard proves nothing about the chaos path.
+	if clean := replayDump(t, "vulcan", 7, nil); bytes.Equal(a, clean) {
+		t.Fatal("rate-0.05 plan changed nothing; faulted replay guard is vacuous")
+	}
+}
+
+// TestZeroRatePlanIsByteIdenticalToNil pins the subsystem's flagship
+// guarantee at the figures level: an unarmed plan (rate 0 compiles to
+// nil) produces the exact bytes of a fault-free run — report, series
+// CSV, trace, and metrics.
+func TestZeroRatePlanIsByteIdenticalToNil(t *testing.T) {
+	clean := replayDump(t, "vulcan", 7, nil)
+	zero := replayDump(t, "vulcan", 7, fault.PlanAtRate(0))
+	if !bytes.Equal(clean, zero) {
+		t.Fatalf("zero-rate plan diverged from nil:\n%s", firstDiff(clean, zero))
+	}
+	unarmed := replayDump(t, "vulcan", 7, &fault.Plan{})
+	if !bytes.Equal(clean, unarmed) {
+		t.Fatalf("unarmed plan diverged from nil:\n%s", firstDiff(clean, unarmed))
+	}
+}
+
 // TestReplaySeedSensitivity guards the other direction: a different seed
 // must actually change the run, or the byte-identity test is vacuous.
 func TestReplaySeedSensitivity(t *testing.T) {
-	a := replayDump(t, "vulcan", 7)
-	b := replayDump(t, "vulcan", 8)
+	a := replayDump(t, "vulcan", 7, nil)
+	b := replayDump(t, "vulcan", 8, nil)
 	if bytes.Equal(a, b) {
 		t.Fatal("different seeds produced identical dumps; replay guard is vacuous")
 	}

@@ -1,0 +1,47 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"vulcan/internal/sim"
+)
+
+// TestFigRSmoke runs a miniature resilience sweep and checks the grid
+// shape, the retention normalization, and that chaos actually engaged.
+func TestFigRSmoke(t *testing.T) {
+	r := FigR(10*sim.Second, 8, 3, []float64{0, 0.1})
+	if len(r.Policies) < 3 {
+		t.Fatalf("FigR compares %d policies, want vulcan plus >=2 baselines", len(r.Policies))
+	}
+	for _, pol := range r.Policies {
+		cells := r.Cells[pol]
+		if len(cells) != 2 {
+			t.Fatalf("policy %s has %d cells, want 2", pol, len(cells))
+		}
+		base := cells[0]
+		if base.Rate > 0 {
+			t.Fatalf("policy %s first cell rate %v, want 0", pol, base.Rate)
+		}
+		if !sim.ApproxEq(base.PerfRetention, 1) || !sim.ApproxEq(base.CFIRetention, 1) {
+			t.Errorf("policy %s baseline retention = %v/%v, want 1/1", pol, base.PerfRetention, base.CFIRetention)
+		}
+		if base.Injected != 0 {
+			t.Errorf("policy %s fault-free cell injected %d faults", pol, base.Injected)
+		}
+		if cells[1].Injected == 0 {
+			t.Errorf("policy %s rate-0.1 cell injected nothing", pol)
+		}
+	}
+	out := RenderFigR(r)
+	if !strings.Contains(out, "retention") {
+		t.Error("render missing retention tables")
+	}
+	csv := CSVFigR(r)
+	if !strings.HasPrefix(csv, "policy,rate,") {
+		t.Error("csv missing header")
+	}
+	if n := strings.Count(csv, "\n"); n != 1+len(r.Policies)*2 {
+		t.Errorf("csv has %d lines, want %d", n, 1+len(r.Policies)*2)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"vulcan/internal/core"
+	"vulcan/internal/fault"
 	"vulcan/internal/machine"
 	"vulcan/internal/mem"
 	"vulcan/internal/metrics"
@@ -58,6 +59,10 @@ type ColocationConfig struct {
 	// internal/obs) — the figures runner's hookup for trace/metrics
 	// export alongside the usual series CSV.
 	Obs obs.Sink
+	// Faults, when armed, injects the fault plan into the run (see
+	// internal/fault). A nil or unarmed plan is byte-identical to a
+	// fault-free run.
+	Faults *fault.Plan
 }
 
 // AppResult summarizes one application after a co-location run.
@@ -183,6 +188,7 @@ func RunColocation(cfg ColocationConfig) ColocationResult {
 		Seed:             cfg.Seed,
 		SamplesPerThread: cfg.SamplesPerThread,
 		Obs:              cfg.Obs,
+		Faults:           cfg.Faults,
 	})
 	sys.Run(cfg.Duration)
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"vulcan/internal/fault"
 	"vulcan/internal/lab"
 	"vulcan/internal/obs"
 	"vulcan/internal/sim"
@@ -18,15 +19,22 @@ import (
 func sweepDump(t *testing.T, workers int) []byte {
 	t.Helper()
 	type spec struct {
-		policy string
-		seed   uint64
+		policy    string
+		seed      uint64
+		faultRate float64
 	}
 	var specs []spec
 	for _, policy := range []string{"vulcan", "memtis"} {
 		for _, seed := range []uint64{3, 4} {
-			specs = append(specs, spec{policy, seed})
+			specs = append(specs, spec{policy, seed, 0})
 		}
 	}
+	// Faulted configs ride in the same sweep: chaotic runs must be just
+	// as order- and worker-count-independent as clean ones.
+	specs = append(specs,
+		spec{"vulcan", 3, 0.05},
+		spec{"memtis", 3, 0.05},
+	)
 	dumps := lab.Map(workers, len(specs), func(i int) []byte {
 		rec := obs.NewRecorder()
 		res := RunColocation(ColocationConfig{
@@ -35,6 +43,7 @@ func sweepDump(t *testing.T, workers int) []byte {
 			Seed:     specs[i].seed,
 			Scale:    8,
 			Obs:      rec,
+			Faults:   fault.PlanAtRate(specs[i].faultRate),
 		})
 		var buf bytes.Buffer
 		if err := res.System.Report().WriteText(&buf); err != nil {
@@ -53,7 +62,7 @@ func sweepDump(t *testing.T, workers int) []byte {
 	})
 	var all bytes.Buffer
 	for i, d := range dumps {
-		fmt.Fprintf(&all, "=== %s seed %d ===\n", specs[i].policy, specs[i].seed)
+		fmt.Fprintf(&all, "=== %s seed %d rate %.2f ===\n", specs[i].policy, specs[i].seed, specs[i].faultRate)
 		all.Write(d)
 	}
 	return all.Bytes()

@@ -140,6 +140,20 @@ func (c CostModel) AccessCycles(t *mem.Tier, tlbHit bool, bwUtil float64) float6
 	return c.PageWalkPerLevel*4 + lat
 }
 
+// AccessCyclesDegraded is AccessCycles under an injected latency spike:
+// spike (≥ 1) multiplies only the memory-latency term — translation
+// costs (TLB hit, page walk) are core-side and unaffected by a slow
+// device. Callers on the no-fault path must keep calling AccessCycles;
+// this variant exists so spike == 1 never touches the baseline
+// arithmetic.
+func (c CostModel) AccessCyclesDegraded(t *mem.Tier, tlbHit bool, bwUtil, spike float64) float64 {
+	lat := float64(t.LoadedLatency(bwUtil)) * sim.CyclesPerNs * spike
+	if tlbHit {
+		return c.TLBHitCycles + lat
+	}
+	return c.PageWalkPerLevel*4 + lat
+}
+
 // Breakdown is the per-phase cost of one migration operation, mirroring
 // the five-step mechanism of §2.1 plus preparation and THP splitting.
 type Breakdown struct {

@@ -182,3 +182,28 @@ func TestMachineZeroCoresPanics(t *testing.T) {
 	cfg.Cores = 0
 	New(cfg)
 }
+
+func TestAccessCyclesDegraded(t *testing.T) {
+	c := DefaultCostModel()
+	slow := mem.NewTier(mem.TierSlow, mem.TierConfig{
+		Name: "slow", CapacityPages: 16,
+		UnloadedLatency: 162 * sim.Nanosecond, BandwidthGBs: 25,
+	})
+	for _, tlbHit := range []bool{true, false} {
+		base := c.AccessCycles(slow, tlbHit, 0.3)
+		// spike 1 is the identity: bit-for-bit the baseline cost.
+		if got := c.AccessCyclesDegraded(slow, tlbHit, 0.3, 1); got != base {
+			t.Fatalf("spike=1 changed cost: %v != %v", got, base)
+		}
+		spiked := c.AccessCyclesDegraded(slow, tlbHit, 0.3, 1.5)
+		if spiked <= base {
+			t.Fatalf("spike=1.5 not slower: %v <= %v", spiked, base)
+		}
+		// Only the latency term scales: the delta is half the loaded
+		// latency, independent of the translation outcome.
+		wantDelta := float64(slow.LoadedLatency(0.3)) * sim.CyclesPerNs * 0.5
+		if delta := spiked - base; !sim.ApproxEq(delta, wantDelta) {
+			t.Fatalf("spike delta = %v, want %v", delta, wantDelta)
+		}
+	}
+}

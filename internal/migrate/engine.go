@@ -78,11 +78,39 @@ type Config struct {
 	// costs (e.g. splitting a covering 2MiB huge mapping, §3.5).
 	PreMigrate func(vp pagetable.VPage) float64
 
+	// Inject, when non-nil, is the fault-injection hook (satisfied by
+	// *fault.Injector): per-page transient migration failures and
+	// delayed shootdown-IPI acknowledgments. Leave nil for a
+	// well-behaved substrate; the nil path executes the exact
+	// pre-chaos arithmetic.
+	Inject Chaos
+	// OnBusy, when non-nil, receives each move that failed transiently
+	// (Busy outcome) so the owner can schedule a bounded retry.
+	OnBusy func(mv Move)
+	// OnIPIDelay, when non-nil, receives the shootdown targets whose
+	// acknowledgment was delayed by an injected IPIDelay fault. The
+	// slice is engine scratch: callees must not retain it.
+	OnIPIDelay func(targets []int)
+
 	// Obs receives migration and shootdown telemetry; nil disables
 	// emission at zero cost. Owner labels the events with the owning
 	// application's name.
 	Obs   obs.Sink
 	Owner string
+}
+
+// Chaos is the fault-injection surface the engine consults
+// (structurally satisfied by *fault.Injector; a local interface keeps
+// the mechanism layer free of a fault-package dependency). Both methods
+// must be pure in the simulation coordinates — the engine calls them
+// once per page/batch and assumes replays answer identically.
+type Chaos interface {
+	// MigrationFails reports a transient per-page failure (pinned page,
+	// -EBUSY) for virtual page vp in engine batch batchSeq.
+	MigrationFails(app string, vp uint64, batchSeq uint64) bool
+	// IPIDelayCycles returns extra acknowledgment cycles per shootdown
+	// target for batch batchSeq (0 = no fault).
+	IPIDelayCycles(app string, batchSeq uint64) float64
 }
 
 // Move asks for one page to be migrated to a destination tier.
@@ -101,6 +129,7 @@ const (
 	AlreadyThere                // page already resided in the target tier
 	NotMapped                   // page has no translation
 	NoFrame                     // destination tier exhausted
+	Busy                        // transient failure (injected fault); retryable
 )
 
 func (o Outcome) String() string {
@@ -115,6 +144,8 @@ func (o Outcome) String() string {
 		return "not-mapped"
 	case NoFrame:
 		return "no-frame"
+	case Busy:
+		return "busy"
 	default:
 		return fmt.Sprintf("outcome(%d)", uint8(o))
 	}
@@ -127,6 +158,7 @@ type Result struct {
 	Moved     int // pages copied
 	Remapped  int // pages committed via shadow remap
 	Failed    int // NotMapped + NoFrame
+	Busy      int // transient injected failures (retryable)
 	Targets   int // shootdown IPI fan-out used
 }
 
@@ -155,6 +187,11 @@ type Engine struct {
 	scopeList []int
 	scopeBuf  []int
 	batch     []staged
+
+	// batchSeq numbers MigrateSync batches; it is the fault-injection
+	// coordinate for per-batch draws, so a page that failed transiently
+	// in one batch draws fresh when retried in a later one.
+	batchSeq uint64
 }
 
 // NewEngine validates cfg and builds an engine.
@@ -213,6 +250,7 @@ func (e *Engine) addScope(vp pagetable.VPage) {
 // for background demotions).
 func (e *Engine) MigrateSync(moves []Move) Result {
 	res := Result{Outcomes: make([]Outcome, len(moves))}
+	e.batchSeq++
 
 	// Phase 0/1: preparation + kernel trap happen once per batch. The
 	// scope bitmap and staging buffer are engine scratch, cleared here
@@ -234,6 +272,17 @@ func (e *Engine) MigrateSync(moves []Move) Result {
 		}
 		if pte.Frame().Tier == mv.To {
 			res.Outcomes[i] = AlreadyThere
+			continue
+		}
+		if e.cfg.Inject != nil && e.cfg.Inject.MigrationFails(e.cfg.Owner, uint64(mv.VP), e.batchSeq) {
+			// Transient failure (pinned page): the kernel took the PTE
+			// lock, saw the pin, and backed off — the page stays mapped
+			// where it is and only the lock round-trip is charged.
+			res.Outcomes[i] = Busy
+			res.Busy++
+			if e.cfg.OnBusy != nil {
+				e.cfg.OnBusy(mv)
+			}
 			continue
 		}
 		if e.cfg.PreMigrate != nil {
@@ -282,13 +331,26 @@ func (e *Engine) MigrateSync(moves []Move) Result {
 		Pages: attempted,
 		Prep:  e.cfg.Cost.PrepCycles(e.cfg.Cpus, e.cfg.OptimizedPrep),
 		Trap:  e.cfg.Cost.TrapCycles,
-		Unmap: float64(attempted) * e.cfg.Cost.LockUnmapPerPage,
+		// Busy pages took the PTE lock and backed off, so they charge
+		// the lock/unmap round-trip but no shootdown, copy or remap.
+		// With chaos off res.Busy is always 0 and the sum is the exact
+		// pre-fault expression.
+		Unmap: float64(attempted+res.Busy) * e.cfg.Cost.LockUnmapPerPage,
 		TLB:   e.cfg.Cost.ShootdownCycles(attempted, res.Targets),
 		Copy:  e.cfg.Cost.CopyCycles(copied),
 		Remap: float64(attempted) * e.cfg.Cost.RemapPerPage,
 		Split: splitCycles,
 	}
-	if attempted == 0 {
+	if e.cfg.Inject != nil && attempted > 0 {
+		// A delayed-IPI fault stretches every target's acknowledgment.
+		if d := e.cfg.Inject.IPIDelayCycles(e.cfg.Owner, e.batchSeq); d > 0 {
+			res.Breakdown.TLB += d * float64(res.Targets)
+			if e.cfg.OnIPIDelay != nil {
+				e.cfg.OnIPIDelay(e.scopeList)
+			}
+		}
+	}
+	if attempted == 0 && res.Busy == 0 {
 		// Nothing actually entered the kernel migration path: no cost.
 		res.Breakdown = machine.Breakdown{}
 	}
@@ -299,10 +361,10 @@ func (e *Engine) MigrateSync(moves []Move) Result {
 // emitSync publishes one batch's telemetry: the shootdown (scope and
 // cost) and the five-phase cycle breakdown.
 func (e *Engine) emitSync(res Result, attempted int) {
-	if attempted == 0 {
+	if attempted == 0 && res.Busy == 0 {
 		return
 	}
-	if obs.Enabled(e.cfg.Obs, obs.EvShootdown) {
+	if attempted > 0 && obs.Enabled(e.cfg.Obs, obs.EvShootdown) {
 		e.cfg.Obs.Event(obs.E(obs.EvShootdown, e.cfg.Owner, "migrate",
 			sim.CyclesToDuration(res.Breakdown.TLB),
 			obs.F("pages", float64(attempted)),
@@ -311,7 +373,7 @@ func (e *Engine) emitSync(res Result, attempted int) {
 	}
 	if obs.Enabled(e.cfg.Obs, obs.EvMigrateSync) {
 		sh := e.shadows.stats()
-		e.cfg.Obs.Event(obs.E(obs.EvMigrateSync, e.cfg.Owner, "migrate",
+		ev := obs.E(obs.EvMigrateSync, e.cfg.Owner, "migrate",
 			sim.CyclesToDuration(res.Breakdown.Total()),
 			obs.F("pages", float64(attempted)),
 			obs.F("moved", float64(res.Moved)),
@@ -324,7 +386,13 @@ func (e *Engine) emitSync(res Result, attempted int) {
 			obs.F("copy_cycles", res.Breakdown.Copy),
 			obs.F("remap_cycles", res.Breakdown.Remap),
 			obs.F("split_cycles", res.Breakdown.Split),
-			obs.F("shadows_live", float64(sh.Live))))
+			obs.F("shadows_live", float64(sh.Live)))
+		if res.Busy > 0 {
+			// Appended (rather than unconditional) so chaos-off traces
+			// stay byte-identical to the pre-fault exporter output.
+			ev.Fields = append(ev.Fields, obs.F("busy", float64(res.Busy)))
+		}
+		e.cfg.Obs.Event(ev)
 	}
 }
 

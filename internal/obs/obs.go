@@ -64,25 +64,43 @@ const (
 	// EvTHPCollapse is reserved for huge-page collapse; the current
 	// model only splits, but the taxonomy names both directions.
 	EvTHPCollapse
+	// EvFaultInject is one injected fault from internal/fault: the note
+	// names the fault kind, fields carry kind/severity and the
+	// kind-specific coordinates (page, epoch, batch).
+	EvFaultInject
+	// EvMigrateRetry aggregates one app's bounded-retry pass over an
+	// epoch: pages retried, recovered, still pending, cycles spent.
+	EvMigrateRetry
+	// EvMigrateGiveup records migrations abandoned after exhausting
+	// their retry attempts.
+	EvMigrateGiveup
+	// EvProfileDegraded marks an epoch in which an app's profiler
+	// confidence fell below the degradation threshold, so the policy
+	// held its prior placement instead of reacting to a starved profile.
+	EvProfileDegraded
 
 	// NumEventTypes bounds the enum.
 	NumEventTypes
 )
 
 var eventTypeNames = [NumEventTypes]string{
-	EvEpoch:        "epoch",
-	EvAppStart:     "app-start",
-	EvDecision:     "migration-decision",
-	EvMigrateSync:  "migrate-sync",
-	EvMigrateAsync: "migrate-async",
-	EvShootdown:    "tlb-shootdown",
-	EvProfileEpoch: "profile-epoch",
-	EvQueueAdapt:   "queue-adapt",
-	EvQoSAdapt:     "qos-adapt",
-	EvDemandFault:  "demand-fault",
-	EvHintFault:    "hint-fault",
-	EvTHPSplit:     "thp-split",
-	EvTHPCollapse:  "thp-collapse",
+	EvEpoch:           "epoch",
+	EvAppStart:        "app-start",
+	EvDecision:        "migration-decision",
+	EvMigrateSync:     "migrate-sync",
+	EvMigrateAsync:    "migrate-async",
+	EvShootdown:       "tlb-shootdown",
+	EvProfileEpoch:    "profile-epoch",
+	EvQueueAdapt:      "queue-adapt",
+	EvQoSAdapt:        "qos-adapt",
+	EvDemandFault:     "demand-fault",
+	EvHintFault:       "hint-fault",
+	EvTHPSplit:        "thp-split",
+	EvTHPCollapse:     "thp-collapse",
+	EvFaultInject:     "fault.inject",
+	EvMigrateRetry:    "migrate.retry",
+	EvMigrateGiveup:   "migrate.giveup",
+	EvProfileDegraded: "profile.degraded",
 }
 
 // String returns the stable wire name used in traces and filters.

@@ -26,6 +26,9 @@ type App struct {
 	Engine   *migrate.Engine
 	Async    *migrate.AsyncMigrator
 	Profiler profile.Profiler
+	// Retry is the bounded-retry queue for transiently-failed
+	// migrations; nil on fault-free runs.
+	Retry *migrate.Retrier
 
 	sys     *System
 	rng     *sim.RNG
@@ -62,6 +65,11 @@ type App struct {
 	// Cached placement census, refreshed each epoch.
 	fastPages int
 	rssMapped int
+
+	// profileDegraded latches whether injected sample loss starved this
+	// epoch's profile below the plan's confidence threshold; resilient
+	// policies hold their prior placement instead of reacting to it.
+	profileDegraded bool
 }
 
 // Name returns the configured application name.
@@ -109,6 +117,12 @@ func (a *App) ChargeStall(cycles float64) {
 // SampleWeight returns real operations represented by one sample access.
 func (a *App) SampleWeight() float64 { return a.sampleWeight }
 
+// ProfileDegraded reports whether the last epoch's profile was starved
+// below the fault plan's confidence threshold (always false on
+// fault-free runs). Policies use it to degrade gracefully: hold the
+// prior placement rather than chase a profile built from lost samples.
+func (a *App) ProfileDegraded() bool { return a.profileDegraded }
+
 // WriteProbability estimates the chance that a page is written during
 // one migration copy window — the dirty-retry input for transactional
 // async migration. It combines the page's profiled write fraction with
@@ -144,7 +158,7 @@ func (a *App) admit(sys *System, placer Placer) {
 	a.sampleWeight = 1
 
 	mech := sys.mechanisms()
-	eng := migrate.NewEngine(migrate.Config{
+	engCfg := migrate.Config{
 		Cost:              sys.cost,
 		Tiers:             sys.tiers,
 		Table:             a.Table,
@@ -157,8 +171,26 @@ func (a *App) admit(sys *System, placer Placer) {
 		PreMigrate:        a.splitTHP,
 		Obs:               sys.obs,
 		Owner:             a.Cfg.Name,
-	})
+	}
+	if sys.inj != nil {
+		// Assigned only when non-nil so the interface field stays truly
+		// nil (not a typed nil) on fault-free runs.
+		engCfg.Inject = sys.inj
+		engCfg.OnBusy = func(mv migrate.Move) { a.Retry.NoteBusy(mv) }
+		engCfg.OnIPIDelay = a.noteDelayedAcks
+	}
+	eng := migrate.NewEngine(engCfg)
 	a.Engine = eng
+	if sys.inj != nil {
+		plan := sys.inj.Plan()
+		a.Retry = migrate.NewRetrier(migrate.RetryConfig{
+			Engine:      eng,
+			Budget:      plan.RetryBudget,
+			MaxAttempts: plan.RetryMaxAttempts,
+			BackoffBase: plan.RetryBackoffEpochs,
+			BackoffCap:  plan.RetryBackoffCap,
+		})
+	}
 	a.Async = migrate.NewAsyncMigrator(migrate.AsyncConfig{
 		Engine:     eng,
 		MaxRetries: 3,
@@ -169,6 +201,11 @@ func (a *App) admit(sys *System, placer Placer) {
 		a.Profiler = pf.NewProfiler(a)
 	} else {
 		a.Profiler = sys.cfg.NewProfiler(a)
+	}
+	if sys.inj != nil {
+		if sf := sys.inj.Profile(a.Cfg.Name); sf != nil {
+			a.Profiler = profile.NewFaulty(a.Profiler, sf)
+		}
 	}
 
 	a.premap(placer)
@@ -205,6 +242,17 @@ func (a *App) invalidateTLBs(vp pagetable.VPage, threads []int) {
 	for _, t := range threads {
 		if t >= 0 && t < len(a.TLBs) {
 			a.TLBs[t].Invalidate(vp)
+		}
+	}
+}
+
+// noteDelayedAcks records an injected IPI-acknowledgment delay on each
+// affected thread's TLB counters (the cycle cost is charged by the
+// engine; threads is engine scratch and must not be retained).
+func (a *App) noteDelayedAcks(threads []int) {
+	for _, t := range threads {
+		if t >= 0 && t < len(a.TLBs) {
+			a.TLBs[t].NoteDelayedAck()
 		}
 	}
 }
@@ -320,7 +368,16 @@ func (a *App) runEpochAccesses(samples int, epochCycles float64, bwUtil [mem.Num
 				}
 				hit := tlbT.Access(tag)
 				tier := a.sys.tiers.Tier(frame.Tier)
-				actual += cost.AccessCycles(tier, hit, bwUtil[frame.Tier])
+				// An injected latency spike stretches the memory term;
+				// the guard keeps fault-free epochs (spike 0 or 1) on
+				// the untouched baseline expression. The all-fast ideal
+				// is deliberately unfaulted — it is the no-chaos
+				// reference the slowdown is measured against.
+				if spike := a.sys.latSpike[frame.Tier]; spike > 1 {
+					actual += cost.AccessCyclesDegraded(tier, hit, bwUtil[frame.Tier], spike)
+				} else {
+					actual += cost.AccessCycles(tier, hit, bwUtil[frame.Tier])
+				}
 				ideal += cost.AccessCycles(fastTier, true, bwUtil[mem.TierFast])
 				// A profiling fault (hint-fault poisoning) fires once per
 				// poisoned page, not once per operation: epoch overhead.

@@ -3,6 +3,7 @@ package system
 import (
 	"fmt"
 
+	"vulcan/internal/fault"
 	"vulcan/internal/machine"
 	"vulcan/internal/mem"
 	"vulcan/internal/metrics"
@@ -44,6 +45,14 @@ type Config struct {
 	// clock (obs.Recorder), the system binds it to the machine clock so
 	// all event timestamps are simulated time.
 	Obs obs.Sink
+
+	// Faults arms the deterministic chaos layer (internal/fault): the
+	// plan is compiled against Seed into an injector consulted by the
+	// migration engines, profilers, latency/bandwidth models and the
+	// epoch loop. nil — or a plan whose rules can never fire — leaves
+	// every hook on the exact pre-fault arithmetic, so a faultless run
+	// is byte-identical to one built without the subsystem.
+	Faults *fault.Plan
 
 	Seed uint64
 }
@@ -91,6 +100,17 @@ type System struct {
 	// into the next epoch's latency model.
 	bwUtil [mem.NumTiers]float64
 
+	// Fault-injection state (all zero/nil when Config.Faults is off).
+	// latSpike and bwFault are the current epoch's windows: latSpike
+	// multiplies access latency when > 1, bwFault shrinks a tier's
+	// sustainable bandwidth when in (0,1). pressure holds fast-tier
+	// frames seized by an injected memory-pressure burst, released at
+	// the next epoch boundary.
+	inj      *fault.Injector
+	latSpike [mem.NumTiers]float64
+	bwFault  [mem.NumTiers]float64
+	pressure []mem.Frame
+
 	// tiers and cost are aliases of the machine's fields for brevity.
 	tiers *mem.Tiers
 	cost  machine.CostModel
@@ -118,6 +138,13 @@ func New(cfg Config) *System {
 	}
 	if b, ok := cfg.Obs.(interface{ BindClock(*sim.Clock) }); ok {
 		b.BindClock(m.Clock)
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			panic(fmt.Sprintf("system: %v", err))
+		}
+		// nil when no rule can fire, keeping every hook on the fast path.
+		s.inj = fault.NewInjector(cfg.Faults, cfg.Seed, cfg.Obs)
 	}
 	if p, ok := cfg.Policy.(Placer); ok {
 		s.placer = p
@@ -214,6 +241,13 @@ func (s *System) RunEpoch() {
 		}
 	}
 
+	// Open this epoch's fault windows (latency spikes, bandwidth
+	// degradation, memory-pressure bursts) before any access or
+	// migration sees the tiers.
+	if s.inj != nil {
+		s.applyFaultWindows()
+	}
+
 	// Access simulation against last epoch's bandwidth picture.
 	s.tiers.ResetEpoch()
 	epochCycles := s.EpochCycles()
@@ -233,6 +267,7 @@ func (s *System) RunEpoch() {
 		if a.started {
 			rep := a.Profiler.EndEpoch()
 			a.ChargeStall(rep.OverheadCycles)
+			s.checkProfileConfidence(a)
 			if obs.Enabled(s.obs, obs.EvProfileEpoch) {
 				s.obs.Event(obs.E(obs.EvProfileEpoch, a.Cfg.Name, "profile",
 					sim.CyclesToDuration(rep.OverheadCycles),
@@ -250,6 +285,16 @@ func (s *System) RunEpoch() {
 
 	// Policy decisions and migrations.
 	s.policy.EndEpoch(s)
+
+	// Bounded retry of transiently-failed migrations (chaos runs only):
+	// the retry batch is background migration work, charged like any
+	// other stall against the app's next epoch.
+	for _, a := range s.apps {
+		if a.started && a.Retry != nil {
+			ep := a.Retry.RunEpoch(uint64(s.epoch))
+			a.ChargeStall(ep.Cycles)
+		}
+	}
 
 	// Post-migration accounting.
 	var weighted [mem.NumTiers]float64
@@ -270,11 +315,17 @@ func (s *System) RunEpoch() {
 	s.recorder.Record("fast_tier_used", float64(s.tiers.Fast().Used()))
 
 	// Bandwidth utilization for the next epoch's latency ramp: weighted
-	// accesses × one cache line over the epoch.
+	// accesses × one cache line over the epoch. An injected degradation
+	// window shrinks the tier's sustainable bandwidth, so the same
+	// traffic rides higher on the latency ramp.
 	seconds := s.cfg.EpochLength.Seconds()
 	for t := mem.TierID(0); t < mem.NumTiers; t++ {
 		gbs := weighted[t] * 64 / seconds / 1e9
-		u := gbs / s.tiers.Tier(t).Config().BandwidthGBs
+		bw := s.tiers.Tier(t).Config().BandwidthGBs
+		if f := s.bwFault[t]; f > 0 && f < 1 {
+			bw *= f
+		}
+		u := gbs / bw
 		if u > 1 {
 			u = 1
 		}
@@ -319,6 +370,20 @@ func (s *System) observeApp(a *App) {
 	reg.Gauge("async_moved", app).Set(float64(as.Moved))
 	reg.Gauge("async_aborted", app).Set(float64(as.Aborted))
 	reg.Histogram("epoch_perf", 0, 1.5, 60, app).Add(a.epochPerf)
+	// Resilience gauges exist only on chaos runs, so fault-free metric
+	// CSVs keep their pre-fault row set byte-for-byte.
+	if a.Retry != nil {
+		rs := a.Retry.Stats()
+		reg.Gauge("retry_pending", app).Set(float64(a.Retry.Pending()))
+		reg.Gauge("retry_recovered", app).Set(float64(rs.Recovered))
+		reg.Gauge("retry_gaveup", app).Set(float64(rs.GaveUp))
+	}
+	if fp, ok := a.Profiler.(*profile.Faulty); ok {
+		reg.Gauge("profile_confidence", app).Set(fp.Confidence())
+	}
+	if ts.DelayedAcks > 0 {
+		reg.Gauge("tlb_delayed_acks", app).Set(float64(ts.DelayedAcks))
+	}
 }
 
 // observeEpoch emits the machine-scope epoch summary event, refreshes
@@ -342,6 +407,64 @@ func (s *System) observeEpoch() {
 		f.FlushEpoch(s.epoch)
 	}
 }
+
+// applyFaultWindows opens the epoch's injected substrate windows:
+// per-tier latency spikes and bandwidth degradation, plus fast-tier
+// frames seized by an external memory-pressure burst. Last epoch's
+// seized frames are released first, so a burst lasts exactly its
+// window.
+func (s *System) applyFaultWindows() {
+	for _, f := range s.pressure {
+		s.tiers.Free(f)
+	}
+	s.pressure = s.pressure[:0]
+
+	epoch := uint64(s.epoch)
+	for t := mem.TierID(0); t < mem.NumTiers; t++ {
+		s.latSpike[t] = s.inj.LatencyFactor(t, epoch)
+		s.bwFault[t] = s.inj.BandwidthFactor(t, epoch)
+	}
+	fastCap := s.tiers.Fast().Config().CapacityPages
+	want := s.inj.PressurePages(epoch, fastCap)
+	for i := 0; i < want; i++ {
+		f, ok := s.tiers.Alloc(mem.TierFast)
+		if !ok {
+			break // tier already full: the burst seizes what it can
+		}
+		s.pressure = append(s.pressure, f)
+	}
+}
+
+// checkProfileConfidence latches whether the app's profile is too
+// starved (injected sample loss) to act on this epoch, and emits the
+// degradation event. No-op on fault-free runs, where profilers are
+// never wrapped.
+func (s *System) checkProfileConfidence(a *App) {
+	fp, ok := a.Profiler.(*profile.Faulty)
+	if !ok {
+		return
+	}
+	conf := fp.Confidence()
+	a.profileDegraded = conf < s.inj.Plan().DegradeBelow
+	if a.profileDegraded && obs.Enabled(s.obs, obs.EvProfileDegraded) {
+		overflow := 0.0
+		if fp.Overflowed() {
+			overflow = 1
+		}
+		s.obs.Event(obs.E(obs.EvProfileDegraded, a.Cfg.Name, "profile", 0,
+			obs.F("confidence", conf),
+			obs.F("dropped", float64(fp.Dropped())),
+			obs.F("overflow", overflow)))
+	}
+}
+
+// FaultInjector returns the compiled fault injector, or nil when the
+// run is fault-free.
+func (s *System) FaultInjector() *fault.Injector { return s.inj }
+
+// PressureHeld returns how many fast-tier frames are currently seized
+// by an injected memory-pressure burst.
+func (s *System) PressureHeld() int { return len(s.pressure) }
 
 // Run advances the simulation for d of simulated time.
 func (s *System) Run(d sim.Duration) {

@@ -23,6 +23,10 @@ type Stats struct {
 	Misses        uint64
 	Invalidations uint64 // entries actually evicted by Invalidate
 	Flushes       uint64
+	// DelayedAcks counts shootdown IPIs whose acknowledgment was
+	// delayed by an injected fault (internal/fault's IPIDelay kind);
+	// always 0 on a well-behaved substrate.
+	DelayedAcks uint64
 }
 
 // Merge returns the element-wise sum of two counter sets — used to
@@ -33,6 +37,7 @@ func (s Stats) Merge(o Stats) Stats {
 		Misses:        s.Misses + o.Misses,
 		Invalidations: s.Invalidations + o.Invalidations,
 		Flushes:       s.Flushes + o.Flushes,
+		DelayedAcks:   s.DelayedAcks + o.DelayedAcks,
 	}
 }
 
@@ -115,6 +120,11 @@ func (t *TLB) Entries() int { return len(t.tags) }
 
 // Stats returns the cumulative counters.
 func (t *TLB) Stats() Stats { return t.stats }
+
+// NoteDelayedAck records one shootdown IPI whose acknowledgment was
+// delayed by an injected fault (the cycle cost is charged by the
+// migration engine; this only keeps the counter visible per thread).
+func (t *TLB) NoteDelayedAck() { t.stats.DelayedAcks++ }
 
 // ResetStats zeroes the counters, keeping contents.
 func (t *TLB) ResetStats() { t.stats = Stats{} }

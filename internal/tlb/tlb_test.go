@@ -123,3 +123,20 @@ func TestNonPositiveEntriesPanics(t *testing.T) {
 	}()
 	New(0)
 }
+
+func TestDelayedAcks(t *testing.T) {
+	tb := New(8)
+	tb.NoteDelayedAck()
+	tb.NoteDelayedAck()
+	if got := tb.Stats().DelayedAcks; got != 2 {
+		t.Fatalf("DelayedAcks = %d", got)
+	}
+	merged := tb.Stats().Merge(Stats{DelayedAcks: 3})
+	if merged.DelayedAcks != 5 {
+		t.Fatalf("merged DelayedAcks = %d", merged.DelayedAcks)
+	}
+	tb.ResetStats()
+	if tb.Stats().DelayedAcks != 0 {
+		t.Fatal("reset kept DelayedAcks")
+	}
+}

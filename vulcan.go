@@ -28,6 +28,7 @@ import (
 	"io"
 
 	"vulcan/internal/core"
+	"vulcan/internal/fault"
 	"vulcan/internal/machine"
 	"vulcan/internal/mem"
 	"vulcan/internal/metrics"
@@ -193,3 +194,26 @@ func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
 
 // NewTraceReplayer builds a looping generator over a captured trace.
 func NewTraceReplayer(t *Trace) *TraceReplayer { return trace.NewReplayer(t) }
+
+// Fault injection (internal/fault): deterministic chaos for the
+// substrate. Set Config.Faults to an armed FaultPlan to degrade
+// bandwidth, spike latency, fail migrations, drop profiler samples and
+// burst memory pressure on a seed-derived schedule; a nil or unarmed
+// plan leaves the run byte-identical to a fault-free build.
+type (
+	// FaultPlan declares what to inject, how often, and how the system
+	// may respond (retry budget, backoff, confidence threshold).
+	FaultPlan = fault.Plan
+	// FaultRule is one (kind, scope, rate, severity) injection rule.
+	FaultRule = fault.Rule
+	// FaultKind enumerates the injectable fault classes.
+	FaultKind = fault.Kind
+)
+
+// FaultPlanAtRate returns the canonical all-kinds chaos plan at the
+// given per-opportunity rate; rate <= 0 returns nil (fault-free).
+func FaultPlanAtRate(rate float64) *FaultPlan { return fault.PlanAtRate(rate) }
+
+// FaultProfile resolves a named chaos profile ("off", "light",
+// "moderate", "heavy") to a plan.
+func FaultProfile(name string) (*FaultPlan, error) { return fault.ParseProfile(name) }
