@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt vet lint test race obs-demo obs-demo-parallel chaos-demo chaos-golden bench
+.PHONY: check build fmt vet lint test race obs-demo obs-demo-parallel chaos-demo chaos-golden checkpoint-demo bench bench-checkpoint
 
 # check is the full gate, in fail-fast order: cheap static checks first,
 # then the test suites.
@@ -103,6 +103,31 @@ chaos-golden:
 	$(GO) run ./cmd/vulcansim $(CHAOS_DEMO_FLAGS) > testdata/chaos/report.golden.txt
 	@echo "golden updated: testdata/chaos/report.golden.txt"
 
+# checkpoint-demo is the executable form of the resume contract
+# (DESIGN.md "Checkpoint & restore"): a run interrupted at t=10s,
+# checkpointed and resumed for 10 more simulated seconds must produce
+# report, trace and metrics bytes identical to a single uninterrupted
+# 20-second run. Note `-seconds` after `-resume` counts additional
+# simulated time. Artifacts land in out/ckpt-demo/ (gitignored).
+CKPT_DEMO_FLAGS = -policy vulcan -scale 8 -seed 7
+checkpoint-demo:
+	@mkdir -p out/ckpt-demo
+	$(GO) run ./cmd/vulcansim $(CKPT_DEMO_FLAGS) -seconds 20 \
+		-trace-out out/ckpt-demo/trace.json -metrics-out out/ckpt-demo/metrics.csv \
+		> out/ckpt-demo/report.txt
+	$(GO) run ./cmd/vulcansim $(CKPT_DEMO_FLAGS) -seconds 10 \
+		-checkpoint-out out/ckpt-demo/mid.ckpt \
+		-trace-out out/ckpt-demo/trace-first.json -metrics-out out/ckpt-demo/metrics-first.csv \
+		> out/ckpt-demo/report-first.txt
+	$(GO) run ./cmd/vulcansim $(CKPT_DEMO_FLAGS) -seconds 10 \
+		-resume out/ckpt-demo/mid.ckpt \
+		-trace-out out/ckpt-demo/trace-resumed.json -metrics-out out/ckpt-demo/metrics-resumed.csv \
+		> out/ckpt-demo/report-resumed.txt
+	cmp out/ckpt-demo/trace.json out/ckpt-demo/trace-resumed.json
+	cmp out/ckpt-demo/metrics.csv out/ckpt-demo/metrics-resumed.csv
+	cmp out/ckpt-demo/report.txt out/ckpt-demo/report-resumed.txt
+	@echo "checkpoint-demo: resume-then-finish byte-identical to the uninterrupted run"
+
 # bench runs the figure benchmarks with allocation accounting and
 # records the numbers as structured JSON (committed as
 # BENCH_parallel.json so perf regressions show up in review diffs).
@@ -112,3 +137,11 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchjson > BENCH_parallel.json
 	@cat BENCH_parallel.json
+
+# bench-checkpoint measures the branch-from-snapshot win: one shared
+# warm-up feeding every policy x fault-rate cell of a sweep, against
+# running each cell cold. Committed as BENCH_checkpoint.json.
+bench-checkpoint:
+	$(GO) test -run '^$$' -bench 'BenchmarkCheckpoint' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson > BENCH_checkpoint.json
+	@cat BENCH_checkpoint.json

@@ -1,0 +1,63 @@
+// Benchmark for the branch-from-snapshot sweep machinery: the warm-up
+// of a co-location scenario is paid once under the placement-neutral
+// static policy, checkpointed, and every policy x fault-rate cell of
+// the sweep resumes from that shared snapshot. The benchmark times the
+// shared-warm-up sweep against running every cell cold and reports the
+// wall-clock speedup plus the simulated warm-up epochs saved.
+//
+//	make bench-checkpoint
+package vulcan_test
+
+import (
+	"testing"
+	"time"
+
+	"vulcan/internal/fault"
+	"vulcan/internal/figures"
+	"vulcan/internal/sim"
+)
+
+// BenchmarkCheckpointBranchSweep sweeps 3 policies x 2 fault rates over
+// one warmed-up scenario. Wall-clock timing (time.Now) is fine here:
+// this file is outside the simulation tree, and the measurement is
+// about host cost, not simulated behavior.
+func BenchmarkCheckpointBranchSweep(b *testing.B) {
+	base := figures.ColocationConfig{Duration: 6 * sim.Second, Seed: 3, Scale: 16}
+	policies := []string{"tpp", "memtis", "vulcan"}
+	rates := []float64{0, 0.05}
+	cells := len(policies) * len(rates)
+
+	cellCfg := func(policy string, rate float64) figures.ColocationConfig {
+		cfg := base
+		cfg.Policy = policy
+		if rate > 0 {
+			cfg.Faults = fault.PlanAtRate(rate)
+		}
+		return cfg
+	}
+
+	for i := 0; i < b.N; i++ {
+		warmEpochs := figures.WarmEpochs(base.Duration, sim.Second)
+
+		branchStart := time.Now()
+		warm := figures.WarmStart(base, warmEpochs)
+		for _, p := range policies {
+			for _, r := range rates {
+				figures.RunColocationFrom(warm, cellCfg(p, r))
+			}
+		}
+		branch := time.Since(branchStart)
+
+		coldStart := time.Now()
+		for _, p := range policies {
+			for _, r := range rates {
+				figures.RunColocation(cellCfg(p, r))
+			}
+		}
+		cold := time.Since(coldStart)
+
+		b.ReportMetric(float64(warmEpochs), "warm-epochs")
+		b.ReportMetric(float64(warmEpochs*(cells-1)), "warm-epochs-saved")
+		b.ReportMetric(cold.Seconds()/branch.Seconds(), "cold-vs-branch-speedup")
+	}
+}

@@ -20,6 +20,20 @@
 // for the canonical plan at rate R) is clock-keyed and seed-derived:
 // the same flags replay the same faults byte for byte. -fault-seed
 // varies the fault schedule without touching the workload seed.
+//
+// Checkpoint/restore (-checkpoint-out, -checkpoint-every, -resume):
+//
+//	vulcansim -seconds 120 -checkpoint-out run.ckpt        # snapshot the end state
+//	vulcansim -seconds 120 -checkpoint-out run.ckpt -checkpoint-every 30
+//	vulcansim -resume run.ckpt -seconds 60                 # 60 MORE simulated seconds
+//	vulcansim -resume run.ckpt -seconds 60 -faults heavy   # branch into chaos
+//
+// A resumed run continued to the original end time reproduces the
+// uninterrupted run's report, series, trace and metrics byte for byte
+// when the remaining flags match. The policy and fault flags may differ
+// from the checkpointed run — that branches a new experiment from the
+// snapshot instead (the restored policy starts cold). Checkpointing is
+// single-run only: it excludes -seeds > 1.
 package main
 
 import (
@@ -42,7 +56,7 @@ import (
 
 func main() {
 	var (
-		policyName = flag.String("policy", "vulcan", "tiering policy: static, tpp, memtis, nomad, vulcan")
+		policyName = flag.String("policy", "vulcan", "tiering policy: "+strings.Join(figures.PolicyNames, ", "))
 		appsFlag   = flag.String("apps", "memcached,pagerank,liblinear", "comma-separated apps (memcached, pagerank, liblinear)")
 		seconds    = flag.Int("seconds", 120, "simulated seconds")
 		scale      = flag.Int("scale", 4, "extra capacity scale divisor (1 = full 1/64 scale)")
@@ -59,6 +73,9 @@ func main() {
 		faultsProf = flag.String("faults", "", "fault-injection profile: off, light, moderate, heavy")
 		faultRate  = flag.Float64("fault-rate", 0, "inject the canonical all-kinds fault plan at this rate (0 = off; excludes -faults)")
 		faultSeed  = flag.Uint64("fault-seed", 0, "vary the fault schedule independently of -seed (needs -faults or -fault-rate)")
+		ckptOut    = flag.String("checkpoint-out", "", "write a checkpoint blob of the final simulation state to this file")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "also checkpoint every N simulated seconds (needs -checkpoint-out; interim files get a .tNNN suffix)")
+		resumeFrom = flag.String("resume", "", "resume from a checkpoint blob; -seconds then counts additional simulated time")
 	)
 	flag.Parse()
 	lab.SetDefaultWorkers(*parallel)
@@ -69,13 +86,26 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if !figures.ValidPolicy(*policyName) {
+		log.Fatalf("unknown policy %q (want one of %s)", *policyName, strings.Join(figures.PolicyNames, ", "))
+	}
+	if *ckptEvery < 0 {
+		log.Fatal("-checkpoint-every must be >= 0")
+	}
+	if *ckptEvery > 0 && *ckptOut == "" {
+		log.Fatal("-checkpoint-every needs -checkpoint-out")
+	}
+	if (*ckptOut != "" || *resumeFrom != "") && *seedsN > 1 {
+		log.Fatal("-checkpoint-out/-resume are single-run flags; they exclude -seeds > 1")
+	}
 
 	if *configPath != "" {
 		if *seedsN > 1 {
 			log.Fatal("-seeds applies to flag-defined scenarios, not -config runs")
 		}
 		rec := buildRecorder(*traceOut, *metricsOut, *obsFilter)
-		runConfigFile(*configPath, *seriesOut, *jsonOut, rec, *traceOut, *metricsOut, plan)
+		runConfigFile(*configPath, *seriesOut, *jsonOut, rec, *traceOut, *metricsOut, plan,
+			*resumeFrom, *ckptOut, *ckptEvery)
 		return
 	}
 
@@ -176,9 +206,74 @@ func main() {
 	if rec != nil {
 		cfg.Obs = rec
 	}
-	sys := vulcan.NewSystem(cfg)
-	sys.Run(vulcan.Duration(*seconds) * vulcan.Second)
+	sys := runSystem(cfg, *seconds, *resumeFrom, *ckptOut, *ckptEvery)
 	finish(sys, *jsonOut, *seriesOut, rec, *traceOut, *metricsOut)
+}
+
+// runSystem builds (or resumes) the system and advances it seconds of
+// simulated time, writing interim and final checkpoints as requested.
+// Checkpoints happen on epoch boundaries, which whole-second steps
+// align with (the default epoch is 1s).
+func runSystem(cfg vulcan.Config, seconds int, resumeFrom, ckptOut string, ckptEvery int) *vulcan.System {
+	var sys *vulcan.System
+	if resumeFrom != "" {
+		f, err := os.Open(resumeFrom)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err = vulcan.Resume(f, cfg)
+		f.Close()
+		if err != nil {
+			log.Fatalf("resume %s: %v", resumeFrom, err)
+		}
+		fmt.Fprintf(os.Stderr, "resumed from %s at t=%ds\n", resumeFrom, simSeconds(sys))
+	} else {
+		sys = vulcan.NewSystem(cfg)
+	}
+	if ckptEvery > 0 {
+		for done := 0; done < seconds; {
+			step := ckptEvery
+			if done+step > seconds {
+				step = seconds - done
+			}
+			sys.Run(vulcan.Duration(step) * vulcan.Second)
+			done += step
+			if done < seconds {
+				writeCheckpoint(sys, interimPath(ckptOut, simSeconds(sys)))
+			}
+		}
+	} else {
+		sys.Run(vulcan.Duration(seconds) * vulcan.Second)
+	}
+	if ckptOut != "" {
+		writeCheckpoint(sys, ckptOut)
+	}
+	return sys
+}
+
+// simSeconds returns the simulation clock in whole simulated seconds.
+func simSeconds(sys *vulcan.System) int {
+	return int(sim.Duration(sys.Now()) / sim.Second)
+}
+
+// interimPath derives a periodic-checkpoint path by inserting the
+// simulated time before the extension: run.ckpt -> run.t030.ckpt.
+func interimPath(path string, seconds int) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.t%03d%s", strings.TrimSuffix(path, ext), seconds, ext)
+}
+
+// writeCheckpoint serializes the full simulation state to path.
+func writeCheckpoint(sys *vulcan.System, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := sys.Checkpoint(f); err != nil {
+		log.Fatalf("checkpoint %s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "checkpoint written to %s (t=%ds)\n", path, simSeconds(sys))
 }
 
 // renderReport buffers the final report in the requested format.
@@ -268,8 +363,10 @@ func buildFaultPlan(profile string, rate float64, seed uint64) (*vulcan.FaultPla
 	return plan, nil
 }
 
-// runConfigFile executes a JSON-defined scenario.
-func runConfigFile(path, seriesOut string, jsonOut bool, rec *obs.Recorder, traceOut, metricsOut string, plan *vulcan.FaultPlan) {
+// runConfigFile executes a JSON-defined scenario. A -faults/-fault-rate
+// flag plan overrides the file's own faults block.
+func runConfigFile(path, seriesOut string, jsonOut bool, rec *obs.Recorder, traceOut, metricsOut string,
+	plan *vulcan.FaultPlan, resumeFrom, ckptOut string, ckptEvery int) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -278,6 +375,9 @@ func runConfigFile(path, seriesOut string, jsonOut bool, rec *obs.Recorder, trac
 	f.Close()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if plan == nil {
+		plan = parsed.Faults
 	}
 	cfg := vulcan.Config{
 		Machine: parsed.Machine,
@@ -289,8 +389,7 @@ func runConfigFile(path, seriesOut string, jsonOut bool, rec *obs.Recorder, trac
 	if rec != nil {
 		cfg.Obs = rec
 	}
-	sys := vulcan.NewSystem(cfg)
-	sys.Run(vulcan.Duration(parsed.Duration))
+	sys := runSystem(cfg, int(parsed.Duration/sim.Duration(sim.Second)), resumeFrom, ckptOut, ckptEvery)
 	finish(sys, jsonOut, seriesOut, rec, traceOut, metricsOut)
 }
 

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"vulcan/internal/checkpoint"
+	"vulcan/internal/fault"
+	"vulcan/internal/machine"
+	"vulcan/internal/mem"
+	"vulcan/internal/sim"
+	"vulcan/internal/system"
+	"vulcan/internal/workload"
+)
+
+// vulcanConfig builds the configuration for a small co-location system
+// governed by the full Vulcan policy (unlike testSystem's null policy),
+// so checkpoints carry the policy and profiler sections. Each call
+// returns a fresh Policy instance, as Resume requires.
+func vulcanConfig(plan *fault.Plan) system.Config {
+	mcfg := machine.DefaultConfig()
+	mcfg.Cores = 32
+	mcfg.Tiers[mem.TierFast].CapacityPages = 4096
+	mcfg.Tiers[mem.TierSlow].CapacityPages = 1 << 16
+	return system.Config{
+		Machine: mcfg,
+		Apps: []workload.AppConfig{
+			appSpec("lc", workload.LC, 3000),
+			appSpec("be", workload.BE, 6000),
+		},
+		Policy:           New(Options{}),
+		Seed:             7,
+		EpochLength:      10 * sim.Millisecond,
+		SamplesPerThread: 200,
+		Faults:           plan,
+	}
+}
+
+func dumpSystem(t *testing.T, sys *system.System) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sys.Report().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Recorder().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// splitRunIdentity runs `total` epochs uninterrupted, then re-runs the
+// same scenario with a checkpoint/resume split at `split` epochs, and
+// requires byte-identical report and metrics output.
+func splitRunIdentity(t *testing.T, total, split int, plan func() *fault.Plan) {
+	t.Helper()
+	uninterrupted := system.New(vulcanConfig(plan()))
+	for i := 0; i < total; i++ {
+		uninterrupted.RunEpoch()
+	}
+	want := dumpSystem(t, uninterrupted)
+
+	first := system.New(vulcanConfig(plan()))
+	for i := 0; i < split; i++ {
+		first.RunEpoch()
+	}
+	var ckpt bytes.Buffer
+	if err := first.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := system.Resume(bytes.NewReader(ckpt.Bytes()), vulcanConfig(plan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Policy().Name() != "vulcan" {
+		t.Fatalf("resumed policy = %q", resumed.Policy().Name())
+	}
+	for i := split; i < total; i++ {
+		resumed.RunEpoch()
+	}
+	if got := dumpSystem(t, resumed); !bytes.Equal(got, want) {
+		t.Fatal("vulcan resume-then-finish diverged from uninterrupted run")
+	}
+	if rep := resumed.Audit(); !rep.Ok() {
+		t.Fatalf("audit failed after resume: %v", rep.Errors)
+	}
+}
+
+// TestVulcanCheckpointResumeByteIdentical closes the gap the generic
+// system tests leave open (they default to the null policy): a resumed
+// Vulcan run must restore the QoS controller, CBFRP RNG, MLFQ wait
+// memory and per-app hybrid profilers, and finish byte-identical to an
+// uninterrupted run.
+func TestVulcanCheckpointResumeByteIdentical(t *testing.T) {
+	splitRunIdentity(t, 12, 5, func() *fault.Plan { return nil })
+}
+
+// TestVulcanFaultedCheckpointResumeByteIdentical repeats the split-run
+// identity under moderate fault injection, so the policy's reaction to
+// fault windows (confidence downgrades, retry interplay) is also
+// covered by the resume path.
+func TestVulcanFaultedCheckpointResumeByteIdentical(t *testing.T) {
+	splitRunIdentity(t, 12, 7, func() *fault.Plan { return fault.PlanAtRate(0.05) })
+}
+
+// TestVulcanRestoreRejectsBadSnapshots feeds a two-workload policy
+// snapshot into a Vulcan with no registered workloads, then walks
+// truncations through a properly-admitted twin; every case must error,
+// never panic.
+func TestVulcanRestoreRejectsBadSnapshots(t *testing.T) {
+	sys := system.New(vulcanConfig(nil))
+	for i := 0; i < 3; i++ {
+		sys.RunEpoch()
+	}
+	v := sys.Policy().(*Vulcan)
+	e := &checkpoint.Encoder{}
+	v.Snapshot(e)
+	blob := e.Bytes()
+
+	if err := New(Options{}).Restore(checkpoint.NewDecoder(blob)); err == nil {
+		t.Fatal("workload-count mismatch accepted")
+	}
+
+	cold := system.New(vulcanConfig(nil))
+	cold.RunEpoch() // admit the same two workloads
+	target := cold.Policy().(*Vulcan)
+	stride := len(blob)/16 + 1
+	for cut := 0; cut < len(blob); cut += stride {
+		if err := target.Restore(checkpoint.NewDecoder(blob[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -382,7 +382,7 @@ func (v *Vulcan) swapWithinQuota(sys *system.System, app *system.App, budget flo
 // pages.
 func (v *Vulcan) slowCandidates(app *system.App, limit int) []profile.PageHeat {
 	var out []profile.PageHeat
-	for _, ph := range app.Profiler.Snapshot() {
+	for _, ph := range app.Profiler.HeatSnapshot() {
 		if len(out) >= limit {
 			break
 		}

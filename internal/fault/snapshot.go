@@ -1,0 +1,24 @@
+package fault
+
+import (
+	"vulcan/internal/checkpoint"
+)
+
+// Snapshot appends the injector's durable state: the per-kind injection
+// counts read by reports and figures. Everything else — the compiled
+// rules, the mixed seed — is reconstructed from the Plan, and every
+// draw is a pure hash of simulation coordinates, so the counts are the
+// injector's only evolving state.
+func (inj *Injector) Snapshot(e *checkpoint.Encoder) {
+	for _, c := range inj.injected {
+		e.U64(c)
+	}
+}
+
+// Restore reads the counts back in place.
+func (inj *Injector) Restore(d *checkpoint.Decoder) error {
+	for i := range inj.injected {
+		inj.injected[i] = d.U64()
+	}
+	return d.Err()
+}

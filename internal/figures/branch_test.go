@@ -1,0 +1,67 @@
+package figures
+
+import (
+	"encoding/json"
+	"testing"
+
+	"vulcan/internal/fault"
+	"vulcan/internal/lab"
+	"vulcan/internal/sim"
+)
+
+// TestFigRWorkerCountInvariant runs the branch-from-snapshot resilience
+// sweep — warm-up shared across every cell, faulted branches included —
+// at pool sizes 1, 2 and 7 and requires byte-identical serialized
+// results. Worker count must never leak into outputs (DESIGN.md §7).
+func TestFigRWorkerCountInvariant(t *testing.T) {
+	defer lab.SetDefaultWorkers(0)
+	run := func(workers int) []byte {
+		lab.SetDefaultWorkers(workers)
+		res := FigR(6*sim.Second, 16, 3, []float64{0, 0.05})
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	one := run(1)
+	for _, workers := range []int{2, 7} {
+		if got := run(workers); string(got) != string(one) {
+			t.Fatalf("FigR diverged between 1 and %d workers", workers)
+		}
+	}
+}
+
+// TestBranchFromSnapshotMatchesColdRunShape sanity-checks the warm-start
+// plumbing directly: a branch resumed under a different policy and a
+// moderate fault plan runs to the full duration and reports every app,
+// and branching twice with identical inputs is byte-identical.
+func TestBranchFromSnapshotMatchesColdRunShape(t *testing.T) {
+	base := ColocationConfig{Duration: 4 * sim.Second, Seed: 5, Scale: 32}
+	warm := WarmStart(base, 2)
+
+	branch := func() ColocationResult {
+		cfg := base
+		cfg.Policy = "vulcan"
+		cfg.Faults = fault.PlanAtRate(0.05)
+		return RunColocationFrom(warm, cfg)
+	}
+	a, b := branch(), branch()
+	project := func(r ColocationResult) []byte {
+		j, err := json.Marshal(struct {
+			Policy string
+			Apps   []AppResult
+			CFI    float64
+		}{r.Policy, r.Apps, r.CFI})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	if string(project(a)) != string(project(b)) {
+		t.Fatal("two identical branches from one snapshot diverged")
+	}
+	if a.Policy != "vulcan" || len(a.Apps) == 0 {
+		t.Fatalf("branch result: %+v", a)
+	}
+}

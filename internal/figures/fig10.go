@@ -64,15 +64,34 @@ func Fig10(trials int, duration sim.Duration, scale int) Fig10Result {
 			specs = append(specs, spec{pol, trial})
 		}
 	}
+	// Warm each trial's scenario up once under the static policy and
+	// branch every policy's run from that snapshot: the trials stay
+	// independent (own seeds), but within a trial all policies fork from
+	// identical substrate state, and the warm-up cost is paid once per
+	// trial instead of once per (policy, trial) cell.
+	trialCfg := func(trial int) ColocationConfig {
+		return ColocationConfig{
+			Duration: duration,
+			Seed:     uint64(trial)*31 + 1,
+			Scale:    scale,
+		}
+	}
+	warm := make([][]byte, trials)
+	if w := WarmEpochs(duration, sim.Second); w > 0 {
+		lab.Collect(0, trials,
+			func(trial int) []byte { return WarmStart(trialCfg(trial), w) },
+			func(trial int, blob []byte) { warm[trial] = blob })
+	}
+
 	var appNames []string
 	lab.Collect(0, len(specs),
 		func(i int) ColocationResult {
-			return RunColocation(ColocationConfig{
-				Policy:   specs[i].pol,
-				Duration: duration,
-				Seed:     uint64(specs[i].trial)*31 + 1,
-				Scale:    scale,
-			})
+			cfg := trialCfg(specs[i].trial)
+			cfg.Policy = specs[i].pol
+			if warm[specs[i].trial] == nil {
+				return RunColocation(cfg)
+			}
+			return RunColocationFrom(warm[specs[i].trial], cfg)
 		},
 		func(i int, res ColocationResult) {
 			pol := specs[i].pol

@@ -46,6 +46,12 @@ type FigRResult struct {
 // must include 0 (the retention denominator); nil selects
 // DefaultFaultRates. Runs execute on the lab pool; results commit in
 // submission order so the output is byte-identical at any worker count.
+//
+// The scenario is warmed up once under the static policy, checkpointed,
+// and every (policy, rate) cell branches from that snapshot: all cells
+// share identical warmed-up substrate state, and the warm-up epochs are
+// simulated once instead of |policies|×|rates| times. Faults therefore
+// act only on the measured phase, for every cell alike.
 func FigR(duration sim.Duration, scale int, seed uint64, rates []float64) FigRResult {
 	if duration == 0 {
 		duration = 60 * sim.Second
@@ -68,6 +74,12 @@ func FigR(duration sim.Duration, scale int, seed uint64, rates []float64) FigRRe
 		}
 	}
 
+	base := ColocationConfig{Duration: duration, Seed: seed, Scale: scale}
+	var warm []byte
+	if w := WarmEpochs(duration, sim.Second); w > 0 {
+		warm = WarmStart(base, w)
+	}
+
 	out := FigRResult{
 		Policies: PolicyNames,
 		Rates:    rates,
@@ -75,13 +87,13 @@ func FigR(duration sim.Duration, scale int, seed uint64, rates []float64) FigRRe
 	}
 	lab.Collect(0, len(specs),
 		func(i int) ColocationResult {
-			return RunColocation(ColocationConfig{
-				Policy:   specs[i].pol,
-				Duration: duration,
-				Seed:     seed,
-				Scale:    scale,
-				Faults:   fault.PlanAtRate(specs[i].rate),
-			})
+			cfg := base
+			cfg.Policy = specs[i].pol
+			cfg.Faults = fault.PlanAtRate(specs[i].rate)
+			if warm == nil {
+				return RunColocation(cfg)
+			}
+			return RunColocationFrom(warm, cfg)
 		},
 		func(i int, res ColocationResult) {
 			cell := FigRCell{Rate: specs[i].rate, CFI: res.CFI}

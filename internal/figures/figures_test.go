@@ -333,10 +333,16 @@ func TestAblationsRun(t *testing.T) {
 }
 
 func TestNewPolicyNames(t *testing.T) {
-	for _, name := range append([]string{"static"}, PolicyNames...) {
+	for _, name := range PolicyNames {
+		if !ValidPolicy(name) {
+			t.Errorf("ValidPolicy(%q) false", name)
+		}
 		if NewPolicy(name) == nil {
 			t.Errorf("NewPolicy(%q) nil", name)
 		}
+	}
+	if ValidPolicy("bogus") {
+		t.Error("ValidPolicy accepted bogus name")
 	}
 	defer func() {
 		if recover() == nil {

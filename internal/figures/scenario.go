@@ -6,6 +6,7 @@
 package figures
 
 import (
+	"bytes"
 	"fmt"
 
 	"vulcan/internal/core"
@@ -20,11 +21,24 @@ import (
 	"vulcan/internal/workload"
 )
 
-// PolicyNames lists the comparison set of §5, in the paper's order.
-var PolicyNames = []string{"tpp", "memtis", "nomad", "vulcan"}
+// PolicyNames is the single source of truth for the policy name space:
+// the §5 comparison set in the paper's order, preceded by the "static"
+// no-migration baseline. Sweeps (FigR, Fig10, Fig8), the vulcansim
+// -policy flag, and NewPolicy all validate against this list.
+var PolicyNames = []string{"static", "tpp", "memtis", "nomad", "vulcan"}
 
-// NewPolicy builds a tiering policy by name ("static", "tpp", "memtis",
-// "nomad", "vulcan").
+// ValidPolicy reports whether name is in PolicyNames.
+func ValidPolicy(name string) bool {
+	for _, p := range PolicyNames {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// NewPolicy builds a tiering policy by name; every entry of PolicyNames
+// is constructible, and nothing else is.
 func NewPolicy(name string) system.Tiering {
 	switch name {
 	case "static":
@@ -38,7 +52,7 @@ func NewPolicy(name string) system.Tiering {
 	case "vulcan":
 		return core.New(core.Options{})
 	default:
-		panic(fmt.Sprintf("figures: unknown policy %q", name))
+		panic(fmt.Sprintf("figures: unknown policy %q (want one of %v)", name, PolicyNames))
 	}
 }
 
@@ -166,9 +180,10 @@ func ColocationMachine(extraScale int) machine.Config {
 	return cfg
 }
 
-// RunColocation executes the three-app co-location under the named
-// policy and summarizes per-app performance and fairness.
-func RunColocation(cfg ColocationConfig) ColocationResult {
+// normalized resolves the config's zero-valued knobs to the §5
+// defaults. Every entry point (fresh run, warm-up, resume) normalizes
+// first so all three describe the same experiment.
+func (cfg ColocationConfig) normalized() ColocationConfig {
 	if cfg.Scale < 1 {
 		cfg.Scale = 1
 	}
@@ -181,7 +196,12 @@ func RunColocation(cfg ColocationConfig) ColocationResult {
 	if cfg.SamplesPerThread == 0 {
 		cfg.SamplesPerThread = SamplesForScale(cfg.Scale)
 	}
-	sys := system.New(system.Config{
+	return cfg
+}
+
+// systemConfig lowers the normalized figure config to a system config.
+func (cfg ColocationConfig) systemConfig() system.Config {
+	return system.Config{
 		Machine:          ColocationMachine(cfg.Scale),
 		Apps:             Table2Apps(cfg.Scale, cfg.Staggered),
 		Policy:           NewPolicy(cfg.Policy),
@@ -189,10 +209,12 @@ func RunColocation(cfg ColocationConfig) ColocationResult {
 		SamplesPerThread: cfg.SamplesPerThread,
 		Obs:              cfg.Obs,
 		Faults:           cfg.Faults,
-	})
-	sys.Run(cfg.Duration)
+	}
+}
 
-	res := ColocationResult{Policy: cfg.Policy, System: sys, CFI: measuredCFI(sys)}
+// summarize folds a finished run into the figure-facing result.
+func summarize(policy string, sys *system.System) ColocationResult {
+	res := ColocationResult{Policy: policy, System: sys, CFI: measuredCFI(sys)}
 	for _, a := range sys.Apps() {
 		perf := a.NormalizedPerf()
 		res.Apps = append(res.Apps, AppResult{
@@ -207,4 +229,70 @@ func RunColocation(cfg ColocationConfig) ColocationResult {
 		})
 	}
 	return res
+}
+
+// RunColocation executes the three-app co-location under the named
+// policy and summarizes per-app performance and fairness.
+func RunColocation(cfg ColocationConfig) ColocationResult {
+	cfg = cfg.normalized()
+	sys := system.New(cfg.systemConfig())
+	sys.Run(cfg.Duration)
+	return summarize(cfg.Policy, sys)
+}
+
+// WarmEpochs returns how many epochs of a run of the given duration the
+// branch-from-snapshot sweeps share as a common warm-up: the standard
+// measurement warm-up, capped at half the run so short test sweeps
+// still measure something.
+func WarmEpochs(duration sim.Duration, epochLength sim.Duration) int {
+	if epochLength <= 0 {
+		epochLength = sim.Second
+	}
+	total := int(duration / epochLength)
+	w := WarmupEpochs
+	if w > total/2 {
+		w = total / 2
+	}
+	return w
+}
+
+// WarmStart runs the scenario's first epochs under the
+// placement-neutral "static" policy with chaos and telemetry disabled,
+// and returns the checkpoint blob the sweep branches fan out from.
+// Every branch of a sweep resumes from the same substrate state —
+// identical page placements, RNG streams, and workload cursors — so
+// policies are compared on exactly the same warmed-up footing and the
+// warm-up cost is paid once per scenario instead of once per cell.
+func WarmStart(cfg ColocationConfig, epochs int) []byte {
+	cfg = cfg.normalized()
+	// The warm-up must be independent of the branch axes: no policy
+	// learning, no faults, no telemetry to replay.
+	cfg.Policy = "static"
+	cfg.Faults = nil
+	cfg.Obs = nil
+	sys := system.New(cfg.systemConfig())
+	for i := 0; i < epochs; i++ {
+		sys.RunEpoch()
+	}
+	var buf bytes.Buffer
+	if err := sys.Checkpoint(&buf); err != nil {
+		panic(fmt.Sprintf("figures: warm-start checkpoint: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// RunColocationFrom resumes a WarmStart blob under cfg's policy and
+// fault plan, runs the remaining simulated time, and summarizes. The
+// blob must come from a WarmStart of the same scenario (duration, seed,
+// scale, stagger).
+func RunColocationFrom(blob []byte, cfg ColocationConfig) ColocationResult {
+	cfg = cfg.normalized()
+	sys, err := system.Resume(bytes.NewReader(blob), cfg.systemConfig())
+	if err != nil {
+		panic(fmt.Sprintf("figures: resume from warm start: %v", err))
+	}
+	if remaining := cfg.Duration - sim.Duration(sys.Now()); remaining > 0 {
+		sys.Run(remaining)
+	}
+	return summarize(cfg.Policy, sys)
 }

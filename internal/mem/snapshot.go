@@ -1,0 +1,77 @@
+package mem
+
+import (
+	"fmt"
+
+	"vulcan/internal/checkpoint"
+)
+
+// Snapshot appends the tier's durable state: the free stack (order
+// matters — the LIFO hand-out order is part of the determinism
+// contract) and the usage/access counters. The configuration is not
+// serialized; it is reconstructed from the run's Config, and Restore
+// validates that the capacities agree.
+func (t *Tier) Snapshot(e *checkpoint.Encoder) {
+	e.Int(t.cfg.CapacityPages)
+	e.Int(t.used)
+	e.Int(len(t.free))
+	for _, idx := range t.free {
+		e.U32(idx)
+	}
+	e.U64(t.epochReads)
+	e.U64(t.epochWrites)
+	e.U64(t.totalReads)
+	e.U64(t.totalWrites)
+}
+
+// Restore reads the tier state back in place.
+func (t *Tier) Restore(d *checkpoint.Decoder) error {
+	capacity := d.Int()
+	used := d.Int()
+	n := d.Length(4)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if capacity != t.cfg.CapacityPages {
+		return fmt.Errorf("mem: tier %s capacity %d in checkpoint, %d configured",
+			t.id, capacity, t.cfg.CapacityPages)
+	}
+	if used < 0 || used+n != capacity {
+		return fmt.Errorf("mem: tier %s used %d + free %d != capacity %d",
+			t.id, used, n, capacity)
+	}
+	free := make([]uint32, n)
+	for i := range free {
+		free[i] = d.U32()
+		if d.Err() == nil && int(free[i]) >= capacity {
+			return fmt.Errorf("mem: tier %s free frame %d out of range", t.id, free[i])
+		}
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	t.used = used
+	t.free = free
+	t.epochReads = d.U64()
+	t.epochWrites = d.U64()
+	t.totalReads = d.U64()
+	t.totalWrites = d.U64()
+	return d.Err()
+}
+
+// Snapshot appends every tier in ID order.
+func (ts *Tiers) Snapshot(e *checkpoint.Encoder) {
+	for _, t := range ts.tiers {
+		t.Snapshot(e)
+	}
+}
+
+// Restore reads every tier back in ID order.
+func (ts *Tiers) Restore(d *checkpoint.Decoder) error {
+	for _, t := range ts.tiers {
+		if err := t.Restore(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+
+	"vulcan/internal/checkpoint"
+)
+
+func tinyConfig() [NumTiers]TierConfig {
+	return [NumTiers]TierConfig{
+		TierFast: {Name: "f", CapacityPages: 64, UnloadedLatency: 70, BandwidthGBs: 205},
+		TierSlow: {Name: "s", CapacityPages: 128, UnloadedLatency: 162, BandwidthGBs: 25},
+	}
+}
+
+// scramble drives the tier set into a mid-run state: interleaved
+// allocations, frees (building a non-trivial LIFO free stack) and
+// access accounting.
+func scramble(ts *Tiers) []Frame {
+	var live []Frame
+	for i := 0; i < 48; i++ {
+		f, ok := ts.AllocPreferFast()
+		if !ok {
+			break
+		}
+		live = append(live, f)
+		ts.RecordAccess(f, i%3 == 0)
+	}
+	kept := live[:0]
+	for i, f := range live {
+		if i%3 == 1 {
+			ts.Free(f)
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+func tiersRoundTrip(t *testing.T, src, dst *Tiers) error {
+	t.Helper()
+	w := checkpoint.NewWriter()
+	src.Snapshot(w.Section("mem", 1))
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := checkpoint.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cr.Section("mem", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst.Restore(d)
+}
+
+// TestTiersSnapshotRoundTrip asserts the determinism contract: a
+// restored tier set hands out the exact same frame sequence as the
+// original, and every counter survives.
+func TestTiersSnapshotRoundTrip(t *testing.T) {
+	src := NewTiers(tinyConfig())
+	scramble(src)
+
+	dst := NewTiers(tinyConfig())
+	if err := tiersRoundTrip(t, src, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	for id := TierID(0); id < NumTiers; id++ {
+		a, b := src.Tier(id), dst.Tier(id)
+		if a.Used() != b.Used() || a.FreePages() != b.FreePages() {
+			t.Fatalf("tier %s: used/free %d/%d != %d/%d",
+				id, a.Used(), a.FreePages(), b.Used(), b.FreePages())
+		}
+		ar, aw := a.TotalAccesses()
+		br, bw := b.TotalAccesses()
+		if ar != br || aw != bw {
+			t.Fatalf("tier %s: accesses %d/%d != %d/%d", id, ar, aw, br, bw)
+		}
+		er, ew := a.EpochAccesses()
+		fr, fw := b.EpochAccesses()
+		if er != fr || ew != fw {
+			t.Fatalf("tier %s: epoch accesses diverged", id)
+		}
+	}
+
+	// The free stacks must replay in identical LIFO order.
+	for i := 0; ; i++ {
+		fa, oka := src.AllocPreferFast()
+		fb, okb := dst.AllocPreferFast()
+		if oka != okb {
+			t.Fatalf("alloc %d: ok %v != %v", i, oka, okb)
+		}
+		if !oka {
+			break
+		}
+		if fa != fb {
+			t.Fatalf("alloc %d: frame %v != %v", i, fa, fb)
+		}
+	}
+}
+
+func TestTiersRestoreCapacityMismatch(t *testing.T) {
+	src := NewTiers(tinyConfig())
+	scramble(src)
+
+	cfg := tinyConfig()
+	cfg[TierFast].CapacityPages = 32 // configured smaller than the checkpoint
+	dst := NewTiers(cfg)
+	if err := tiersRoundTrip(t, src, dst); err == nil {
+		t.Fatal("capacity mismatch accepted")
+	}
+}
+
+// TestTierRestoreCorruptionErrors walks every truncation point and a
+// frame-out-of-range corruption through Restore; all must error, never
+// panic.
+func TestTierRestoreCorruptionErrors(t *testing.T) {
+	src := NewTiers(tinyConfig())
+	scramble(src)
+	e := &checkpoint.Encoder{}
+	src.Fast().Snapshot(e)
+	blob := e.Bytes()
+
+	for cut := 0; cut < len(blob); cut += 7 {
+		dst := NewTiers(tinyConfig())
+		if err := dst.Fast().Restore(checkpoint.NewDecoder(blob[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+
+	// Flip a free-list entry far out of range (the free list starts
+	// after capacity+used+count, three 8-byte ints).
+	bad := append([]byte(nil), blob...)
+	for i := 24; i < 28; i++ {
+		bad[i] = 0xff
+	}
+	dst := NewTiers(tinyConfig())
+	if err := dst.Fast().Restore(checkpoint.NewDecoder(bad)); err == nil {
+		t.Fatal("out-of-range free frame accepted")
+	}
+}

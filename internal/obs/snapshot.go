@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"fmt"
+
+	"vulcan/internal/checkpoint"
+	"vulcan/internal/metrics"
+	"vulcan/internal/sim"
+)
+
+// Snapshot appends the recorder's buffered telemetry: the type filter,
+// the event buffer in emission order, the per-epoch registry samples,
+// and the registry itself. The clock binding is construction wiring and
+// is kept by the restoring recorder.
+func (r *Recorder) Snapshot(e *checkpoint.Encoder) {
+	e.U32(uint32(r.filter))
+	e.Int(len(r.events))
+	for _, ev := range r.events {
+		snapshotEvent(e, ev)
+	}
+	e.Int(len(r.samples))
+	for _, s := range r.samples {
+		e.Int(s.Epoch)
+		e.I64(int64(s.T))
+		e.String(s.Row.ID)
+		e.F64(s.Row.Val)
+	}
+	r.reg.Snapshot(e)
+}
+
+// Restore reads the telemetry back in place.
+func (r *Recorder) Restore(d *checkpoint.Decoder) error {
+	r.filter = TypeSet(d.U32())
+	n := d.Length(16)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	r.events = make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		ev, err := restoreEvent(d)
+		if err != nil {
+			return err
+		}
+		r.events = append(r.events, ev)
+	}
+	n = d.Length(24)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	r.samples = make([]epochSample, 0, n)
+	for i := 0; i < n; i++ {
+		s := epochSample{Epoch: d.Int(), T: sim.Time(d.I64())}
+		s.Row.ID = d.String()
+		s.Row.Val = d.F64()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		r.samples = append(r.samples, s)
+	}
+	return r.reg.Restore(d)
+}
+
+func snapshotEvent(e *checkpoint.Encoder, ev Event) {
+	e.I64(int64(ev.Time))
+	e.U8(uint8(ev.Type))
+	e.String(ev.App)
+	e.String(ev.Track)
+	e.I64(int64(ev.Dur))
+	e.String(ev.Note)
+	e.Int(len(ev.Fields))
+	for _, f := range ev.Fields {
+		e.String(f.Key)
+		e.F64(f.Val)
+	}
+}
+
+func restoreEvent(d *checkpoint.Decoder) (Event, error) {
+	var ev Event
+	ev.Time = sim.Time(d.I64())
+	ev.Type = EventType(d.U8())
+	ev.App = d.String()
+	ev.Track = d.String()
+	ev.Dur = sim.Duration(d.I64())
+	ev.Note = d.String()
+	n := d.Length(9)
+	if d.Err() != nil {
+		return ev, d.Err()
+	}
+	if ev.Type >= NumEventTypes {
+		return ev, fmt.Errorf("obs: unknown event type %d in checkpoint", ev.Type)
+	}
+	if n > 0 {
+		ev.Fields = make([]Field, 0, n)
+		for i := 0; i < n; i++ {
+			f := Field{Key: d.String(), Val: d.F64()}
+			if d.Err() != nil {
+				return ev, d.Err()
+			}
+			ev.Fields = append(ev.Fields, f)
+		}
+	}
+	return ev, d.Err()
+}
+
+// Snapshot appends every instrument in sorted-identity order.
+func (r *Registry) Snapshot(e *checkpoint.Encoder) {
+	ids := r.CounterIDs()
+	e.Int(len(ids))
+	for _, id := range ids {
+		e.String(id)
+		e.F64(r.counters[id].Value())
+	}
+	ids = r.GaugeIDs()
+	e.Int(len(ids))
+	for _, id := range ids {
+		e.String(id)
+		e.F64(r.gauges[id].Value())
+	}
+	ids = r.HistogramIDs()
+	e.Int(len(ids))
+	for _, id := range ids {
+		e.String(id)
+		r.histos[id].Snapshot(e)
+	}
+}
+
+// Restore reads the instruments back in place, replacing any existing
+// ones.
+func (r *Registry) Restore(d *checkpoint.Decoder) error {
+	n := d.Length(12)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	r.counters = make(map[string]*Counter, n)
+	for i := 0; i < n; i++ {
+		id := d.String()
+		v := d.F64()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if _, dup := r.counters[id]; dup {
+			return fmt.Errorf("obs: duplicate counter %q in checkpoint", id)
+		}
+		if v < 0 {
+			return fmt.Errorf("obs: counter %q negative in checkpoint", id)
+		}
+		r.counters[id] = &Counter{v: v}
+	}
+	n = d.Length(12)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	r.gauges = make(map[string]*Gauge, n)
+	for i := 0; i < n; i++ {
+		id := d.String()
+		v := d.F64()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if _, dup := r.gauges[id]; dup {
+			return fmt.Errorf("obs: duplicate gauge %q in checkpoint", id)
+		}
+		r.gauges[id] = &Gauge{v: v}
+	}
+	n = d.Length(28)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	r.histos = make(map[string]*metrics.Histogram, n)
+	for i := 0; i < n; i++ {
+		id := d.String()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if _, dup := r.histos[id]; dup {
+			return fmt.Errorf("obs: duplicate histogram %q in checkpoint", id)
+		}
+		h, err := metrics.RestoreHistogram(d)
+		if err != nil {
+			return err
+		}
+		r.histos[id] = h
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package pagetable
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"vulcan/internal/checkpoint"
+	"vulcan/internal/mem"
+)
+
+// buildReplicated populates a replicated table with a mix of shared and
+// thread-private mappings across several leaves.
+func buildReplicated(t *testing.T, nthreads int) *Replicated {
+	t.Helper()
+	r := NewReplicated(nthreads)
+	for i := 0; i < 900; i++ {
+		vp := VPage(i * 7) // spread across leaves
+		owner := uint8(i % nthreads)
+		if i%4 == 0 {
+			owner = OwnerShared
+		}
+		pte := NewPTE(mem.Frame{Tier: mem.TierID(i % int(mem.NumTiers)), Index: uint32(i)}, owner)
+		tid := i % nthreads
+		if err := r.Map(tid, vp, pte); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 0 {
+			r.Install((tid+1)%nthreads, vp, pte)
+		}
+	}
+	return r
+}
+
+func dumpTable(r *Replicated) map[VPage]PTE {
+	out := make(map[VPage]PTE)
+	r.Range(func(vp VPage, p PTE) bool {
+		out[vp] = p
+		return true
+	})
+	return out
+}
+
+func TestReplicatedSnapshotRoundTrip(t *testing.T) {
+	const nthreads = 6
+	src := buildReplicated(t, nthreads)
+
+	w := checkpoint.NewWriter()
+	src.Snapshot(w.Section("pt", 1))
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := checkpoint.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cr.Section("pt", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewReplicated(nthreads)
+	if err := dst.Restore(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(dumpTable(src), dumpTable(dst)) {
+		t.Fatal("PTE contents diverged")
+	}
+	if src.Mapped() != dst.Mapped() || src.SharedLeaves() != dst.SharedLeaves() ||
+		src.TotalTables() != dst.TotalTables() {
+		t.Fatalf("structure: mapped %d/%d leaves %d/%d tables %d/%d",
+			src.Mapped(), dst.Mapped(), src.SharedLeaves(), dst.SharedLeaves(),
+			src.TotalTables(), dst.TotalTables())
+	}
+	// Shootdown scopes (the per-leaf thread links) must survive — they
+	// decide future IPI fan-out.
+	for i := 0; i < 900; i += 17 {
+		vp := VPage(i * 7)
+		a, b := src.ShootdownScope(vp), dst.ShootdownScope(vp)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("shootdown scope for %d: %v != %v", vp, a, b)
+		}
+	}
+}
+
+func TestReplicatedRestoreRejectsBadSnapshots(t *testing.T) {
+	src := buildReplicated(t, 4)
+	e := &checkpoint.Encoder{}
+	src.Snapshot(e)
+	blob := e.Bytes()
+
+	// Thread-count mismatch.
+	if err := NewReplicated(8).Restore(checkpoint.NewDecoder(blob)); err == nil {
+		t.Fatal("thread-count mismatch accepted")
+	}
+	// Truncations anywhere in the payload must error, never panic.
+	for cut := 0; cut < len(blob); cut += 97 {
+		if err := NewReplicated(4).Restore(checkpoint.NewDecoder(blob[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

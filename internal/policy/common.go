@@ -31,7 +31,7 @@ func MergedRanking(sys *system.System) []GlobalPage {
 	var all []GlobalPage
 	for _, a := range sys.StartedApps() {
 		w := a.SampleWeight()
-		for _, ph := range a.Profiler.Snapshot() {
+		for _, ph := range a.Profiler.HeatSnapshot() {
 			all = append(all, GlobalPage{App: a, VP: ph.VP, Heat: ph.Heat * w})
 		}
 	}
@@ -186,7 +186,7 @@ func FreeFastFraction(sys *system.System) float64 {
 // nonzero profiled heat, hottest first, capped at limit.
 func SlowPagesWithHeat(a *system.App, limit int) []pagetable.VPage {
 	var out []pagetable.VPage
-	for _, ph := range a.Profiler.Snapshot() {
+	for _, ph := range a.Profiler.HeatSnapshot() {
 		if len(out) >= limit {
 			break
 		}

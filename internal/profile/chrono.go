@@ -102,8 +102,8 @@ func (c *Chrono) Heat(vp pagetable.VPage) float64 { return c.heat.heat(vp) }
 // WriteFraction implements Profiler.
 func (c *Chrono) WriteFraction(vp pagetable.VPage) float64 { return c.heat.writeFraction(vp) }
 
-// Snapshot implements Profiler.
-func (c *Chrono) Snapshot() []PageHeat { return c.heat.snapshot() }
+// HeatSnapshot implements Profiler.
+func (c *Chrono) HeatSnapshot() []PageHeat { return c.heat.snapshot() }
 
 // Tracked implements Profiler.
 func (c *Chrono) Tracked() int { return c.heat.tracked() }

@@ -164,7 +164,7 @@ func TestRegionScanStillFindsHotPages(t *testing.T) {
 	if s.WriteFraction(10) != 1 || s.WriteFraction(1500) != 0 {
 		t.Fatal("write fractions wrong")
 	}
-	snap := s.Snapshot()
+	snap := s.HeatSnapshot()
 	if len(snap) != 2 {
 		t.Fatalf("snapshot = %d pages, want 2", len(snap))
 	}

@@ -81,8 +81,8 @@ func (f *Faulty) Heat(vp pagetable.VPage) float64 { return f.inner.Heat(vp) }
 // WriteFraction implements Profiler.
 func (f *Faulty) WriteFraction(vp pagetable.VPage) float64 { return f.inner.WriteFraction(vp) }
 
-// Snapshot implements Profiler.
-func (f *Faulty) Snapshot() []PageHeat { return f.inner.Snapshot() }
+// HeatSnapshot implements Profiler.
+func (f *Faulty) HeatSnapshot() []PageHeat { return f.inner.HeatSnapshot() }
 
 // Tracked implements Profiler.
 func (f *Faulty) Tracked() int { return f.inner.Tracked() }

@@ -116,8 +116,8 @@ func (h *HintFault) Heat(vp pagetable.VPage) float64 { return h.heat.heat(vp) }
 // WriteFraction implements Profiler.
 func (h *HintFault) WriteFraction(vp pagetable.VPage) float64 { return h.heat.writeFraction(vp) }
 
-// Snapshot implements Profiler.
-func (h *HintFault) Snapshot() []PageHeat { return h.heat.snapshot() }
+// HeatSnapshot implements Profiler.
+func (h *HintFault) HeatSnapshot() []PageHeat { return h.heat.snapshot() }
 
 // Tracked implements Profiler.
 func (h *HintFault) Tracked() int { return h.heat.tracked() }

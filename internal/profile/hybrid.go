@@ -113,8 +113,8 @@ func (h *Hybrid) Heat(vp pagetable.VPage) float64 { return h.heat.heat(vp) }
 // WriteFraction implements Profiler.
 func (h *Hybrid) WriteFraction(vp pagetable.VPage) float64 { return h.heat.writeFraction(vp) }
 
-// Snapshot implements Profiler.
-func (h *Hybrid) Snapshot() []PageHeat { return h.heat.snapshot() }
+// HeatSnapshot implements Profiler.
+func (h *Hybrid) HeatSnapshot() []PageHeat { return h.heat.snapshot() }
 
 // Tracked implements Profiler.
 func (h *Hybrid) Tracked() int { return h.heat.tracked() }

@@ -78,8 +78,8 @@ func (p *PEBS) Heat(vp pagetable.VPage) float64 { return p.heat.heat(vp) }
 // WriteFraction implements Profiler.
 func (p *PEBS) WriteFraction(vp pagetable.VPage) float64 { return p.heat.writeFraction(vp) }
 
-// Snapshot implements Profiler.
-func (p *PEBS) Snapshot() []PageHeat { return p.heat.snapshot() }
+// HeatSnapshot implements Profiler.
+func (p *PEBS) HeatSnapshot() []PageHeat { return p.heat.snapshot() }
 
 // Tracked implements Profiler.
 func (p *PEBS) Tracked() int { return p.heat.tracked() }

@@ -59,9 +59,9 @@ type Profiler interface {
 	// WriteFraction estimates the fraction of writes among the page's
 	// observed accesses (0 if untracked).
 	WriteFraction(vp pagetable.VPage) float64
-	// Snapshot returns all tracked pages, hottest first (ties broken by
-	// ascending page number for determinism).
-	Snapshot() []PageHeat
+	// HeatSnapshot returns all tracked pages, hottest first (ties broken
+	// by ascending page number for determinism).
+	HeatSnapshot() []PageHeat
 	// Tracked returns the number of pages with live heat state.
 	Tracked() int
 }

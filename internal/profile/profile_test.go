@@ -94,7 +94,7 @@ func TestPEBSRanksBySampledFrequency(t *testing.T) {
 	feed(p, 1, 50_000, false)
 	feed(p, 2, 5_000, false)
 	feed(p, 3, 500, false)
-	snap := p.Snapshot()
+	snap := p.HeatSnapshot()
 	if len(snap) < 2 || snap[0].VP != 1 {
 		t.Fatalf("hottest page wrong: %v", snap)
 	}

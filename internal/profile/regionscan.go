@@ -120,8 +120,8 @@ func (s *RegionScan) Heat(vp pagetable.VPage) float64 { return s.heat.heat(vp) }
 // WriteFraction implements Profiler.
 func (s *RegionScan) WriteFraction(vp pagetable.VPage) float64 { return s.heat.writeFraction(vp) }
 
-// Snapshot implements Profiler.
-func (s *RegionScan) Snapshot() []PageHeat { return s.heat.snapshot() }
+// HeatSnapshot implements Profiler.
+func (s *RegionScan) HeatSnapshot() []PageHeat { return s.heat.snapshot() }
 
 // Tracked implements Profiler.
 func (s *RegionScan) Tracked() int { return s.heat.tracked() }

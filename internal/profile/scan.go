@@ -79,8 +79,8 @@ func (s *Scan) Heat(vp pagetable.VPage) float64 { return s.heat.heat(vp) }
 // WriteFraction implements Profiler.
 func (s *Scan) WriteFraction(vp pagetable.VPage) float64 { return s.heat.writeFraction(vp) }
 
-// Snapshot implements Profiler.
-func (s *Scan) Snapshot() []PageHeat { return s.heat.snapshot() }
+// HeatSnapshot implements Profiler.
+func (s *Scan) HeatSnapshot() []PageHeat { return s.heat.snapshot() }
 
 // Tracked implements Profiler.
 func (s *Scan) Tracked() int { return s.heat.tracked() }

@@ -1,0 +1,315 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"vulcan/internal/checkpoint"
+	"vulcan/internal/pagetable"
+)
+
+// SnapshotProfiler appends p's durable state, tagged with the profiler
+// name so RestoreProfiler can verify the constructed profiler matches.
+// The Faulty decorator gets its own tag ("faulty") ahead of the inner
+// profiler's, because Faulty.Name() deliberately reports the inner name.
+func SnapshotProfiler(e *checkpoint.Encoder, p Profiler) {
+	if f, ok := p.(*Faulty); ok {
+		e.String("faulty")
+		f.snapshotSelf(e)
+		SnapshotProfiler(e, f.inner)
+		return
+	}
+	s, ok := p.(checkpoint.Snapshotter)
+	if !ok {
+		panic(fmt.Sprintf("profile: profiler %q is not snapshottable", p.Name()))
+	}
+	e.String(p.Name())
+	s.Snapshot(e)
+}
+
+// RestoreProfiler reads state written by SnapshotProfiler back into p,
+// a freshly-constructed profiler. The fault decoration may differ
+// between writer and reader (a clean warm-up resumed under fault
+// injection, or vice versa): wrapper state that has no destination is
+// discarded, and a fresh wrapper keeps its construction-time state.
+func RestoreProfiler(d *checkpoint.Decoder, p Profiler) error {
+	tag := d.String()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	return restoreTagged(tag, d, p)
+}
+
+func restoreTagged(tag string, d *checkpoint.Decoder, p Profiler) error {
+	if tag == "faulty" {
+		if f, ok := p.(*Faulty); ok {
+			if err := f.restoreSelf(d); err != nil {
+				return err
+			}
+			return RestoreProfiler(d, f.inner)
+		}
+		// Checkpoint was fault-wrapped, target is not: skip the wrapper
+		// fields and restore the inner profiler directly.
+		discardFaultyState(d)
+		if d.Err() != nil {
+			return d.Err()
+		}
+		return RestoreProfiler(d, p)
+	}
+	if f, ok := p.(*Faulty); ok {
+		// Target is fault-wrapped, checkpoint was not: the fresh wrapper
+		// keeps its construction-time state (epoch 0, confidence 1).
+		return restoreTagged(tag, d, f.inner)
+	}
+	if tag != p.Name() {
+		return fmt.Errorf("profile: checkpoint holds a %q profiler, restoring into %q",
+			tag, p.Name())
+	}
+	s, ok := p.(checkpoint.Snapshotter)
+	if !ok {
+		return fmt.Errorf("profile: profiler %q is not snapshottable", p.Name())
+	}
+	return s.Restore(d)
+}
+
+// snapshotSelf appends the wrapper's own durable fields (the inner tag
+// and state follow, written by SnapshotProfiler).
+func (f *Faulty) snapshotSelf(e *checkpoint.Encoder) {
+	e.U64(f.epoch)
+	e.F64(f.confidence)
+	e.Bool(f.overflowed)
+	e.U64(f.dropped)
+}
+
+// restoreSelf restores the wrapper fields and re-opens the fault
+// stream at the restored epoch: ProfileFaults derives every draw from
+// pure hashes of (epoch, sample index), so BeginEpoch fully
+// re-synchronizes it.
+func (f *Faulty) restoreSelf(d *checkpoint.Decoder) error {
+	f.epoch = d.U64()
+	f.confidence = d.F64()
+	f.overflowed = d.Bool()
+	f.dropped = d.U64()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	f.faults.BeginEpoch(f.epoch)
+	return nil
+}
+
+func discardFaultyState(d *checkpoint.Decoder) {
+	_ = d.U64()
+	_ = d.F64()
+	_ = d.Bool()
+	_ = d.U64()
+}
+
+// Snapshot appends the heat map's tracked pages in ascending page order.
+func (h *heatMap) Snapshot(e *checkpoint.Encoder) {
+	pages := make([]pagetable.VPage, 0, len(h.m))
+	for vp := range h.m {
+		pages = append(pages, vp)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	e.Int(len(pages))
+	for _, vp := range pages {
+		s := h.m[vp]
+		e.U64(uint64(vp))
+		e.F64(s.heat)
+		e.F64(s.reads)
+		e.F64(s.writes)
+	}
+}
+
+// Restore reads the heat map back in place.
+func (h *heatMap) Restore(d *checkpoint.Decoder) error {
+	n := d.Length(32)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	h.m = make(map[pagetable.VPage]heatStat, n)
+	for i := 0; i < n; i++ {
+		vp := pagetable.VPage(d.U64())
+		s := heatStat{heat: d.F64(), reads: d.F64(), writes: d.F64()}
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if _, dup := h.m[vp]; dup {
+			return fmt.Errorf("profile: duplicate heat entry for page %d", vp)
+		}
+		h.m[vp] = s
+	}
+	return nil
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *PEBS) Snapshot(e *checkpoint.Encoder) {
+	p.rng.Snapshot(e)
+	e.U64(p.samples)
+	p.heat.Snapshot(e)
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (p *PEBS) Restore(d *checkpoint.Decoder) error {
+	if err := p.rng.Restore(d); err != nil {
+		return err
+	}
+	p.samples = d.U64()
+	return p.heat.Restore(d)
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (h *Hybrid) Snapshot(e *checkpoint.Encoder) {
+	h.rng.Snapshot(e)
+	e.U64(h.samples)
+	h.heat.Snapshot(e)
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (h *Hybrid) Restore(d *checkpoint.Decoder) error {
+	if err := h.rng.Restore(d); err != nil {
+		return err
+	}
+	h.samples = d.U64()
+	return h.heat.Restore(d)
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (s *Scan) Snapshot(e *checkpoint.Encoder) { s.heat.Snapshot(e) }
+
+// Restore implements checkpoint.Snapshotter.
+func (s *Scan) Restore(d *checkpoint.Decoder) error { return s.heat.Restore(d) }
+
+// Snapshot implements checkpoint.Snapshotter.
+func (c *Chrono) Snapshot(e *checkpoint.Encoder) {
+	c.heat.Snapshot(e)
+	pages := make([]pagetable.VPage, 0, len(c.idleEpochs))
+	for vp := range c.idleEpochs {
+		pages = append(pages, vp)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	e.Int(len(pages))
+	for _, vp := range pages {
+		e.U64(uint64(vp))
+		e.Int(c.idleEpochs[vp])
+	}
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (c *Chrono) Restore(d *checkpoint.Decoder) error {
+	if err := c.heat.Restore(d); err != nil {
+		return err
+	}
+	n := d.Length(16)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	c.idleEpochs = make(map[pagetable.VPage]int, n)
+	for i := 0; i < n; i++ {
+		vp := pagetable.VPage(d.U64())
+		idle := d.Int()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if _, dup := c.idleEpochs[vp]; dup {
+			return fmt.Errorf("profile: duplicate idle entry for page %d", vp)
+		}
+		c.idleEpochs[vp] = idle
+	}
+	return nil
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (s *RegionScan) Snapshot(e *checkpoint.Encoder) {
+	s.heat.Snapshot(e)
+	regions := make([]uint64, 0, len(s.backoff))
+	for r := range s.backoff {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	e.Int(len(regions))
+	for _, r := range regions {
+		e.U64(r)
+		e.U8(s.backoff[r])
+	}
+	regions = regions[:0]
+	for r := range s.skipUntil {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	e.Int(len(regions))
+	for _, r := range regions {
+		e.U64(r)
+		e.Int(s.skipUntil[r])
+	}
+	e.Int(s.epoch)
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (s *RegionScan) Restore(d *checkpoint.Decoder) error {
+	if err := s.heat.Restore(d); err != nil {
+		return err
+	}
+	n := d.Length(9)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	s.backoff = make(map[uint64]uint8, n)
+	for i := 0; i < n; i++ {
+		r := d.U64()
+		b := d.U8()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		s.backoff[r] = b
+	}
+	n = d.Length(16)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	s.skipUntil = make(map[uint64]int, n)
+	for i := 0; i < n; i++ {
+		r := d.U64()
+		until := d.Int()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		s.skipUntil[r] = until
+	}
+	s.epoch = d.Int()
+	return d.Err()
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (h *HintFault) Snapshot(e *checkpoint.Encoder) {
+	h.heat.Snapshot(e)
+	pages := make([]pagetable.VPage, 0, len(h.poisoned))
+	for vp := range h.poisoned {
+		pages = append(pages, vp)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	e.Int(len(pages))
+	for _, vp := range pages {
+		e.U64(uint64(vp))
+	}
+	e.U64(uint64(h.cursor))
+	e.Int(h.faultsThisEpoch)
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (h *HintFault) Restore(d *checkpoint.Decoder) error {
+	if err := h.heat.Restore(d); err != nil {
+		return err
+	}
+	n := d.Length(8)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	h.poisoned = make(map[pagetable.VPage]struct{}, n)
+	for i := 0; i < n; i++ {
+		h.poisoned[pagetable.VPage(d.U64())] = struct{}{}
+	}
+	h.cursor = pagetable.VPage(d.U64())
+	h.faultsThisEpoch = d.Int()
+	return d.Err()
+}

@@ -14,8 +14,14 @@
 //	    {"name": "custom-scan", "class": "BE", "threads": 4,
 //	     "rss_pages": 20000, "generator": "zipf", "zipf_skew": 0.9,
 //	     "write_frac": 0.2, "compute_ns": 80}
-//	  ]
+//	  ],
+//	  "faults": {"profile": "moderate", "seed": 42}
 //	}
+//
+// The optional faults block compiles to a fault.Plan: name a canned
+// profile ("off", "light", "moderate", "heavy") or give an explicit
+// "rate" for the canonical all-kinds plan; "seed" re-keys the fault
+// schedule without touching workload randomness.
 package scenario
 
 import (
@@ -23,6 +29,7 @@ import (
 	"fmt"
 	"io"
 
+	"vulcan/internal/fault"
 	"vulcan/internal/machine"
 	"vulcan/internal/mem"
 	"vulcan/internal/sim"
@@ -39,6 +46,18 @@ type File struct {
 	Apps  []App `json:"apps"`
 	// Machine optionally overrides the default host.
 	Machine *Machine `json:"machine,omitempty"`
+	// Faults optionally arms deterministic fault injection.
+	Faults *Faults `json:"faults,omitempty"`
+}
+
+// Faults selects a fault plan: either a named profile (off, light,
+// moderate, heavy) or an explicit rate for the canonical all-kinds
+// plan, but not both. Seed re-keys the fault schedule independently of
+// the scenario seed.
+type Faults struct {
+	Profile string  `json:"profile,omitempty"`
+	Rate    float64 `json:"rate,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
 }
 
 // Machine overrides host parameters.
@@ -78,6 +97,9 @@ type Parsed struct {
 	Seed     uint64
 	Machine  machine.Config
 	Apps     []workload.AppConfig
+	// Faults is the compiled fault plan, nil when the scenario runs
+	// chaos-free.
+	Faults *fault.Plan
 }
 
 // Load reads and resolves a scenario from JSON.
@@ -137,7 +159,42 @@ func Resolve(f File) (*Parsed, error) {
 		}
 		p.Apps = append(p.Apps, cfg)
 	}
+	plan, err := resolveFaults(f.Faults)
+	if err != nil {
+		return nil, err
+	}
+	p.Faults = plan
 	return p, nil
+}
+
+// resolveFaults compiles the faults block to a fault plan. A nil block,
+// the "off" profile, and a zero rate all mean chaos-free.
+func resolveFaults(f *Faults) (*fault.Plan, error) {
+	if f == nil {
+		return nil, nil
+	}
+	if f.Rate < 0 || f.Rate > 1 {
+		return nil, fmt.Errorf("scenario: faults rate %v outside [0,1]", f.Rate)
+	}
+	var plan *fault.Plan
+	if f.Rate > 0 {
+		if f.Profile != "" && f.Profile != "off" {
+			return nil, fmt.Errorf("scenario: faults profile %q and rate %v are mutually exclusive", f.Profile, f.Rate)
+		}
+		plan = fault.PlanAtRate(f.Rate)
+	} else {
+		var err error
+		if plan, err = fault.ParseProfile(f.Profile); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+	if f.Seed != 0 {
+		if plan == nil {
+			return nil, fmt.Errorf("scenario: faults seed %d without a profile or rate has no effect", f.Seed)
+		}
+		plan.Seed = f.Seed
+	}
+	return plan, nil
 }
 
 func resolveApp(a App, scale int) (workload.AppConfig, error) {

@@ -1,9 +1,12 @@
 package scenario
 
 import (
+	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
+	"vulcan/internal/fault"
 	"vulcan/internal/figures"
 	"vulcan/internal/sim"
 	"vulcan/internal/system"
@@ -114,11 +117,101 @@ func TestLoadErrors(t *testing.T) {
 		"bad class":         `{"apps":[{"name":"x","class":"MEDIUM","rss_pages":10}]}`,
 		"bad generator":     `{"apps":[{"name":"x","rss_pages":10,"generator":"lru"}]}`,
 		"micro without wss": `{"apps":[{"name":"x","rss_pages":10,"generator":"micro"}]}`,
+
+		"unknown fault field":      `{"apps":[{"preset":"memcached"}],"faults":{"kind":"pebs"}}`,
+		"unknown fault profile":    `{"apps":[{"preset":"memcached"}],"faults":{"profile":"apocalyptic"}}`,
+		"fault rate over 1":        `{"apps":[{"preset":"memcached"}],"faults":{"rate":1.5}}`,
+		"negative fault rate":      `{"apps":[{"preset":"memcached"}],"faults":{"rate":-0.1}}`,
+		"profile and rate":         `{"apps":[{"preset":"memcached"}],"faults":{"profile":"light","rate":0.05}}`,
+		"fault seed doing nothing": `{"apps":[{"preset":"memcached"}],"faults":{"seed":7}}`,
 	}
 	for name, js := range cases {
 		if _, err := Load(strings.NewReader(js)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+func TestFaultsBlock(t *testing.T) {
+	p, err := Load(strings.NewReader(
+		`{"apps":[{"preset":"memcached"}],"faults":{"profile":"moderate","seed":42}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fault.PlanAtRate(0.05)
+	want.Seed = 42
+	if p.Faults == nil {
+		t.Fatal("moderate profile compiled to nil plan")
+	}
+	if !reflect.DeepEqual(p.Faults, want) {
+		t.Fatalf("plan = %+v, want %+v", p.Faults, want)
+	}
+
+	p, err = Load(strings.NewReader(
+		`{"apps":[{"preset":"memcached"}],"faults":{"rate":0.07}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Faults, fault.PlanAtRate(0.07)) {
+		t.Fatalf("rate plan = %+v", p.Faults)
+	}
+
+	// "off", zero rate, and an absent block are all chaos-free.
+	for _, js := range []string{
+		`{"apps":[{"preset":"memcached"}]}`,
+		`{"apps":[{"preset":"memcached"}],"faults":{"profile":"off"}}`,
+		`{"apps":[{"preset":"memcached"}],"faults":{"rate":0}}`,
+	} {
+		p, err := Load(strings.NewReader(js))
+		if err != nil {
+			t.Fatalf("%s: %v", js, err)
+		}
+		if p.Faults != nil {
+			t.Fatalf("%s: compiled to %+v, want nil", js, p.Faults)
+		}
+	}
+}
+
+// TestFaultsRoundTrip runs a faulted JSON scenario and requires the same
+// bytes as the directly-constructed equivalent plan — the block is pure
+// sugar over fault.PlanAtRate.
+func TestFaultsRoundTrip(t *testing.T) {
+	js := `{
+	  "policy": "vulcan", "seconds": 5, "seed": 3, "scale": 32,
+	  "apps": [{"preset": "memcached"}],
+	  "faults": {"rate": 0.1, "seed": 11}
+	}`
+	run := func(plan *fault.Plan) []byte {
+		p, err := Load(strings.NewReader(js))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan != nil {
+			p.Faults = plan
+		}
+		sys := system.New(system.Config{
+			Machine:          p.Machine,
+			Apps:             p.Apps,
+			Policy:           figures.NewPolicy(p.Policy),
+			Seed:             p.Seed,
+			SamplesPerThread: 400,
+			Faults:           p.Faults,
+		})
+		sys.Run(p.Duration)
+		var buf bytes.Buffer
+		if err := sys.Report().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Recorder().WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	direct := fault.PlanAtRate(0.1)
+	direct.Seed = 11
+	a, b := run(nil), run(direct)
+	if !bytes.Equal(a, b) {
+		t.Fatal("JSON faults block diverged from the equivalent direct plan")
 	}
 }
 

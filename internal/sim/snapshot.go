@@ -1,0 +1,32 @@
+package sim
+
+import "vulcan/internal/checkpoint"
+
+// Snapshot appends the clock's durable state (the current time).
+func (c *Clock) Snapshot(e *checkpoint.Encoder) {
+	e.I64(int64(c.now))
+}
+
+// Restore reads the clock state back, mutating the clock in place so
+// every component bound to it observes the restored time.
+func (c *Clock) Restore(d *checkpoint.Decoder) error {
+	c.now = Time(d.I64())
+	return d.Err()
+}
+
+// Snapshot appends the generator's full xoshiro256** state.
+func (r *RNG) Snapshot(e *checkpoint.Encoder) {
+	for _, s := range r.s {
+		e.U64(s)
+	}
+}
+
+// Restore reads the generator state back in place. In-place mutation
+// matters: Zipf samplers and workload generators alias their owner's
+// RNG, and those aliases must observe the restored stream.
+func (r *RNG) Restore(d *checkpoint.Decoder) error {
+	for i := range r.s {
+		r.s[i] = d.U64()
+	}
+	return d.Err()
+}

@@ -1,0 +1,503 @@
+package system
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"vulcan/internal/checkpoint"
+	"vulcan/internal/mem"
+	"vulcan/internal/migrate"
+	"vulcan/internal/profile"
+)
+
+// Section versions. Bump a section's version when its wire layout
+// changes; Resume then rejects checkpoints written under the old layout
+// instead of misreading them.
+const (
+	metaVersion     = 1
+	clockVersion    = 1
+	machineVersion  = 1
+	memVersion      = 1
+	systemVersion   = 1
+	metricsVersion  = 1
+	appVersion      = 1
+	profilerVersion = 1
+	policyVersion   = 1
+	faultVersion    = 1
+	obsVersion      = 1
+)
+
+// Checkpoint serializes the full simulation state to w as one versioned
+// checkpoint blob. It must be called at an epoch boundary (between
+// RunEpoch calls): mid-epoch scratch state is deliberately not part of
+// the format.
+//
+// The blob composes one section per stateful layer. Scratch state —
+// per-epoch accumulators, staged migration batches, policy queue
+// contents — is reconstructed, not serialized; the durable remainder is
+// enough that Resume followed by the remaining epochs produces output
+// byte-identical to an uninterrupted run.
+func (s *System) Checkpoint(w io.Writer) error {
+	cw := checkpoint.NewWriter()
+
+	meta := cw.Section("meta", metaVersion)
+	meta.String(s.policy.Name())
+	meta.U64(s.cfg.Seed)
+	meta.Int(len(s.apps))
+	meta.Int(s.epoch)
+
+	s.m.Clock.Snapshot(cw.Section("clock", clockVersion))
+	s.m.RNG.Snapshot(cw.Section("machine", machineVersion))
+
+	sys := cw.Section("system", systemVersion)
+	s.rng.Snapshot(sys)
+	sys.Int(s.epoch)
+	for t := mem.TierID(0); t < mem.NumTiers; t++ {
+		sys.F64(s.bwUtil[t])
+		sys.F64(s.latSpike[t])
+		sys.F64(s.bwFault[t])
+	}
+	sys.Int(len(s.admitOrder))
+	for _, idx := range s.admitOrder {
+		sys.Int(idx)
+	}
+	sys.Int(len(s.pressure))
+	for _, f := range s.pressure {
+		sys.U8(uint8(f.Tier))
+		sys.U32(f.Index)
+	}
+	s.cfi.Snapshot(sys)
+
+	s.tiers.Snapshot(cw.Section("mem", memVersion))
+	s.recorder.Snapshot(cw.Section("metrics", metricsVersion))
+
+	for i, a := range s.apps {
+		a.snapshot(cw.Section(fmt.Sprintf("app.%d", i), appVersion))
+		if a.started {
+			profile.SnapshotProfiler(
+				cw.Section(fmt.Sprintf("app.%d.profiler", i), profilerVersion), a.Profiler)
+		}
+	}
+
+	if ps, ok := s.policy.(checkpoint.Snapshotter); ok {
+		ps.Snapshot(cw.Section("policy", policyVersion))
+	}
+	if s.inj != nil {
+		s.inj.Snapshot(cw.Section("fault", faultVersion))
+	}
+	if rec, ok := s.obs.(checkpoint.Snapshotter); ok {
+		rec.Snapshot(cw.Section("obs", obsVersion))
+	}
+
+	_, err := cw.WriteTo(w)
+	return err
+}
+
+// Resume rebuilds a system from a checkpoint written by Checkpoint.
+// cfg must describe the same experiment (seed, machine shape, app
+// list); the policy may differ — that is the branch-from-snapshot path.
+// When it does, the checkpointed policy and profiler state is skipped
+// and the new policy starts cold, so every branch forks from identical
+// substrate state and none inherits another policy's learned placement
+// hints.
+//
+// The restored system continues exactly where the checkpointed one
+// stopped: with the same cfg (policy included), running it to the
+// original end time produces report, trace and metrics output
+// byte-identical to the uninterrupted run.
+func Resume(r io.Reader, cfg Config) (*System, error) {
+	cr, err := checkpoint.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+
+	meta, err := cr.Section("meta", metaVersion)
+	if err != nil {
+		return nil, err
+	}
+	ckptPolicy := meta.String()
+	seed := meta.U64()
+	nApps := meta.Int()
+	meta.Int() // completed epochs; informational, restored from "system"
+	if err := meta.Close(); err != nil {
+		return nil, err
+	}
+
+	s := New(cfg)
+	if s.cfg.Seed != seed {
+		return nil, fmt.Errorf("system: checkpoint seed %d, config seed %d", seed, s.cfg.Seed)
+	}
+	if nApps != len(s.apps) {
+		return nil, fmt.Errorf("system: checkpoint has %d apps, config has %d", nApps, len(s.apps))
+	}
+	samePolicy := s.policy.Name() == ckptPolicy
+
+	// System scalars and the admission order, needed before any app can
+	// be admitted.
+	sys, err := cr.Section("system", systemVersion)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.rng.Restore(sys); err != nil {
+		return nil, err
+	}
+	s.epoch = sys.Int()
+	for t := mem.TierID(0); t < mem.NumTiers; t++ {
+		s.bwUtil[t] = sys.F64()
+		s.latSpike[t] = sys.F64()
+		s.bwFault[t] = sys.F64()
+	}
+	nAdmit := sys.Length(8)
+	if sys.Err() != nil {
+		return nil, sys.Err()
+	}
+	if s.epoch < 0 {
+		return nil, fmt.Errorf("system: negative epoch %d in checkpoint", s.epoch)
+	}
+	admitted := make(map[int]bool, nAdmit)
+	for i := 0; i < nAdmit; i++ {
+		idx := sys.Int()
+		if sys.Err() != nil {
+			return nil, sys.Err()
+		}
+		if idx < 0 || idx >= len(s.apps) || admitted[idx] {
+			return nil, fmt.Errorf("system: bad admission entry %d in checkpoint", idx)
+		}
+		admitted[idx] = true
+		s.admitOrder = append(s.admitOrder, idx)
+	}
+	nPressure := sys.Length(5)
+	if sys.Err() != nil {
+		return nil, sys.Err()
+	}
+	for i := 0; i < nPressure; i++ {
+		f := mem.Frame{Tier: mem.TierID(sys.U8()), Index: sys.U32()}
+		if sys.Err() != nil {
+			return nil, sys.Err()
+		}
+		if f.IsNil() {
+			return nil, fmt.Errorf("system: pressure frame on invalid tier in checkpoint")
+		}
+		s.pressure = append(s.pressure, f)
+	}
+	if err := s.cfi.Restore(sys); err != nil {
+		return nil, err
+	}
+	if err := sys.Close(); err != nil {
+		return nil, err
+	}
+
+	// Replay admissions in the recorded order, so policies register
+	// workloads in the same sequence as the checkpointed run. Placement
+	// and RNG side effects of admission are overwritten by the overlays
+	// below.
+	for _, idx := range s.admitOrder {
+		a := s.apps[idx]
+		a.admit(s, s.placer)
+		s.policy.AppStarted(s, a)
+	}
+
+	// Substrate overlays. Tiers go wholesale after admissions so the
+	// free-list order — part of the determinism contract — is exact.
+	clk, err := cr.Section("clock", clockVersion)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.m.Clock.Restore(clk); err != nil {
+		return nil, err
+	}
+	if err := clk.Close(); err != nil {
+		return nil, err
+	}
+	mrng, err := cr.Section("machine", machineVersion)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.m.RNG.Restore(mrng); err != nil {
+		return nil, err
+	}
+	if err := mrng.Close(); err != nil {
+		return nil, err
+	}
+	tiers, err := cr.Section("mem", memVersion)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.tiers.Restore(tiers); err != nil {
+		return nil, err
+	}
+	if err := tiers.Close(); err != nil {
+		return nil, err
+	}
+
+	// Per-app overlays; profiler state only when the policy (and hence
+	// the profiler construction) matches the checkpointed run.
+	for i, a := range s.apps {
+		d, err := cr.Section(fmt.Sprintf("app.%d", i), appVersion)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.restore(d, admitted[i]); err != nil {
+			return nil, err
+		}
+		if err := d.Close(); err != nil {
+			return nil, err
+		}
+		if a.started && samePolicy {
+			pd, err := cr.Section(fmt.Sprintf("app.%d.profiler", i), profilerVersion)
+			if err != nil {
+				return nil, err
+			}
+			if err := profile.RestoreProfiler(pd, a.Profiler); err != nil {
+				return nil, err
+			}
+			if err := pd.Close(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if samePolicy && cr.Has("policy") {
+		ps, ok := s.policy.(checkpoint.Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("system: checkpoint carries %q policy state, policy cannot restore it", ckptPolicy)
+		}
+		pd, err := cr.Section("policy", policyVersion)
+		if err != nil {
+			return nil, err
+		}
+		if err := ps.Restore(pd); err != nil {
+			return nil, err
+		}
+		if err := pd.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	if s.inj != nil && cr.Has("fault") {
+		fd, err := cr.Section("fault", faultVersion)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.inj.Restore(fd); err != nil {
+			return nil, err
+		}
+		if err := fd.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Telemetry goes last: nothing emitted while rebuilding may survive
+	// into the restored buffers.
+	md, err := cr.Section("metrics", metricsVersion)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.recorder.Restore(md); err != nil {
+		return nil, err
+	}
+	if err := md.Close(); err != nil {
+		return nil, err
+	}
+	if cr.Has("obs") {
+		if rec, ok := s.obs.(checkpoint.Snapshotter); ok {
+			od, err := cr.Section("obs", obsVersion)
+			if err != nil {
+				return nil, err
+			}
+			if err := rec.Restore(od); err != nil {
+				return nil, err
+			}
+			if err := od.Close(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	return s, nil
+}
+
+// snapshot appends the app's durable state. Per-epoch accumulators are
+// scratch (reset at each epoch start) and are not serialized; the
+// carried-over quantities — pending stall, sample weight, smoothed
+// FTHR, cumulative series — are.
+func (a *App) snapshot(e *checkpoint.Encoder) {
+	e.String(a.Cfg.Name)
+	e.Bool(a.started)
+	if !a.started {
+		return
+	}
+	a.rng.Snapshot(e)
+	a.Table.Snapshot(e)
+	e.Int(len(a.TLBs))
+	for _, t := range a.TLBs {
+		t.Snapshot(e)
+	}
+	e.Int(len(a.Threads))
+	for _, th := range a.Threads {
+		th.Snapshot(e)
+	}
+	a.Engine.Snapshot(e)
+	a.Async.Snapshot(e)
+	e.Bool(a.Retry != nil)
+	if a.Retry != nil {
+		a.Retry.Snapshot(e)
+	}
+	e.Bool(a.huge != nil)
+	if a.huge != nil {
+		a.huge.Snapshot(e)
+	}
+	a.fthr.Snapshot(e)
+	a.perfSeries.Snapshot(e)
+	e.F64(a.sampleWeight)
+	e.F64(a.pendingStall)
+	e.F64(a.epochOps)
+	e.F64(a.epochPerf)
+	e.F64(a.totalOps)
+	e.Int(a.fastPages)
+	e.Int(a.rssMapped)
+	e.Bool(a.profileDegraded)
+}
+
+// restore overlays the checkpointed state onto the (already admitted,
+// when started) app. Fault decoration may differ between the
+// checkpointed run and this one — a clean warm-up branching into a
+// faulted run, or the reverse — so retry state with no destination is
+// discarded and a fresh retrier keeps its empty construction state;
+// likewise for the THP overlay.
+func (a *App) restore(d *checkpoint.Decoder, started bool) error {
+	name := d.String()
+	ckptStarted := d.Bool()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if name != a.Cfg.Name {
+		return fmt.Errorf("system: checkpoint app %q, config app %q", name, a.Cfg.Name)
+	}
+	if ckptStarted != started {
+		return fmt.Errorf("system: app %q admission state disagrees with checkpoint manifest", name)
+	}
+	if !ckptStarted {
+		return nil
+	}
+	if err := a.rng.Restore(d); err != nil {
+		return err
+	}
+	if err := a.Table.Restore(d); err != nil {
+		return err
+	}
+	n := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if n != len(a.TLBs) {
+		return fmt.Errorf("system: app %q has %d TLBs in checkpoint, %d configured", name, n, len(a.TLBs))
+	}
+	for _, t := range a.TLBs {
+		if err := t.Restore(d); err != nil {
+			return err
+		}
+	}
+	n = d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if n != len(a.Threads) {
+		return fmt.Errorf("system: app %q has %d threads in checkpoint, %d configured", name, n, len(a.Threads))
+	}
+	for _, th := range a.Threads {
+		if err := th.Restore(d); err != nil {
+			return err
+		}
+	}
+	if err := a.Engine.Restore(d); err != nil {
+		return err
+	}
+	if err := a.Async.Restore(d); err != nil {
+		return err
+	}
+	hasRetry := d.Bool()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if hasRetry {
+		target := a.Retry
+		if target == nil {
+			target = &migrate.Retrier{}
+		}
+		if err := target.Restore(d); err != nil {
+			return err
+		}
+	}
+	hasHuge := d.Bool()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if hasHuge {
+		target := a.huge
+		if target == nil {
+			target = &HugeSet{}
+		}
+		if err := target.Restore(d); err != nil {
+			return err
+		}
+	}
+	if err := a.fthr.Restore(d); err != nil {
+		return err
+	}
+	if err := a.perfSeries.Restore(d); err != nil {
+		return err
+	}
+	a.sampleWeight = d.F64()
+	a.pendingStall = d.F64()
+	a.epochOps = d.F64()
+	a.epochPerf = d.F64()
+	a.totalOps = d.F64()
+	a.fastPages = d.Int()
+	a.rssMapped = d.Int()
+	a.profileDegraded = d.Bool()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if a.pendingStall < 0 || a.fastPages < 0 || a.rssMapped < 0 {
+		return fmt.Errorf("system: app %q has negative accounting in checkpoint", name)
+	}
+	return nil
+}
+
+// Snapshot appends the THP overlay: the intact huge groups in ascending
+// order plus the lifetime split count.
+func (h *HugeSet) Snapshot(e *checkpoint.Encoder) {
+	groups := make([]uint64, 0, len(h.groups))
+	for g := range h.groups {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
+	e.Int(len(groups))
+	for _, g := range groups {
+		e.U64(g)
+	}
+	e.U64(h.splits)
+}
+
+// Restore reads the overlay back in place.
+func (h *HugeSet) Restore(d *checkpoint.Decoder) error {
+	n := d.Length(8)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	h.groups = make(map[uint64]bool, n)
+	for i := 0; i < n; i++ {
+		g := d.U64()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if h.groups[g] {
+			return fmt.Errorf("system: duplicate huge group %d in checkpoint", g)
+		}
+		h.groups[g] = true
+	}
+	h.splits = d.U64()
+	return d.Err()
+}

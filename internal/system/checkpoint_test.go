@@ -1,0 +1,163 @@
+package system
+
+import (
+	"bytes"
+	"testing"
+
+	"vulcan/internal/fault"
+	"vulcan/internal/obs"
+	"vulcan/internal/sim"
+	"vulcan/internal/workload"
+)
+
+// ckptConfig builds a fresh two-app config (one staggered admission) so
+// each run constructs its own closures and recorder.
+func ckptConfig(faults *fault.Plan) Config {
+	return Config{
+		Machine: tinyMachine(256, 4096),
+		Apps: []workload.AppConfig{
+			tinyApp("late", workload.BE, 300, sim.Time(25*sim.Millisecond)),
+			tinyApp("early", workload.LC, 300, 0),
+		},
+		EpochLength: 10 * sim.Millisecond,
+		Obs:         obs.NewRecorder(),
+		Faults:      faults,
+		Seed:        7,
+	}
+}
+
+// dump renders everything the byte-identity contract covers: the run
+// report, the time-series CSV, and the telemetry metrics CSV.
+func dump(t *testing.T, sys *System) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sys.Report().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Recorder().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if rec, ok := sys.Obs().(*obs.Recorder); ok {
+		if err := rec.WriteMetricsCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func runEpochs(sys *System, n int) {
+	for i := 0; i < n; i++ {
+		sys.RunEpoch()
+	}
+}
+
+func testResumeIdentical(t *testing.T, faults *fault.Plan, split, total int) {
+	t.Helper()
+	golden := New(ckptConfig(faults))
+	runEpochs(golden, total)
+	want := dump(t, golden)
+
+	first := New(ckptConfig(faults))
+	runEpochs(first, split)
+	var blob bytes.Buffer
+	if err := first.Checkpoint(&blob); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	resumed, err := Resume(bytes.NewReader(blob.Bytes()), ckptConfig(faults))
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	runEpochs(resumed, total-split)
+	got := dump(t, resumed)
+
+	if !bytes.Equal(want, got) {
+		t.Fatalf("resumed run diverged from uninterrupted run:\nwant %d bytes, got %d bytes", len(want), len(got))
+	}
+}
+
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	// Split before and after the staggered app's admission.
+	testResumeIdentical(t, nil, 1, 10)
+	testResumeIdentical(t, nil, 5, 10)
+}
+
+func TestCheckpointResumeFaultedByteIdentical(t *testing.T) {
+	testResumeIdentical(t, fault.PlanAtRate(0.05), 6, 12)
+}
+
+// A fault-free warm-up may branch into a faulted continuation: the
+// resume must succeed (fresh fault state) and stay deterministic.
+func TestResumeIntoFaultedBranchDeterministic(t *testing.T) {
+	var blob bytes.Buffer
+	warm := New(ckptConfig(nil))
+	runEpochs(warm, 4)
+	if err := warm.Checkpoint(&blob); err != nil {
+		t.Fatal(err)
+	}
+	run := func() []byte {
+		sys, err := Resume(bytes.NewReader(blob.Bytes()), ckptConfig(fault.PlanAtRate(0.1)))
+		if err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		runEpochs(sys, 6)
+		return dump(t, sys)
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("faulted branch from clean snapshot is not deterministic")
+	}
+}
+
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	var blob bytes.Buffer
+	sys := New(ckptConfig(nil))
+	runEpochs(sys, 3)
+	if err := sys.Checkpoint(&blob); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := ckptConfig(nil)
+	bad.Seed = 8
+	if _, err := Resume(bytes.NewReader(blob.Bytes()), bad); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+
+	bad = ckptConfig(nil)
+	bad.Apps = bad.Apps[:1]
+	if _, err := Resume(bytes.NewReader(blob.Bytes()), bad); err == nil {
+		t.Fatal("app-count mismatch accepted")
+	}
+
+	bad = ckptConfig(nil)
+	bad.Apps[0].Name = "other"
+	if _, err := Resume(bytes.NewReader(blob.Bytes()), bad); err == nil {
+		t.Fatal("app-name mismatch accepted")
+	}
+}
+
+// Corrupting or truncating any part of the blob must yield an error
+// from Resume, never a panic.
+func TestResumeCorruptionNeverPanics(t *testing.T) {
+	var blob bytes.Buffer
+	sys := New(ckptConfig(fault.PlanAtRate(0.05)))
+	runEpochs(sys, 4)
+	if err := sys.Checkpoint(&blob); err != nil {
+		t.Fatal(err)
+	}
+	raw := blob.Bytes()
+
+	// Every truncation point (stride keeps the test fast).
+	for n := 0; n < len(raw); n += 7 {
+		if _, err := Resume(bytes.NewReader(raw[:n]), ckptConfig(fault.PlanAtRate(0.05))); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+	// Single-byte corruption at every offset (stride for speed).
+	for i := 0; i < len(raw); i += 11 {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x5a
+		if _, err := Resume(bytes.NewReader(mut), ckptConfig(fault.PlanAtRate(0.05))); err == nil {
+			t.Fatalf("corruption at byte %d accepted", i)
+		}
+	}
+}

@@ -35,7 +35,7 @@ func (a *adversarialProfiler) WriteFraction(pagetable.VPage) float64 {
 	return a.rng.Float64()
 }
 
-func (a *adversarialProfiler) Snapshot() []profile.PageHeat {
+func (a *adversarialProfiler) HeatSnapshot() []profile.PageHeat {
 	out := make([]profile.PageHeat, 0, 256)
 	for i := 0; i < 256; i++ {
 		out = append(out, profile.PageHeat{
@@ -60,7 +60,7 @@ func (chaosPolicy) Mechanisms() Mechanisms           { return Mechanisms{Shadowi
 func (chaosPolicy) AppStarted(sys *System, app *App) {}
 func (chaosPolicy) EndEpoch(sys *System) {
 	for i, a := range sys.StartedApps() {
-		snap := a.Profiler.Snapshot()
+		snap := a.Profiler.HeatSnapshot()
 		for j, ph := range snap {
 			to := mem.TierFast
 			if (i+j)%2 == 0 {

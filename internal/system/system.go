@@ -96,6 +96,12 @@ type System struct {
 	obs      obs.Sink
 	epoch    int
 
+	// admitOrder records app indices in admission order. Policies keep
+	// per-workload state in registration order, so a checkpoint must
+	// replay admissions in this order, not index order (staggered starts
+	// make the two differ).
+	admitOrder []int
+
 	// bwUtil carries the previous epoch's measured bandwidth utilization
 	// into the next epoch's latency model.
 	bwUtil [mem.NumTiers]float64
@@ -232,6 +238,7 @@ func (s *System) RunEpoch() {
 		if !a.started && a.Cfg.StartAt <= now {
 			a.admit(s, s.placer)
 			a.refreshCensus()
+			s.admitOrder = append(s.admitOrder, a.Index)
 			s.policy.AppStarted(s, a)
 			if obs.Enabled(s.obs, obs.EvAppStart) {
 				s.obs.Event(obs.E(obs.EvAppStart, a.Cfg.Name, "", 0,
@@ -420,6 +427,7 @@ func (s *System) applyFaultWindows() {
 	s.pressure = s.pressure[:0]
 
 	epoch := uint64(s.epoch)
+	s.inj.BeginEpoch(epoch)
 	for t := mem.TierID(0); t < mem.NumTiers; t++ {
 		s.latSpike[t] = s.inj.LatencyFactor(t, epoch)
 		s.bwFault[t] = s.inj.BandwidthFactor(t, epoch)

@@ -141,7 +141,7 @@ func (p *promoteAll) EndEpoch(sys *System) {
 	for _, a := range sys.StartedApps() {
 		hot := make(map[pagetable.VPage]bool)
 		var promote []migrate.Move
-		for _, ph := range a.Profiler.Snapshot() {
+		for _, ph := range a.Profiler.HeatSnapshot() {
 			hot[ph.VP] = true
 			if pte, ok := a.Table.Lookup(ph.VP); ok && pte.Frame().Tier != mem.TierFast {
 				promote = append(promote, migrate.Move{VP: ph.VP, To: mem.TierFast})

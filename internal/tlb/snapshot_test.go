@@ -1,0 +1,80 @@
+package tlb
+
+import (
+	"bytes"
+	"testing"
+
+	"vulcan/internal/checkpoint"
+	"vulcan/internal/pagetable"
+)
+
+func tlbRoundTrip(t *testing.T, src, dst *TLB) error {
+	t.Helper()
+	w := checkpoint.NewWriter()
+	src.Snapshot(w.Section("tlb", 1))
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := checkpoint.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cr.Section("tlb", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst.Restore(d)
+}
+
+// TestTLBSnapshotRoundTrip requires a restored TLB to produce the exact
+// hit/miss sequence of the original — the tag array is behavioral
+// state, not just statistics.
+func TestTLBSnapshotRoundTrip(t *testing.T) {
+	src := New(64)
+	for i := 0; i < 500; i++ {
+		src.Access(pagetable.VPage(i * 37 % 190))
+	}
+	src.Invalidate(pagetable.VPage(37))
+
+	dst := New(64)
+	if err := tlbRoundTrip(t, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if src.Stats() != dst.Stats() {
+		t.Fatalf("stats %+v != %+v", src.Stats(), dst.Stats())
+	}
+	for i := 0; i < 500; i++ {
+		vp := pagetable.VPage(i * 11 % 260)
+		if a, b := src.Access(vp), dst.Access(vp); a != b {
+			t.Fatalf("access %d (page %d): hit %v != %v", i, vp, a, b)
+		}
+	}
+	if src.Stats() != dst.Stats() {
+		t.Fatal("stats diverged after identical access suffix")
+	}
+}
+
+func TestTLBRestoreEntryCountMismatch(t *testing.T) {
+	src := New(64)
+	src.Access(1)
+	dst := New(128)
+	if err := tlbRoundTrip(t, src, dst); err == nil {
+		t.Fatal("entry-count mismatch accepted")
+	}
+}
+
+func TestTLBRestoreTruncatedErrors(t *testing.T) {
+	src := New(16)
+	for i := 0; i < 40; i++ {
+		src.Access(pagetable.VPage(i))
+	}
+	e := &checkpoint.Encoder{}
+	src.Snapshot(e)
+	blob := e.Bytes()
+	for cut := 0; cut < len(blob); cut += 13 {
+		if err := New(16).Restore(checkpoint.NewDecoder(blob[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -116,6 +116,12 @@ const (
 // NewSystem validates cfg and builds a co-location runtime.
 func NewSystem(cfg Config) *System { return system.New(cfg) }
 
+// Resume rebuilds a System from a checkpoint blob written by
+// (*System).Checkpoint. cfg must describe the same experiment (seed,
+// machine, apps); the policy and fault plan may differ — that is the
+// branch-from-snapshot path (see internal/system and DESIGN.md §11).
+func Resume(r io.Reader, cfg Config) (*System, error) { return system.Resume(r, cfg) }
+
 // NewVulcan builds the Vulcan policy (§3 of the paper): QoS-aware fair
 // partitioning, biased migration queues, per-thread page tables,
 // optimized preparation and shadowing.
