@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt vet lint test race obs-demo obs-demo-parallel chaos-demo chaos-golden checkpoint-demo bench bench-checkpoint
+.PHONY: check build fmt vet lint vet-sarif test race obs-demo obs-demo-parallel chaos-demo chaos-golden checkpoint-demo bench bench-checkpoint
 
 # check is the full gate, in fail-fast order: cheap static checks first,
 # then the test suites.
@@ -25,6 +25,13 @@ vet:
 A ?= ./...
 lint:
 	$(GO) run ./cmd/vulcanvet $(A)
+
+# vet-sarif runs the same analyzers but also writes the SARIF and JSON
+# reports CI uploads to code scanning. Artifacts land in out/
+# (gitignored); the SARIF is written even on a clean run.
+vet-sarif:
+	@mkdir -p out
+	$(GO) run ./cmd/vulcanvet -sarif out/vulcanvet.sarif -json out/vulcanvet.json $(A)
 
 test:
 	$(GO) test ./...

@@ -7,7 +7,14 @@
 //
 //	go run ./cmd/vulcanvet ./...
 //	go run ./cmd/vulcanvet -list
-//	go run ./cmd/vulcanvet ./internal/policy ./internal/core
+//	go run ./cmd/vulcanvet -group ./internal/policy ./internal/core
+//	go run ./cmd/vulcanvet -sarif out/vulcanvet.sarif -json out/vulcanvet.json ./...
+//
+// -sarif writes a SARIF 2.1.0 log (GitHub code scanning ingests it and
+// annotates findings inline on PRs); -json writes a flat machine-
+// readable report; either takes "-" for stdout. -group lists findings
+// grouped by contract instead of position order. Emitters always write,
+// even on a clean run — an empty SARIF log is CI's green artifact.
 //
 // A finding can be suppressed where it is a deliberate exception with a
 // trailing "//vulcanvet:ok <analyzer>" comment on the same or preceding
@@ -17,50 +24,109 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"vulcan/internal/analysis"
 	"vulcan/internal/analysis/driver"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vulcanvet [-list] package-pattern...\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, returning the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vulcanvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	group := fs.Bool("group", false, "group findings by contract (analyzer) instead of position order")
+	sarifOut := fs.String("sarif", "", "write a SARIF 2.1.0 report to `file` (\"-\" for stdout)")
+	jsonOut := fs.String("json", "", "write a JSON report to `file` (\"-\" for stdout)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: vulcanvet [-list] [-group] [-sarif file] [-json file] package-pattern...\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	suite := analysis.Suite()
 	if *list {
 		for _, a := range suite {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 
 	root, err := driver.ModuleRoot(".")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vulcanvet:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "vulcanvet:", err)
+		return 2
 	}
 	pkgs, err := driver.Load(root, patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vulcanvet:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "vulcanvet:", err)
+		return 2
 	}
 	findings := driver.Run(pkgs, suite)
-	for _, f := range findings {
-		fmt.Println(f)
+
+	if *sarifOut != "" {
+		if err := emit(*sarifOut, stdout, func(w io.Writer) error {
+			return driver.WriteSARIF(w, root, suite, findings)
+		}); err != nil {
+			fmt.Fprintln(stderr, "vulcanvet:", err)
+			return 2
+		}
+	}
+	if *jsonOut != "" {
+		if err := emit(*jsonOut, stdout, func(w io.Writer) error {
+			return driver.WriteJSON(w, root, findings)
+		}); err != nil {
+			fmt.Fprintln(stderr, "vulcanvet:", err)
+			return 2
+		}
+	}
+
+	if *group {
+		driver.WriteGrouped(stdout, suite, findings)
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "vulcanvet: %d finding(s) in %d package(s)\n",
+		fmt.Fprintf(stderr, "vulcanvet: %d finding(s) in %d package(s)\n",
 			len(findings), len(pkgs))
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// emit writes a report to path ("-" = stdout), creating parent
+// directories as needed.
+func emit(path string, stdout io.Writer, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(stdout)
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -63,10 +63,32 @@ func TestLabOnlyScope(t *testing.T) {
 	}
 }
 
+// TestHotAlloc exercises the zero-alloc lint: call-graph propagation
+// from //vulcan:hotpath roots, the allowalloc waiver (reason required),
+// interface boxing, and the panic/pooled-append exemptions.
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.HotAlloc, "hotalloc")
+}
+
+// TestSnapFields exercises the snapshot-completeness checker: written
+// fields missing from Snapshot/Restore, embedded-struct promotion, and
+// the nosnap waiver with its mandatory reason.
+func TestSnapFields(t *testing.T) {
+	analysistest.Run(t, analysis.SnapFields, "snapfields")
+}
+
+// TestSnapFieldsRegression replays the exact failure mode that
+// motivated the analyzer: a field added to an existing Snapshotter
+// after the Snapshot/Restore pair was written, silently diverging on
+// restore.
+func TestSnapFieldsRegression(t *testing.T) {
+	analysistest.Run(t, analysis.SnapFields, "snapregress")
+}
+
 func TestSuiteComplete(t *testing.T) {
 	suite := analysis.Suite()
-	if len(suite) < 5 {
-		t.Fatalf("suite has %d analyzers, want >= 5", len(suite))
+	if len(suite) < 7 {
+		t.Fatalf("suite has %d analyzers, want >= 7", len(suite))
 	}
 	seen := map[string]bool{}
 	for _, a := range suite {
@@ -78,7 +100,7 @@ func TestSuiteComplete(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, name := range []string{"determinism", "maporder", "ptebits", "floateq", "labonly"} {
+	for _, name := range []string{"determinism", "maporder", "ptebits", "floateq", "labonly", "hotalloc", "snapfields"} {
 		if !seen[name] {
 			t.Errorf("suite missing analyzer %q", name)
 		}

@@ -116,7 +116,7 @@ func Run(pkgs []*Package, analyzers []*analysis.Analyzer) []Finding {
 				}
 				out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
 			}
-			if err := a.Run(pass); err != nil {
+			if err := runAnalyzer(a, pass); err != nil {
 				pos := token.Position{Filename: pkg.Dir}
 				out = append(out, Finding{Analyzer: a.Name, Pos: pos,
 					Message: "analyzer error: " + err.Error()})
@@ -137,6 +137,19 @@ func Run(pkgs []*Package, analyzers []*analysis.Analyzer) []Finding {
 		return a.Analyzer < b.Analyzer
 	})
 	return out
+}
+
+// runAnalyzer invokes one analyzer, converting a panic into an error so
+// a crashing analyzer surfaces as a finding (and a non-zero vulcanvet
+// exit) instead of taking down the whole run — or worse, being swallowed
+// by a caller that recovers generically.
+func runAnalyzer(a *analysis.Analyzer, pass *analysis.Pass) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("analyzer panicked: %v", r)
+		}
+	}()
+	return a.Run(pass)
 }
 
 // suppressed records "//vulcanvet:ok <analyzer>" escape hatches: a

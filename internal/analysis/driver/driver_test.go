@@ -14,6 +14,16 @@ import (
 // for a deliberate exception, add a "//vulcanvet:ok <analyzer>" comment
 // with a justification).
 func TestRepoIsVetClean(t *testing.T) {
+	suite := analysis.Suite()
+	names := map[string]bool{}
+	for _, a := range suite {
+		names[a.Name] = true
+	}
+	for _, required := range []string{"hotalloc", "snapfields"} {
+		if !names[required] {
+			t.Fatalf("default suite is missing %q; the clean-repo guarantee would be vacuous", required)
+		}
+	}
 	root, err := driver.ModuleRoot(".")
 	if err != nil {
 		t.Fatal(err)
@@ -25,8 +35,54 @@ func TestRepoIsVetClean(t *testing.T) {
 	if len(pkgs) < 15 {
 		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(pkgs))
 	}
-	for _, f := range driver.Run(pkgs, analysis.Suite()) {
+	for _, f := range driver.Run(pkgs, suite) {
 		t.Errorf("%s", f)
+	}
+}
+
+// TestRunRecoversAnalyzerPanic pins the crash contract: a panicking
+// analyzer must surface as an "analyzer error" finding (non-zero
+// vulcanvet exit) rather than crash the driver or vanish silently, and
+// must not stop the remaining analyzers from running.
+func TestRunRecoversAnalyzerPanic(t *testing.T) {
+	root, err := driver.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := driver.Load(root, []string{"./internal/sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	panicky := &analysis.Analyzer{
+		Name: "panicky",
+		Doc:  "always panics",
+		Run: func(*analysis.Pass) error {
+			panic("analyzer bug")
+		},
+	}
+	benign := &analysis.Analyzer{
+		Name: "benign",
+		Doc:  "reports one diagnostic per package",
+		Run: func(pass *analysis.Pass) error {
+			pass.Reportf(pass.Files[0].Pos(), "benign ran")
+			return nil
+		},
+	}
+	findings := driver.Run(pkgs, []*analysis.Analyzer{panicky, benign})
+	var sawPanic, sawBenign bool
+	for _, f := range findings {
+		if f.Analyzer == "panicky" && strings.Contains(f.Message, "analyzer panicked: analyzer bug") {
+			sawPanic = true
+		}
+		if f.Analyzer == "benign" {
+			sawBenign = true
+		}
+	}
+	if !sawPanic {
+		t.Errorf("panic did not surface as a finding: %v", findings)
+	}
+	if !sawBenign {
+		t.Errorf("analyzers after the panicking one did not run: %v", findings)
 	}
 }
 

@@ -1,0 +1,201 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vulcan/internal/analysis"
+)
+
+// This file renders findings for machines: SARIF 2.1.0 for GitHub code
+// scanning (inline PR annotations), a flat JSON form for ad-hoc
+// tooling, and a grouped listing that organizes findings by the
+// contract (analyzer) they violate.
+
+const (
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifToolDriver `json:"driver"`
+}
+
+type sarifToolDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log. Every analyzer in
+// the suite appears as a rule — an empty results array with the full
+// rule set is the "clean run" artifact CI uploads on green builds.
+// Paths are made relative to root so the URIs resolve in the repository
+// the code-scanning service annotates.
+func WriteSARIF(w io.Writer, root string, analyzers []*analysis.Analyzer, findings []Finding) error {
+	run := sarifRun{
+		Tool: sarifTool{Driver: sarifToolDriver{
+			Name:  "vulcanvet",
+			Rules: make([]sarifRule, 0, len(analyzers)),
+		}},
+		Results: make([]sarifResult, 0, len(findings)),
+	}
+	for _, a := range analyzers {
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+		})
+	}
+	for _, f := range findings {
+		loc := sarifLocation{PhysicalLocation: sarifPhysicalLocation{
+			ArtifactLocation: sarifArtifactLocation{URI: relURI(root, f.Pos.Filename)},
+			Region:           sarifRegion{StartLine: max(f.Pos.Line, 1), StartColumn: f.Pos.Column},
+		}}
+		run.Results = append(run.Results, sarifResult{
+			RuleID:    f.Analyzer,
+			Level:     "error",
+			Message:   sarifText{Text: f.Message},
+			Locations: []sarifLocation{loc},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{Schema: sarifSchema, Version: sarifVersion, Runs: []sarifRun{run}})
+}
+
+// JSONFinding is the flat machine-readable form of one finding.
+type JSONFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the top-level object WriteJSON emits.
+type jsonReport struct {
+	Count    int           `json:"count"`
+	Findings []JSONFinding `json:"findings"`
+}
+
+// WriteJSON renders findings as a single JSON object with repository-
+// relative paths, in the driver's deterministic position order.
+func WriteJSON(w io.Writer, root string, findings []Finding) error {
+	rep := jsonReport{Count: len(findings), Findings: make([]JSONFinding, 0, len(findings))}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, JSONFinding{
+			Analyzer: f.Analyzer,
+			File:     relURI(root, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteGrouped prints findings grouped by contract, in suite order,
+// with per-contract counts — the listing mode for working through a
+// backlog one invariant at a time. Analyzers with no findings are
+// summarized on one trailing line.
+func WriteGrouped(w io.Writer, analyzers []*analysis.Analyzer, findings []Finding) {
+	byName := make(map[string][]Finding)
+	for _, f := range findings {
+		byName[f.Analyzer] = append(byName[f.Analyzer], f)
+	}
+	var clean []string
+	for _, a := range analyzers {
+		group := byName[a.Name]
+		delete(byName, a.Name)
+		if len(group) == 0 {
+			clean = append(clean, a.Name)
+			continue
+		}
+		fmt.Fprintf(w, "%s: %d finding(s) — %s\n", a.Name, len(group), a.Doc)
+		for _, f := range group {
+			fmt.Fprintf(w, "  %s: %s\n", f.Pos, f.Message)
+		}
+	}
+	// Findings from analyzers outside the provided suite (defensive).
+	for _, a := range sortedKeys(byName) {
+		group := byName[a]
+		fmt.Fprintf(w, "%s: %d finding(s)\n", a, len(group))
+		for _, f := range group {
+			fmt.Fprintf(w, "  %s: %s\n", f.Pos, f.Message)
+		}
+	}
+	if len(clean) > 0 {
+		fmt.Fprintf(w, "clean: %s\n", strings.Join(clean, ", "))
+	}
+}
+
+func sortedKeys(m map[string][]Finding) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// relURI converts an absolute source path to a root-relative,
+// slash-separated URI; paths outside root pass through slash-converted.
+func relURI(root, filename string) string {
+	if filename == "" {
+		return ""
+	}
+	if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}

@@ -2,5 +2,5 @@ package analysis
 
 // Suite returns every analyzer vulcanvet runs, in reporting order.
 func Suite() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, PTEBits, FloatEq, LabOnly}
+	return []*Analyzer{Determinism, MapOrder, PTEBits, FloatEq, LabOnly, HotAlloc, SnapFields}
 }

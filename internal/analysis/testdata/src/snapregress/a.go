@@ -1,0 +1,45 @@
+// Package snapregress reproduces the failure mode that motivated
+// snapfields: a field added to an existing Snapshotter after its
+// Snapshot/Restore pair was written. The checkpoint round-trips without
+// error — the container is self-describing, not schema-checked — but a
+// run branched from the snapshot silently forgets the field.
+package snapregress
+
+type Encoder struct{}
+
+func (e *Encoder) U64(v uint64) {}
+
+type Decoder struct{ err error }
+
+func (d *Decoder) U64() uint64 { return 0 }
+func (d *Decoder) Err() error  { return d.err }
+
+// migrator predates the analyzer: Snapshot/Restore cover every field
+// that existed when they were written.
+type migrator struct {
+	moved  uint64
+	failed uint64
+	// retries was added later for the retry path and wired into the
+	// simulation loop, but never reached the encoder.
+	retries uint64 // want `field migrator.retries is written during simulation \(a\.go:\d+\) but never referenced in Snapshot/Restore; encode it or waive with //vulcan:nosnap <reason>`
+}
+
+func (m *migrator) Step(ok bool) {
+	if ok {
+		m.moved++
+	} else {
+		m.failed++
+		m.retries++
+	}
+}
+
+func (m *migrator) Snapshot(e *Encoder) {
+	e.U64(m.moved)
+	e.U64(m.failed)
+}
+
+func (m *migrator) Restore(d *Decoder) error {
+	m.moved = d.U64()
+	m.failed = d.U64()
+	return d.Err()
+}

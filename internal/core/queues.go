@@ -75,10 +75,10 @@ type queueEntry struct {
 // heat is bumped one priority level so hot pages cannot stagnate in
 // low-priority queues.
 type PromotionQueues struct {
-	queues [NumClasses][]queueEntry
+	queues [NumClasses][]queueEntry //vulcan:nosnap rebuilt from candidates by Rebuild each epoch
 	// lastHeat remembers the heat of pages left waiting last epoch.
 	lastHeat map[pagetable.VPage]float64
-	noMLFQ   bool
+	noMLFQ   bool //vulcan:nosnap ablation wiring, re-applied when the scenario constructs the policy
 }
 
 // NewPromotionQueues returns empty queues.

@@ -20,7 +20,7 @@ type Injector struct {
 	// queries only: MigrationFails has no epoch argument of its own,
 	// but under Plan.Correlate must consult this epoch's latency-spike
 	// window. Set from the simulation clock, never from query order.
-	epoch uint64
+	epoch uint64 //vulcan:nosnap re-synchronized by BeginEpoch at each epoch start
 	// injected counts faults actually fired, per kind (read by FigR and
 	// the report via Counts).
 	injected [NumKinds]uint64

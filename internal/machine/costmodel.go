@@ -98,6 +98,8 @@ func DefaultCostModel() CostModel {
 // PrepCycles returns the migration-preparation cost on a machine with
 // cpus cores. With optimized=true it models Vulcan's per-application LRU
 // drain, which avoids on_each_cpu_mask() synchronization entirely.
+//
+//vulcan:hotpath
 func (c CostModel) PrepCycles(cpus int, optimized bool) float64 {
 	if optimized {
 		return c.PrepOptimized
@@ -111,6 +113,8 @@ func (c CostModel) PrepCycles(cpus int, optimized bool) float64 {
 // ShootdownCycles returns the TLB coherence cost of migrating pages with
 // the given IPI target count. targets is the number of *remote* CPUs that
 // must be interrupted; zero targets degenerates to local invalidation.
+//
+//vulcan:hotpath
 func (c CostModel) ShootdownCycles(pages, targets int) float64 {
 	if pages <= 0 {
 		return 0
@@ -126,12 +130,16 @@ func (c CostModel) ShootdownCycles(pages, targets int) float64 {
 }
 
 // CopyCycles returns the content-copy cost for pages 4KiB pages.
+//
+//vulcan:hotpath
 func (c CostModel) CopyCycles(pages int) float64 {
 	return float64(pages) * c.CopyPerPage
 }
 
 // AccessCycles returns the cycle cost of one memory access to the given
 // tier, with or without a TLB hit, under bandwidth utilization bwUtil.
+//
+//vulcan:hotpath
 func (c CostModel) AccessCycles(t *mem.Tier, tlbHit bool, bwUtil float64) float64 {
 	lat := float64(t.LoadedLatency(bwUtil)) * sim.CyclesPerNs
 	if tlbHit {
@@ -146,6 +154,8 @@ func (c CostModel) AccessCycles(t *mem.Tier, tlbHit bool, bwUtil float64) float6
 // device. Callers on the no-fault path must keep calling AccessCycles;
 // this variant exists so spike == 1 never touches the baseline
 // arithmetic.
+//
+//vulcan:hotpath
 func (c CostModel) AccessCyclesDegraded(t *mem.Tier, tlbHit bool, bwUtil, spike float64) float64 {
 	lat := float64(t.LoadedLatency(bwUtil)) * sim.CyclesPerNs * spike
 	if tlbHit {
@@ -214,6 +224,8 @@ type MigrationOptions struct {
 
 // MigrationBreakdown computes the per-phase cost of migrating pages base
 // pages on a cpus-core machine.
+//
+//vulcan:hotpath
 func (c CostModel) MigrationBreakdown(pages, cpus int, opts MigrationOptions) Breakdown {
 	if pages < 0 {
 		panic(fmt.Sprintf("machine: negative page count %d", pages))

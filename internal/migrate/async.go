@@ -54,7 +54,7 @@ type AsyncMigrator struct {
 	stats   AsyncStats
 	// commitBuf is the per-batch commit list, reused across epochs so a
 	// steady-state RunEpoch allocates no Move batches.
-	commitBuf []Move
+	commitBuf []Move //vulcan:nosnap per-batch scratch, truncated before each use
 }
 
 // NewAsyncMigrator builds an async migrator around an engine.
@@ -88,6 +88,8 @@ func (a *AsyncMigrator) Enqueue(moves ...Move) {
 // EnqueueOne adds a single move to the backlog with the same dedup
 // semantics as Enqueue but without the variadic slice allocation —
 // policies enqueueing page-at-a-time sit on the per-access hot path.
+//
+//vulcan:hotpath
 func (a *AsyncMigrator) EnqueueOne(mv Move) {
 	if i, ok := a.queued[mv.VP]; ok {
 		a.pending[i].To = mv.To

@@ -183,10 +183,10 @@ type Engine struct {
 	// diet): the shootdown-scope union lives in a thread-id bitmap that
 	// decodes in ascending order, replacing the per-call map + slice +
 	// sort.Ints of the original implementation.
-	scopeBits []uint64
-	scopeList []int
-	scopeBuf  []int
-	batch     []staged
+	scopeBits []uint64 //vulcan:nosnap per-batch scratch, reset at the top of MigrateSync
+	scopeList []int    //vulcan:nosnap per-batch scratch, reset at the top of MigrateSync
+	scopeBuf  []int    //vulcan:nosnap per-batch scratch, reset at the top of MigrateSync
+	batch     []staged //vulcan:nosnap per-batch scratch, reset at the top of MigrateSync
 
 	// batchSeq numbers MigrateSync batches; it is the fault-injection
 	// coordinate for per-batch draws, so a page that failed transiently
@@ -248,8 +248,10 @@ func (e *Engine) addScope(vp pagetable.VPage) {
 // the full cost breakdown. The caller decides whom the stall is charged
 // to (the faulting thread for TPP-style promotions, a migration thread
 // for background demotions).
+//
+//vulcan:hotpath
 func (e *Engine) MigrateSync(moves []Move) Result {
-	res := Result{Outcomes: make([]Outcome, len(moves))}
+	res := Result{Outcomes: make([]Outcome, len(moves))} //vulcan:allowalloc caller-retained Outcomes, the batch's one pinned allocation (zeroalloc_test)
 	e.batchSeq++
 
 	// Phase 0/1: preparation + kernel trap happen once per batch. The
@@ -390,7 +392,7 @@ func (e *Engine) emitSync(res Result, attempted int) {
 		if res.Busy > 0 {
 			// Appended (rather than unconditional) so chaos-off traces
 			// stay byte-identical to the pre-fault exporter output.
-			ev.Fields = append(ev.Fields, obs.F("busy", float64(res.Busy)))
+			ev.Fields = append(ev.Fields, obs.F("busy", float64(res.Busy))) //vulcan:allowalloc chaos-path only, behind obs.Enabled; the nil-sink steady state never gets here
 		}
 		e.cfg.Obs.Event(ev)
 	}
@@ -481,6 +483,7 @@ func (e *Engine) remap(vp pagetable.VPage, p pagetable.PTE) error {
 		}
 		// Map stamps the mapping thread as owner; restore the true
 		// ownership (possibly shared).
+		//vulcan:allowalloc non-Replicated fallback; the hot configuration takes the Install path above
 		e.cfg.Table.Update(vp, func(cur pagetable.PTE) pagetable.PTE {
 			return cur.WithOwner(owner).WithAccessed(p.Accessed()).WithDirty(p.Dirty())
 		})
@@ -488,7 +491,7 @@ func (e *Engine) remap(vp pagetable.VPage, p pagetable.PTE) error {
 	case plainMapper:
 		return m.Map(vp, p)
 	default:
-		return fmt.Errorf("migrate: table type %T lacks Map", e.cfg.Table)
+		return fmt.Errorf("migrate: table type %T lacks Map", e.cfg.Table) //vulcan:allowalloc misconfiguration error path, aborts the batch
 	}
 }
 

@@ -62,8 +62,8 @@ type Retrier struct {
 	stats   RetryStats
 
 	// Scratch reused across epochs.
-	moves []Move
-	batch []retryEntry
+	moves []Move       //vulcan:nosnap per-epoch scratch, truncated at the top of RunEpoch
+	batch []retryEntry //vulcan:nosnap per-epoch scratch, truncated at the top of RunEpoch
 }
 
 // NewRetrier builds a retrier over eng.

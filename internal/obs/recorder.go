@@ -14,7 +14,7 @@ import (
 // with no clock stamps t=0 (useful in unit tests that set Event.Time
 // explicitly).
 type Recorder struct {
-	clock   *sim.Clock
+	clock   *sim.Clock //vulcan:nosnap construction wiring; the restoring recorder keeps its live clock binding
 	filter  TypeSet
 	events  []Event
 	reg     *Registry

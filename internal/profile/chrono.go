@@ -43,6 +43,8 @@ func NewChrono(table Table) *Chrono {
 func (c *Chrono) Name() string { return "chrono" }
 
 // Record is a no-op: Chrono reads page-table state at epoch boundaries.
+//
+//vulcan:hotpath
 func (c *Chrono) Record(Access) float64 { return 0 }
 
 // IdleEpochs returns how long vp has been idle (0 = touched last epoch;

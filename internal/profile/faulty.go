@@ -48,6 +48,8 @@ func (f *Faulty) Name() string { return f.inner.Name() }
 // Record implements Profiler: a dropped sample costs the thread nothing
 // (the hardware simply never delivered it) and is invisible to the
 // inner profiler.
+//
+//vulcan:hotpath
 func (f *Faulty) Record(a Access) float64 {
 	if f.faults.DropSample() {
 		return 0

@@ -49,6 +49,8 @@ func (h *HintFault) Name() string { return "hintfault" }
 
 // Record fires a hint fault when the access touches a poisoned page,
 // returning the fault's latency so the system charges it to the thread.
+//
+//vulcan:hotpath
 func (h *HintFault) Record(a Access) float64 {
 	if _, ok := h.poisoned[a.VP]; !ok {
 		return 0

@@ -56,6 +56,8 @@ func NewHybridWithDecay(table Table, sampleRate int, decay float64, seed uint64)
 func (h *Hybrid) Name() string { return "hybrid" }
 
 // Record samples like PEBS; no inline cost.
+//
+//vulcan:hotpath
 func (h *Hybrid) Record(a Access) float64 {
 	if h.rng.Intn(h.sampleRate) != 0 {
 		return 0

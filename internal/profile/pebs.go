@@ -53,6 +53,8 @@ func (p *PEBS) Name() string { return "pebs" }
 // Record samples the access with probability 1/sampleRate. PEBS imposes
 // no cost on the sampled thread (the PMU does the work), so it always
 // returns 0 extra cycles.
+//
+//vulcan:hotpath
 func (p *PEBS) Record(a Access) float64 {
 	if p.rng.Intn(p.sampleRate) != 0 {
 		return 0

@@ -48,6 +48,8 @@ func NewRegionScan(table Table) *RegionScan {
 func (s *RegionScan) Name() string { return "regionscan" }
 
 // Record is a no-op.
+//
+//vulcan:hotpath
 func (s *RegionScan) Record(Access) float64 { return 0 }
 
 // EndEpoch scans non-backed-off regions, harvesting accessed bits.

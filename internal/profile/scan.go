@@ -46,6 +46,8 @@ func NewScan(table Table) *Scan {
 func (s *Scan) Name() string { return "scan" }
 
 // Record is a no-op: scanners observe nothing inline.
+//
+//vulcan:hotpath
 func (s *Scan) Record(Access) float64 { return 0 }
 
 // EndEpoch walks the table, harvesting and clearing A/D bits.

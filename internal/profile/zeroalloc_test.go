@@ -1,0 +1,88 @@
+package profile
+
+import (
+	"testing"
+
+	"vulcan/internal/mem"
+	"vulcan/internal/pagetable"
+)
+
+// These tests pin the //vulcan:hotpath contract for the per-access
+// Record implementations: after warm-up, recording an access must not
+// allocate. Record runs once per simulated memory access, so a single
+// stray allocation here dominates the whole simulation's garbage.
+
+func warmTable(t *testing.T, pages int) *pagetable.Table {
+	t.Helper()
+	tbl := pagetable.New()
+	for vp := pagetable.VPage(0); vp < pagetable.VPage(pages); vp++ {
+		if err := tbl.Map(vp, pagetable.NewPTE(mem.Frame{Tier: mem.TierSlow, Index: uint32(vp)}, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func pinRecord(t *testing.T, name string, p Profiler, a Access) {
+	t.Helper()
+	// Warm-up inserts the page into the heat map so the measured runs
+	// exercise the steady state (existing-key update, no map growth).
+	for i := 0; i < 8; i++ {
+		p.Record(a)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		p.Record(a)
+	}); allocs != 0 {
+		t.Errorf("%s.Record allocated %.0f objects/op in steady state, want 0", name, allocs)
+	}
+}
+
+func TestPEBSRecordZeroAlloc(t *testing.T) {
+	// sampleRate 1 makes every access take the sampling path, so the
+	// measurement covers the heat-map update, not just the rng draw.
+	pinRecord(t, "PEBS", NewPEBS(1, 42), Access{VP: 3, Write: true, Fast: true})
+}
+
+func TestHybridRecordZeroAlloc(t *testing.T) {
+	tbl := warmTable(t, 8)
+	pinRecord(t, "Hybrid", NewHybrid(tbl, 1, 42), Access{VP: 3, Write: true, Fast: true})
+}
+
+func TestHintFaultRecordZeroAlloc(t *testing.T) {
+	tbl := warmTable(t, 8)
+	h := NewHintFault(tbl, 4, 1000)
+
+	// Miss path: the page is not poisoned, Record is a lone map lookup.
+	if allocs := testing.AllocsPerRun(200, func() {
+		h.Record(Access{VP: 3, Fast: true})
+	}); allocs != 0 {
+		t.Errorf("HintFault.Record (unpoisoned) allocated %.0f objects/op, want 0", allocs)
+	}
+
+	// Hit path: consume the poison, credit heat, charge the fault. The
+	// poison is re-armed each iteration; re-inserting a key the map has
+	// held before must not grow it.
+	h.poisoned[3] = struct{}{}
+	h.Record(Access{VP: 3, Write: true, Fast: true}) // warm the heat entry
+	if allocs := testing.AllocsPerRun(200, func() {
+		h.poisoned[3] = struct{}{}
+		h.Record(Access{VP: 3, Write: true, Fast: true})
+	}); allocs != 0 {
+		t.Errorf("HintFault.Record (poisoned) allocated %.0f objects/op, want 0", allocs)
+	}
+}
+
+func TestFaultyRecordZeroAlloc(t *testing.T) {
+	// Wrap a sampling inner profiler with a fault stream that drops every
+	// other sample so both the dropped and forwarded branches run.
+	f := NewFaulty(NewPEBS(1, 42), &scriptedFaults{dropEvery: 2})
+	pinRecord(t, "Faulty", f, Access{VP: 3, Write: true, Fast: true})
+}
+
+func TestScannerRecordsZeroAlloc(t *testing.T) {
+	tbl := warmTable(t, 8)
+	a := Access{VP: 3, Fast: true}
+	pinRecord(t, "Scan", NewScan(tbl), a)
+	pinRecord(t, "Chrono", NewChrono(tbl), a)
+	pinRecord(t, "RegionScan", NewRegionScan(tbl), a)
+}

@@ -25,12 +25,12 @@ type App struct {
 	Threads  []*workload.Thread
 	Engine   *migrate.Engine
 	Async    *migrate.AsyncMigrator
-	Profiler profile.Profiler
+	Profiler profile.Profiler //vulcan:nosnap snapshotted at the system layer via profile.SnapshotProfiler
 	// Retry is the bounded-retry queue for transiently-failed
 	// migrations; nil on fault-free runs.
 	Retry *migrate.Retrier
 
-	sys     *System
+	sys     *System //vulcan:nosnap construction wiring, bound when the system admits the app
 	rng     *sim.RNG
 	started bool
 	huge    *HugeSet // nil when THP disabled
@@ -40,21 +40,25 @@ type App struct {
 	// intensities. It lags one epoch.
 	sampleWeight float64
 
-	// Per-epoch measurements (reset each epoch).
-	epochFastSamples float64
-	epochSlowSamples float64
-	epochActualCyc   float64 // measured per-operation cycles across the samples
-	epochIdealCyc    float64 // same samples under all-fast, TLB-hit placement
+	// Per-epoch measurements (reset each epoch; checkpoints are cut at
+	// epoch boundaries, where these are always zero). epochActualCyc is
+	// the measured per-operation cycles across the samples;
+	// epochIdealCyc is the same samples under all-fast, TLB-hit
+	// placement.
+	epochFastSamples float64 //vulcan:nosnap per-epoch scratch, zero at epoch boundaries
+	epochSlowSamples float64 //vulcan:nosnap per-epoch scratch, zero at epoch boundaries
+	epochActualCyc   float64 //vulcan:nosnap per-epoch scratch, zero at epoch boundaries
+	epochIdealCyc    float64 //vulcan:nosnap per-epoch scratch, zero at epoch boundaries
 	// epochEventCyc accumulates per-page events (hint faults, leaf links,
 	// demand faults) that occur once per page rather than once per
 	// operation; they are epoch overhead, not per-op latency.
-	epochEventCyc float64
+	epochEventCyc float64 //vulcan:nosnap per-epoch scratch, zero at epoch boundaries
 	epochOps      float64
 	pendingStall  float64 // sync-migration cycles to charge next epoch
 
 	// Telemetry accumulators (reset or harvested each epoch).
-	epochDemandFaults int
-	epochTHPSplits    int
+	epochDemandFaults int     //vulcan:nosnap per-epoch scratch, harvested and zeroed by EndEpoch
+	epochTHPSplits    int     //vulcan:nosnap per-epoch scratch, harvested and zeroed by EndEpoch
 	epochPerf         float64 // last epoch's normalized performance
 
 	// Smoothed / cumulative state.
@@ -315,6 +319,8 @@ func (a *App) mapNewPage(vp pagetable.VPage, tid int, placer Placer) {
 
 // runEpochAccesses simulates the app's memory activity for one epoch and
 // computes achieved operations. samples is per thread.
+//
+//vulcan:hotpath
 func (a *App) runEpochAccesses(samples int, epochCycles float64, bwUtil [mem.NumTiers]float64) {
 	a.epochFastSamples, a.epochSlowSamples = 0, 0
 	a.epochActualCyc, a.epochIdealCyc, a.epochEventCyc = 0, 0, 0
