@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt vet lint vet-sarif test race obs-demo obs-demo-parallel chaos-demo chaos-golden checkpoint-demo bench bench-checkpoint
+.PHONY: check build fmt vet lint vet-sarif test race obs-demo obs-demo-parallel chaos-demo chaos-golden checkpoint-demo prof-demo bench bench-checkpoint
 
 # check is the full gate, in fail-fast order: cheap static checks first,
 # then the test suites.
@@ -135,13 +135,58 @@ checkpoint-demo:
 	cmp out/ckpt-demo/report.txt out/ckpt-demo/report-resumed.txt
 	@echo "checkpoint-demo: resume-then-finish byte-identical to the uninterrupted run"
 
+# prof-demo is the executable determinism contract for the
+# cycle-attribution profiler (DESIGN.md "Cost attribution"): one canned
+# scenario profiled twice and once more on a 3-seed sweep at two worker
+# counts; every cost artifact (pprof protobuf, folded stacks, breakdown
+# CSV) must be byte-identical, and the pprof file must parse with
+# `go tool pprof`. Artifacts land in out/prof-demo/ (gitignored);
+# cost.folded feeds flamegraph.pl / speedscope directly.
+PROF_DEMO_FLAGS = -policy vulcan -seconds 20 -scale 8 -seed 7
+prof-demo:
+	@mkdir -p out/prof-demo
+	$(GO) run ./cmd/vulcansim $(PROF_DEMO_FLAGS) \
+		-costprofile out/prof-demo/cost.pb.gz -cost-folded out/prof-demo/cost.folded \
+		-cost-csv out/prof-demo/cost.csv > out/prof-demo/report.txt
+	$(GO) run ./cmd/vulcansim $(PROF_DEMO_FLAGS) \
+		-costprofile out/prof-demo/cost2.pb.gz -cost-folded out/prof-demo/cost2.folded \
+		-cost-csv out/prof-demo/cost2.csv > out/prof-demo/report2.txt
+	cmp out/prof-demo/cost.pb.gz out/prof-demo/cost2.pb.gz
+	cmp out/prof-demo/cost.folded out/prof-demo/cost2.folded
+	cmp out/prof-demo/cost.csv out/prof-demo/cost2.csv
+	cmp out/prof-demo/report.txt out/prof-demo/report2.txt
+	$(GO) run ./cmd/vulcansim $(PROF_DEMO_FLAGS) -seeds 3 -parallel 1 \
+		-costprofile out/prof-demo/s.pb.gz -cost-folded out/prof-demo/s.folded \
+		-cost-csv out/prof-demo/s.csv > /dev/null
+	$(GO) run ./cmd/vulcansim $(PROF_DEMO_FLAGS) -seeds 3 -parallel 2 \
+		-costprofile out/prof-demo/w2.pb.gz -cost-folded out/prof-demo/w2.folded \
+		-cost-csv out/prof-demo/w2.csv > /dev/null
+	$(GO) run ./cmd/vulcansim $(PROF_DEMO_FLAGS) -seeds 3 -parallel 7 \
+		-costprofile out/prof-demo/w7.pb.gz -cost-folded out/prof-demo/w7.folded \
+		-cost-csv out/prof-demo/w7.csv > /dev/null
+	for s in 7 8 9; do \
+		cmp out/prof-demo/s.pb.seed$$s.gz out/prof-demo/w2.pb.seed$$s.gz && \
+		cmp out/prof-demo/s.pb.seed$$s.gz out/prof-demo/w7.pb.seed$$s.gz && \
+		cmp out/prof-demo/s.seed$$s.folded out/prof-demo/w2.seed$$s.folded && \
+		cmp out/prof-demo/s.seed$$s.folded out/prof-demo/w7.seed$$s.folded && \
+		cmp out/prof-demo/s.seed$$s.csv out/prof-demo/w2.seed$$s.csv && \
+		cmp out/prof-demo/s.seed$$s.csv out/prof-demo/w7.seed$$s.csv || exit 1; \
+	done
+	$(GO) tool pprof -top out/prof-demo/cost.pb.gz | head -20
+	@echo "prof-demo: cost artifacts byte-identical across replays and workers 1/2/7"
+
 # bench runs the figure benchmarks with allocation accounting and
 # records the numbers as structured JSON (committed as
 # BENCH_parallel.json so perf regressions show up in review diffs).
+# Self-profiles of the bench process (runtime/pprof CPU + heap) land in
+# out/ for ad-hoc inspection with `go tool pprof`.
 # Narrow with e.g. `make bench BENCHES='BenchmarkFig2|BenchmarkFig8'`.
 BENCHES ?= BenchmarkFig
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime 1x . \
+	@mkdir -p out
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime 1x \
+		-cpuprofile out/bench-cpu.pb.gz -memprofile out/bench-mem.pb.gz \
+		-o out/vulcan-bench.test . \
 		| $(GO) run ./cmd/benchjson > BENCH_parallel.json
 	@cat BENCH_parallel.json
 

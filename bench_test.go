@@ -13,13 +13,36 @@
 package vulcan_test
 
 import (
+	"runtime"
 	"testing"
 
 	"vulcan/internal/figures"
 	"vulcan/internal/machine"
 	"vulcan/internal/migrate"
+	"vulcan/internal/obs/prof"
 	"vulcan/internal/sim"
 )
+
+// reportSelfStats adds the simulator process's own GC and allocation
+// work to the benchmark as gc/op and heap-B/op metrics (cmd/benchjson
+// promotes both to first-class fields). Call it with the stats read
+// before the timed loop. The runtime batches allocation accounting in
+// per-P caches, so a GC is forced (outside the timer) to flush exact
+// counts; that flush cycle is discounted from gc/op.
+func reportSelfStats(b *testing.B, start prof.SelfStats) {
+	b.Helper()
+	b.StopTimer()
+	runtime.GC()
+	d := prof.ReadSelfStats().Sub(start)
+	gc := float64(d.GCCycles) - 1
+	if gc < 0 {
+		gc = 0
+	}
+	n := float64(b.N)
+	b.ReportMetric(gc/n, "gc/op")
+	b.ReportMetric(float64(d.AllocBytes)/n, "heap-B/op")
+	b.StartTimer()
+}
 
 // BenchmarkFig1ColdPageDilemma regenerates Figure 1 (hot/cold pages over
 // time for Memcached and Liblinear, solo vs co-located under Memtis) and
@@ -36,12 +59,14 @@ func BenchmarkFig1ColdPageDilemma(b *testing.B) {
 // BenchmarkFig2MigrationBreakdown regenerates Figure 2 (single base-page
 // migration cost breakdown across 2–32 CPUs).
 func BenchmarkFig2MigrationBreakdown(b *testing.B) {
+	start := prof.ReadSelfStats()
 	for i := 0; i < b.N; i++ {
 		rows := figures.Fig2()
 		last := rows[len(rows)-1]
 		b.ReportMetric(last.TotalCycles, "cycles@32cpu")
 		b.ReportMetric(100*last.PrepShare, "prep%@32cpu")
 	}
+	reportSelfStats(b, start)
 }
 
 // BenchmarkFig3TLBvsCopy regenerates Figure 3 (TLB vs copy contribution
@@ -92,6 +117,7 @@ func BenchmarkFig7OptimizationSpeedup(b *testing.B) {
 // BenchmarkFig8MigrationBandwidth regenerates Figure 8 (microbenchmark
 // read/write bandwidth for TPP/Memtis/Nomad/Vulcan across working sets).
 func BenchmarkFig8MigrationBandwidth(b *testing.B) {
+	start := prof.ReadSelfStats()
 	for i := 0; i < b.N; i++ {
 		rows := figures.Fig8(nil, uint64(i+1))
 		for _, r := range rows {
@@ -100,6 +126,7 @@ func BenchmarkFig8MigrationBandwidth(b *testing.B) {
 			}
 		}
 	}
+	reportSelfStats(b, start)
 }
 
 // BenchmarkFig9DynamicColocation regenerates Figure 9 (dynamic

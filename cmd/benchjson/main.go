@@ -7,8 +7,10 @@
 //	go test -run '^$' -bench BenchmarkFig -benchmem . | go run ./cmd/benchjson
 //
 // Each benchmark line becomes one record with iterations, ns/op, B/op,
-// allocs/op, and any custom metrics (e.g. "cycles@32cpu") keyed by
-// their unit string. Non-benchmark lines are ignored.
+// allocs/op, the self-profiling counters gc/op and heap-B/op (reported
+// by benchmarks that wrap prof.ReadSelfStats), and any custom metrics
+// (e.g. "cycles@32cpu") keyed by their unit string. Non-benchmark lines
+// are ignored.
 package main
 
 import (
@@ -27,6 +29,8 @@ type result struct {
 	NsPerOp    float64            `json:"ns_per_op,omitempty"`
 	BPerOp     float64            `json:"b_per_op,omitempty"`
 	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	GCPerOp    float64            `json:"gc_per_op,omitempty"`
+	HeapBPerOp float64            `json:"heap_b_per_op,omitempty"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -61,6 +65,10 @@ func main() {
 				r.BPerOp = v
 			case "allocs/op":
 				r.AllocsOp = v
+			case "gc/op":
+				r.GCPerOp = v
+			case "heap-B/op":
+				r.HeapBPerOp = v
 			default:
 				if r.Metrics == nil {
 					r.Metrics = make(map[string]float64)

@@ -18,10 +18,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
 	"vulcan/internal/figures"
 	"vulcan/internal/lab"
+	"vulcan/internal/obs/prof"
 	"vulcan/internal/sim"
 )
 
@@ -38,9 +40,34 @@ func main() {
 		scale     = flag.Int("scale", 4, "extra capacity scale divisor (1 = full 1/64 scale)")
 		seed      = flag.Uint64("seed", 1, "base random seed")
 		parallel  = flag.Int("parallel", 0, "worker goroutines for independent runs (0 = GOMAXPROCS); output is byte-identical at any value")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the figure generation to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile of the figure generation to this file (taken at exit)")
 	)
 	flag.Parse()
 	lab.SetDefaultWorkers(*parallel)
+
+	if *cpuProf != "" {
+		stop, err := prof.StartCPUProfile(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				log.Print(err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *cpuProf)
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := prof.WriteHeapProfile(*memProf); err != nil {
+				log.Print(err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", *memProf)
+		}()
+	}
 
 	duration := sim.Duration(*seconds) * sim.Second
 	did := false

@@ -21,6 +21,14 @@
 // the same flags replay the same faults byte for byte. -fault-seed
 // varies the fault schedule without touching the workload seed.
 //
+// Cost profiling (-costprofile, -cost-folded, -cost-csv) attributes
+// every simulated cycle to a (subsystem, app, tier) account and exports
+// the result as a go-tool-pprof-readable profile, folded flamegraph
+// stacks, or a per-epoch breakdown CSV (see internal/obs/prof). The
+// artifacts are deterministic: byte-identical across replays and at any
+// -parallel value. -cpuprofile/-memprofile profile the simulator
+// process itself (wall-clock plane) with runtime/pprof.
+//
 // Checkpoint/restore (-checkpoint-out, -checkpoint-every, -resume):
 //
 //	vulcansim -seconds 120 -checkpoint-out run.ckpt        # snapshot the end state
@@ -50,9 +58,20 @@ import (
 	"vulcan/internal/figures"
 	"vulcan/internal/lab"
 	"vulcan/internal/obs"
+	"vulcan/internal/obs/prof"
 	"vulcan/internal/scenario"
 	"vulcan/internal/sim"
 )
+
+// costFlags bundles the three simulated-cost artifact paths.
+type costFlags struct {
+	pb     string // gzipped pprof protobuf
+	folded string // folded stacks (flamegraph.pl / speedscope input)
+	csv    string // per-epoch breakdown CSV
+}
+
+// wanted reports whether any cost artifact was requested.
+func (c costFlags) wanted() bool { return c.pb != "" || c.folded != "" || c.csv != "" }
 
 func main() {
 	var (
@@ -76,9 +95,41 @@ func main() {
 		ckptOut    = flag.String("checkpoint-out", "", "write a checkpoint blob of the final simulation state to this file")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "also checkpoint every N simulated seconds (needs -checkpoint-out; interim files get a .tNNN suffix)")
 		resumeFrom = flag.String("resume", "", "resume from a checkpoint blob; -seconds then counts additional simulated time")
+		costPB     = flag.String("costprofile", "", "write the simulated-cycle cost profile as gzipped pprof protobuf (go tool pprof readable)")
+		costFolded = flag.String("cost-folded", "", "write the cost profile as folded stacks (flamegraph.pl / speedscope input)")
+		costCSV    = flag.String("cost-csv", "", "write the per-epoch cost breakdown as CSV")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the simulator process itself to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile of the simulator process itself to this file (taken after the run)")
 	)
 	flag.Parse()
 	lab.SetDefaultWorkers(*parallel)
+	cost := costFlags{pb: *costPB, folded: *costFolded, csv: *costCSV}
+
+	// Plane-B self-profiling of the simulator process. Deferred writers
+	// run on every normal return path; log.Fatal error paths lose the
+	// profile, which is fine — the run itself failed.
+	if *cpuProf != "" {
+		stop, err := prof.StartCPUProfile(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				log.Print(err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *cpuProf)
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := prof.WriteHeapProfile(*memProf); err != nil {
+				log.Print(err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", *memProf)
+		}()
+	}
 
 	plan, err := buildFaultPlan(*faultsProf, *faultRate, *faultSeed)
 	if err != nil {
@@ -103,8 +154,11 @@ func main() {
 		if *seedsN > 1 {
 			log.Fatal("-seeds applies to flag-defined scenarios, not -config runs")
 		}
-		rec := buildRecorder(*traceOut, *metricsOut, *obsFilter)
-		runConfigFile(*configPath, *seriesOut, *jsonOut, rec, *traceOut, *metricsOut, plan,
+		rec, err := buildRecorder(*traceOut, *metricsOut, *obsFilter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runConfigFile(*configPath, *seriesOut, *jsonOut, rec, *traceOut, *metricsOut, cost, plan,
 			*resumeFrom, *ckptOut, *ckptEvery)
 		return
 	}
@@ -139,15 +193,20 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		// Each seed is a self-contained run: fresh policy, recorder and
-		// system per worker. Output is rendered to buffers in parallel
-		// and committed to stdout/disk serially in seed order, so bytes
-		// never depend on -parallel.
+		// Each seed is a self-contained run: fresh policy, recorder,
+		// cost profiler and system per worker. Output is rendered to
+		// buffers in parallel and committed to stdout/disk serially in
+		// seed order, so bytes never depend on -parallel.
 		type seedOut struct {
 			report, series, trace, metrics []byte
+			costPB, costFolded, costCSV    []byte
 		}
 		outs := lab.Map(0, *seedsN, func(i int) seedOut {
-			rec := buildRecorder(*traceOut, *metricsOut, *obsFilter)
+			rec, err := buildRecorder(*traceOut, *metricsOut, *obsFilter)
+			if err != nil {
+				panic(err) // filter validated before the fan-out
+			}
+			p := buildCostProfiler(cost)
 			cfg := vulcan.Config{
 				Machine:          figures.ColocationMachine(*scale),
 				Apps:             apps,
@@ -155,9 +214,11 @@ func main() {
 				Seed:             *seed + uint64(i),
 				SamplesPerThread: figures.SamplesForScale(*scale),
 				Faults:           plan,
+				Prof:             p,
 			}
 			if rec != nil {
 				cfg.Obs = rec
+				rec.AttachCostProfiler(p)
 			}
 			sys := vulcan.NewSystem(cfg)
 			sys.Run(vulcan.Duration(*seconds) * vulcan.Second)
@@ -171,6 +232,15 @@ func main() {
 			}
 			if *metricsOut != "" {
 				o.metrics = renderTo(rec.WriteMetricsCSV)
+			}
+			if cost.pb != "" {
+				o.costPB = renderTo(p.WritePprof)
+			}
+			if cost.folded != "" {
+				o.costFolded = renderTo(p.WriteFolded)
+			}
+			if cost.csv != "" {
+				o.costCSV = renderTo(p.WriteBreakdownCSV)
 			}
 			return o
 		})
@@ -189,11 +259,24 @@ func main() {
 			if *metricsOut != "" {
 				writeBytesArtifact(seedPath(*metricsOut, s), "metric samples", o.metrics)
 			}
+			if cost.pb != "" {
+				writeBytesArtifact(seedPath(cost.pb, s), "cost profile", o.costPB)
+			}
+			if cost.folded != "" {
+				writeBytesArtifact(seedPath(cost.folded, s), "folded cost stacks", o.costFolded)
+			}
+			if cost.csv != "" {
+				writeBytesArtifact(seedPath(cost.csv, s), "cost breakdown", o.costCSV)
+			}
 		}
 		return
 	}
 
-	rec := buildRecorder(*traceOut, *metricsOut, *obsFilter)
+	rec, err := buildRecorder(*traceOut, *metricsOut, *obsFilter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := buildCostProfiler(cost)
 	mcfg := figures.ColocationMachine(*scale)
 	cfg := vulcan.Config{
 		Machine:          mcfg,
@@ -202,12 +285,15 @@ func main() {
 		Seed:             *seed,
 		SamplesPerThread: figures.SamplesForScale(*scale),
 		Faults:           plan,
+		Prof:             p,
 	}
 	if rec != nil {
 		cfg.Obs = rec
+		rec.AttachCostProfiler(p)
 	}
 	sys := runSystem(cfg, *seconds, *resumeFrom, *ckptOut, *ckptEvery)
 	finish(sys, *jsonOut, *seriesOut, rec, *traceOut, *metricsOut)
+	writeCostArtifacts(p, cost)
 }
 
 // runSystem builds (or resumes) the system and advances it seconds of
@@ -317,20 +403,48 @@ func writeBytesArtifact(path, what string, data []byte) {
 
 // buildRecorder returns a telemetry recorder when any -trace-out,
 // -metrics-out or -obs-filter flag asks for one, nil otherwise (so the
-// simulation pays nothing for telemetry it will not export).
-func buildRecorder(traceOut, metricsOut, obsFilter string) *obs.Recorder {
+// simulation pays nothing for telemetry it will not export). An
+// -obs-filter naming an unknown event type is rejected with the list of
+// known types.
+func buildRecorder(traceOut, metricsOut, obsFilter string) (*obs.Recorder, error) {
 	if traceOut == "" && metricsOut == "" && obsFilter == "" {
-		return nil
+		return nil, nil
 	}
 	rec := obs.NewRecorder()
 	if obsFilter != "" {
 		filter, err := obs.ParseFilter(obsFilter)
 		if err != nil {
-			log.Fatal(err)
+			return nil, fmt.Errorf("-obs-filter: %w", err)
 		}
 		rec.SetFilter(filter)
 	}
-	return rec
+	return rec, nil
+}
+
+// buildCostProfiler returns a cycle-attribution profiler when any cost
+// artifact flag asks for one, nil otherwise — a nil profiler keeps the
+// simulation byte-identical to an uninstrumented run.
+func buildCostProfiler(cost costFlags) *prof.Profiler {
+	if !cost.wanted() {
+		return nil
+	}
+	return prof.New()
+}
+
+// writeCostArtifacts writes the requested cost-profile artifacts.
+func writeCostArtifacts(p *prof.Profiler, cost costFlags) {
+	if p == nil {
+		return
+	}
+	if cost.pb != "" {
+		writeArtifact(cost.pb, "cost profile", p.WritePprof)
+	}
+	if cost.folded != "" {
+		writeArtifact(cost.folded, "folded cost stacks", p.WriteFolded)
+	}
+	if cost.csv != "" {
+		writeArtifact(cost.csv, "cost breakdown", p.WriteBreakdownCSV)
+	}
 }
 
 // buildFaultPlan resolves the three fault flags to at most one plan.
@@ -366,7 +480,7 @@ func buildFaultPlan(profile string, rate float64, seed uint64) (*vulcan.FaultPla
 // runConfigFile executes a JSON-defined scenario. A -faults/-fault-rate
 // flag plan overrides the file's own faults block.
 func runConfigFile(path, seriesOut string, jsonOut bool, rec *obs.Recorder, traceOut, metricsOut string,
-	plan *vulcan.FaultPlan, resumeFrom, ckptOut string, ckptEvery int) {
+	cost costFlags, plan *vulcan.FaultPlan, resumeFrom, ckptOut string, ckptEvery int) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -379,18 +493,22 @@ func runConfigFile(path, seriesOut string, jsonOut bool, rec *obs.Recorder, trac
 	if plan == nil {
 		plan = parsed.Faults
 	}
+	p := buildCostProfiler(cost)
 	cfg := vulcan.Config{
 		Machine: parsed.Machine,
 		Apps:    parsed.Apps,
 		Policy:  figures.NewPolicy(parsed.Policy),
 		Seed:    parsed.Seed,
 		Faults:  plan,
+		Prof:    p,
 	}
 	if rec != nil {
 		cfg.Obs = rec
+		rec.AttachCostProfiler(p)
 	}
 	sys := runSystem(cfg, int(parsed.Duration/sim.Duration(sim.Second)), resumeFrom, ckptOut, ckptEvery)
 	finish(sys, jsonOut, seriesOut, rec, traceOut, metricsOut)
+	writeCostArtifacts(p, cost)
 }
 
 // finish prints the run summary and optional artifacts.

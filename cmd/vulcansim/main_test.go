@@ -55,6 +55,67 @@ func TestBuildFaultPlan(t *testing.T) {
 	}
 }
 
+func TestBuildRecorder(t *testing.T) {
+	cases := []struct {
+		name                         string
+		traceOut, metricsOut, filter string
+		wantRec                      bool
+		wantErr                      []string
+	}{
+		{name: "no telemetry flags", wantRec: false},
+		{name: "trace only", traceOut: "t.json", wantRec: true},
+		{name: "metrics only", metricsOut: "m.csv", wantRec: true},
+		{name: "valid filter", filter: "migrate-sync,tlb-shootdown", wantRec: true},
+		{name: "filter with spaces", filter: " epoch , migrate-sync ", wantRec: true},
+		{
+			name:   "unknown event type",
+			filter: "migrate-sync,flux-capacitor",
+			// The error must name the bad type AND list the known ones so
+			// the user can fix the flag without reading source.
+			wantErr: []string{"-obs-filter", "flux-capacitor", "known:", "migrate-sync"},
+		},
+		{
+			name:     "unknown type with trace flag",
+			traceOut: "t.json",
+			filter:   "nope",
+			wantErr:  []string{"nope", "known:"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec, err := buildRecorder(tc.traceOut, tc.metricsOut, tc.filter)
+			if len(tc.wantErr) > 0 {
+				if err == nil {
+					t.Fatal("want error, got nil")
+				}
+				for _, sub := range tc.wantErr {
+					if !strings.Contains(err.Error(), sub) {
+						t.Errorf("error %q missing substring %q", err, sub)
+					}
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (rec != nil) != tc.wantRec {
+				t.Fatalf("recorder = %v, want present=%v", rec, tc.wantRec)
+			}
+		})
+	}
+}
+
+func TestBuildCostProfiler(t *testing.T) {
+	if p := buildCostProfiler(costFlags{}); p != nil {
+		t.Fatalf("no cost flags: profiler = %v, want nil", p)
+	}
+	for _, c := range []costFlags{{pb: "c.pb.gz"}, {folded: "c.folded"}, {csv: "c.csv"}} {
+		if buildCostProfiler(c) == nil {
+			t.Errorf("%+v: want a profiler", c)
+		}
+	}
+}
+
 // TestBuildFaultPlanProfilesMatchLibrary pins the flag surface to the
 // canned profiles: every published name must resolve.
 func TestBuildFaultPlanProfilesMatchLibrary(t *testing.T) {

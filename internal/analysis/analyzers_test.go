@@ -27,6 +27,15 @@ func TestDeterminismFaultRNG(t *testing.T) {
 	analysistest.Run(t, analysis.Determinism, "faultrng")
 }
 
+// TestDeterminismCostProfiler runs the determinism analyzer over a
+// profiler-shaped fixture mirroring internal/obs/prof, which joined the
+// contract's package list with the cycle-attribution profiler: profile
+// artifacts must replay byte for byte, so no wall-clock sample stamps,
+// no rand-sampled charging, no env-gated accounting.
+func TestDeterminismCostProfiler(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism, "costprof")
+}
+
 func TestMapOrder(t *testing.T) {
 	analysistest.Run(t, analysis.MapOrder, "maporder")
 }
@@ -118,6 +127,7 @@ func TestDeterminismScope(t *testing.T) {
 		{"vulcan/internal/figures", true},
 		{"vulcan/internal/policy", true},
 		{"vulcan/internal/obs", true},
+		{"vulcan/internal/obs/prof", true},
 		{"vulcan/internal/fault", true},
 		{"vulcan/cmd/vulcansim", false},
 		{"vulcan/examples/quickstart", false},

@@ -35,7 +35,7 @@ var envFuncs = map[string]bool{
 var simPackages = []string{
 	"sim", "machine", "mem", "pagetable", "tlb", "migrate", "policy",
 	"profile", "core", "system", "trace", "workload", "figures",
-	"scenario", "metrics", "obs", "lab", "fault", "checkpoint",
+	"scenario", "metrics", "obs", "obs/prof", "lab", "fault", "checkpoint",
 }
 
 // inSimTree reports whether pkgPath is one of the simulation packages

@@ -7,18 +7,23 @@ import (
 
 	"vulcan/internal/fault"
 	"vulcan/internal/obs"
+	"vulcan/internal/obs/prof"
 	"vulcan/internal/sim"
 )
 
 // replayDump runs one co-location scenario and serializes everything
 // observable about it: the full JSON report, every recorded time series
-// as CSV, and both telemetry exports (Chrome trace, metric samples).
-// Byte-identity of two dumps is the determinism contract the vulcanvet
-// analyzers exist to protect — this test is the golden replay guard for
-// the dynamic behavior no static check can prove.
+// as CSV, both telemetry exports (Chrome trace with cost counter
+// tracks, metric samples), and all three cost-profile artifacts (pprof
+// protobuf, folded stacks, breakdown CSV). Byte-identity of two dumps
+// is the determinism contract the vulcanvet analyzers exist to protect
+// — this test is the golden replay guard for the dynamic behavior no
+// static check can prove.
 func replayDump(t *testing.T, policy string, seed uint64, plan *fault.Plan) []byte {
 	t.Helper()
 	rec := obs.NewRecorder()
+	p := prof.New()
+	rec.AttachCostProfiler(p)
 	res := RunColocation(ColocationConfig{
 		Policy:   policy,
 		Duration: 30 * sim.Second,
@@ -26,6 +31,7 @@ func replayDump(t *testing.T, policy string, seed uint64, plan *fault.Plan) []by
 		Scale:    8,
 		Obs:      rec,
 		Faults:   plan,
+		Prof:     p,
 	})
 	var buf bytes.Buffer
 	if err := res.System.Report().WriteJSON(&buf); err != nil {
@@ -44,6 +50,15 @@ func replayDump(t *testing.T, policy string, seed uint64, plan *fault.Plan) []by
 	}
 	if err := rec.WriteMetricsCSV(&buf); err != nil {
 		t.Fatalf("metrics csv: %v", err)
+	}
+	if err := p.WritePprof(&buf); err != nil {
+		t.Fatalf("cost pprof: %v", err)
+	}
+	if err := p.WriteFolded(&buf); err != nil {
+		t.Fatalf("cost folded: %v", err)
+	}
+	if err := p.WriteBreakdownCSV(&buf); err != nil {
+		t.Fatalf("cost csv: %v", err)
 	}
 	return buf.Bytes()
 }

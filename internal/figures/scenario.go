@@ -15,6 +15,7 @@ import (
 	"vulcan/internal/mem"
 	"vulcan/internal/metrics"
 	"vulcan/internal/obs"
+	"vulcan/internal/obs/prof"
 	"vulcan/internal/policy"
 	"vulcan/internal/sim"
 	"vulcan/internal/system"
@@ -77,6 +78,10 @@ type ColocationConfig struct {
 	// internal/fault). A nil or unarmed plan is byte-identical to a
 	// fault-free run.
 	Faults *fault.Plan
+	// Prof, when non-nil, attributes every simulated cycle of the run to
+	// a (subsystem, app, tier) account (see internal/obs/prof). Like Obs
+	// it is observer-only: a nil profiler run is byte-identical.
+	Prof *prof.Profiler
 }
 
 // AppResult summarizes one application after a co-location run.
@@ -209,6 +214,7 @@ func (cfg ColocationConfig) systemConfig() system.Config {
 		SamplesPerThread: cfg.SamplesPerThread,
 		Obs:              cfg.Obs,
 		Faults:           cfg.Faults,
+		Prof:             cfg.Prof,
 	}
 }
 
@@ -270,6 +276,7 @@ func WarmStart(cfg ColocationConfig, epochs int) []byte {
 	cfg.Policy = "static"
 	cfg.Faults = nil
 	cfg.Obs = nil
+	cfg.Prof = nil
 	sys := system.New(cfg.systemConfig())
 	for i := 0; i < epochs; i++ {
 		sys.RunEpoch()

@@ -193,7 +193,12 @@ func (h *Histogram) Summary() HistSummary {
 	}
 }
 
-// Quantile returns an approximate q-quantile from the histogram.
+// Quantile returns an approximate q-quantile from the histogram using
+// the nearest-rank definition: the midpoint of the bucket holding the
+// ceil(q·n)-th smallest observation. The answer is always a bucket a
+// sample actually landed in — a single-sample histogram reports that
+// sample's bucket for every q, and Quantile(1) never overshoots to the
+// histogram's upper bound.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
@@ -204,14 +209,24 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	target := uint64(q * float64(h.count))
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
 	var cum uint64
 	width := (h.max - h.min) / float64(len(h.buckets))
+	last := 0
 	for i, b := range h.buckets {
+		if b == 0 {
+			continue
+		}
 		cum += b
-		if cum > target {
+		last = i
+		if cum >= rank {
 			return h.min + width*(float64(i)+0.5)
 		}
 	}
-	return h.max
+	// Unreachable for q in [0,1] (cum reaches h.count ≥ rank), kept as a
+	// safe fallback: the highest non-empty bucket.
+	return h.min + width*(float64(last)+0.5)
 }

@@ -226,12 +226,14 @@ func TestHistogramSummaryEmpty(t *testing.T) {
 }
 
 func TestHistogramSummarySkewed(t *testing.T) {
-	// A tail-heavy distribution must separate p50 from p99.
+	// A tail-heavy distribution must separate p50 from p99. The tail is
+	// 2% of the mass so the nearest-rank p99 (the 990th of 1000 samples)
+	// falls inside it.
 	h := NewHistogram(0, 1000, 1000)
-	for i := 0; i < 990; i++ {
+	for i := 0; i < 980; i++ {
 		h.Add(10)
 	}
-	for i := 0; i < 10; i++ {
+	for i := 0; i < 20; i++ {
 		h.Add(900)
 	}
 	s := h.Summary()
@@ -241,4 +243,64 @@ func TestHistogramSummarySkewed(t *testing.T) {
 	if s.P99 < 100 {
 		t.Errorf("P99 = %v, want in the tail", s.P99)
 	}
+}
+
+// TestHistogramQuantileBoundaries pins the nearest-rank edge cases at 0,
+// 1 and 2 samples: every quantile of a one-sample histogram is that
+// sample's bucket, and Quantile(1) never overshoots to a bucket no
+// observation landed in.
+func TestHistogramQuantileBoundaries(t *testing.T) {
+	const mid7 = 7.5 // midpoint of bucket 7 in [0,10) x 10 buckets
+	const mid2 = 2.5
+
+	t.Run("zero samples", func(t *testing.T) {
+		h := NewHistogram(0, 10, 10)
+		for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("Quantile(%v) = %v, want 0", q, got)
+			}
+		}
+		if s := h.Summary(); s != (HistSummary{}) {
+			t.Errorf("Summary = %+v, want zero value", s)
+		}
+	})
+
+	t.Run("one sample", func(t *testing.T) {
+		h := NewHistogram(0, 10, 10)
+		h.Add(7.3)
+		for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+			if got := h.Quantile(q); got != mid7 {
+				t.Errorf("Quantile(%v) = %v, want %v", q, got, mid7)
+			}
+		}
+		s := h.Summary()
+		want := HistSummary{Count: 1, P50: mid7, P95: mid7, P99: mid7}
+		if s != want {
+			t.Errorf("Summary = %+v, want %+v", s, want)
+		}
+	})
+
+	t.Run("two samples", func(t *testing.T) {
+		h := NewHistogram(0, 10, 10)
+		h.Add(2.5)
+		h.Add(7.5)
+		cases := []struct{ q, want float64 }{
+			{0, mid2},    // rank clamps to 1: the smaller sample
+			{0.5, mid2},  // ceil(0.5·2) = 1
+			{0.51, mid7}, // ceil(1.02) = 2
+			{0.95, mid7},
+			{0.99, mid7},
+			{1, mid7}, // never the histogram max
+		}
+		for _, tc := range cases {
+			if got := h.Quantile(tc.q); got != tc.want {
+				t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		}
+		s := h.Summary()
+		want := HistSummary{Count: 2, P50: mid2, P95: mid7, P99: mid7}
+		if s != want {
+			t.Errorf("Summary = %+v, want %+v", s, want)
+		}
+	})
 }

@@ -155,8 +155,17 @@ func (a *AsyncMigrator) RunEpoch(budgetCycles float64, writeProb func(vp pagetab
 		}
 
 		a.commitBuf = commit // retain any growth for the next batch
-		r := a.cfg.Engine.MigrateSync(commit)
-		cycles := r.Cycles() + a.cfg.Engine.cfg.Cost.CopyCycles(extraCopies)
+		eng := a.cfg.Engine
+		eng.ctx = ctxAsync
+		r := eng.MigrateSync(commit)
+		eng.ctx = ctxSync
+		extraCyc := eng.cfg.Cost.CopyCycles(extraCopies)
+		if pa := eng.cfg.Prof; pa != nil && extraCopies > 0 {
+			// Invalidated copy attempts are wasted async copy work; they
+			// never pass through MigrateSync, so post them here.
+			pa.Async.Copy.ChargeN(extraCyc, uint64(extraCopies))
+		}
+		cycles := r.Cycles() + extraCyc
 		res.Cycles += cycles
 		a.stats.CyclesUsed += cycles
 		res.Moved += r.Moved

@@ -17,6 +17,7 @@ import (
 	"vulcan/internal/machine"
 	"vulcan/internal/mem"
 	"vulcan/internal/obs"
+	"vulcan/internal/obs/prof"
 	"vulcan/internal/pagetable"
 	"vulcan/internal/sim"
 )
@@ -97,6 +98,12 @@ type Config struct {
 	// application's name.
 	Obs   obs.Sink
 	Owner string
+
+	// Prof, when non-nil, receives each batch's phase breakdown on the
+	// cost profiler's mechanism plane, keyed by the engine's current
+	// execution context (sync / async / retry). nil — the default —
+	// disables cost attribution at the price of one nil check per batch.
+	Prof *prof.EngineAccounts
 }
 
 // Chaos is the fault-injection surface the engine consults
@@ -192,7 +199,23 @@ type Engine struct {
 	// coordinate for per-batch draws, so a page that failed transiently
 	// in one batch draws fresh when retried in a later one.
 	batchSeq uint64
+
+	// ctx tags the current batch's execution context for cost
+	// attribution; AsyncMigrator and Retrier set it around their
+	// MigrateSync calls and restore ctxSync.
+	ctx migCtx //vulcan:nosnap cost-attribution tag, always ctxSync at epoch boundaries
 }
+
+// migCtx names which execution context a MigrateSync batch belongs to
+// for cost attribution: policy-synchronous (the default), the async
+// migrator, or the bounded-retry queue.
+type migCtx uint8
+
+const (
+	ctxSync migCtx = iota
+	ctxAsync
+	ctxRetry
+)
 
 // NewEngine validates cfg and builds an engine.
 func NewEngine(cfg Config) *Engine {
@@ -343,10 +366,12 @@ func (e *Engine) MigrateSync(moves []Move) Result {
 		Remap: float64(attempted) * e.cfg.Cost.RemapPerPage,
 		Split: splitCycles,
 	}
+	ipiExtra := 0.0
 	if e.cfg.Inject != nil && attempted > 0 {
 		// A delayed-IPI fault stretches every target's acknowledgment.
 		if d := e.cfg.Inject.IPIDelayCycles(e.cfg.Owner, e.batchSeq); d > 0 {
-			res.Breakdown.TLB += d * float64(res.Targets)
+			ipiExtra = d * float64(res.Targets)
+			res.Breakdown.TLB += ipiExtra
 			if e.cfg.OnIPIDelay != nil {
 				e.cfg.OnIPIDelay(e.scopeList)
 			}
@@ -355,9 +380,45 @@ func (e *Engine) MigrateSync(moves []Move) Result {
 	if attempted == 0 && res.Busy == 0 {
 		// Nothing actually entered the kernel migration path: no cost.
 		res.Breakdown = machine.Breakdown{}
+		ipiExtra = 0
 	}
+	e.chargeProf(res, attempted, ipiExtra)
 	e.emitSync(res, attempted)
 	return res
+}
+
+// chargeProf posts one batch's phase breakdown to the cost profiler's
+// mechanism plane under the current execution context. The TLB phase
+// splits into the base shootdown cost (tlb/shootdown, counted per IPI
+// target) and any injected acknowledgment delay (fault/ipi-delay); the
+// charges sum exactly to Breakdown.Total().
+//
+//vulcan:hotpath
+func (e *Engine) chargeProf(res Result, attempted int, ipiExtra float64) {
+	pa := e.cfg.Prof
+	if pa == nil || (attempted == 0 && res.Busy == 0) {
+		return
+	}
+	m := &pa.Sync
+	switch e.ctx {
+	case ctxAsync:
+		m = &pa.Async
+	case ctxRetry:
+		m = &pa.Retry
+	}
+	bd := res.Breakdown
+	m.Prep.Charge(bd.Prep)
+	m.Trap.Charge(bd.Trap)
+	m.Unmap.ChargeN(bd.Unmap, uint64(attempted+res.Busy))
+	m.Copy.ChargeN(bd.Copy, uint64(res.Moved))
+	m.Remap.ChargeN(bd.Remap, uint64(attempted))
+	if bd.Split > 0 {
+		m.Split.Charge(bd.Split)
+	}
+	pa.Shootdown.ChargeN(bd.TLB-ipiExtra, uint64(res.Targets))
+	if ipiExtra > 0 {
+		pa.IPIDelay.ChargeN(ipiExtra, uint64(res.Targets))
+	}
 }
 
 // emitSync publishes one batch's telemetry: the shootdown (scope and

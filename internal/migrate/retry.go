@@ -135,7 +135,10 @@ func (r *Retrier) RunEpoch(epoch uint64) RetryEpoch {
 		return RetryEpoch{Pending: len(r.pending)}
 	}
 
-	res := r.cfg.Engine.MigrateSync(r.moves)
+	eng := r.cfg.Engine
+	eng.ctx = ctxRetry
+	res := eng.MigrateSync(r.moves)
+	eng.ctx = ctxSync
 	ep := RetryEpoch{Retried: len(r.moves), Cycles: res.Cycles()}
 	for i, ent := range r.batch {
 		switch res.Outcomes[i] {

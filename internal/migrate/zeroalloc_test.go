@@ -5,6 +5,7 @@ import (
 
 	"vulcan/internal/mem"
 	"vulcan/internal/obs"
+	"vulcan/internal/obs/prof"
 	"vulcan/internal/pagetable"
 )
 
@@ -53,6 +54,39 @@ func TestMigrateSyncSteadyStateAllocs(t *testing.T) {
 	// retain it, so it cannot be pooled).
 	if allocs > 1 {
 		t.Fatalf("steady-state MigrateSync allocated %.0f objects/op, want <= 1", allocs)
+	}
+}
+
+// TestMigrateSyncProfEnabledSteadyStateAllocs extends the hot-path
+// allocation budget to an instrumented engine: charging every phase of
+// a batch into the cost-attribution accounts must stay on the same
+// one-allocation (Outcomes slice) budget as the uninstrumented path.
+func TestMigrateSyncProfEnabledSteadyStateAllocs(t *testing.T) {
+	e, _, _ := testEnv(t, 4, 32, func(c *Config) {
+		c.TargetedShootdown = true
+		c.Prof = prof.NewEngineAccounts(prof.New(), "bench")
+	})
+	moves := []Move{{VP: 0, To: mem.TierFast}, {VP: 1, To: mem.TierFast}}
+	flip := func() {
+		if moves[0].To == mem.TierFast {
+			moves[0].To, moves[1].To = mem.TierSlow, mem.TierSlow
+		} else {
+			moves[0].To, moves[1].To = mem.TierFast, mem.TierFast
+		}
+	}
+	for i := 0; i < 4; i++ {
+		e.MigrateSync(moves)
+		flip()
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		e.MigrateSync(moves)
+		flip()
+	})
+	if allocs > 1 {
+		t.Fatalf("prof-enabled MigrateSync allocated %.0f objects/op, want <= 1", allocs)
+	}
+	if pages := e.cfg.Prof.Sync.Copy.Count(); pages == 0 {
+		t.Fatal("profiler accounts unchanged; the instrumented path was not exercised")
 	}
 }
 

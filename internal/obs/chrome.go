@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"strconv"
+
+	"vulcan/internal/obs/prof"
 )
 
 // WriteChromeTrace exports the buffered events as Chrome trace-event
@@ -25,11 +27,17 @@ import (
 // keeps the visual timeline readable without touching recorded data,
 // and — because events are processed strictly in emission order — stays
 // byte-deterministic.
+// When a cost profiler is attached (AttachCostProfiler), each epoch's
+// per-(app, subsystem) cycle totals are appended as counter ("C")
+// events — Perfetto renders them as one "cost.<subsystem>" counter
+// track per process. Without an attached profiler the emitted bytes are
+// exactly the pre-profiler format.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	j := jsonWriter{w: bw}
 
-	pids, tids := r.traceLayout()
+	counters := r.cost.CounterRows() // nil profiler -> no rows
+	pids, tids := r.traceLayout(counters)
 
 	j.raw(`{"displayTimeUnit":"ms","traceEvents":[`)
 	first := true
@@ -123,6 +131,16 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		j.raw(`}}`)
 	}
 
+	// Cost counter tracks, in (epoch, app, subsystem) order.
+	for _, c := range counters {
+		sep()
+		j.raw(`{"name":`)
+		j.str("cost." + c.Root)
+		j.raw(`,"ph":"C","pid":` + strconv.Itoa(pids[c.App]) + `,"tid":0`)
+		j.raw(`,"ts":` + microseconds(int64(c.T)))
+		j.raw(`,"args":{"cycles":` + formatVal(c.Cycles) + `}}`)
+	}
+
 	j.raw("\n]}\n")
 	if j.err != nil {
 		return j.err
@@ -148,20 +166,28 @@ func microseconds(ns int64) string {
 
 // traceLayout assigns stable pid/tid numbers: machine scope is pid 1,
 // apps take pid 2+ sorted by name; each scope's tracks take tid 1+
-// sorted by track name.
-func (r *Recorder) traceLayout() (map[string]int, map[string]map[string]int) {
+// sorted by track name. Apps that appear only in cost counter rows
+// still get a process so their counter tracks have a home.
+func (r *Recorder) traceLayout(counters []prof.CounterRow) (map[string]int, map[string]map[string]int) {
 	scopes := map[string]map[string]struct{}{}
-	for _, e := range r.events {
-		lanes := scopes[e.App]
+	ensure := func(app string) map[string]struct{} {
+		lanes := scopes[app]
 		if lanes == nil {
 			lanes = make(map[string]struct{})
-			scopes[e.App] = lanes
+			scopes[app] = lanes
 		}
+		return lanes
+	}
+	for _, e := range r.events {
+		lanes := ensure(e.App)
 		track := e.Track
 		if track == "" {
 			track = "events"
 		}
 		lanes[track] = struct{}{}
+	}
+	for _, c := range counters {
+		ensure(c.App)
 	}
 	// Machine scope always exists so traces have a stable pid 1.
 	if _, ok := scopes[""]; !ok {

@@ -1,0 +1,45 @@
+package prof
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteBreakdownCSV writes the flushed per-epoch cost deltas as CSV,
+// one row per (epoch, account) with a non-zero delta plus the closing
+// "total" and "unattributed" rows per epoch. Rows appear in flush
+// order — epochs ascending, accounts sorted by (path, app, tier) — so
+// the bytes are replay- and worker-count-invariant. nil-safe: a nil
+// profiler writes only the header.
+func (p *Profiler) WriteBreakdownCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("epoch,t_ns,path,app,tier,cycles,count\n"); err != nil {
+		return err
+	}
+	for _, r := range p.Rows() {
+		bw.WriteString(strconv.Itoa(r.Epoch))
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatInt(int64(r.T), 10))
+		bw.WriteByte(',')
+		bw.WriteString(r.Path)
+		bw.WriteByte(',')
+		bw.WriteString(r.App)
+		bw.WriteByte(',')
+		bw.WriteString(r.Tier)
+		bw.WriteByte(',')
+		bw.WriteString(formatCycles(r.Cycles))
+		bw.WriteByte(',')
+		bw.WriteString(strconv.FormatUint(r.Count, 10))
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// formatCycles renders a cycle value the same way the obs metrics CSV
+// renders floats: shortest round-trip representation.
+func formatCycles(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

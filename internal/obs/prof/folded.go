@@ -1,0 +1,47 @@
+package prof
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteFolded writes the cumulative cost tree as folded stacks — the
+// semicolon-joined frame format flamegraph.pl and speedscope ingest.
+// Each account becomes one line: its path segments as frames, then
+// pseudo-frames for the app and tier labels, then the rounded cycle
+// count. A final "unattributed" line carries the positive residual, so
+// the flame graph's total matches the profile total. Lines are already
+// sorted because accounts are kept in (path, app, tier) order.
+func (p *Profiler) WriteFolded(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range p.Accounts() {
+		v := math.Round(a.cycles)
+		if v < 1 {
+			continue
+		}
+		bw.WriteString(strings.ReplaceAll(a.path, "/", ";"))
+		if a.app != "" {
+			bw.WriteString(";app=")
+			bw.WriteString(a.app)
+		}
+		if a.tier != "" {
+			bw.WriteString(";tier=")
+			bw.WriteString(a.tier)
+		}
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatFloat(v, 'f', 0, 64))
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	if _, _, unattr := p.Totals(); math.Round(unattr) >= 1 {
+		bw.WriteString(UnattributedPath)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatFloat(math.Round(unattr), 'f', 0, 64))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

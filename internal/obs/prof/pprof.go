@@ -1,0 +1,232 @@
+package prof
+
+import (
+	"compress/gzip"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePprof writes the cumulative cost tree as a gzipped pprof
+// protobuf (the profile.proto wire format `go tool pprof` reads). The
+// encoding is hand-rolled — the repo takes no protobuf dependency —
+// and deterministic: string/function tables are sorted, samples follow
+// account order, and the gzip header carries no timestamp.
+//
+// Mapping: each account becomes one sample whose leaf-first location
+// stack is the chain of its path prefixes (so "migrate/sync/copy"
+// aggregates under "migrate/sync" under "migrate" in pprof's tree
+// views), with app/tier attached as pprof labels. Sample values are
+// [cycles, events]; time_nanos carries the simulated clock, not wall
+// time. A final "unattributed" sample makes pprof's grand total equal
+// the profile total.
+func (p *Profiler) WritePprof(w io.Writer) error {
+	gz := gzip.NewWriter(w) // zero ModTime: deterministic bytes
+	if _, err := gz.Write(p.encodeProfile()); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// profile.proto field numbers (github.com/google/pprof). Only the
+// subset the cost profile needs.
+const (
+	profSampleType   = 1
+	profSample       = 2
+	profLocation     = 4
+	profFunction     = 5
+	profStringTable  = 6
+	profTimeNanos    = 9
+	profDurationNs   = 10
+	profPeriodType   = 11
+	profPeriod       = 12
+	vtType           = 1
+	vtUnit           = 2
+	sampleLocationID = 1
+	sampleValue      = 2
+	sampleLabel      = 3
+	labelKey         = 1
+	labelStr         = 2
+	locID            = 1
+	locLine          = 4
+	lineFunctionID   = 1
+	funcID           = 1
+	funcName         = 2
+	funcSystemName   = 3
+)
+
+// encodeProfile builds the uncompressed profile.proto message.
+func (p *Profiler) encodeProfile() []byte {
+	accounts := p.Accounts()
+	_, _, unattr := p.Totals()
+
+	// String table: index 0 must be "".
+	strIdx := map[string]uint64{"": 0}
+	strTab := []string{""}
+	intern := func(s string) uint64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := uint64(len(strTab))
+		strIdx[s] = i
+		strTab = append(strTab, s)
+		return i
+	}
+
+	// One function+location per distinct path prefix, ids assigned in
+	// sorted order so the tables are independent of account layout.
+	frameSet := map[string]bool{}
+	addFrames := func(path string) {
+		for i := 0; i < len(path); i++ {
+			if path[i] == '/' {
+				frameSet[path[:i]] = true
+			}
+		}
+		frameSet[path] = true
+	}
+	for _, a := range accounts {
+		if math.Round(a.cycles) >= 1 || a.count > 0 {
+			addFrames(a.path)
+		}
+	}
+	if math.Round(unattr) >= 1 {
+		frameSet[UnattributedPath] = true
+	}
+	frames := make([]string, 0, len(frameSet))
+	for f := range frameSet {
+		frames = append(frames, f)
+	}
+	sort.Strings(frames)
+	frameID := make(map[string]uint64, len(frames))
+	for i, f := range frames {
+		frameID[f] = uint64(i + 1)
+	}
+
+	var prof buf
+
+	// sample_type: [events/count, cycles/cycles]. pprof displays the
+	// last sample type by default, so cycles goes last.
+	var vt buf
+	vt.varintField(vtType, intern("events"))
+	vt.varintField(vtUnit, intern("count"))
+	prof.bytesField(profSampleType, vt.b)
+	vt.b = vt.b[:0]
+	vt.varintField(vtType, intern("cycles"))
+	vt.varintField(vtUnit, intern("cycles"))
+	prof.bytesField(profSampleType, vt.b)
+
+	// Samples: leaf-first location stacks.
+	appKey, tierKey := intern("app"), intern("tier")
+	var sb, lb buf
+	emitSample := func(path, app, tier string, cycles float64, count uint64) {
+		v := int64(math.Round(cycles))
+		if v < 1 && count == 0 {
+			return
+		}
+		sb.b = sb.b[:0]
+		var stack []uint64
+		for prefix := path; ; {
+			stack = append(stack, frameID[prefix])
+			i := strings.LastIndexByte(prefix, '/')
+			if i < 0 {
+				break
+			}
+			prefix = prefix[:i]
+		}
+		sb.packedField(sampleLocationID, stack)
+		sb.packedField(sampleValue, []uint64{count, uint64(v)})
+		if app != "" {
+			lb.b = lb.b[:0]
+			lb.varintField(labelKey, appKey)
+			lb.varintField(labelStr, intern(app))
+			sb.bytesField(sampleLabel, lb.b)
+		}
+		if tier != "" {
+			lb.b = lb.b[:0]
+			lb.varintField(labelKey, tierKey)
+			lb.varintField(labelStr, intern(tier))
+			sb.bytesField(sampleLabel, lb.b)
+		}
+		prof.bytesField(profSample, sb.b)
+	}
+	for _, a := range accounts {
+		emitSample(a.path, a.app, a.tier, a.cycles, a.count)
+	}
+	emitSample(UnattributedPath, "", "", unattr, 0)
+
+	// Locations and functions, one pair per frame, matching ids.
+	var fb buf
+	for _, f := range frames {
+		id := frameID[f]
+		fb.b = fb.b[:0]
+		fb.varintField(locID, id)
+		var ln buf
+		ln.varintField(lineFunctionID, id)
+		fb.bytesField(locLine, ln.b)
+		prof.bytesField(profLocation, fb.b)
+	}
+	for _, f := range frames {
+		id := frameID[f]
+		name := intern(f)
+		fb.b = fb.b[:0]
+		fb.varintField(funcID, id)
+		fb.varintField(funcName, name)
+		fb.varintField(funcSystemName, name)
+		prof.bytesField(profFunction, fb.b)
+	}
+
+	for _, s := range strTab {
+		prof.stringField(profStringTable, s)
+	}
+
+	now := uint64(p.now())
+	prof.varintField(profTimeNanos, now)
+	prof.varintField(profDurationNs, now)
+	vt.b = vt.b[:0]
+	vt.varintField(vtType, intern("cycles"))
+	vt.varintField(vtUnit, intern("cycles"))
+	prof.bytesField(profPeriodType, vt.b)
+	prof.varintField(profPeriod, 1)
+
+	return prof.b
+}
+
+// buf is a minimal protobuf wire-format encoder.
+type buf struct{ b []byte }
+
+func (e *buf) varint(v uint64) {
+	for v >= 0x80 {
+		e.b = append(e.b, byte(v)|0x80)
+		v >>= 7
+	}
+	e.b = append(e.b, byte(v))
+}
+
+// varintField encodes a varint-wire field (wire type 0).
+func (e *buf) varintField(field int, v uint64) {
+	e.varint(uint64(field)<<3 | 0)
+	e.varint(v)
+}
+
+// bytesField encodes a length-delimited field (wire type 2).
+func (e *buf) bytesField(field int, data []byte) {
+	e.varint(uint64(field)<<3 | 2)
+	e.varint(uint64(len(data)))
+	e.b = append(e.b, data...)
+}
+
+func (e *buf) stringField(field int, s string) {
+	e.varint(uint64(field)<<3 | 2)
+	e.varint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// packedField encodes a packed repeated varint field.
+func (e *buf) packedField(field int, vals []uint64) {
+	var inner buf
+	for _, v := range vals {
+		inner.varint(v)
+	}
+	e.bytesField(field, inner.b)
+}

@@ -1,0 +1,181 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// decodeProfile is a minimal profile.proto reader for structural
+// assertions: it walks the top-level message and collects the string
+// table, per-sample values and the sample count.
+type decodedProfile struct {
+	strings    []string
+	samples    int
+	cycleTotal int64
+	sampleType int
+}
+
+func decodeProfile(t *testing.T, pb []byte) decodedProfile {
+	t.Helper()
+	var d decodedProfile
+	for len(pb) > 0 {
+		tag, n := uvarint(pb)
+		if n <= 0 {
+			t.Fatal("bad varint in profile")
+		}
+		pb = pb[n:]
+		field, wire := int(tag>>3), int(tag&7)
+		switch wire {
+		case 0:
+			_, n := uvarint(pb)
+			pb = pb[n:]
+		case 2:
+			l, n := uvarint(pb)
+			pb = pb[n:]
+			body := pb[:l]
+			pb = pb[l:]
+			switch field {
+			case profStringTable:
+				d.strings = append(d.strings, string(body))
+			case profSampleType:
+				d.sampleType++
+			case profSample:
+				d.samples++
+				d.cycleTotal += cycleSampleValue(t, body)
+			}
+		default:
+			t.Fatalf("unexpected wire type %d", wire)
+		}
+	}
+	return d
+}
+
+// cycleSampleValue extracts the second (cycles) entry of a Sample's
+// packed value field; the first entry is the event count.
+func cycleSampleValue(t *testing.T, sample []byte) int64 {
+	t.Helper()
+	for len(sample) > 0 {
+		tag, n := uvarint(sample)
+		sample = sample[n:]
+		field, wire := int(tag>>3), int(tag&7)
+		if wire != 2 {
+			_, n := uvarint(sample)
+			sample = sample[n:]
+			continue
+		}
+		l, n := uvarint(sample)
+		sample = sample[n:]
+		body := sample[:l]
+		sample = sample[l:]
+		if field == sampleValue {
+			_, n := uvarint(body) // events
+			v, _ := uvarint(body[n:])
+			return int64(v)
+		}
+	}
+	return 0
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b); i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+func TestPprofStructure(t *testing.T) {
+	p := build()
+	var out bytes.Buffer
+	if err := p.WritePprof(&out); err != nil {
+		t.Fatal(err)
+	}
+	gr, err := gzip.NewReader(&out)
+	if err != nil {
+		t.Fatalf("profile is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := decodeProfile(t, raw)
+	if d.sampleType != 2 {
+		t.Errorf("sample types = %d, want 2 (cycles, events)", d.sampleType)
+	}
+	if d.samples != 7 {
+		t.Errorf("samples = %d, want 7 (one per account, none unattributed)", d.samples)
+	}
+	// pprof's grand total must equal the reconciled profile total.
+	total, _, _ := p.Totals()
+	if d.cycleTotal != int64(total) {
+		t.Errorf("sample cycle total = %d, want %v", d.cycleTotal, total)
+	}
+	if d.strings[0] != "" {
+		t.Error("string table index 0 must be empty")
+	}
+	for _, want := range []string{"cycles", "app", "memcached", "migrate/sync/copy", "machine/access", "machine"} {
+		found := false
+		for _, s := range d.strings {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("string table missing %q", want)
+		}
+	}
+}
+
+func TestPprofDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := build().WritePprof(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WritePprof(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("pprof export not byte-identical across identical profiles")
+	}
+}
+
+// TestGoToolPprofParses is the acceptance check that `go tool pprof
+// -top` actually reads the hand-rolled encoding.
+func TestGoToolPprofParses(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not on PATH")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cost.pb.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WritePprof(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cmd := exec.Command(goBin, "tool", "pprof", "-top", path)
+	cmd.Env = append(os.Environ(), "PPROF_NO_BROWSER=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool pprof -top failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"cycles", "migrate", "system"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("pprof -top output missing %q:\n%s", want, text)
+		}
+	}
+}

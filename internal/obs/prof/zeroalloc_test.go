@@ -1,0 +1,34 @@
+package prof
+
+import "testing"
+
+// Charging runs on the per-epoch and per-batch hot paths, and the
+// disabled profiler rides every call site as a nil pointer — both must
+// be allocation-free, not just cheap.
+
+func TestDisabledProfilerZeroAlloc(t *testing.T) {
+	var p *Profiler
+	a := p.Account("machine/access", "app", "fast", false)
+	if allocs := testing.AllocsPerRun(200, func() {
+		a.Charge(100)
+		a.ChargeN(50, 3)
+		p.AddBudget(1000)
+		p.FlushEpoch(0)
+	}); allocs != 0 {
+		t.Errorf("disabled profiler allocated %.0f objects/op, want 0", allocs)
+	}
+}
+
+func TestChargeZeroAlloc(t *testing.T) {
+	p := New()
+	a := p.Account("machine/access", "app", "fast", false)
+	m := p.Account("migrate/sync/copy", "app", "", true)
+	if allocs := testing.AllocsPerRun(200, func() {
+		a.Charge(100)
+		a.ChargeN(50, 3)
+		m.ChargeN(80, 16)
+		p.AddBudget(1000)
+	}); allocs != 0 {
+		t.Errorf("enabled charge path allocated %.0f objects/op, want 0", allocs)
+	}
+}

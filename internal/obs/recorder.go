@@ -5,6 +5,7 @@ import (
 	"io"
 	"strconv"
 
+	"vulcan/internal/obs/prof"
 	"vulcan/internal/sim"
 )
 
@@ -19,6 +20,12 @@ type Recorder struct {
 	events  []Event
 	reg     *Registry
 	samples []epochSample
+
+	// cost, when attached, merges the cycle-attribution profiler's
+	// per-epoch subsystem totals into the Chrome trace as counter
+	// tracks. Detached (nil) recorders emit exactly the pre-profiler
+	// trace bytes.
+	cost *prof.Profiler //vulcan:nosnap observer-only cost accounting, rebuilt per run
 }
 
 // epochSample is one per-epoch registry snapshot row.
@@ -54,6 +61,14 @@ func (r *Recorder) Event(e Event) {
 	}
 	r.events = append(r.events, e)
 }
+
+// AttachCostProfiler merges p's per-epoch cost series into the Chrome
+// trace export as counter tracks (one "cost.<subsystem>" counter per
+// app). A nil p detaches.
+func (r *Recorder) AttachCostProfiler(p *prof.Profiler) { r.cost = p }
+
+// CostProfiler returns the attached cost profiler (nil if detached).
+func (r *Recorder) CostProfiler() *prof.Profiler { return r.cost }
 
 // Metrics returns the registry (see RegistryOf).
 func (r *Recorder) Metrics() *Registry { return r.reg }

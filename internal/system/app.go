@@ -7,6 +7,7 @@ import (
 	"vulcan/internal/mem"
 	"vulcan/internal/metrics"
 	"vulcan/internal/migrate"
+	"vulcan/internal/obs/prof"
 	"vulcan/internal/pagetable"
 	"vulcan/internal/profile"
 	"vulcan/internal/sim"
@@ -34,6 +35,10 @@ type App struct {
 	rng     *sim.RNG
 	started bool
 	huge    *HugeSet // nil when THP disabled
+
+	// acct is the app's resolved cost-account set; every field is nil on
+	// unprofiled runs and all charges are nil-safe no-ops.
+	acct appAccounts //vulcan:nosnap observer-only cost accounting, rebuilt at admission
 
 	// sampleWeight converts one simulated sample access into real
 	// operations, so heat is comparable across apps with different
@@ -146,11 +151,58 @@ func (a *App) WriteProbability(vp pagetable.VPage) float64 {
 	return p
 }
 
+// appAccounts is one app's use-plane cost-account set (DESIGN.md §13),
+// plus the mechanism-plane profiler-harvest account. Resolved once at
+// admission so the epoch hot loop only touches pre-bound pointers.
+type appAccounts struct {
+	prof *prof.Profiler
+
+	// Use plane: these partition the app's per-epoch CPU budget.
+	compute     *prof.Account // system/compute: the per-op compute term
+	llc         *prof.Account // system/llc: accesses absorbed by the CPU cache
+	idle        *prof.Account // system/idle: budget left unspent (open-loop slack)
+	stall       *prof.Account // system/stall: migration/profiling stall consumed
+	accessFast  *prof.Account // machine/access {tier=fast}: memory term, baseline
+	accessSlow  *prof.Account // machine/access {tier=slow}
+	spikeFast   *prof.Account // fault/latency-spike {tier=fast}: injected stretch
+	spikeSlow   *prof.Account // fault/latency-spike {tier=slow}
+	demandFault *prof.Account // machine/demand-fault: first-touch page mapping
+	leafLink    *prof.Account // machine/leaf-link: replicated-PTE leaf sharing
+	record      *prof.Account // profile/record: in-epoch hint-fault overhead
+
+	// Mechanism plane.
+	profEpoch *prof.Account // profile/epoch: end-of-epoch harvest overhead
+}
+
+// newAppAccounts resolves one app's account set; a nil profiler yields
+// the all-nil (disabled) set.
+func newAppAccounts(p *prof.Profiler, app string) appAccounts {
+	if p == nil {
+		return appAccounts{}
+	}
+	return appAccounts{
+		prof:        p,
+		compute:     p.Account("system/compute", app, "", false),
+		llc:         p.Account("system/llc", app, "", false),
+		idle:        p.Account("system/idle", app, "", false),
+		stall:       p.Account("system/stall", app, "", false),
+		accessFast:  p.Account("machine/access", app, "fast", false),
+		accessSlow:  p.Account("machine/access", app, "slow", false),
+		spikeFast:   p.Account("fault/latency-spike", app, "fast", false),
+		spikeSlow:   p.Account("fault/latency-spike", app, "slow", false),
+		demandFault: p.Account("machine/demand-fault", app, "", false),
+		leafLink:    p.Account("machine/leaf-link", app, "", false),
+		record:      p.Account("profile/record", app, "", false),
+		profEpoch:   p.Account("profile/epoch", app, "", true),
+	}
+}
+
 // admit builds the app's runtime state and premaps its RSS with
 // first-touch placement (the paper's workloads are warmed before
 // measurement).
 func (a *App) admit(sys *System, placer Placer) {
 	a.sys = sys
+	a.acct = newAppAccounts(sys.prof, a.Cfg.Name)
 	a.Table = pagetable.NewReplicated(a.Cfg.Threads)
 	a.TLBs = make([]*tlb.TLB, a.Cfg.Threads)
 	for i := range a.TLBs {
@@ -175,6 +227,7 @@ func (a *App) admit(sys *System, placer Placer) {
 		PreMigrate:        a.splitTHP,
 		Obs:               sys.obs,
 		Owner:             a.Cfg.Name,
+		Prof:              prof.NewEngineAccounts(sys.prof, a.Cfg.Name),
 	}
 	if sys.inj != nil {
 		// Assigned only when non-nil so the interface field stays truly
@@ -330,6 +383,14 @@ func (a *App) runEpochAccesses(samples int, epochCycles float64, bwUtil [mem.Num
 	computeCyc := float64(a.Cfg.ComputeNs) * sim.CyclesPerNs
 	fastTier := a.sys.tiers.Fast()
 
+	// Cost-attribution accumulators (pure local float adds; charged once
+	// at the end of the epoch, so the disabled profiler costs nothing on
+	// the per-sample path).
+	var llcHits, leafLinks float64
+	var accFastCyc, accSlowCyc float64
+	var spikeFastCyc, spikeSlowCyc float64
+	var recordCyc float64
+
 	for tid, th := range a.Threads {
 		tlbT := a.TLBs[tid]
 		for s := 0; s < samples; s++ {
@@ -347,6 +408,7 @@ func (a *App) runEpochAccesses(samples int, epochCycles float64, bwUtil [mem.Num
 			}
 			if res.LinkedLeaf {
 				a.epochEventCyc += cost.LeafLinkCycles
+				leafLinks++
 			}
 
 			frame := res.PTE.Frame()
@@ -365,6 +427,7 @@ func (a *App) runEpochAccesses(samples int, epochCycles float64, bwUtil [mem.Num
 				// to miss-based profilers.
 				actual += LLCHitCycles
 				ideal += LLCHitCycles
+				llcHits++
 			} else {
 				// A huge mapping translates the whole 2MiB group through
 				// one TLB entry.
@@ -379,17 +442,33 @@ func (a *App) runEpochAccesses(samples int, epochCycles float64, bwUtil [mem.Num
 				// the untouched baseline expression. The all-fast ideal
 				// is deliberately unfaulted — it is the no-chaos
 				// reference the slowdown is measured against.
+				memCyc := cost.AccessCycles(tier, hit, bwUtil[frame.Tier])
 				if spike := a.sys.latSpike[frame.Tier]; spike > 1 {
-					actual += cost.AccessCyclesDegraded(tier, hit, bwUtil[frame.Tier], spike)
+					deg := cost.AccessCyclesDegraded(tier, hit, bwUtil[frame.Tier], spike)
+					actual += deg
+					// The stretch beyond the unfaulted baseline is the
+					// injected fault's bill, not the memory tier's.
+					if fast {
+						spikeFastCyc += deg - memCyc
+					} else {
+						spikeSlowCyc += deg - memCyc
+					}
 				} else {
-					actual += cost.AccessCycles(tier, hit, bwUtil[frame.Tier])
+					actual += memCyc
+				}
+				if fast {
+					accFastCyc += memCyc
+				} else {
+					accSlowCyc += memCyc
 				}
 				ideal += cost.AccessCycles(fastTier, true, bwUtil[mem.TierFast])
 				// A profiling fault (hint-fault poisoning) fires once per
 				// poisoned page, not once per operation: epoch overhead.
-				a.epochEventCyc += a.Profiler.Record(profile.Access{
+				rc := a.Profiler.Record(profile.Access{
 					VP: vp, Thread: tid, Write: ref.Write, Fast: fast,
 				})
+				a.epochEventCyc += rc
+				recordCyc += rc
 				a.sys.tiers.RecordAccess(frame, ref.Write)
 				if fast {
 					a.epochFastSamples++
@@ -407,7 +486,9 @@ func (a *App) runEpochAccesses(samples int, epochCycles float64, bwUtil [mem.Num
 	totalSamples := float64(samples * a.Cfg.Threads)
 	avgActual := a.epochActualCyc / totalSamples
 	avgIdeal := a.epochIdealCyc / totalSamples
-	available := epochCycles*float64(a.Cfg.Threads) - a.pendingStall - a.epochEventCyc
+	budget := epochCycles * float64(a.Cfg.Threads)
+	stallConsumed := a.pendingStall
+	available := budget - a.pendingStall - a.epochEventCyc
 	if available < 0 {
 		available = 0
 	}
@@ -441,10 +522,78 @@ func (a *App) runEpochAccesses(samples int, epochCycles float64, bwUtil [mem.Num
 	a.totalOps += a.epochOps
 	a.sampleWeight = a.epochOps / totalSamples
 
+	if a.acct.prof != nil {
+		a.chargeEpochCost(epochCost{
+			budget: budget, available: available, stall: stallConsumed,
+			avgActual: avgActual, computeCyc: computeCyc,
+			llcHits: llcHits, leafLinks: leafLinks,
+			accFast: accFastCyc, accSlow: accSlowCyc,
+			spikeFast: spikeFastCyc, spikeSlow: spikeSlowCyc,
+			recordCyc: recordCyc, totalSamples: totalSamples,
+		})
+	}
+
 	// FTHR sample (Eq. 1) and EMA update (Eq. 2).
 	if a.epochFastSamples+a.epochSlowSamples > 0 {
 		h := a.epochFastSamples / (a.epochFastSamples + a.epochSlowSamples)
 		a.fthr.Update(h)
+	}
+}
+
+// epochCost carries one epoch's accumulated cost components from the
+// access loop to the attribution pass.
+type epochCost struct {
+	budget, available, stall float64
+	avgActual, computeCyc    float64
+	llcHits, leafLinks       float64
+	accFast, accSlow         float64
+	spikeFast, spikeSlow     float64
+	recordCyc, totalSamples  float64
+}
+
+// chargeEpochCost partitions the epoch's CPU budget across the app's
+// use-plane accounts (DESIGN.md §13). Per-sample costs scale by the
+// epoch's sample weight (ops per sample), so the per-op components sum
+// to the cycles actually spent on operations; event costs and consumed
+// stall charge at face value; the remainder is idle slack. The books
+// close to the budget up to float association — the figures-level
+// coverage test pins the residual below 1%.
+func (a *App) chargeEpochCost(ec epochCost) {
+	c := &a.acct
+	cost := a.sys.cost
+	c.prof.AddBudget(ec.budget)
+	sw := a.sampleWeight
+	c.compute.ChargeN(sw*ec.computeCyc*ec.totalSamples, uint64(ec.totalSamples))
+	if ec.llcHits > 0 {
+		c.llc.ChargeN(sw*LLCHitCycles*ec.llcHits, uint64(ec.llcHits))
+	}
+	if a.epochFastSamples > 0 {
+		c.accessFast.ChargeN(sw*ec.accFast, uint64(a.epochFastSamples))
+	}
+	if a.epochSlowSamples > 0 {
+		c.accessSlow.ChargeN(sw*ec.accSlow, uint64(a.epochSlowSamples))
+	}
+	if ec.spikeFast > 0 {
+		c.spikeFast.Charge(sw * ec.spikeFast)
+	}
+	if ec.spikeSlow > 0 {
+		c.spikeSlow.Charge(sw * ec.spikeSlow)
+	}
+	if a.epochDemandFaults > 0 {
+		c.demandFault.ChargeN(float64(a.epochDemandFaults)*cost.MinorFaultCycles,
+			uint64(a.epochDemandFaults))
+	}
+	if ec.leafLinks > 0 {
+		c.leafLink.ChargeN(ec.leafLinks*cost.LeafLinkCycles, uint64(ec.leafLinks))
+	}
+	if ec.recordCyc > 0 {
+		c.record.ChargeN(ec.recordCyc, uint64(a.epochFastSamples+a.epochSlowSamples))
+	}
+	if ec.stall > 0 {
+		c.stall.Charge(ec.stall)
+	}
+	if idle := ec.available - a.epochOps*ec.avgActual; idle > 0 {
+		c.idle.Charge(idle)
 	}
 }
 

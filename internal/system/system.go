@@ -8,6 +8,7 @@ import (
 	"vulcan/internal/mem"
 	"vulcan/internal/metrics"
 	"vulcan/internal/obs"
+	"vulcan/internal/obs/prof"
 	"vulcan/internal/profile"
 	"vulcan/internal/sim"
 	"vulcan/internal/workload"
@@ -45,6 +46,16 @@ type Config struct {
 	// clock (obs.Recorder), the system binds it to the machine clock so
 	// all event timestamps are simulated time.
 	Obs obs.Sink
+
+	// Prof, when non-nil, arms the cycle-attribution profiler
+	// (internal/obs/prof): every layer posts its simulated cycle costs
+	// to the account tree, and the system flushes per-epoch deltas at
+	// each epoch boundary. The profiler is an observer only — charging
+	// never feeds back into simulation arithmetic, so an armed run's
+	// figures, trace and metrics are byte-identical to a disarmed one.
+	// Profiler state is not checkpointed: a resumed run's cost profile
+	// covers the post-resume epochs only.
+	Prof *prof.Profiler
 
 	// Faults arms the deterministic chaos layer (internal/fault): the
 	// plan is compiled against Seed into an injector consulted by the
@@ -94,6 +105,7 @@ type System struct {
 	recorder *metrics.Recorder
 	cfi      *metrics.CFITracker
 	obs      obs.Sink
+	prof     *prof.Profiler //vulcan:nosnap observer-only cost accounting, rebuilt per run
 	epoch    int
 
 	// admitOrder records app indices in admission order. Policies keep
@@ -139,12 +151,14 @@ func New(cfg Config) *System {
 		recorder: metrics.NewRecorder(m.Clock),
 		cfi:      metrics.NewCFITracker(len(cfg.Apps)),
 		obs:      cfg.Obs,
+		prof:     cfg.Prof,
 		tiers:    m.Tiers,
 		cost:     cfg.Machine.Cost,
 	}
 	if b, ok := cfg.Obs.(interface{ BindClock(*sim.Clock) }); ok {
 		b.BindClock(m.Clock)
 	}
+	s.prof.BindClock(m.Clock)
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Validate(); err != nil {
 			panic(fmt.Sprintf("system: %v", err))
@@ -274,6 +288,9 @@ func (s *System) RunEpoch() {
 		if a.started {
 			rep := a.Profiler.EndEpoch()
 			a.ChargeStall(rep.OverheadCycles)
+			// Mechanism-plane view of the harvest cost; the same cycles
+			// surface on the use plane as next epoch's system/stall.
+			a.acct.profEpoch.Charge(rep.OverheadCycles)
 			s.checkProfileConfidence(a)
 			if obs.Enabled(s.obs, obs.EvProfileEpoch) {
 				s.obs.Event(obs.E(obs.EvProfileEpoch, a.Cfg.Name, "profile",
@@ -413,6 +430,7 @@ func (s *System) observeEpoch() {
 	if f, ok := s.obs.(interface{ FlushEpoch(int) }); ok {
 		f.FlushEpoch(s.epoch)
 	}
+	s.prof.FlushEpoch(s.epoch)
 }
 
 // applyFaultWindows opens the epoch's injected substrate windows:
