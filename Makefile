@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt vet lint vet-sarif test race obs-demo obs-demo-parallel chaos-demo chaos-golden checkpoint-demo prof-demo bench bench-checkpoint
+.PHONY: check build fmt vet lint vet-sarif test race obs-demo obs-demo-parallel chaos-demo chaos-golden checkpoint-demo prof-demo bench bench-checkpoint bench-diff
 
 # check is the full gate, in fail-fast order: cheap static checks first,
 # then the test suites.
@@ -189,6 +189,22 @@ bench:
 		-o out/vulcan-bench.test . \
 		| $(GO) run ./cmd/benchjson > BENCH_parallel.json
 	@cat BENCH_parallel.json
+
+# bench-diff runs the figure benchmarks fresh and compares them against
+# the committed baseline (BENCH_parallel.json by default): per-benchmark
+# ns/op, B/op and allocs/op deltas, plus a drift check on every figure
+# metric — those must be byte-identical, and any drift fails the target.
+# The report also lands in out/bench-diff.txt for CI to upload.
+# Narrow with BENCHES=..., or diff another baseline with
+# `make bench-diff BASELINE=BENCH_checkpoint.json BENCHES=BenchmarkCheckpoint`.
+BASELINE ?= BENCH_parallel.json
+bench-diff:
+	@mkdir -p out
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime 1x . \
+		> out/bench-diff-raw.txt
+	@status=0; $(GO) run ./cmd/benchjson -diff $(BASELINE) \
+		< out/bench-diff-raw.txt > out/bench-diff.txt || status=$$?; \
+	cat out/bench-diff.txt; exit $$status
 
 # bench-checkpoint measures the branch-from-snapshot win: one shared
 # warm-up feeding every policy x fault-rate cell of a sweep, against

@@ -11,6 +11,7 @@ import (
 //	//vulcan:hotpath            marks a function as a zero-alloc root
 //	//vulcan:allowalloc <why>   waives one hotalloc finding, with a reason
 //	//vulcan:nosnap <why>       waives one snapfields finding, with a reason
+//	//vulcan:lablocked <why>    waives one labonly sync finding, with a reason
 //
 // Waiver directives attach to the flagged line itself or to the line
 // directly above it (the only placement that works for declarations that

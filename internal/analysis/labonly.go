@@ -27,6 +27,12 @@ func isLabPackage(pkgPath string) bool {
 // whose ordered-commit discipline keeps output byte-identical to a
 // serial run. A stray go statement or mutex anywhere else would let
 // scheduling order leak into results, silently breaking seeded replay.
+//
+// Sync-primitive mentions (not go statements) can be waived with
+// "//vulcan:lablocked <reason>" for the rare structure that lab workers
+// legitimately share — e.g. a memo cache of immutable tables, where the
+// lock guards construction and the contents can never diverge between a
+// parallel and a serial run. A reasonless waiver still fires.
 var LabOnly = &Analyzer{
 	Name: "labonly",
 	Doc: "confine go statements and sync primitives to internal/lab; simulation " +
@@ -38,6 +44,7 @@ var LabOnly = &Analyzer{
 }
 
 func runLabOnly(pass *Pass) error {
+	waivers := directiveLines(pass, "lablocked")
 	pass.Preorder(func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.GoStmt:
@@ -45,9 +52,16 @@ func runLabOnly(pass *Pass) error {
 				"go statement outside internal/lab lets goroutine scheduling into simulation state; fan independent runs out through lab.Map or lab.Sweep")
 		case *ast.SelectorExpr:
 			if pkg := pass.PkgNameOf(n); concurrencyPkgs[pkg] {
-				pass.Reportf(n.Pos(),
-					"%s.%s outside internal/lab: concurrency primitives are confined to the lab worker pool",
-					pkg, n.Sel.Name)
+				reason, waived := waiverAt(pass, waivers, n.Pos())
+				if waived && reason != "" {
+					return true
+				}
+				msg := pkg + "." + n.Sel.Name +
+					" outside internal/lab: concurrency primitives are confined to the lab worker pool"
+				if waived {
+					msg += " (//vulcan:lablocked needs a reason)"
+				}
+				pass.Reportf(n.Pos(), "%s", msg)
 			}
 		}
 		return true

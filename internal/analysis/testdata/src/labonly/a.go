@@ -41,6 +41,18 @@ func badAtomic() int64 {
 	return n.Load() + raw
 }
 
+// goodWaivedMutex shows the escape hatch: a reasoned lablocked waiver
+// silences the sync finding for structures lab workers legitimately
+// share.
+var goodWaivedMutex sync.Mutex //vulcan:lablocked guards an immutable memo cache
+
+func badReasonlessWaiver() {
+	//vulcan:lablocked
+	var mu sync.Mutex // want `sync\.Mutex outside internal/lab.*needs a reason`
+	mu.Lock()
+	defer mu.Unlock()
+}
+
 // goodSerialFold shows the compliant shape: order-sensitive work stays
 // on one goroutine; methods named like sync primitives on non-package
 // receivers are fine.

@@ -1,10 +1,9 @@
 package core
 
 import (
-	"sort"
-
 	"vulcan/internal/pagetable"
 	"vulcan/internal/profile"
+	"vulcan/internal/radix"
 	"vulcan/internal/system"
 )
 
@@ -78,12 +77,20 @@ type PromotionQueues struct {
 	queues [NumClasses][]queueEntry //vulcan:nosnap rebuilt from candidates by Rebuild each epoch
 	// lastHeat remembers the heat of pages left waiting last epoch.
 	lastHeat map[pagetable.VPage]float64
-	noMLFQ   bool //vulcan:nosnap ablation wiring, re-applied when the scenario constructs the policy
+	// nextHeat is Rebuild's staging map; each epoch it is cleared, filled
+	// with this epoch's candidates, then swapped with lastHeat so neither
+	// map is ever reallocated.
+	nextHeat map[pagetable.VPage]float64 //vulcan:nosnap per-epoch scratch, swapped and cleared by Rebuild
+	noMLFQ   bool                        //vulcan:nosnap ablation wiring, re-applied when the scenario constructs the policy
+	rad      radix.Buf[queueEntry]       //vulcan:nosnap reusable sort buffers, dead between Rebuild calls
 }
 
 // NewPromotionQueues returns empty queues.
 func NewPromotionQueues() *PromotionQueues {
-	return &PromotionQueues{lastHeat: make(map[pagetable.VPage]float64)}
+	return &PromotionQueues{
+		lastHeat: make(map[pagetable.VPage]float64),
+		nextHeat: make(map[pagetable.VPage]float64),
+	}
 }
 
 // DisableMLFQ turns off heat escalation (the ablation knob).
@@ -96,7 +103,11 @@ func (pq *PromotionQueues) Rebuild(app *system.App, candidates []profile.PageHea
 	for c := range pq.queues {
 		pq.queues[c] = pq.queues[c][:0]
 	}
-	next := make(map[pagetable.VPage]float64, len(candidates))
+	next := pq.nextHeat
+	if next == nil {
+		next = make(map[pagetable.VPage]float64, len(candidates))
+	}
+	clear(next)
 	for _, ph := range candidates {
 		pte, ok := app.Table.Lookup(ph.VP)
 		if !ok {
@@ -111,18 +122,18 @@ func (pq *PromotionQueues) Rebuild(app *system.App, candidates []profile.PageHea
 		pq.queues[class] = append(pq.queues[class], e)
 		next[ph.VP] = ph.Heat
 	}
+	// Heat descending, then page number — the same total order the
+	// previous comparison sort produced, via composite radix keys.
 	for c := range pq.queues {
 		q := pq.queues[c]
-		sort.Slice(q, func(i, j int) bool {
-			if q[i].heat > q[j].heat {
-				return true
-			}
-			if q[i].heat < q[j].heat {
-				return false
-			}
-			return q[i].vp < q[j].vp
-		})
+		major, minor := pq.rad.Keys(len(q))
+		for i := range q {
+			major[i] = radix.FloatKeyDesc(q[i].heat)
+			minor[i] = uint64(q[i].vp)
+		}
+		pq.queues[c] = pq.rad.Sort(q, major, minor)
 	}
+	pq.nextHeat = pq.lastHeat
 	pq.lastHeat = next
 }
 

@@ -4,9 +4,9 @@ import (
 	"vulcan/internal/mem"
 	"vulcan/internal/migrate"
 	"vulcan/internal/obs"
-	"vulcan/internal/pagetable"
 	"vulcan/internal/policy"
 	"vulcan/internal/profile"
+	"vulcan/internal/radix"
 	"vulcan/internal/sim"
 	"vulcan/internal/system"
 	"vulcan/internal/workload"
@@ -101,6 +101,13 @@ type Vulcan struct {
 	rng    *sim.RNG
 
 	colloidSuspended bool
+
+	// Per-epoch scratch, reused so enforcement allocates nothing in
+	// steady state.
+	rank      policy.RankBuf               //vulcan:nosnap per-epoch ranking scratch, rebuilt every enforce pass
+	topHeat   radix.TopK[profile.PageHeat] //vulcan:nosnap per-epoch candidate selection scratch
+	radHeat   radix.Buf[profile.PageHeat]  //vulcan:nosnap per-epoch candidate sort scratch
+	syncBatch []migrate.Move               //vulcan:nosnap per-epoch sync-migration scratch, reused buffer
 }
 
 // New builds Vulcan with opts (zero value = full system, defaults).
@@ -257,7 +264,7 @@ func (v *Vulcan) enforce(sys *system.System, st *QoSState) {
 	if cur > st.Alloc {
 		// Over quota: demote the coldest pages; shadow remaps make the
 		// clean ones nearly free.
-		victims := policy.ColdestFastPages(app, cur-st.Alloc, nil)
+		victims := v.rank.ColdestFastPages(app, cur-st.Alloc, nil)
 		if obs.Enabled(sys.Obs(), obs.EvDecision) {
 			e := obs.E(obs.EvDecision, app.Name(), "policy", 0,
 				obs.F("over", float64(cur-st.Alloc)),
@@ -265,7 +272,9 @@ func (v *Vulcan) enforce(sys *system.System, st *QoSState) {
 			e.Note = "demote"
 			sys.Obs().Event(e)
 		}
-		app.Async.Enqueue(policy.DemoteMoves(victims)...)
+		for _, vp := range victims {
+			app.Async.EnqueueOne(migrate.Move{VP: vp, To: mem.TierSlow})
+		}
 		app.Async.RunEpoch(budget, app.WriteProbability)
 		return
 	}
@@ -288,11 +297,9 @@ func (v *Vulcan) enforce(sys *system.System, st *QoSState) {
 	// Under quota: gather hot slow-tier candidates.
 	candidates := v.slowCandidates(app, min(room+v.opts.SwapLimit, v.opts.PromoteLimit))
 	if v.opts.DisableBiasedQueues {
-		vps := make([]pagetable.VPage, len(candidates))
-		for i, c := range candidates {
-			vps[i] = c.VP
+		for _, c := range candidates {
+			app.Async.EnqueueOne(migrate.Move{VP: c.VP, To: mem.TierFast})
 		}
-		app.Async.Enqueue(policy.PromoteMoves(vps)...)
 		app.Async.RunEpoch(budget, app.WriteProbability)
 		return
 	}
@@ -302,7 +309,7 @@ func (v *Vulcan) enforce(sys *system.System, st *QoSState) {
 	depths := q.Depths()
 	boosted := q.BoostedCount()
 
-	var syncBatch []migrate.Move
+	syncBatch := v.syncBatch[:0]
 	taken := 0
 	q.Drain(func(it QueueItem) bool {
 		if taken >= room {
@@ -327,6 +334,7 @@ func (v *Vulcan) enforce(sys *system.System, st *QoSState) {
 			obs.F("taken", float64(taken))))
 	}
 
+	v.syncBatch = syncBatch
 	// Write-intensive pages migrate synchronously (Table 1): a dirty
 	// page's writers block for the copy, so the copy phase is charged to
 	// the app while the whole operation consumes migration-thread budget.
@@ -348,7 +356,7 @@ func (v *Vulcan) swapWithinQuota(sys *system.System, app *system.App, budget flo
 		app.Async.RunEpoch(budget, app.WriteProbability)
 		return
 	}
-	victims := policy.ColdestFastPages(app, len(candidates), nil)
+	victims := v.rank.ColdestFastPages(app, len(candidates), nil)
 	// Pair hottest candidates with coldest victims; swap only when the
 	// candidate is clearly hotter (hysteresis against thrash — a fresh
 	// streaming spike must not displace a steadily warm page).
@@ -367,7 +375,9 @@ func (v *Vulcan) swapWithinQuota(sys *system.System, app *system.App, budget flo
 			e.Note = "swap"
 			sys.Obs().Event(e)
 		}
-		app.Async.Enqueue(policy.DemoteMoves(victims[:n])...)
+		for _, vp := range victims[:n] {
+			app.Async.EnqueueOne(migrate.Move{VP: vp, To: mem.TierSlow})
+		}
 		q := v.queues[app]
 		q.Rebuild(app, candidates[:n])
 		q.Drain(func(it QueueItem) bool {
@@ -381,16 +391,22 @@ func (v *Vulcan) swapWithinQuota(sys *system.System, app *system.App, budget flo
 // slowCandidates returns up to limit of app's hottest slow-resident
 // pages.
 func (v *Vulcan) slowCandidates(app *system.App, limit int) []profile.PageHeat {
-	var out []profile.PageHeat
-	for _, ph := range app.Profiler.HeatSnapshot() {
-		if len(out) >= limit {
-			break
-		}
+	// Bounded selection — heat descending, then page number — over the
+	// unsorted page list; equals the old "sorted snapshot, first limit
+	// slow-resident entries" without sorting the whole snapshot.
+	t := &v.topHeat
+	t.Reset(limit)
+	for _, ph := range app.Profiler.HeatPages() {
 		if p, ok := app.Table.Lookup(ph.VP); ok && p.Frame().Tier == mem.TierSlow {
-			out = append(out, ph)
+			t.Offer(radix.FloatKeyDesc(ph.Heat), uint64(ph.VP), ph)
 		}
 	}
-	return out
+	k := len(t.Val)
+	major, minor := v.radHeat.Keys(k)
+	copy(major, t.Maj)
+	copy(minor, t.Min)
+	t.Val = v.radHeat.Sort(t.Val, major, minor)
+	return t.Val
 }
 
 func min(a, b int) int {

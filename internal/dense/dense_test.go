@@ -1,0 +1,129 @@
+package dense
+
+import (
+	"testing"
+)
+
+// TestMapMatchesReference drives a Map and a builtin map through the
+// same deterministic op stream and checks full agreement.
+func TestMapMatchesReference(t *testing.T) {
+	var m Map
+	ref := map[uint64]uint64{}
+
+	s := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	// Keys span multiple chunks and directory blocks, including a huge
+	// key that forces directory growth.
+	keyFor := func() uint64 {
+		switch next() % 4 {
+		case 0:
+			return next() % 256 // one chunk
+		case 1:
+			return next() % (1 << 14) // several chunks
+		case 2:
+			return next() % (1 << 22) // several directory blocks
+		default:
+			return 1<<30 | next()%1024 // sparse far region
+		}
+	}
+
+	for op := 0; op < 200_000; op++ {
+		k := keyFor()
+		switch next() % 3 {
+		case 0:
+			v := next() | 1 // nonzero
+			m.Set(k, v)
+			ref[k] = v
+		case 1:
+			got := m.Delete(k)
+			want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %d, want %d", op, k, got, want)
+			}
+			delete(ref, k)
+		default:
+			got := m.Get(k)
+			want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: Get(%d) = %d, want %d", op, k, got, want)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len() = %d, want %d", op, m.Len(), len(ref))
+		}
+	}
+
+	// ForEach must visit exactly the reference contents in ascending order.
+	prev := int64(-1)
+	seen := 0
+	m.ForEach(func(k, v uint64) {
+		if int64(k) <= prev {
+			t.Fatalf("ForEach out of order: %d after %d", k, prev)
+		}
+		prev = int64(k)
+		if ref[k] != v {
+			t.Fatalf("ForEach: key %d = %d, want %d", k, v, ref[k])
+		}
+		seen++
+	})
+	if seen != len(ref) {
+		t.Fatalf("ForEach visited %d keys, want %d", seen, len(ref))
+	}
+
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", m.Len())
+	}
+	m.ForEach(func(k, v uint64) { t.Fatalf("ForEach after Clear visited %d", k) })
+	if got := m.Get(42); got != 0 {
+		t.Fatalf("Get after Clear = %d", got)
+	}
+
+	// Chunks survive Clear: setting again must not allocate directories.
+	m.Set(7, 9)
+	if m.Get(7) != 9 || m.Len() != 1 {
+		t.Fatal("Set after Clear broken")
+	}
+	m.Reset()
+	if m.Len() != 0 || m.Get(7) != 0 {
+		t.Fatal("Reset broken")
+	}
+}
+
+func TestSetZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(k, 0) did not panic")
+		}
+	}()
+	var m Map
+	m.Set(1, 0)
+}
+
+// TestSteadyStateNoAllocs pins the zero-allocation contract once a
+// region's chunk exists.
+func TestSteadyStateNoAllocs(t *testing.T) {
+	var m Map
+	for k := uint64(0); k < 8192; k++ {
+		m.Set(k, k+1)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for k := uint64(0); k < 8192; k += 7 {
+			m.Set(k, k^0xff|1)
+			_ = m.Get(k + 1)
+			m.Delete(k + 2)
+		}
+		m.Clear()
+		for k := uint64(0); k < 8192; k += 16 {
+			m.Set(k, k+3)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady state allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,6 +1,7 @@
 package migrate
 
 import (
+	"vulcan/internal/dense"
 	"vulcan/internal/obs"
 	"vulcan/internal/pagetable"
 	"vulcan/internal/sim"
@@ -50,7 +51,7 @@ type EpochResult struct {
 type AsyncMigrator struct {
 	cfg     AsyncConfig
 	pending []Move
-	queued  map[pagetable.VPage]int // vp -> index in pending (for dedup)
+	queued  dense.Map // vp -> index+1 in pending (for dedup)
 	stats   AsyncStats
 	// commitBuf is the per-batch commit list, reused across epochs so a
 	// steady-state RunEpoch allocates no Move batches.
@@ -72,8 +73,11 @@ func NewAsyncMigrator(cfg AsyncConfig) *AsyncMigrator {
 		cfg.RNG = sim.NewRNG(0)
 	}
 	return &AsyncMigrator{
-		cfg:    cfg,
-		queued: make(map[pagetable.VPage]int),
+		cfg: cfg,
+		// Backlogs routinely reach hundreds of moves; starting with room
+		// for a few batches skips the early append-growth ladder that
+		// otherwise repeats for every migrator instance in a sweep.
+		pending: make([]Move, 0, 8*cfg.BatchPages),
 	}
 }
 
@@ -91,11 +95,11 @@ func (a *AsyncMigrator) Enqueue(moves ...Move) {
 //
 //vulcan:hotpath
 func (a *AsyncMigrator) EnqueueOne(mv Move) {
-	if i, ok := a.queued[mv.VP]; ok {
-		a.pending[i].To = mv.To
+	if w := a.queued.Get(uint64(mv.VP)); w != 0 {
+		a.pending[w-1].To = mv.To
 		return
 	}
-	a.queued[mv.VP] = len(a.pending)
+	a.queued.Set(uint64(mv.VP), uint64(len(a.pending))+1)
 	a.pending = append(a.pending, mv)
 	a.stats.Enqueued++
 }
@@ -176,7 +180,7 @@ func (a *AsyncMigrator) RunEpoch(budgetCycles float64, writeProb func(vp pagetab
 		a.stats.Failed += uint64(r.Failed)
 
 		for _, mv := range batch {
-			delete(a.queued, mv.VP)
+			a.queued.Delete(uint64(mv.VP))
 		}
 		// Compact the consumed prefix in place so the backlog's backing
 		// array is pooled across epochs instead of re-allocated as the
@@ -185,7 +189,7 @@ func (a *AsyncMigrator) RunEpoch(budgetCycles float64, writeProb func(vp pagetab
 	}
 	// Reindex the dedup map after consuming a prefix.
 	for i, mv := range a.pending {
-		a.queued[mv.VP] = i
+		a.queued.Set(uint64(mv.VP), uint64(i)+1)
 	}
 	res.Backlog = len(a.pending)
 	eng := a.cfg.Engine
@@ -207,7 +211,5 @@ func (a *AsyncMigrator) RunEpoch(budgetCycles float64, writeProb func(vp pagetab
 // invalidates prior decisions).
 func (a *AsyncMigrator) DropBacklog() {
 	a.pending = a.pending[:0]
-	for vp := range a.queued {
-		delete(a.queued, vp)
-	}
+	a.queued.Clear()
 }

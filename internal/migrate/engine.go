@@ -161,12 +161,15 @@ func (o Outcome) String() string {
 // Result reports one batch migration.
 type Result struct {
 	Breakdown machine.Breakdown
-	Outcomes  []Outcome
-	Moved     int // pages copied
-	Remapped  int // pages committed via shadow remap
-	Failed    int // NotMapped + NoFrame
-	Busy      int // transient injected failures (retryable)
-	Targets   int // shootdown IPI fan-out used
+	// Outcomes aliases engine scratch: it is valid until the next
+	// MigrateSync on the same engine and must not be retained across
+	// batches.
+	Outcomes []Outcome
+	Moved    int // pages copied
+	Remapped int // pages committed via shadow remap
+	Failed   int // NotMapped + NoFrame
+	Busy     int // transient injected failures (retryable)
+	Targets  int // shootdown IPI fan-out used
 }
 
 // Cycles returns the batch's total cycle cost.
@@ -190,10 +193,11 @@ type Engine struct {
 	// diet): the shootdown-scope union lives in a thread-id bitmap that
 	// decodes in ascending order, replacing the per-call map + slice +
 	// sort.Ints of the original implementation.
-	scopeBits []uint64 //vulcan:nosnap per-batch scratch, reset at the top of MigrateSync
-	scopeList []int    //vulcan:nosnap per-batch scratch, reset at the top of MigrateSync
-	scopeBuf  []int    //vulcan:nosnap per-batch scratch, reset at the top of MigrateSync
-	batch     []staged //vulcan:nosnap per-batch scratch, reset at the top of MigrateSync
+	scopeBits []uint64  //vulcan:nosnap per-batch scratch, reset at the top of MigrateSync
+	scopeList []int     //vulcan:nosnap per-batch scratch, reset at the top of MigrateSync
+	scopeBuf  []int     //vulcan:nosnap per-batch scratch, reset at the top of MigrateSync
+	batch     []staged  //vulcan:nosnap per-batch scratch, reset at the top of MigrateSync
+	outcomes  []Outcome //vulcan:nosnap per-batch scratch backing Result.Outcomes, overwritten by the next MigrateSync
 
 	// batchSeq numbers MigrateSync batches; it is the fault-injection
 	// coordinate for per-batch draws, so a page that failed transiently
@@ -274,7 +278,12 @@ func (e *Engine) addScope(vp pagetable.VPage) {
 //
 //vulcan:hotpath
 func (e *Engine) MigrateSync(moves []Move) Result {
-	res := Result{Outcomes: make([]Outcome, len(moves))} //vulcan:allowalloc caller-retained Outcomes, the batch's one pinned allocation (zeroalloc_test)
+	if cap(e.outcomes) < len(moves) {
+		e.outcomes = make([]Outcome, len(moves)) //vulcan:allowalloc grow-once scratch, amortized across batches
+	}
+	e.outcomes = e.outcomes[:len(moves)]
+	clear(e.outcomes)
+	res := Result{Outcomes: e.outcomes}
 	e.batchSeq++
 
 	// Phase 0/1: preparation + kernel trap happen once per batch. The

@@ -2,7 +2,6 @@ package migrate
 
 import (
 	"fmt"
-	"sort"
 
 	"vulcan/internal/checkpoint"
 	"vulcan/internal/mem"
@@ -25,20 +24,16 @@ func (e *Engine) Restore(d *checkpoint.Decoder) error {
 }
 
 // Snapshot appends the store's shadow frames in ascending page order
-// plus the lifetime counters.
+// plus the lifetime counters. The dense map iterates ascending by
+// construction, so the wire bytes match the previous sorted encoding.
 func (s *shadowStore) Snapshot(e *checkpoint.Encoder) {
-	vps := make([]pagetable.VPage, 0, len(s.frames))
-	for vp := range s.frames {
-		vps = append(vps, vp)
-	}
-	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
-	e.Int(len(vps))
-	for _, vp := range vps {
-		f := s.frames[vp]
-		e.U64(uint64(vp))
+	e.Int(s.frames.Len())
+	s.frames.ForEach(func(vp, w uint64) {
+		f := unpackFrame(w)
+		e.U64(vp)
 		e.U8(uint8(f.Tier))
 		e.U32(f.Index)
-	}
+	})
 	e.U64(s.created)
 	e.U64(s.consumed)
 	e.U64(s.dropped)
@@ -50,7 +45,7 @@ func (s *shadowStore) Restore(d *checkpoint.Decoder) error {
 	if d.Err() != nil {
 		return d.Err()
 	}
-	s.frames = make(map[pagetable.VPage]mem.Frame, n)
+	s.frames.Clear()
 	for i := 0; i < n; i++ {
 		vp := pagetable.VPage(d.U64())
 		f := mem.Frame{Tier: mem.TierID(d.U8()), Index: d.U32()}
@@ -60,10 +55,10 @@ func (s *shadowStore) Restore(d *checkpoint.Decoder) error {
 		if f.IsNil() {
 			return fmt.Errorf("migrate: shadow for page %d on invalid tier", vp)
 		}
-		if _, dup := s.frames[vp]; dup {
+		if s.frames.Get(uint64(vp)) != 0 {
 			return fmt.Errorf("migrate: duplicate shadow for page %d", vp)
 		}
-		s.frames[vp] = f
+		s.frames.Set(uint64(vp), packFrame(f))
 	}
 	s.created = d.U64()
 	s.consumed = d.U64()
@@ -101,7 +96,7 @@ func (a *AsyncMigrator) Restore(d *checkpoint.Decoder) error {
 		return d.Err()
 	}
 	a.pending = a.pending[:0]
-	a.queued = make(map[pagetable.VPage]int, n)
+	a.queued.Clear()
 	for i := 0; i < n; i++ {
 		mv := Move{VP: pagetable.VPage(d.U64()), To: mem.TierID(d.U8())}
 		if d.Err() != nil {
@@ -110,10 +105,10 @@ func (a *AsyncMigrator) Restore(d *checkpoint.Decoder) error {
 		if !mv.To.Valid() {
 			return fmt.Errorf("migrate: pending move to invalid tier %d", mv.To)
 		}
-		if _, dup := a.queued[mv.VP]; dup {
+		if a.queued.Get(uint64(mv.VP)) != 0 {
 			return fmt.Errorf("migrate: duplicate pending move for page %d", mv.VP)
 		}
-		a.queued[mv.VP] = len(a.pending)
+		a.queued.Set(uint64(mv.VP), uint64(len(a.pending))+1)
 		a.pending = append(a.pending, mv)
 	}
 	a.stats.Enqueued = d.U64()

@@ -27,9 +27,9 @@ func TestEmitSyncNilSinkZeroAlloc(t *testing.T) {
 }
 
 // TestMigrateSyncSteadyStateAllocs pins the whole sync hot path: after
-// warm-up, a batch migration with a nil sink allocates only the
-// caller-visible Outcomes slice — the scope bitmap, scope list, and
-// staging buffer are engine scratch reused across calls.
+// warm-up, a batch migration with a nil sink allocates nothing — the
+// scope bitmap, scope list, staging buffer, and Outcomes slice are all
+// engine scratch reused across calls.
 func TestMigrateSyncSteadyStateAllocs(t *testing.T) {
 	e, _, _ := testEnv(t, 4, 32, func(c *Config) { c.TargetedShootdown = true })
 	moves := []Move{{VP: 0, To: mem.TierFast}, {VP: 1, To: mem.TierFast}}
@@ -50,17 +50,15 @@ func TestMigrateSyncSteadyStateAllocs(t *testing.T) {
 		e.MigrateSync(moves)
 		flip()
 	})
-	// One allocation: the per-call Result.Outcomes slice (callers may
-	// retain it, so it cannot be pooled).
-	if allocs > 1 {
-		t.Fatalf("steady-state MigrateSync allocated %.0f objects/op, want <= 1", allocs)
+	if allocs != 0 {
+		t.Fatalf("steady-state MigrateSync allocated %.0f objects/op, want 0", allocs)
 	}
 }
 
 // TestMigrateSyncProfEnabledSteadyStateAllocs extends the hot-path
 // allocation budget to an instrumented engine: charging every phase of
 // a batch into the cost-attribution accounts must stay on the same
-// one-allocation (Outcomes slice) budget as the uninstrumented path.
+// zero-allocation budget as the uninstrumented path.
 func TestMigrateSyncProfEnabledSteadyStateAllocs(t *testing.T) {
 	e, _, _ := testEnv(t, 4, 32, func(c *Config) {
 		c.TargetedShootdown = true
@@ -82,8 +80,8 @@ func TestMigrateSyncProfEnabledSteadyStateAllocs(t *testing.T) {
 		e.MigrateSync(moves)
 		flip()
 	})
-	if allocs > 1 {
-		t.Fatalf("prof-enabled MigrateSync allocated %.0f objects/op, want <= 1", allocs)
+	if allocs != 0 {
+		t.Fatalf("prof-enabled MigrateSync allocated %.0f objects/op, want 0", allocs)
 	}
 	if pages := e.cfg.Prof.Sync.Copy.Count(); pages == 0 {
 		t.Fatal("profiler accounts unchanged; the instrumented path was not exercised")

@@ -91,6 +91,10 @@ func (r *Replicated) Threads() int { return r.nthreads }
 // Mapped returns the number of present PTEs (process-wide view).
 func (r *Replicated) Mapped() int { return r.proc.Mapped() }
 
+// FastMapped returns the number of present PTEs whose frame lives in the
+// fast tier, maintained incrementally by the shared process table.
+func (r *Replicated) FastMapped() int { return r.proc.FastMapped() }
+
 // Lookup returns the PTE for vp from the shared leaves.
 func (r *Replicated) Lookup(vp VPage) (PTE, bool) { return r.proc.Lookup(vp) }
 
@@ -102,6 +106,21 @@ func (r *Replicated) Update(vp VPage, fn func(PTE) PTE) (PTE, bool) {
 
 // Range iterates present PTEs in ascending VPage order.
 func (r *Replicated) Range(fn func(vp VPage, p PTE) bool) { r.proc.Range(fn) }
+
+// RangeFrom iterates present PTEs with vp >= start in ascending order
+// through the process view, stopping when fn returns false.
+//
+//vulcan:hotpath
+func (r *Replicated) RangeFrom(start VPage, fn func(vp VPage, p PTE) bool) {
+	r.proc.RangeFrom(start, fn)
+}
+
+// RangeMut iterates like Range, writing fn's returned PTE back through
+// the shared leaves; both the process view and every thread view observe
+// the result.
+//
+//vulcan:hotpath
+func (r *Replicated) RangeMut(fn func(vp VPage, p PTE) PTE) { r.proc.RangeMut(fn) }
 
 func (r *Replicated) checkTid(tid int) {
 	if tid < 0 || tid >= r.nthreads {

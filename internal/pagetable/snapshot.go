@@ -61,6 +61,7 @@ func (r *Replicated) Restore(d *checkpoint.Decoder) error {
 
 	nLeaves := d.Length(24)
 	prevLeaf := uint64(0)
+	tidBuf := make([]int, 0, MaxThreads) // reused across leaves
 	for i := 0; i < nLeaves; i++ {
 		li := d.U64()
 		var set threadSet
@@ -81,7 +82,7 @@ func (r *Replicated) Restore(d *checkpoint.Decoder) error {
 			return fmt.Errorf("pagetable: leaf %d with no linking threads", li)
 		}
 		leaf, _ := r.proc.walk(base, true)
-		for _, tid := range set.members() {
+		for _, tid := range set.appendMembers(tidBuf[:0]) {
 			if tid >= r.nthreads {
 				return fmt.Errorf("pagetable: leaf %d linked by thread %d of %d",
 					li, tid, r.nthreads)

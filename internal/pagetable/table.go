@@ -1,6 +1,10 @@
 package pagetable
 
-import "fmt"
+import (
+	"fmt"
+
+	"vulcan/internal/mem"
+)
 
 // Leaf is a last-level page table: 512 PTEs covering a 2MiB virtual
 // region. Leaves are the unit shared between threads in Vulcan's
@@ -51,8 +55,9 @@ type tableL4 struct {
 type Table struct {
 	root *tableL4
 
-	mapped int // present PTEs
-	tables int // allocated tables including root (page-table memory)
+	mapped     int // present PTEs
+	fastMapped int // present PTEs whose frame is in the fast tier
+	tables     int // allocated tables including root (page-table memory)
 }
 
 // New returns an empty process-wide page table.
@@ -62,6 +67,11 @@ func New() *Table {
 
 // Mapped returns the number of present PTEs.
 func (t *Table) Mapped() int { return t.mapped }
+
+// FastMapped returns the number of present PTEs whose frame lives in the
+// fast tier. The count is maintained on every mutation, so per-app tier
+// censuses are O(1) reads instead of full-table walks.
+func (t *Table) FastMapped() int { return t.fastMapped }
 
 // TableCount returns the number of allocated page-table pages (all
 // levels), the metric behind the replication-overhead discussion in §3.6.
@@ -131,6 +141,9 @@ func (t *Table) Map(vp VPage, p PTE) error {
 	}
 	leaf.SetPTE(i, p)
 	t.mapped++
+	if p.Frame().Tier == mem.TierFast {
+		t.fastMapped++
+	}
 	return nil
 }
 
@@ -147,6 +160,9 @@ func (t *Table) Unmap(vp VPage) (PTE, bool) {
 	}
 	leaf.SetPTE(i, 0)
 	t.mapped--
+	if p.Frame().Tier == mem.TierFast {
+		t.fastMapped--
+	}
 	return p, true
 }
 
@@ -164,10 +180,17 @@ func (t *Table) Update(vp VPage, fn func(PTE) PTE) (PTE, bool) {
 	}
 	np := fn(p)
 	leaf.SetPTE(i, np)
-	if np.Present() {
-		// mapped count unchanged
-	} else {
+	wasFast := p.Frame().Tier == mem.TierFast
+	isFast := np.Present() && np.Frame().Tier == mem.TierFast
+	if !np.Present() {
 		t.mapped--
+	}
+	if wasFast != isFast {
+		if isFast {
+			t.fastMapped++
+		} else {
+			t.fastMapped--
+		}
 	}
 	return np, true
 }
@@ -196,6 +219,108 @@ func (t *Table) Range(fn func(vp VPage, p PTE) bool) {
 					}
 					if !fn(base|VPage(i1), p) {
 						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// RangeFrom calls fn for every present PTE with vp >= start in ascending
+// VPage order, stopping when fn returns false. Cursor-based scanners use
+// it to resume a rotating walk without re-visiting the prefix below the
+// cursor.
+//
+//vulcan:hotpath
+func (t *Table) RangeFrom(start VPage, fn func(vp VPage, p PTE) bool) {
+	if start > MaxVPage {
+		return
+	}
+	s4, s3, s2, s1 := splitVPage(start)
+	for i4 := s4; i4 < EntriesPerTable; i4++ {
+		l3 := t.root.l3s[i4]
+		if l3 == nil {
+			continue
+		}
+		j3 := 0
+		if i4 == s4 {
+			j3 = s3
+		}
+		for i3 := j3; i3 < EntriesPerTable; i3++ {
+			l2 := l3.l2s[i3]
+			if l2 == nil {
+				continue
+			}
+			j2 := 0
+			if i4 == s4 && i3 == s3 {
+				j2 = s2
+			}
+			for i2 := j2; i2 < EntriesPerTable; i2++ {
+				leaf := l2.leaves[i2]
+				if leaf == nil || leaf.Live() == 0 {
+					continue
+				}
+				j1 := 0
+				if i4 == s4 && i3 == s3 && i2 == s2 {
+					j1 = s1
+				}
+				base := VPage(i4)<<27 | VPage(i3)<<18 | VPage(i2)<<9
+				for i1 := j1; i1 < EntriesPerTable; i1++ {
+					p := leaf.PTE(i1)
+					if !p.Present() {
+						continue
+					}
+					if !fn(base|VPage(i1), p) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// RangeMut calls fn for every present PTE in ascending VPage order and
+// stores the returned entry back in place, adjusting the mapped count
+// if the present bit changes. It exists for epoch-boundary scanners
+// that harvest and clear accessed/dirty bits: a read-modify-write pass
+// over the whole table costs one walk instead of one Range plus one
+// full walk per touched page through Update.
+//
+//vulcan:hotpath
+func (t *Table) RangeMut(fn func(vp VPage, p PTE) PTE) {
+	for i4, l3 := range t.root.l3s {
+		if l3 == nil {
+			continue
+		}
+		for i3, l2 := range l3.l2s {
+			if l2 == nil {
+				continue
+			}
+			for i2, leaf := range l2.leaves {
+				if leaf == nil || leaf.Live() == 0 {
+					continue
+				}
+				base := VPage(i4)<<27 | VPage(i3)<<18 | VPage(i2)<<9
+				for i1 := 0; i1 < EntriesPerTable; i1++ {
+					p := leaf.PTE(i1)
+					if !p.Present() {
+						continue
+					}
+					np := fn(base|VPage(i1), p)
+					if np != p {
+						leaf.SetPTE(i1, np)
+						if !np.Present() {
+							t.mapped--
+						}
+						wasFast := p.Frame().Tier == mem.TierFast
+						isFast := np.Present() && np.Frame().Tier == mem.TierFast
+						if wasFast != isFast {
+							if isFast {
+								t.fastMapped++
+							} else {
+								t.fastMapped--
+							}
+						}
 					}
 				}
 			}

@@ -36,6 +36,19 @@ type Memtis struct {
 	// Headroom keeps a small fraction of the fast tier free to absorb
 	// allocation bursts.
 	Headroom float64
+
+	// Per-epoch scratch, reused across epochs so the classification pass
+	// allocates nothing in steady state. hotByApp's inner sets are
+	// cleared, not reallocated; promote is truncated.
+	rank     RankBuf
+	hotByApp map[*system.App]map[pagetable.VPage]bool
+	promote  []memtisPromo
+}
+
+// memtisPromo is one staged promotion in Memtis's per-epoch scratch.
+type memtisPromo struct {
+	app *system.App
+	vp  pagetable.VPage
 }
 
 // NewMemtis returns Memtis with representative defaults.
@@ -65,7 +78,7 @@ func (m *Memtis) AppStarted(*system.System, *system.App) {}
 
 // EndEpoch implements system.Tiering.
 func (m *Memtis) EndEpoch(sys *system.System) {
-	ranking := MergedRanking(sys)
+	ranking := m.rank.MergedRanking(sys)
 	capacity := sys.Tiers().Fast().Capacity()
 	target := int(float64(capacity) * (1 - m.Headroom))
 
@@ -73,12 +86,14 @@ func (m *Memtis) EndEpoch(sys *system.System) {
 	// below the resulting hotness threshold are classified cold — they
 	// are demoted even when the fast tier has room, exactly like
 	// Memtis's histogram-threshold split.
-	hotByApp := make(map[*system.App]map[pagetable.VPage]bool)
-	type promo struct {
-		app *system.App
-		vp  pagetable.VPage
+	if m.hotByApp == nil {
+		m.hotByApp = make(map[*system.App]map[pagetable.VPage]bool)
 	}
-	var promote []promo
+	for _, set := range m.hotByApp {
+		clear(set)
+	}
+	hotByApp := m.hotByApp
+	promote := m.promote[:0]
 	count := 0
 	hotInFast := 0
 	for _, gp := range ranking {
@@ -96,10 +111,11 @@ func (m *Memtis) EndEpoch(sys *system.System) {
 			if p.Frame().Tier == mem.TierFast {
 				hotInFast++
 			} else if len(promote) < m.MaxMovesPerEpoch {
-				promote = append(promote, promo{gp.App, gp.VP})
+				promote = append(promote, memtisPromo{gp.App, gp.VP})
 			}
 		}
 	}
+	m.promote = promote
 
 	// Record each app's hot/cold classification so Figure 1 can plot the
 	// dilemma: pages in the global hot set vs the rest of the RSS.
@@ -118,7 +134,7 @@ func (m *Memtis) EndEpoch(sys *system.System) {
 		coldInFast = m.MaxMovesPerEpoch
 	}
 	if coldInFast > 0 {
-		EnqueueVictims(GlobalColdestFastPages(sys, coldInFast, hotByApp))
+		EnqueueVictims(m.rank.GlobalColdestFastPages(sys, coldInFast, hotByApp))
 	}
 	for _, p := range promote {
 		p.app.Async.EnqueueOne(migrate.Move{VP: p.vp, To: mem.TierFast})

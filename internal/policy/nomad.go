@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"vulcan/internal/mem"
+	"vulcan/internal/migrate"
 	"vulcan/internal/profile"
 	"vulcan/internal/system"
 )
@@ -27,6 +29,9 @@ type Nomad struct {
 	// MigratorBudget is the async migration thread budget per epoch, in
 	// multiples of one core's epoch cycles.
 	MigratorBudget float64
+
+	// rank holds reusable per-epoch ranking buffers.
+	rank RankBuf
 }
 
 // NewNomad returns Nomad with representative defaults. With migration
@@ -72,7 +77,7 @@ func (n *Nomad) EndEpoch(sys *system.System) {
 		fast := sys.Tiers().Fast()
 		need := int(n.HighWatermark*float64(fast.Capacity())) - fast.FreePages()
 		if need > 0 {
-			EnqueueVictims(GlobalColdestFastPages(sys, need, nil))
+			EnqueueVictims(n.rank.GlobalColdestFastPages(sys, need, nil))
 		}
 	}
 
@@ -80,7 +85,9 @@ func (n *Nomad) EndEpoch(sys *system.System) {
 	// the migrator thread works through them within budget, aborting
 	// copies dirtied in flight.
 	for _, a := range apps {
-		a.Async.Enqueue(PromoteMoves(SlowPagesWithHeat(a, n.PromoteLimit))...)
+		for _, vp := range n.rank.SlowPagesWithHeat(a, n.PromoteLimit) {
+			a.Async.EnqueueOne(migrate.Move{VP: vp, To: mem.TierFast})
+		}
 	}
 	totalBacklog := 0
 	for _, a := range apps {

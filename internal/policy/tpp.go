@@ -31,6 +31,9 @@ type TPP struct {
 	// KswapdBudget is background demotion CPU per epoch, in multiples of
 	// one core's epoch cycles.
 	KswapdBudget float64
+
+	// rank holds reusable per-epoch ranking buffers.
+	rank RankBuf
 }
 
 // NewTPP returns TPP with defaults mirroring kernel tunables.
@@ -79,7 +82,7 @@ func (t *TPP) EndEpoch(sys *system.System) {
 		if need > 0 {
 			// kswapd reclaims from the node's global LRU: coldest pages
 			// go regardless of owner.
-			EnqueueVictims(GlobalColdestFastPages(sys, need, nil))
+			EnqueueVictims(t.rank.GlobalColdestFastPages(sys, need, nil))
 			budget := t.KswapdBudget * sys.EpochCycles()
 			for _, a := range apps {
 				a.Async.RunEpoch(budget/float64(len(apps)), a.WriteProbability)
@@ -89,11 +92,11 @@ func (t *TPP) EndEpoch(sys *system.System) {
 
 	// Synchronous hint-fault promotion, charged to the faulting app.
 	for _, a := range apps {
-		candidates := SlowPagesWithHeat(a, t.PromoteLimit)
+		candidates := t.rank.SlowPagesWithHeat(a, t.PromoteLimit)
 		if len(candidates) == 0 {
 			continue
 		}
-		res := a.Engine.MigrateSync(PromoteMoves(candidates))
+		res := a.Engine.MigrateSync(t.rank.PromoteMoves(candidates))
 		a.ChargeStall(res.Cycles())
 	}
 }

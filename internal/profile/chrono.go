@@ -13,15 +13,24 @@ import (
 // every epoch" without needing high-rate sampling.
 type Chrono struct {
 	table Table
-	heat  *heatMap
-	// idleEpochs tracks consecutive untouched epochs per known page.
-	idleEpochs map[pagetable.VPage]int
+	heat  *heatStore
+	// idle tracks consecutive untouched epochs per known page (stored as
+	// idle+1 in a dense paged array; 0 means unknown).
+	idle idleStore
 	// touchBoost is the heat credited per non-idle epoch; consistency
 	// compounds through the shared decay.
 	touchBoost float64
 	// forgetAfter drops pages idle this many epochs.
 	forgetAfter int
 	scanCost    float64
+
+	// scanFn is the epoch-sweep callback, bound once at construction so
+	// EndEpoch passes a stored func value instead of allocating a closure.
+	scanFn func(vp pagetable.VPage, p pagetable.PTE) pagetable.PTE //vulcan:nosnap constructor wiring
+	// Per-epoch sweep scratch, reset by EndEpoch.
+	scanned int               //vulcan:nosnap per-epoch scratch
+	touched []pagetable.VPage //vulcan:nosnap per-epoch scratch, reused buffer
+	dirty   []bool            //vulcan:nosnap per-epoch scratch, reused buffer
 }
 
 // NewChrono builds the profiler over table.
@@ -29,14 +38,15 @@ func NewChrono(table Table) *Chrono {
 	if table == nil {
 		panic("profile: Chrono requires a table")
 	}
-	return &Chrono{
+	c := &Chrono{
 		table:       table,
-		heat:        newHeatMap(0.6),
-		idleEpochs:  make(map[pagetable.VPage]int),
+		heat:        newHeatStore(0.6),
 		touchBoost:  48,
 		forgetAfter: 16,
 		scanCost:    15,
 	}
+	c.scanFn = c.visit
+	return c
 }
 
 // Name implements Profiler.
@@ -50,47 +60,46 @@ func (c *Chrono) Record(Access) float64 { return 0 }
 // IdleEpochs returns how long vp has been idle (0 = touched last epoch;
 // -1 = unknown page).
 func (c *Chrono) IdleEpochs(vp pagetable.VPage) int {
-	if n, ok := c.idleEpochs[vp]; ok {
-		return n
+	return int(c.idle.get(vp)) - 1
+}
+
+// visit collects one PTE during the epoch sweep, clearing A/D bits of
+// touched pages in place.
+//
+//vulcan:hotpath
+func (c *Chrono) visit(vp pagetable.VPage, p pagetable.PTE) pagetable.PTE {
+	c.scanned++
+	if !p.Accessed() {
+		return p
 	}
-	return -1
+	c.touched = append(c.touched, vp)
+	c.dirty = append(c.dirty, p.Dirty())
+	return p.WithAccessed(false).WithDirty(false)
 }
 
 // EndEpoch harvests accessed/dirty bits into idle-time bookkeeping.
+//
+//vulcan:hotpath
 func (c *Chrono) EndEpoch() EpochReport {
 	var rep EpochReport
-	var touched []pagetable.VPage
-	var dirty []bool
-	c.table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
-		rep.ScannedPages++
-		if p.Accessed() {
-			touched = append(touched, vp)
-			dirty = append(dirty, p.Dirty())
-		}
-		return true
-	})
+	c.scanned = 0
+	c.touched = c.touched[:0]
+	c.dirty = c.dirty[:0]
+	c.table.RangeMut(c.scanFn)
+	rep.ScannedPages = c.scanned
 
 	// Ageing first: every known page gets one epoch older.
-	for vp, idle := range c.idleEpochs {
-		if idle+1 > c.forgetAfter {
-			delete(c.idleEpochs, vp)
-		} else {
-			c.idleEpochs[vp] = idle + 1
-		}
-	}
+	c.idle.age(c.forgetAfter)
 	// Touched pages reset their idle clocks and gain heat scaled by how
 	// short their idle period was (recently-idle pages are likelier hot).
-	for i, vp := range touched {
+	for i, vp := range c.touched {
 		prevIdle := c.forgetAfter
-		if n, ok := c.idleEpochs[vp]; ok {
-			prevIdle = n
+		if s := c.idle.get(vp); s > 0 {
+			prevIdle = int(s) - 1
 		}
 		boost := c.touchBoost / float64(1+prevIdle)
-		c.heat.record(vp, dirty[i], boost)
-		c.idleEpochs[vp] = 0
-		c.table.Update(vp, func(p pagetable.PTE) pagetable.PTE {
-			return p.WithAccessed(false).WithDirty(false)
-		})
+		c.heat.record(vp, c.dirty[i], boost)
+		c.idle.set(vp, 1)
 	}
 	rep.OverheadCycles = float64(rep.ScannedPages) * c.scanCost
 	c.heat.endEpoch()
@@ -106,6 +115,9 @@ func (c *Chrono) WriteFraction(vp pagetable.VPage) float64 { return c.heat.write
 
 // HeatSnapshot implements Profiler.
 func (c *Chrono) HeatSnapshot() []PageHeat { return c.heat.snapshot() }
+
+// HeatPages implements Profiler.
+func (c *Chrono) HeatPages() []PageHeat { return c.heat.pages() }
 
 // Tracked implements Profiler.
 func (c *Chrono) Tracked() int { return c.heat.tracked() }

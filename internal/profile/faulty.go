@@ -86,6 +86,9 @@ func (f *Faulty) WriteFraction(vp pagetable.VPage) float64 { return f.inner.Writ
 // HeatSnapshot implements Profiler.
 func (f *Faulty) HeatSnapshot() []PageHeat { return f.inner.HeatSnapshot() }
 
+// HeatPages implements Profiler.
+func (f *Faulty) HeatPages() []PageHeat { return f.inner.HeatPages() }
+
 // Tracked implements Profiler.
 func (f *Faulty) Tracked() int { return f.inner.Tracked() }
 

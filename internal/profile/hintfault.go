@@ -10,10 +10,12 @@ import (
 // the access (a strong recency signal) and costs the faulting thread
 // real latency — the mechanism's signature drawback.
 type HintFault struct {
-	heat  *heatMap
+	heat  *heatStore
 	table Table
 
-	poisoned map[pagetable.VPage]struct{}
+	// poisoned is the active poison window as a paged bitmap; Record
+	// probes it on every access, so membership must be a couple of loads.
+	poisoned pageBitmap
 	cursor   pagetable.VPage
 	// windowPages is how many pages are poisoned per epoch.
 	windowPages int
@@ -23,6 +25,15 @@ type HintFault struct {
 	faultBoost float64
 
 	faultsThisEpoch int
+
+	// rebuildFn and wrapFn are the window-rebuild callbacks, bound once
+	// at construction so EndEpoch passes stored func values instead of
+	// allocating closures.
+	rebuildFn func(vp pagetable.VPage, p pagetable.PTE) bool //vulcan:nosnap constructor wiring
+	wrapFn    func(vp pagetable.VPage, p pagetable.PTE) bool //vulcan:nosnap constructor wiring
+	// Window-rebuild scratch, reset by EndEpoch.
+	rebuildCount int             //vulcan:nosnap per-epoch scratch
+	wrapLimit    pagetable.VPage //vulcan:nosnap per-epoch scratch, cursor at rebuild start
 }
 
 // NewHintFault builds a hint-fault profiler poisoning windowPages per
@@ -34,14 +45,16 @@ func NewHintFault(table Table, windowPages int, faultCycles float64) *HintFault 
 	if windowPages <= 0 {
 		panic("profile: HintFault window must be positive")
 	}
-	return &HintFault{
-		heat:        newHeatMap(DefaultDecay),
+	h := &HintFault{
+		heat:        newHeatStore(DefaultDecay),
 		table:       table,
-		poisoned:    make(map[pagetable.VPage]struct{}),
 		windowPages: windowPages,
 		faultCycles: faultCycles,
 		faultBoost:  96,
 	}
+	h.rebuildFn = h.rebuildVisit
+	h.wrapFn = h.wrapVisit
+	return h
 }
 
 // Name implements Profiler.
@@ -52,57 +65,66 @@ func (h *HintFault) Name() string { return "hintfault" }
 //
 //vulcan:hotpath
 func (h *HintFault) Record(a Access) float64 {
-	if _, ok := h.poisoned[a.VP]; !ok {
+	if !h.poisoned.clearBit(a.VP) {
 		return 0
 	}
-	delete(h.poisoned, a.VP)
 	h.faultsThisEpoch++
 	h.heat.record(a.VP, a.Write, h.faultBoost)
 	return h.faultCycles
 }
 
+// rebuildVisit poisons one page for the next window during the forward
+// (cursor-onward) walk.
+//
+//vulcan:hotpath
+func (h *HintFault) rebuildVisit(vp pagetable.VPage, p pagetable.PTE) bool {
+	if h.rebuildCount >= h.windowPages {
+		return false
+	}
+	h.poisoned.set(vp)
+	h.rebuildCount++
+	h.cursor = vp + 1
+	return true
+}
+
+// wrapVisit poisons pages below the rebuild-start cursor when the tail of
+// the address space came up short of a full window.
+//
+//vulcan:hotpath
+func (h *HintFault) wrapVisit(vp pagetable.VPage, p pagetable.PTE) bool {
+	if vp >= h.wrapLimit || h.rebuildCount >= h.windowPages {
+		return false
+	}
+	if h.poisoned.set(vp) {
+		h.rebuildCount++
+		h.cursor = vp + 1
+	}
+	return true
+}
+
 // EndEpoch rotates the poison window across the address space and ages
 // heat.
+//
+//vulcan:hotpath
 func (h *HintFault) EndEpoch() EpochReport {
 	rep := EpochReport{
 		Faults: h.faultsThisEpoch,
 		// Poisoning a PTE is a table write; unpoisoned leftovers from the
 		// previous window are also rewritten.
-		OverheadCycles: float64(h.windowPages+len(h.poisoned)) * 20,
+		OverheadCycles: float64(h.windowPages+h.poisoned.count) * 20,
 	}
 	h.faultsThisEpoch = 0
 
 	// Rebuild the window: walk forward from the cursor, wrapping once.
-	for vp := range h.poisoned {
-		delete(h.poisoned, vp)
-	}
-	count := 0
-	var firstPass []pagetable.VPage
-	h.table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
-		if vp < h.cursor {
-			if len(firstPass) < h.windowPages {
-				firstPass = append(firstPass, vp)
-			}
-			return true
-		}
-		if count < h.windowPages {
-			h.poisoned[vp] = struct{}{}
-			count++
-			h.cursor = vp + 1
-			return true
-		}
-		return false
-	})
+	// Resuming at the cursor (instead of scanning from page zero and
+	// skipping the prefix) keeps the rebuild O(window), not O(RSS).
+	h.poisoned.clearAll()
+	h.rebuildCount = 0
+	h.wrapLimit = h.cursor
+	h.table.RangeFrom(h.wrapLimit, h.rebuildFn)
 	// Wrap around if the tail of the address space was short.
-	for _, vp := range firstPass {
-		if count >= h.windowPages {
-			break
-		}
-		if _, dup := h.poisoned[vp]; !dup {
-			h.poisoned[vp] = struct{}{}
-			count++
-			h.cursor = vp + 1
-		}
+	if h.rebuildCount < h.windowPages && h.wrapLimit > 0 {
+		h.table.Range(h.wrapFn)
 	}
 	h.heat.endEpoch()
 	rep.Tracked = h.heat.tracked()
@@ -110,7 +132,7 @@ func (h *HintFault) EndEpoch() EpochReport {
 }
 
 // PoisonedPages returns the number of currently poisoned pages.
-func (h *HintFault) PoisonedPages() int { return len(h.poisoned) }
+func (h *HintFault) PoisonedPages() int { return h.poisoned.count }
 
 // Heat implements Profiler.
 func (h *HintFault) Heat(vp pagetable.VPage) float64 { return h.heat.heat(vp) }
@@ -120,6 +142,9 @@ func (h *HintFault) WriteFraction(vp pagetable.VPage) float64 { return h.heat.wr
 
 // HeatSnapshot implements Profiler.
 func (h *HintFault) HeatSnapshot() []PageHeat { return h.heat.snapshot() }
+
+// HeatPages implements Profiler.
+func (h *HintFault) HeatPages() []PageHeat { return h.heat.pages() }
 
 // Tracked implements Profiler.
 func (h *HintFault) Tracked() int { return h.heat.tracked() }

@@ -11,7 +11,7 @@ import (
 // missed — overcoming "the limitations of sampling-based memory
 // tracking" at the cost of the scan.
 type Hybrid struct {
-	heat  *heatMap
+	heat  *heatStore
 	table Table
 	rng   *sim.RNG
 
@@ -20,6 +20,12 @@ type Hybrid struct {
 	scanBoost    float64
 	scanCost     float64
 	samples      uint64
+
+	// scanFn is the epoch-sweep callback, bound once at construction so
+	// EndEpoch passes a stored func value instead of allocating a closure.
+	scanFn func(vp pagetable.VPage, p pagetable.PTE) pagetable.PTE //vulcan:nosnap constructor wiring
+	// scanned counts pages visited by the in-flight sweep.
+	scanned int //vulcan:nosnap per-epoch scratch, reset by EndEpoch
 }
 
 // NewHybrid builds the hybrid profiler with the default decay.
@@ -38,8 +44,8 @@ func NewHybridWithDecay(table Table, sampleRate int, decay float64, seed uint64)
 	if sampleRate <= 0 {
 		panic("profile: Hybrid sample rate must be positive")
 	}
-	return &Hybrid{
-		heat:         newHeatMap(decay),
+	h := &Hybrid{
+		heat:         newHeatStore(decay),
 		table:        table,
 		rng:          sim.NewRNG(seed),
 		sampleRate:   sampleRate,
@@ -50,6 +56,8 @@ func NewHybridWithDecay(table Table, sampleRate int, decay float64, seed uint64)
 		scanBoost: float64(sampleRate) / 2,
 		scanCost:  15,
 	}
+	h.scanFn = h.visit
+	return h
 }
 
 // Name implements Profiler.
@@ -67,42 +75,36 @@ func (h *Hybrid) Record(a Access) float64 {
 	return 0
 }
 
+// visit handles one PTE during the epoch sweep: backfill pages sampling
+// missed entirely (pages with PEBS-derived heat already carry a better
+// frequency signal), then clear A/D bits in place so next epoch's bits
+// are fresh. The backfill test reads only vp's own heat cell, so
+// recording inline during the walk matches the previous two-pass
+// collect-then-record behavior bit for bit.
+//
+//vulcan:hotpath
+func (h *Hybrid) visit(vp pagetable.VPage, p pagetable.PTE) pagetable.PTE {
+	h.scanned++
+	if p.Accessed() && h.heat.heat(vp) == 0 {
+		h.heat.record(vp, p.Dirty(), h.scanBoost)
+	}
+	if p.Accessed() || p.Dirty() {
+		return p.WithAccessed(false).WithDirty(false)
+	}
+	return p
+}
+
 // EndEpoch sweeps accessed bits to backfill sampling misses, then ages.
+//
+//vulcan:hotpath
 func (h *Hybrid) EndEpoch() EpochReport {
 	var rep EpochReport
 	rep.OverheadCycles = float64(h.samples) * 40
 	h.samples = 0
 
-	var touched []pagetable.VPage
-	var dirty []bool
-	h.table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
-		rep.ScannedPages++
-		if p.Accessed() {
-			// Only backfill pages sampling missed entirely: pages with
-			// PEBS-derived heat already carry a better frequency signal.
-			if h.heat.heat(vp) == 0 {
-				touched = append(touched, vp)
-				dirty = append(dirty, p.Dirty())
-			}
-		}
-		return true
-	})
-	for i, vp := range touched {
-		h.heat.record(vp, dirty[i], h.scanBoost)
-	}
-	// Clear A/D bits table-wide so next epoch's bits are fresh.
-	var all []pagetable.VPage
-	h.table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
-		if p.Accessed() || p.Dirty() {
-			all = append(all, vp)
-		}
-		return true
-	})
-	for _, vp := range all {
-		h.table.Update(vp, func(p pagetable.PTE) pagetable.PTE {
-			return p.WithAccessed(false).WithDirty(false)
-		})
-	}
+	h.scanned = 0
+	h.table.RangeMut(h.scanFn)
+	rep.ScannedPages = h.scanned
 	rep.OverheadCycles += float64(rep.ScannedPages) * h.scanCost
 	h.heat.endEpoch()
 	rep.Tracked = h.heat.tracked()
@@ -117,6 +119,9 @@ func (h *Hybrid) WriteFraction(vp pagetable.VPage) float64 { return h.heat.write
 
 // HeatSnapshot implements Profiler.
 func (h *Hybrid) HeatSnapshot() []PageHeat { return h.heat.snapshot() }
+
+// HeatPages implements Profiler.
+func (h *Hybrid) HeatPages() []PageHeat { return h.heat.pages() }
 
 // Tracked implements Profiler.
 func (h *Hybrid) Tracked() int { return h.heat.tracked() }

@@ -1,0 +1,165 @@
+package profile
+
+import (
+	"testing"
+
+	"vulcan/internal/checkpoint"
+	"vulcan/internal/pagetable"
+)
+
+// These tests hand-encode version-1 (map-layout) profiler sections and
+// restore them through the version gate, proving checkpoint containers
+// written before the dense-store rewrite still load. The bytes are
+// written field by field from the documented v1 layout — not produced by
+// any current encoder — so they break if either the primitives or the
+// legacy decoders drift.
+
+// encodeLegacyHeat writes the v1 heat layout: count, then ascending
+// (page, heat, reads, writes) tuples.
+func encodeLegacyHeat(e *checkpoint.Encoder, entries [][4]float64) {
+	e.Int(len(entries))
+	for _, ent := range entries {
+		e.U64(uint64(ent[0]))
+		e.F64(ent[1])
+		e.F64(ent[2])
+		e.F64(ent[3])
+	}
+}
+
+func TestLegacyV1PEBSRestore(t *testing.T) {
+	p := NewPEBS(4, 99)
+	e := &checkpoint.Encoder{}
+	e.String("pebs")
+	// The rng wire format did not change between v1 and v2; emit the
+	// fresh generator's own state so only the heat layout is under test.
+	p.rng.Snapshot(e)
+	e.U64(7) // in-flight sample count
+	// Pages 5 and 6 share a chunk; 5000 crosses into the next one.
+	encodeLegacyHeat(e, [][4]float64{
+		{5, 2.5, 1.5, 1.0},
+		{6, 0.25, 0.25, 0},
+		{5000, 4.0, 0, 4.0},
+	})
+
+	if err := RestoreProfiler(checkpoint.NewDecoder(e.Bytes()), p, LegacySnapshotVersion); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Tracked(); got != 3 {
+		t.Fatalf("Tracked = %d, want 3", got)
+	}
+	if got := p.Heat(5); got != 2.5 {
+		t.Fatalf("Heat(5) = %v, want 2.5", got)
+	}
+	if got := p.WriteFraction(5); got != 0.4 {
+		t.Fatalf("WriteFraction(5) = %v, want 0.4", got)
+	}
+	if got := p.Heat(5000); got != 4.0 {
+		t.Fatalf("Heat(5000) = %v, want 4", got)
+	}
+	if got := p.WriteFraction(5000); got != 1.0 {
+		t.Fatalf("WriteFraction(5000) = %v, want 1", got)
+	}
+
+	// The restored store must be a first-class citizen of the new codec:
+	// re-snapshot at version 2 and restore into another fresh instance.
+	e2 := &checkpoint.Encoder{}
+	SnapshotProfiler(e2, p)
+	p2 := NewPEBS(4, 99)
+	if err := RestoreProfiler(checkpoint.NewDecoder(e2.Bytes()), p2, SnapshotVersion); err != nil {
+		t.Fatalf("v2 re-snapshot of legacy-restored state: %v", err)
+	}
+	if p2.Heat(5000) != 4.0 || p2.Tracked() != 3 {
+		t.Fatal("v2 round-trip lost legacy-restored state")
+	}
+}
+
+func TestLegacyV1ChronoRestore(t *testing.T) {
+	c := NewChrono(newProfileTable())
+	e := &checkpoint.Encoder{}
+	e.String("chrono")
+	encodeLegacyHeat(e, [][4]float64{{8, 1.5, 1.5, 0}})
+	// v1 idle list: count, then ascending (page, idle epochs).
+	e.Int(2)
+	e.U64(8)
+	e.Int(1)
+	e.U64(9)
+	e.Int(2)
+
+	if err := RestoreProfiler(checkpoint.NewDecoder(e.Bytes()), c, LegacySnapshotVersion); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Heat(8); got != 1.5 {
+		t.Fatalf("Heat(8) = %v, want 1.5", got)
+	}
+	var idles []pagetable.VPage
+	c.idle.forEach(func(vp pagetable.VPage, idle int) { idles = append(idles, vp) })
+	if len(idles) != 2 || idles[0] != 8 || idles[1] != 9 {
+		t.Fatalf("idle pages = %v, want [8 9]", idles)
+	}
+	if c.idle.get(9) != 3 { // stored biased +1
+		t.Fatalf("idle(9) = %d, want stored 3 (idle 2)", c.idle.get(9))
+	}
+}
+
+func TestLegacyV1RegionScanRestore(t *testing.T) {
+	s := NewRegionScan(newProfileTable())
+	e := &checkpoint.Encoder{}
+	e.String("regionscan")
+	encodeLegacyHeat(e, [][4]float64{{3, 2.0, 2.0, 0}})
+	// v1 backoff list could include zero levels; they must be dropped.
+	e.Int(2)
+	e.U64(0)
+	e.U8(0)
+	e.U64(1)
+	e.U8(2)
+	// v1 skip-until list, same deal with zero values.
+	e.Int(2)
+	e.U64(0)
+	e.Int(0)
+	e.U64(1)
+	e.Int(5)
+	e.Int(11) // epoch
+
+	if err := RestoreProfiler(checkpoint.NewDecoder(e.Bytes()), s, LegacySnapshotVersion); err != nil {
+		t.Fatal(err)
+	}
+	if s.epoch != 11 {
+		t.Fatalf("epoch = %d, want 11", s.epoch)
+	}
+	type backoff struct {
+		region uint64
+		level  uint8
+		until  int
+	}
+	var got []backoff
+	s.regions.forEach(func(region uint64, level uint8, until int) {
+		got = append(got, backoff{region, level, until})
+	})
+	if len(got) != 1 || got[0] != (backoff{1, 2, 5}) {
+		t.Fatalf("backoff state = %+v, want [{1 2 5}]", got)
+	}
+}
+
+func TestRestoreProfilerRejectsUnknownVersion(t *testing.T) {
+	p := NewPEBS(4, 9)
+	e := &checkpoint.Encoder{}
+	SnapshotProfiler(e, p)
+	if err := RestoreProfiler(checkpoint.NewDecoder(e.Bytes()), NewPEBS(4, 9), SnapshotVersion+1); err == nil {
+		t.Fatal("version 3 snapshot accepted")
+	}
+}
+
+func TestLegacyV1TruncationLadder(t *testing.T) {
+	p := NewPEBS(4, 99)
+	e := &checkpoint.Encoder{}
+	e.String("pebs")
+	p.rng.Snapshot(e)
+	e.U64(7)
+	encodeLegacyHeat(e, [][4]float64{{5, 2.5, 1.5, 1.0}, {9, 1.0, 1.0, 0}})
+	blob := e.Bytes()
+	for cut := 0; cut < len(blob); cut += 7 {
+		if err := RestoreProfiler(checkpoint.NewDecoder(blob[:cut]), NewPEBS(4, 99), LegacySnapshotVersion); err == nil {
+			t.Fatalf("legacy truncation at %d accepted", cut)
+		}
+	}
+}

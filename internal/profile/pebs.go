@@ -12,7 +12,7 @@ import (
 // large, lightly-touched footprints (§2.1: "high false negatives at the
 // terabyte scale").
 type PEBS struct {
-	heat *heatMap
+	heat *heatStore
 	rng  *sim.RNG
 	// SampleRate is the sampling period: one in SampleRate accesses is
 	// observed.
@@ -40,7 +40,7 @@ func NewPEBSWithDecay(sampleRate int, decay float64, seed uint64) *PEBS {
 		panic("profile: PEBS sample rate must be positive")
 	}
 	return &PEBS{
-		heat:         newHeatMap(decay),
+		heat:         newHeatStore(decay),
 		rng:          sim.NewRNG(seed),
 		sampleRate:   sampleRate,
 		sampleWeight: float64(sampleRate),
@@ -64,8 +64,10 @@ func (p *PEBS) Record(a Access) float64 {
 	return 0
 }
 
-// EndEpoch ages the heat map. Draining the PEBS buffer costs the
+// EndEpoch ages the heat store. Draining the PEBS buffer costs the
 // profiling daemon a small constant per collected sample.
+//
+//vulcan:hotpath
 func (p *PEBS) EndEpoch() EpochReport {
 	rep := EpochReport{OverheadCycles: float64(p.samples) * 40}
 	p.samples = 0
@@ -82,6 +84,9 @@ func (p *PEBS) WriteFraction(vp pagetable.VPage) float64 { return p.heat.writeFr
 
 // HeatSnapshot implements Profiler.
 func (p *PEBS) HeatSnapshot() []PageHeat { return p.heat.snapshot() }
+
+// HeatPages implements Profiler.
+func (p *PEBS) HeatPages() []PageHeat { return p.heat.pages() }
 
 // Tracked implements Profiler.
 func (p *PEBS) Tracked() int { return p.heat.tracked() }

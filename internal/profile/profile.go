@@ -8,8 +8,6 @@
 package profile
 
 import (
-	"sort"
-
 	"vulcan/internal/pagetable"
 )
 
@@ -60,8 +58,17 @@ type Profiler interface {
 	// observed accesses (0 if untracked).
 	WriteFraction(vp pagetable.VPage) float64
 	// HeatSnapshot returns all tracked pages, hottest first (ties broken
-	// by ascending page number for determinism).
+	// by ascending page number for determinism). The returned slice is
+	// scratch owned by the profiler: it is valid until the next
+	// HeatSnapshot call and must not be retained across epochs.
 	HeatSnapshot() []PageHeat
+	// HeatPages returns all tracked pages like HeatSnapshot but in no
+	// particular order, skipping the hottest-first sort. The order is
+	// deterministic for a given call history but otherwise unspecified:
+	// consumers must be order-independent — re-sorting or selecting by a
+	// total-order key (heat, then page number) as the ranking helpers
+	// do. Same scratch-ownership rules as HeatSnapshot.
+	HeatPages() []PageHeat
 	// Tracked returns the number of pages with live heat state.
 	Tracked() int
 }
@@ -71,91 +78,6 @@ const DefaultDecay = 0.5
 
 // evictBelow drops pages whose heat decayed to noise, bounding memory.
 const evictBelow = 1e-3
-
-// heatMap is the shared heat bookkeeping used by every profiler. Stats
-// are stored by value: a pointer map costs one heap allocation per
-// newly tracked page, which dominated the migration benchmarks'
-// allocation profile.
-type heatMap struct {
-	m     map[pagetable.VPage]heatStat
-	decay float64
-}
-
-type heatStat struct {
-	heat   float64
-	reads  float64
-	writes float64
-}
-
-func newHeatMap(decay float64) *heatMap {
-	if decay <= 0 || decay >= 1 {
-		panic("profile: decay must be in (0,1)")
-	}
-	return &heatMap{m: make(map[pagetable.VPage]heatStat), decay: decay}
-}
-
-func (h *heatMap) record(vp pagetable.VPage, write bool, weight float64) {
-	s := h.m[vp]
-	s.heat += weight
-	if write {
-		s.writes += weight
-	} else {
-		s.reads += weight
-	}
-	h.m[vp] = s
-}
-
-func (h *heatMap) endEpoch() {
-	// Mutating existing keys and deleting during range is well-defined;
-	// no new keys are inserted.
-	for vp, s := range h.m {
-		s.heat *= h.decay
-		s.reads *= h.decay
-		s.writes *= h.decay
-		if s.heat < evictBelow {
-			delete(h.m, vp)
-		} else {
-			h.m[vp] = s
-		}
-	}
-}
-
-func (h *heatMap) heat(vp pagetable.VPage) float64 {
-	return h.m[vp].heat
-}
-
-func (h *heatMap) writeFraction(vp pagetable.VPage) float64 {
-	s := h.m[vp]
-	total := s.reads + s.writes
-	if total == 0 {
-		return 0
-	}
-	return s.writes / total
-}
-
-func (h *heatMap) snapshot() []PageHeat {
-	out := make([]PageHeat, 0, len(h.m))
-	for vp, s := range h.m {
-		total := s.reads + s.writes
-		wf := 0.0
-		if total > 0 {
-			wf = s.writes / total
-		}
-		out = append(out, PageHeat{VP: vp, Heat: s.heat, WriteFrac: wf})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Heat > out[j].Heat {
-			return true
-		}
-		if out[i].Heat < out[j].Heat {
-			return false
-		}
-		return out[i].VP < out[j].VP
-	})
-	return out
-}
-
-func (h *heatMap) tracked() int { return len(h.m) }
 
 // WriteIntensiveThreshold is the write fraction above which a page is
 // treated as write-intensive by migration policies (Table 1).

@@ -14,8 +14,8 @@ func feed(p Profiler, vp pagetable.VPage, n int, write bool) {
 	}
 }
 
-func TestHeatMapDecayAndEviction(t *testing.T) {
-	h := newHeatMap(0.5)
+func TestHeatStoreDecayAndEviction(t *testing.T) {
+	h := newHeatStore(0.5)
 	h.record(1, false, 8)
 	h.endEpoch()
 	if got := h.heat(1); got != 4 {
@@ -30,8 +30,8 @@ func TestHeatMapDecayAndEviction(t *testing.T) {
 	}
 }
 
-func TestHeatMapWriteFraction(t *testing.T) {
-	h := newHeatMap(0.5)
+func TestHeatStoreWriteFraction(t *testing.T) {
+	h := newHeatStore(0.5)
 	h.record(1, true, 1)
 	h.record(1, false, 1)
 	h.record(1, false, 1)
@@ -44,8 +44,8 @@ func TestHeatMapWriteFraction(t *testing.T) {
 	}
 }
 
-func TestHeatMapSnapshotOrdering(t *testing.T) {
-	h := newHeatMap(0.5)
+func TestHeatStoreSnapshotOrdering(t *testing.T) {
+	h := newHeatStore(0.5)
 	h.record(3, false, 1)
 	h.record(1, false, 5)
 	h.record(2, false, 5)
@@ -58,7 +58,7 @@ func TestHeatMapSnapshotOrdering(t *testing.T) {
 	}
 }
 
-func TestHeatMapBadDecayPanics(t *testing.T) {
+func TestHeatStoreBadDecayPanics(t *testing.T) {
 	for _, d := range []float64{0, 1, -0.5} {
 		func() {
 			defer func() {
@@ -66,7 +66,7 @@ func TestHeatMapBadDecayPanics(t *testing.T) {
 					t.Errorf("decay %v did not panic", d)
 				}
 			}()
-			newHeatMap(d)
+			newHeatStore(d)
 		}()
 	}
 }

@@ -4,11 +4,6 @@ import (
 	"vulcan/internal/pagetable"
 )
 
-// RegionTable extends Table with leaf-level iteration, letting a scanner
-// skip entire 2MiB regions. *pagetable.Table and *pagetable.Replicated
-// both satisfy it through Range; the region structure is recovered from
-// pagetable.LeafIndex.
-
 // RegionScan is a Telescope-style profiler (Nair et al., ATC'24) for
 // huge address spaces: it scans at 2MiB-region granularity with
 // exponential backoff — a region whose pages were all idle on the last
@@ -17,15 +12,29 @@ import (
 // every PTE every period.
 type RegionScan struct {
 	table Table
-	heat  *heatMap
-	// backoff per region: skip the region for 2^level-1 epochs.
-	backoff   map[uint64]uint8
-	skipUntil map[uint64]int
-	epoch     int
+	heat  *heatStore
+	// regions holds per-region backoff level and skip deadline as dense
+	// parallel arrays; zero values reproduce the old map defaults.
+	regions regionStore
+	epoch   int
 
 	maxBackoff  uint8
 	accessBoost float64
 	scanCost    float64
+
+	// scanFn is the epoch-sweep callback, bound once at construction so
+	// EndEpoch passes a stored func value instead of allocating a closure.
+	scanFn func(vp pagetable.VPage, p pagetable.PTE) pagetable.PTE //vulcan:nosnap constructor wiring
+	// Per-epoch sweep scratch. Range yields ascending VPages, so all
+	// pages of a region arrive consecutively; the sweep finalizes each
+	// region's backoff when it sees the boundary to the next one.
+	scanned    int               //vulcan:nosnap per-epoch scratch
+	curRegion  uint64            //vulcan:nosnap per-epoch scratch
+	haveRegion bool              //vulcan:nosnap per-epoch scratch
+	curSkipped bool              //vulcan:nosnap per-epoch scratch
+	curActive  bool              //vulcan:nosnap per-epoch scratch
+	touched    []pagetable.VPage //vulcan:nosnap per-epoch scratch, reused buffer
+	dirty      []bool            //vulcan:nosnap per-epoch scratch, reused buffer
 }
 
 // NewRegionScan builds the profiler over table.
@@ -33,15 +42,15 @@ func NewRegionScan(table Table) *RegionScan {
 	if table == nil {
 		panic("profile: RegionScan requires a table")
 	}
-	return &RegionScan{
+	s := &RegionScan{
 		table:       table,
-		heat:        newHeatMap(DefaultDecay),
-		backoff:     make(map[uint64]uint8),
-		skipUntil:   make(map[uint64]int),
+		heat:        newHeatStore(DefaultDecay),
 		maxBackoff:  4, // skip at most 15 epochs
 		accessBoost: 64,
 		scanCost:    15,
 	}
+	s.scanFn = s.visit
+	return s
 }
 
 // Name implements Profiler.
@@ -52,57 +61,68 @@ func (s *RegionScan) Name() string { return "regionscan" }
 //vulcan:hotpath
 func (s *RegionScan) Record(Access) float64 { return 0 }
 
+// finalizeRegion applies the backoff decision for a fully-swept region:
+// active regions reset to every-epoch scanning; idle scanned regions
+// back off exponentially.
+//
+//vulcan:hotpath
+func (s *RegionScan) finalizeRegion() {
+	if !s.haveRegion || s.curSkipped {
+		return
+	}
+	if s.curActive {
+		s.regions.setBackoff(s.curRegion, 0, 0)
+		return
+	}
+	level := s.regions.backoffLevel(s.curRegion)
+	if level < s.maxBackoff {
+		level++
+	}
+	s.regions.setBackoff(s.curRegion, level, s.epoch+(1<<level)-1)
+}
+
+// visit sweeps one PTE, tracking region boundaries: skipped (backed-off)
+// regions are passed over untouched; scanned pages with the accessed bit
+// gain heat and have their A/D bits cleared in place.
+//
+//vulcan:hotpath
+func (s *RegionScan) visit(vp pagetable.VPage, p pagetable.PTE) pagetable.PTE {
+	region := pagetable.LeafIndex(vp)
+	if !s.haveRegion || region != s.curRegion {
+		s.finalizeRegion()
+		s.curRegion = region
+		s.haveRegion = true
+		s.curActive = false
+		s.curSkipped = s.epoch < s.regions.skipUntil(region)
+	}
+	if s.curSkipped {
+		return p // backed off; not visited, not counted
+	}
+	s.scanned++
+	if !p.Accessed() {
+		return p
+	}
+	s.curActive = true
+	s.touched = append(s.touched, vp)
+	s.dirty = append(s.dirty, p.Dirty())
+	return p.WithAccessed(false).WithDirty(false)
+}
+
 // EndEpoch scans non-backed-off regions, harvesting accessed bits.
+//
+//vulcan:hotpath
 func (s *RegionScan) EndEpoch() EpochReport {
 	var rep EpochReport
-	activeRegions := make(map[uint64]bool)
-	var touched []pagetable.VPage
-	var dirty []bool
+	s.scanned = 0
+	s.haveRegion = false
+	s.touched = s.touched[:0]
+	s.dirty = s.dirty[:0]
+	s.table.RangeMut(s.scanFn)
+	s.finalizeRegion()
+	rep.ScannedPages = s.scanned
 
-	s.table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
-		region := pagetable.LeafIndex(vp)
-		if s.epoch < s.skipUntil[region] {
-			return true // backed off; not visited, not counted
-		}
-		rep.ScannedPages++
-		if p.Accessed() {
-			activeRegions[region] = true
-			touched = append(touched, vp)
-			dirty = append(dirty, p.Dirty())
-		}
-		return true
-	})
-
-	// Update backoff: active regions reset to every-epoch scanning; idle
-	// scanned regions back off exponentially.
-	seen := make(map[uint64]bool)
-	for _, vp := range touched {
-		seen[pagetable.LeafIndex(vp)] = true
-	}
-	s.table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
-		region := pagetable.LeafIndex(vp)
-		if s.epoch < s.skipUntil[region] || seen[region] {
-			return true
-		}
-		seen[region] = true // idle region, evaluated once
-		level := s.backoff[region]
-		if level < s.maxBackoff {
-			level++
-		}
-		s.backoff[region] = level
-		s.skipUntil[region] = s.epoch + (1 << level) - 1
-		return true
-	})
-	for region := range activeRegions {
-		s.backoff[region] = 0
-		s.skipUntil[region] = 0
-	}
-
-	for i, vp := range touched {
-		s.heat.record(vp, dirty[i], s.accessBoost)
-		s.table.Update(vp, func(p pagetable.PTE) pagetable.PTE {
-			return p.WithAccessed(false).WithDirty(false)
-		})
+	for i, vp := range s.touched {
+		s.heat.record(vp, s.dirty[i], s.accessBoost)
 	}
 	rep.OverheadCycles = float64(rep.ScannedPages) * s.scanCost
 	s.heat.endEpoch()
@@ -113,7 +133,7 @@ func (s *RegionScan) EndEpoch() EpochReport {
 
 // BackoffLevel returns the current backoff exponent of vp's region.
 func (s *RegionScan) BackoffLevel(vp pagetable.VPage) uint8 {
-	return s.backoff[pagetable.LeafIndex(vp)]
+	return s.regions.backoffLevel(pagetable.LeafIndex(vp))
 }
 
 // Heat implements Profiler.
@@ -124,6 +144,9 @@ func (s *RegionScan) WriteFraction(vp pagetable.VPage) float64 { return s.heat.w
 
 // HeatSnapshot implements Profiler.
 func (s *RegionScan) HeatSnapshot() []PageHeat { return s.heat.snapshot() }
+
+// HeatPages implements Profiler.
+func (s *RegionScan) HeatPages() []PageHeat { return s.heat.pages() }
 
 // Tracked implements Profiler.
 func (s *RegionScan) Tracked() int { return s.heat.tracked() }

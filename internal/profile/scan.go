@@ -4,11 +4,14 @@ import (
 	"vulcan/internal/pagetable"
 )
 
-// Table is the page-table surface scanners need: iteration plus the
-// ability to clear accessed/dirty bits. Both *pagetable.Table and
+// Table is the page-table surface scanners need: iteration plus a
+// batched read-modify-write pass for harvesting and clearing
+// accessed/dirty bits in one walk. Both *pagetable.Table and
 // *pagetable.Replicated satisfy it.
 type Table interface {
 	Range(fn func(vp pagetable.VPage, p pagetable.PTE) bool)
+	RangeFrom(start pagetable.VPage, fn func(vp pagetable.VPage, p pagetable.PTE) bool)
+	RangeMut(fn func(vp pagetable.VPage, p pagetable.PTE) pagetable.PTE)
 	Update(vp pagetable.VPage, fn func(pagetable.PTE) pagetable.PTE) (pagetable.PTE, bool)
 }
 
@@ -19,7 +22,7 @@ type Table interface {
 // the per-page scan cost are the mechanism's real drawbacks (§2.1:
 // "faces scalability challenges with per-page scanning").
 type Scan struct {
-	heat  *heatMap
+	heat  *heatStore
 	table Table
 	// scanCostPerPage is the per-PTE visit cost in cycles.
 	scanCostPerPage float64
@@ -27,6 +30,13 @@ type Scan struct {
 	// binary per epoch, so the boost approximates "at least this many
 	// accesses" — scanners cannot see frequency.
 	accessBoost float64
+
+	// scanFn is the sweep callback, bound once at construction so the
+	// epoch scan passes a stored func value instead of allocating a
+	// closure per epoch.
+	scanFn func(vp pagetable.VPage, p pagetable.PTE) pagetable.PTE //vulcan:nosnap constructor wiring
+	// scanned counts pages visited by the in-flight sweep.
+	scanned int //vulcan:nosnap per-epoch scratch, reset by EndEpoch
 }
 
 // NewScan builds a scanning profiler over table.
@@ -34,12 +44,14 @@ func NewScan(table Table) *Scan {
 	if table == nil {
 		panic("profile: Scan requires a table")
 	}
-	return &Scan{
-		heat:            newHeatMap(DefaultDecay),
+	s := &Scan{
+		heat:            newHeatStore(DefaultDecay),
 		table:           table,
 		scanCostPerPage: 15,
 		accessBoost:     64,
 	}
+	s.scanFn = s.visit
+	return s
 }
 
 // Name implements Profiler.
@@ -50,25 +62,27 @@ func (s *Scan) Name() string { return "scan" }
 //vulcan:hotpath
 func (s *Scan) Record(Access) float64 { return 0 }
 
-// EndEpoch walks the table, harvesting and clearing A/D bits.
+// visit harvests one PTE during the epoch sweep: touched pages gain
+// heat and have their A/D bits cleared in place.
+//
+//vulcan:hotpath
+func (s *Scan) visit(vp pagetable.VPage, p pagetable.PTE) pagetable.PTE {
+	s.scanned++
+	if !p.Accessed() {
+		return p
+	}
+	s.heat.record(vp, p.Dirty(), s.accessBoost)
+	return p.WithAccessed(false).WithDirty(false)
+}
+
+// EndEpoch walks the table once, harvesting and clearing A/D bits.
+//
+//vulcan:hotpath
 func (s *Scan) EndEpoch() EpochReport {
 	var rep EpochReport
-	var touched []pagetable.VPage
-	var dirty []bool
-	s.table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
-		rep.ScannedPages++
-		if p.Accessed() {
-			touched = append(touched, vp)
-			dirty = append(dirty, p.Dirty())
-		}
-		return true
-	})
-	for i, vp := range touched {
-		s.heat.record(vp, dirty[i], s.accessBoost)
-		s.table.Update(vp, func(p pagetable.PTE) pagetable.PTE {
-			return p.WithAccessed(false).WithDirty(false)
-		})
-	}
+	s.scanned = 0
+	s.table.RangeMut(s.scanFn)
+	rep.ScannedPages = s.scanned
 	rep.OverheadCycles = float64(rep.ScannedPages) * s.scanCostPerPage
 	s.heat.endEpoch()
 	rep.Tracked = s.heat.tracked()
@@ -83,6 +97,9 @@ func (s *Scan) WriteFraction(vp pagetable.VPage) float64 { return s.heat.writeFr
 
 // HeatSnapshot implements Profiler.
 func (s *Scan) HeatSnapshot() []PageHeat { return s.heat.snapshot() }
+
+// HeatPages implements Profiler.
+func (s *Scan) HeatPages() []PageHeat { return s.heat.pages() }
 
 // Tracked implements Profiler.
 func (s *Scan) Tracked() int { return s.heat.tracked() }

@@ -2,11 +2,21 @@ package profile
 
 import (
 	"fmt"
-	"sort"
 
 	"vulcan/internal/checkpoint"
 	"vulcan/internal/pagetable"
 )
+
+// SnapshotVersion is the wire version SnapshotProfiler writes (the
+// "app.N.profiler" checkpoint section version). Version 1 encoded the
+// old map-layout stores (flat sorted entry lists everywhere); version 2
+// encodes the dense stores, most notably run-length heat entries.
+// RestoreProfiler accepts both, so checkpoint containers written before
+// the dense-store rewrite still restore.
+const SnapshotVersion = 2
+
+// LegacySnapshotVersion is the last map-layout wire version.
+const LegacySnapshotVersion = 1
 
 // SnapshotProfiler appends p's durable state, tagged with the profiler
 // name so RestoreProfiler can verify the constructed profiler matches.
@@ -28,25 +38,36 @@ func SnapshotProfiler(e *checkpoint.Encoder, p Profiler) {
 }
 
 // RestoreProfiler reads state written by SnapshotProfiler back into p,
-// a freshly-constructed profiler. The fault decoration may differ
-// between writer and reader (a clean warm-up resumed under fault
+// a freshly-constructed profiler. version selects the wire layout: the
+// section version recorded in the checkpoint container, either
+// SnapshotVersion or LegacySnapshotVersion. The fault decoration may
+// differ between writer and reader (a clean warm-up resumed under fault
 // injection, or vice versa): wrapper state that has no destination is
 // discarded, and a fresh wrapper keeps its construction-time state.
-func RestoreProfiler(d *checkpoint.Decoder, p Profiler) error {
+func RestoreProfiler(d *checkpoint.Decoder, p Profiler, version uint32) error {
+	if version != SnapshotVersion && version != LegacySnapshotVersion {
+		return fmt.Errorf("profile: unsupported profiler snapshot version %d", version)
+	}
 	tag := d.String()
 	if d.Err() != nil {
 		return d.Err()
 	}
-	return restoreTagged(tag, d, p)
+	return restoreTagged(tag, d, p, version)
 }
 
-func restoreTagged(tag string, d *checkpoint.Decoder, p Profiler) error {
+// legacyRestorer is implemented by profilers that can decode the
+// version-1 (map-layout) wire format.
+type legacyRestorer interface {
+	restoreLegacy(d *checkpoint.Decoder) error
+}
+
+func restoreTagged(tag string, d *checkpoint.Decoder, p Profiler, version uint32) error {
 	if tag == "faulty" {
 		if f, ok := p.(*Faulty); ok {
 			if err := f.restoreSelf(d); err != nil {
 				return err
 			}
-			return RestoreProfiler(d, f.inner)
+			return RestoreProfiler(d, f.inner, version)
 		}
 		// Checkpoint was fault-wrapped, target is not: skip the wrapper
 		// fields and restore the inner profiler directly.
@@ -54,16 +75,23 @@ func restoreTagged(tag string, d *checkpoint.Decoder, p Profiler) error {
 		if d.Err() != nil {
 			return d.Err()
 		}
-		return RestoreProfiler(d, p)
+		return RestoreProfiler(d, p, version)
 	}
 	if f, ok := p.(*Faulty); ok {
 		// Target is fault-wrapped, checkpoint was not: the fresh wrapper
 		// keeps its construction-time state (epoch 0, confidence 1).
-		return restoreTagged(tag, d, f.inner)
+		return restoreTagged(tag, d, f.inner, version)
 	}
 	if tag != p.Name() {
 		return fmt.Errorf("profile: checkpoint holds a %q profiler, restoring into %q",
 			tag, p.Name())
+	}
+	if version == LegacySnapshotVersion {
+		lr, ok := p.(legacyRestorer)
+		if !ok {
+			return fmt.Errorf("profile: profiler %q cannot restore legacy snapshots", p.Name())
+		}
+		return lr.restoreLegacy(d)
 	}
 	s, ok := p.(checkpoint.Snapshotter)
 	if !ok {
@@ -104,40 +132,158 @@ func discardFaultyState(d *checkpoint.Decoder) {
 	_ = d.U64()
 }
 
-// Snapshot appends the heat map's tracked pages in ascending page order.
-func (h *heatMap) Snapshot(e *checkpoint.Encoder) {
-	pages := make([]pagetable.VPage, 0, len(h.m))
-	for vp := range h.m {
-		pages = append(pages, vp)
+// Snapshot appends the heat store's tracked pages as runs of
+// consecutive page numbers: total entry count, run count, then per run
+// the start page, length, and length×(heat, reads, writes). Dense
+// working sets compress to a handful of run headers, and restore can
+// validate monotonicity structurally.
+func (h *heatStore) Snapshot(e *checkpoint.Encoder) {
+	runs := 0
+	prev := pagetable.VPage(0)
+	first := true
+	h.forEachLive(func(vp pagetable.VPage, _, _, _ float64) {
+		if first || vp != prev+1 {
+			runs++
+		}
+		first = false
+		prev = vp
+	})
+	// trackedPages is exactly the live-entry count forEachLive visits.
+	e.Int(h.trackedPages)
+	e.Int(runs)
+
+	// Second pass emits the runs; the store is immutable between the
+	// passes, so the counts always agree. A run's length is known only at
+	// its end, so each run's stats are buffered until the next boundary.
+	started := false
+	var runLen int
+	var runStart pagetable.VPage
+	prev = 0
+	runStats := make([]float64, 0, 64)
+	flush := func() {
+		if !started {
+			return
+		}
+		e.U64(uint64(runStart))
+		e.Int(runLen)
+		for _, v := range runStats {
+			e.F64(v)
+		}
 	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-	e.Int(len(pages))
-	for _, vp := range pages {
-		s := h.m[vp]
-		e.U64(uint64(vp))
-		e.F64(s.heat)
-		e.F64(s.reads)
-		e.F64(s.writes)
+	h.forEachLive(func(vp pagetable.VPage, heat, reads, writes float64) {
+		if !started || vp != prev+1 {
+			flush()
+			started = true
+			runStart = vp
+			runLen = 0
+			runStats = runStats[:0]
+		}
+		runLen++
+		runStats = append(runStats, heat, reads, writes)
+		prev = vp
+	})
+	flush()
+}
+
+// forEachLive calls fn for every tracked page in ascending order.
+func (h *heatStore) forEachLive(fn func(vp pagetable.VPage, heat, reads, writes float64)) {
+	for hi, blk := range h.l1 {
+		if blk == nil {
+			continue
+		}
+		for ci, c := range blk {
+			if c == nil || c.live == 0 {
+				continue
+			}
+			base := chunkBase(hi, ci)
+			for i := range c.heat {
+				if c.heat[i] == 0 {
+					continue
+				}
+				fn(base|pagetable.VPage(i), c.heat[i], c.reads[i], c.writes[i])
+			}
+		}
 	}
 }
 
-// Restore reads the heat map back in place.
-func (h *heatMap) Restore(d *checkpoint.Decoder) error {
+// Restore reads the run-length heat layout back in place.
+func (h *heatStore) Restore(d *checkpoint.Decoder) error {
+	entries := d.Length(24)
+	runs := d.Length(16)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	h.l1 = nil
+	h.trackedPages = 0
+	total := 0
+	prevEnd := pagetable.VPage(0)
+	firstRun := true
+	for r := 0; r < runs; r++ {
+		start := pagetable.VPage(d.U64())
+		n := d.Length(24)
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if n == 0 {
+			return fmt.Errorf("profile: empty heat run at page %d", start)
+		}
+		if !firstRun && start <= prevEnd {
+			return fmt.Errorf("profile: heat run at page %d overlaps previous run", start)
+		}
+		if start > pagetable.MaxVPage || pagetable.VPage(uint64(start)+uint64(n)-1) > pagetable.MaxVPage {
+			return fmt.Errorf("profile: heat run at page %d out of range", start)
+		}
+		firstRun = false
+		for i := 0; i < n; i++ {
+			vp := start + pagetable.VPage(i)
+			heat := d.F64()
+			reads := d.F64()
+			writes := d.F64()
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if heat == 0 {
+				return fmt.Errorf("profile: zero-heat entry for page %d", vp)
+			}
+			if !h.setRaw(vp, heat, reads, writes) {
+				return fmt.Errorf("profile: duplicate heat entry for page %d", vp)
+			}
+		}
+		prevEnd = start + pagetable.VPage(n) - 1
+		total += n
+	}
+	if total != entries {
+		return fmt.Errorf("profile: heat runs hold %d entries, header says %d", total, entries)
+	}
+	return nil
+}
+
+// restoreLegacy reads the version-1 flat entry list (count, then
+// ascending (page, heat, reads, writes) tuples).
+func (h *heatStore) restoreLegacy(d *checkpoint.Decoder) error {
 	n := d.Length(32)
 	if d.Err() != nil {
 		return d.Err()
 	}
-	h.m = make(map[pagetable.VPage]heatStat, n)
+	h.l1 = nil
+	h.trackedPages = 0
 	for i := 0; i < n; i++ {
 		vp := pagetable.VPage(d.U64())
-		s := heatStat{heat: d.F64(), reads: d.F64(), writes: d.F64()}
+		heat := d.F64()
+		reads := d.F64()
+		writes := d.F64()
 		if d.Err() != nil {
 			return d.Err()
 		}
-		if _, dup := h.m[vp]; dup {
+		if vp > pagetable.MaxVPage {
+			return fmt.Errorf("profile: heat entry page %d out of range", vp)
+		}
+		if heat == 0 {
+			return fmt.Errorf("profile: zero-heat entry for page %d", vp)
+		}
+		if !h.setRaw(vp, heat, reads, writes) {
 			return fmt.Errorf("profile: duplicate heat entry for page %d", vp)
 		}
-		h.m[vp] = s
 	}
 	return nil
 }
@@ -158,6 +304,14 @@ func (p *PEBS) Restore(d *checkpoint.Decoder) error {
 	return p.heat.Restore(d)
 }
 
+func (p *PEBS) restoreLegacy(d *checkpoint.Decoder) error {
+	if err := p.rng.Restore(d); err != nil {
+		return err
+	}
+	p.samples = d.U64()
+	return p.heat.restoreLegacy(d)
+}
+
 // Snapshot implements checkpoint.Snapshotter.
 func (h *Hybrid) Snapshot(e *checkpoint.Encoder) {
 	h.rng.Snapshot(e)
@@ -174,25 +328,32 @@ func (h *Hybrid) Restore(d *checkpoint.Decoder) error {
 	return h.heat.Restore(d)
 }
 
+func (h *Hybrid) restoreLegacy(d *checkpoint.Decoder) error {
+	if err := h.rng.Restore(d); err != nil {
+		return err
+	}
+	h.samples = d.U64()
+	return h.heat.restoreLegacy(d)
+}
+
 // Snapshot implements checkpoint.Snapshotter.
 func (s *Scan) Snapshot(e *checkpoint.Encoder) { s.heat.Snapshot(e) }
 
 // Restore implements checkpoint.Snapshotter.
 func (s *Scan) Restore(d *checkpoint.Decoder) error { return s.heat.Restore(d) }
 
-// Snapshot implements checkpoint.Snapshotter.
+func (s *Scan) restoreLegacy(d *checkpoint.Decoder) error { return s.heat.restoreLegacy(d) }
+
+// Snapshot implements checkpoint.Snapshotter. The idle list keeps the
+// version-1 shape (count, ascending (page, idle) entries); only the
+// heat layout changed in version 2.
 func (c *Chrono) Snapshot(e *checkpoint.Encoder) {
 	c.heat.Snapshot(e)
-	pages := make([]pagetable.VPage, 0, len(c.idleEpochs))
-	for vp := range c.idleEpochs {
-		pages = append(pages, vp)
-	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-	e.Int(len(pages))
-	for _, vp := range pages {
+	e.Int(c.idle.live)
+	c.idle.forEach(func(vp pagetable.VPage, idle int) {
 		e.U64(uint64(vp))
-		e.Int(c.idleEpochs[vp])
-	}
+		e.Int(idle)
+	})
 }
 
 // Restore implements checkpoint.Snapshotter.
@@ -200,48 +361,55 @@ func (c *Chrono) Restore(d *checkpoint.Decoder) error {
 	if err := c.heat.Restore(d); err != nil {
 		return err
 	}
+	return c.restoreIdle(d)
+}
+
+func (c *Chrono) restoreLegacy(d *checkpoint.Decoder) error {
+	if err := c.heat.restoreLegacy(d); err != nil {
+		return err
+	}
+	return c.restoreIdle(d)
+}
+
+func (c *Chrono) restoreIdle(d *checkpoint.Decoder) error {
 	n := d.Length(16)
 	if d.Err() != nil {
 		return d.Err()
 	}
-	c.idleEpochs = make(map[pagetable.VPage]int, n)
+	c.idle.reset()
 	for i := 0; i < n; i++ {
 		vp := pagetable.VPage(d.U64())
 		idle := d.Int()
 		if d.Err() != nil {
 			return d.Err()
 		}
-		if _, dup := c.idleEpochs[vp]; dup {
+		if vp > pagetable.MaxVPage {
+			return fmt.Errorf("profile: idle entry page %d out of range", vp)
+		}
+		if idle < 0 || idle > c.forgetAfter {
+			return fmt.Errorf("profile: idle entry for page %d out of range: %d", vp, idle)
+		}
+		if c.idle.get(vp) != 0 {
 			return fmt.Errorf("profile: duplicate idle entry for page %d", vp)
 		}
-		c.idleEpochs[vp] = idle
+		c.idle.set(vp, int32(idle)+1)
 	}
 	return nil
 }
 
-// Snapshot implements checkpoint.Snapshotter.
+// Snapshot implements checkpoint.Snapshotter. Version 2 encodes one
+// entry per region with any nonzero backoff state (level, skip
+// deadline), ascending by region.
 func (s *RegionScan) Snapshot(e *checkpoint.Encoder) {
 	s.heat.Snapshot(e)
-	regions := make([]uint64, 0, len(s.backoff))
-	for r := range s.backoff {
-		regions = append(regions, r)
-	}
-	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
-	e.Int(len(regions))
-	for _, r := range regions {
-		e.U64(r)
-		e.U8(s.backoff[r])
-	}
-	regions = regions[:0]
-	for r := range s.skipUntil {
-		regions = append(regions, r)
-	}
-	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
-	e.Int(len(regions))
-	for _, r := range regions {
-		e.U64(r)
-		e.Int(s.skipUntil[r])
-	}
+	count := 0
+	s.regions.forEach(func(uint64, uint8, int) { count++ })
+	e.Int(count)
+	s.regions.forEach(func(region uint64, level uint8, skipUntil int) {
+		e.U64(region)
+		e.U8(level)
+		e.Int(skipUntil)
+	})
 	e.Int(s.epoch)
 }
 
@@ -250,48 +418,91 @@ func (s *RegionScan) Restore(d *checkpoint.Decoder) error {
 	if err := s.heat.Restore(d); err != nil {
 		return err
 	}
-	n := d.Length(9)
+	n := d.Length(17)
 	if d.Err() != nil {
 		return d.Err()
 	}
-	s.backoff = make(map[uint64]uint8, n)
+	s.regions.reset()
+	maxRegion := pagetable.LeafIndex(pagetable.MaxVPage)
 	for i := 0; i < n; i++ {
-		r := d.U64()
-		b := d.U8()
-		if d.Err() != nil {
-			return d.Err()
-		}
-		s.backoff[r] = b
-	}
-	n = d.Length(16)
-	if d.Err() != nil {
-		return d.Err()
-	}
-	s.skipUntil = make(map[uint64]int, n)
-	for i := 0; i < n; i++ {
-		r := d.U64()
+		region := d.U64()
+		level := d.U8()
 		until := d.Int()
 		if d.Err() != nil {
 			return d.Err()
 		}
-		s.skipUntil[r] = until
+		if region > maxRegion {
+			return fmt.Errorf("profile: backoff region %d out of range", region)
+		}
+		if level > s.maxBackoff {
+			return fmt.Errorf("profile: backoff level %d exceeds max %d", level, s.maxBackoff)
+		}
+		s.regions.setBackoff(region, level, until)
 	}
 	s.epoch = d.Int()
 	return d.Err()
 }
 
-// Snapshot implements checkpoint.Snapshotter.
+// restoreLegacy reads the version-1 two-list layout (backoff entries,
+// then skip-until entries; either may include zero values).
+func (s *RegionScan) restoreLegacy(d *checkpoint.Decoder) error {
+	if err := s.heat.restoreLegacy(d); err != nil {
+		return err
+	}
+	s.regions.reset()
+	maxRegion := pagetable.LeafIndex(pagetable.MaxVPage)
+	n := d.Length(9)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	for i := 0; i < n; i++ {
+		region := d.U64()
+		level := d.U8()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if region > maxRegion {
+			return fmt.Errorf("profile: backoff region %d out of range", region)
+		}
+		if level > s.maxBackoff {
+			return fmt.Errorf("profile: backoff level %d exceeds max %d", level, s.maxBackoff)
+		}
+		if level != 0 {
+			c := s.regions.ensureChunk(region)
+			c.backoff[int(region)&chunkMask] = level
+		}
+	}
+	n = d.Length(16)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	for i := 0; i < n; i++ {
+		region := d.U64()
+		until := d.Int()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if region > maxRegion {
+			return fmt.Errorf("profile: backoff region %d out of range", region)
+		}
+		if until != 0 {
+			c := s.regions.ensureChunk(region)
+			c.skip[int(region)&chunkMask] = int32(until)
+		}
+	}
+	s.epoch = d.Int()
+	return d.Err()
+}
+
+// Snapshot implements checkpoint.Snapshotter. The poison list keeps the
+// version-1 shape (count, ascending pages); only the heat layout
+// changed in version 2.
 func (h *HintFault) Snapshot(e *checkpoint.Encoder) {
 	h.heat.Snapshot(e)
-	pages := make([]pagetable.VPage, 0, len(h.poisoned))
-	for vp := range h.poisoned {
-		pages = append(pages, vp)
-	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-	e.Int(len(pages))
-	for _, vp := range pages {
+	e.Int(h.poisoned.count)
+	h.poisoned.forEach(func(vp pagetable.VPage) {
 		e.U64(uint64(vp))
-	}
+	})
 	e.U64(uint64(h.cursor))
 	e.Int(h.faultsThisEpoch)
 }
@@ -301,13 +512,33 @@ func (h *HintFault) Restore(d *checkpoint.Decoder) error {
 	if err := h.heat.Restore(d); err != nil {
 		return err
 	}
+	return h.restorePoison(d)
+}
+
+func (h *HintFault) restoreLegacy(d *checkpoint.Decoder) error {
+	if err := h.heat.restoreLegacy(d); err != nil {
+		return err
+	}
+	return h.restorePoison(d)
+}
+
+func (h *HintFault) restorePoison(d *checkpoint.Decoder) error {
 	n := d.Length(8)
 	if d.Err() != nil {
 		return d.Err()
 	}
-	h.poisoned = make(map[pagetable.VPage]struct{}, n)
+	h.poisoned = pageBitmap{}
 	for i := 0; i < n; i++ {
-		h.poisoned[pagetable.VPage(d.U64())] = struct{}{}
+		vp := pagetable.VPage(d.U64())
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if vp > pagetable.MaxVPage {
+			return fmt.Errorf("profile: poisoned page %d out of range", vp)
+		}
+		if !h.poisoned.set(vp) {
+			return fmt.Errorf("profile: duplicate poisoned page %d", vp)
+		}
 	}
 	h.cursor = pagetable.VPage(d.U64())
 	h.faultsThisEpoch = d.Int()

@@ -86,7 +86,7 @@ func TestProfilerSnapshotRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 		for name, restore := range map[string]func(*checkpoint.Decoder) error{
-			"prof":  func(d *checkpoint.Decoder) error { return RestoreProfiler(d, fresh) },
+			"prof":  func(d *checkpoint.Decoder) error { return RestoreProfiler(d, fresh, SnapshotVersion) },
 			"table": freshTbl.Restore,
 		} {
 			d, err := cr.Section(name, 1)
@@ -129,11 +129,11 @@ func TestRestoreProfilerRejectsWrongKind(t *testing.T) {
 	SnapshotProfiler(e, p)
 	blob := e.Bytes()
 
-	if err := RestoreProfiler(checkpoint.NewDecoder(blob), NewScan(newProfileTable())); err == nil {
+	if err := RestoreProfiler(checkpoint.NewDecoder(blob), NewScan(newProfileTable()), SnapshotVersion); err == nil {
 		t.Fatal("pebs snapshot restored into scan profiler")
 	}
 	for cut := 0; cut < len(blob); cut += 9 {
-		if err := RestoreProfiler(checkpoint.NewDecoder(blob[:cut]), NewPEBS(4, 9)); err == nil {
+		if err := RestoreProfiler(checkpoint.NewDecoder(blob[:cut]), NewPEBS(4, 9), SnapshotVersion); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
 	}

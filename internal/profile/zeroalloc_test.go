@@ -52,7 +52,7 @@ func TestHintFaultRecordZeroAlloc(t *testing.T) {
 	tbl := warmTable(t, 8)
 	h := NewHintFault(tbl, 4, 1000)
 
-	// Miss path: the page is not poisoned, Record is a lone map lookup.
+	// Miss path: the page is not poisoned, Record is a lone bitmap probe.
 	if allocs := testing.AllocsPerRun(200, func() {
 		h.Record(Access{VP: 3, Fast: true})
 	}); allocs != 0 {
@@ -60,12 +60,12 @@ func TestHintFaultRecordZeroAlloc(t *testing.T) {
 	}
 
 	// Hit path: consume the poison, credit heat, charge the fault. The
-	// poison is re-armed each iteration; re-inserting a key the map has
-	// held before must not grow it.
-	h.poisoned[3] = struct{}{}
+	// poison is re-armed each iteration; re-setting a bit in an already
+	// allocated bitmap chunk must not allocate.
+	h.poisoned.set(3)
 	h.Record(Access{VP: 3, Write: true, Fast: true}) // warm the heat entry
 	if allocs := testing.AllocsPerRun(200, func() {
-		h.poisoned[3] = struct{}{}
+		h.poisoned.set(3)
 		h.Record(Access{VP: 3, Write: true, Fast: true})
 	}); allocs != 0 {
 		t.Errorf("HintFault.Record (poisoned) allocated %.0f objects/op, want 0", allocs)
@@ -85,4 +85,61 @@ func TestScannerRecordsZeroAlloc(t *testing.T) {
 	pinRecord(t, "Scan", NewScan(tbl), a)
 	pinRecord(t, "Chrono", NewChrono(tbl), a)
 	pinRecord(t, "RegionScan", NewRegionScan(tbl), a)
+}
+
+func TestHeatStoreRecordZeroAlloc(t *testing.T) {
+	// The store itself, below any profiler: steady-state updates of an
+	// existing cell (and the maxHeat maintenance) must not allocate.
+	h := newHeatStore(0.5)
+	for i := 0; i < 8; i++ {
+		h.record(3, i%2 == 0, 1)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		h.record(3, true, 1)
+	}); allocs != 0 {
+		t.Errorf("heatStore.record allocated %.0f objects/op in steady state, want 0", allocs)
+	}
+}
+
+func TestHeatStoreEndEpochZeroAlloc(t *testing.T) {
+	// The decay sweep with snapshot collection enabled: after the first
+	// epoch grows snapScratch, every later epoch must reuse it. Pages are
+	// spread across several chunks and recorded hot enough to survive all
+	// measured epochs (1e6 * 0.999^201 stays far above evictBelow), so the
+	// measurement covers the survivor path, not just chunk wipes.
+	h := newHeatStore(0.999)
+	for vp := pagetable.VPage(0); vp < 64; vp++ {
+		h.record(vp*(chunkPages/4+1), vp%3 == 0, 1e6)
+	}
+	h.snapshot() // consume once so endEpoch takes the collect path
+	h.endEpoch() // warm-up: grows snapScratch
+	if allocs := testing.AllocsPerRun(200, func() {
+		h.endEpoch()
+	}); allocs != 0 {
+		t.Errorf("heatStore.endEpoch allocated %.0f objects/op in steady state, want 0", allocs)
+	}
+	if h.tracked() != 64 {
+		t.Fatalf("tracked = %d after measured epochs, want 64 (pages must survive for the pin to mean anything)", h.tracked())
+	}
+}
+
+func TestPEBSEpochCycleZeroAlloc(t *testing.T) {
+	// A full profiler epoch cycle at steady state: sampled records
+	// keeping the pages warm, then the decay sweep. Record and EndEpoch
+	// together are the whole per-epoch profiling cost, so this is the
+	// end-to-end pin the figure benchmarks rely on.
+	p := NewPEBSWithDecay(1, 0.9, 42)
+	for vp := pagetable.VPage(0); vp < 16; vp++ {
+		p.Record(Access{VP: vp * 100, Write: vp%2 == 0, Fast: true})
+	}
+	p.HeatSnapshot() // consume once so endEpoch collects
+	p.EndEpoch()
+	if allocs := testing.AllocsPerRun(200, func() {
+		for vp := pagetable.VPage(0); vp < 16; vp++ {
+			p.Record(Access{VP: vp * 100, Write: vp%2 == 0, Fast: true})
+		}
+		p.EndEpoch()
+	}); allocs != 0 {
+		t.Errorf("PEBS Record+EndEpoch cycle allocated %.0f objects/op in steady state, want 0", allocs)
+	}
 }

@@ -1,0 +1,247 @@
+// Package radix provides a stable LSD radix sort over parallel key
+// arrays, used by the per-epoch ranking paths (policy candidate
+// selection, promotion-queue ordering) in place of comparison sorts.
+//
+// Callers express their comparator as a composite (major, minor) uint64
+// key pair per element; the sort orders by major ascending, then minor
+// ascending. Because every ranking comparator in the tree is a total
+// order (heat, then owner app, then page number), the composite key
+// reproduces the comparison sort's output exactly — no reliance on input
+// order or stability subtleties. Descending float orders are expressed
+// through the key transforms below.
+package radix
+
+import (
+	"math"
+	"math/bits"
+)
+
+// FloatKeyAsc maps f to a uint64 whose unsigned ascending order matches
+// f's ascending order (monotone float-bits transform, valid across the
+// full float64 range including negatives and zeros of either sign).
+func FloatKeyAsc(f float64) uint64 {
+	k := math.Float64bits(f)
+	if k>>63 == 1 {
+		return ^k
+	}
+	return k ^ 1<<63
+}
+
+// FloatKeyDesc maps f to a uint64 whose unsigned ascending order matches
+// f's descending order.
+func FloatKeyDesc(f float64) uint64 { return ^FloatKeyAsc(f) }
+
+// Buf holds one caller's reusable sort buffers. Each owner carries its
+// own instance (simulations are single-threaded, but lab workers run
+// whole simulations in parallel, so shared package-level scratch would
+// race). The zero value is ready to use.
+type Buf[T any] struct {
+	spare      []T
+	major      []uint64
+	minor      []uint64
+	majorSpare []uint64
+	minorSpare []uint64
+}
+
+// Keys returns the major and minor key arrays sized for n elements,
+// growing the backing buffers once at each high-water mark. The caller
+// fills both before Sort; contents do not persist across calls.
+func (b *Buf[T]) Keys(n int) (major, minor []uint64) {
+	if cap(b.major) < n {
+		// Jump to a power of two so a slowly growing candidate count does
+		// not reallocate the buffers every epoch.
+		c := 1 << bits.Len(uint(n-1))
+		b.major = make([]uint64, c)
+		b.minor = make([]uint64, c)
+		b.majorSpare = make([]uint64, c)
+		b.minorSpare = make([]uint64, c)
+	}
+	return b.major[:n], b.minor[:n]
+}
+
+// Sort stably reorders a by (major, minor) ascending, where the key
+// arrays were obtained from Keys and filled by the caller. It returns
+// the sorted slice, which aliases either a's backing array or the
+// buffer's spare (the other is retained as the next call's spare). Key
+// contents are consumed. Passes whose byte is uniform across all keys
+// are skipped, so narrow key ranges (small page numbers, few apps) cost
+// close to nothing.
+func (b *Buf[T]) Sort(a []T, major, minor []uint64) []T {
+	n := len(a)
+	if n < 2 {
+		return a
+	}
+	if cap(b.spare) < n {
+		c := cap(b.major)
+		if c < n {
+			c = n
+		}
+		b.spare = make([]T, c)
+	}
+	out := b.spare[:n]
+	ka, kb := minor, b.minorSpare[:n]
+	// Minor passes first (least significant), carrying the major keys
+	// along so the later major passes see them in the permuted order.
+	ca, cb := major, b.majorSpare[:n]
+	// One linear scan finds the bytes that actually vary: a byte is
+	// uniform across all keys exactly when its OR and AND agree, and a
+	// uniform byte's counting pass would be an identity copy. Typical
+	// rankings vary in only a handful of the sixteen bytes (small page
+	// numbers, few apps, clustered heats), so most passes vanish here.
+	var orMin, andMin, orMaj, andMaj uint64
+	orMin, andMin = ka[0], ka[0]
+	orMaj, andMaj = ca[0], ca[0]
+	for i := 1; i < n; i++ {
+		orMin |= ka[i]
+		andMin &= ka[i]
+		orMaj |= ca[i]
+		andMaj &= ca[i]
+	}
+	var counts [256]int
+	pass := func(keys []uint64, shift uint) {
+		clear(counts[:])
+		for _, k := range keys {
+			counts[(k>>shift)&0xFF]++
+		}
+		sum := 0
+		for i := range counts {
+			c := counts[i]
+			counts[i] = sum
+			sum += c
+		}
+		for i, k := range keys {
+			j := counts[(k>>shift)&0xFF]
+			counts[(k>>shift)&0xFF] = j + 1
+			out[j] = a[i]
+			kb[j] = ka[i]
+			cb[j] = ca[i]
+		}
+		a, out = out, a
+		ka, kb = kb, ka
+		ca, cb = cb, ca
+	}
+	varMin := orMin ^ andMin
+	varMaj := orMaj ^ andMaj
+	for shift := uint(0); shift < 64; shift += 8 {
+		if (varMin>>shift)&0xFF != 0 {
+			pass(ka, shift)
+		}
+	}
+	for shift := uint(0); shift < 64; shift += 8 {
+		if (varMaj>>shift)&0xFF != 0 {
+			pass(ca, shift)
+		}
+	}
+	b.spare = out
+	b.major, b.majorSpare = ca, cb
+	b.minor, b.minorSpare = ka, kb
+	return a
+}
+
+// TopK selects the k smallest elements of a stream under the composite
+// (major, minor) key order without materializing or sorting the whole
+// stream: a bounded binary max-heap holds the running k smallest, so
+// once it fills, an offer that is not among them costs one comparison.
+// Rankings that consume only a bounded prefix (demotion victim picks)
+// use this in place of a full sort; because the composite key is a
+// total order over distinct elements, the selected set — and, after the
+// caller sorts it — the emitted prefix is exactly the one a full sort
+// would have produced.
+//
+// Maj, Min and Val are parallel arrays forming the heap; after offers
+// complete, callers typically copy the keys into a Buf's Keys arrays
+// and Sort Val by them.
+type TopK[T any] struct {
+	Maj []uint64
+	Min []uint64
+	Val []T
+	k   int
+}
+
+// Reset prepares the selector to keep the k smallest of a new stream,
+// reusing the backing arrays.
+func (t *TopK[T]) Reset(k int) {
+	if k < 0 {
+		k = 0
+	}
+	t.k = k
+	if k == 0 {
+		t.Maj, t.Min, t.Val = t.Maj[:0], t.Min[:0], t.Val[:0]
+		return
+	}
+	if cap(t.Maj) < k {
+		c := 1 << bits.Len(uint(k-1))
+		t.Maj = make([]uint64, 0, c) //vulcan:allowalloc grow-once selection buffer, reused across epochs
+		t.Min = make([]uint64, 0, c) //vulcan:allowalloc grow-once selection buffer, reused across epochs
+		t.Val = make([]T, 0, c)      //vulcan:allowalloc grow-once selection buffer, reused across epochs
+	}
+	t.Maj, t.Min, t.Val = t.Maj[:0], t.Min[:0], t.Val[:0]
+}
+
+// greater reports whether heap element i orders after element j.
+func (t *TopK[T]) greater(i, j int) bool {
+	if t.Maj[i] != t.Maj[j] {
+		return t.Maj[i] > t.Maj[j]
+	}
+	return t.Min[i] > t.Min[j]
+}
+
+func (t *TopK[T]) swap(i, j int) {
+	t.Maj[i], t.Maj[j] = t.Maj[j], t.Maj[i]
+	t.Min[i], t.Min[j] = t.Min[j], t.Min[i]
+	t.Val[i], t.Val[j] = t.Val[j], t.Val[i]
+}
+
+func (t *TopK[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.greater(i, parent) {
+			break
+		}
+		t.swap(i, parent)
+		i = parent
+	}
+}
+
+func (t *TopK[T]) down(i int) {
+	n := len(t.Val)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && t.greater(r, l) {
+			big = r
+		}
+		if !t.greater(big, i) {
+			return
+		}
+		t.swap(i, big)
+		i = big
+	}
+}
+
+// Offer considers one element. It keeps the element iff it is among the
+// k smallest seen so far.
+//
+//vulcan:hotpath
+func (t *TopK[T]) Offer(maj, min uint64, v T) {
+	if t.k == 0 {
+		return
+	}
+	if len(t.Val) < t.k {
+		t.Maj = append(t.Maj, maj)
+		t.Min = append(t.Min, min)
+		t.Val = append(t.Val, v)
+		t.up(len(t.Val) - 1)
+		return
+	}
+	// Heap full: replace the current maximum iff the new element orders
+	// strictly before it.
+	if maj > t.Maj[0] || (maj == t.Maj[0] && min >= t.Min[0]) {
+		return
+	}
+	t.Maj[0], t.Min[0], t.Val[0] = maj, min, v
+	t.down(0)
+}

@@ -1,0 +1,157 @@
+package radix
+
+import (
+	"math"
+	"slices"
+	"testing"
+)
+
+type el struct {
+	heat float64
+	app  int
+	vp   uint64
+}
+
+// refOrder is the comparison sort the radix sort must reproduce:
+// heat descending, then app ascending, then vp ascending.
+func refOrder(x, y el) int {
+	switch {
+	case x.heat > y.heat:
+		return -1
+	case x.heat < y.heat:
+		return 1
+	case x.app != y.app:
+		return x.app - y.app
+	case x.vp < y.vp:
+		return -1
+	case x.vp > y.vp:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestFloatKeyMonotone(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -2.5, -1, -math.SmallestNonzeroFloat64,
+		math.Copysign(0, -1), 0, math.SmallestNonzeroFloat64, 1, 2.5, 1e300, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		a, b := vals[i-1], vals[i]
+		if a < b && FloatKeyAsc(a) >= FloatKeyAsc(b) {
+			t.Errorf("FloatKeyAsc not monotone at %g < %g", a, b)
+		}
+		if a < b && FloatKeyDesc(a) <= FloatKeyDesc(b) {
+			t.Errorf("FloatKeyDesc not antitone at %g < %g", a, b)
+		}
+	}
+	if FloatKeyAsc(0) != FloatKeyAsc(math.Copysign(0, -1)) {
+		// ±0 compare equal as floats; their keys differ, which is fine for
+		// rankings (heats are never -0) but worth pinning as a known edge.
+		t.Log("±0 keys differ (expected: bits transform distinguishes them)")
+	}
+}
+
+func TestSortMatchesComparisonSort(t *testing.T) {
+	// Deterministic pseudo-random stream (xorshift), including duplicate
+	// heats, duplicate (heat, app) pairs, zeros, and negatives.
+	s := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	var b Buf[el]
+	for _, n := range []int{0, 1, 2, 3, 17, 256, 4096} {
+		items := make([]el, n)
+		for i := range items {
+			heats := []float64{0, 1, 1, 2.5, -3, 1e-9, 7, 7, 7}
+			items[i] = el{
+				heat: heats[next()%uint64(len(heats))],
+				app:  int(next() % 5),
+				vp:   next() % 1_000_000,
+			}
+		}
+		want := slices.Clone(items)
+		slices.SortFunc(want, refOrder)
+
+		major, minor := b.Keys(n)
+		for i, it := range items {
+			major[i] = FloatKeyDesc(it.heat)
+			minor[i] = uint64(it.app)<<36 | it.vp
+		}
+		got := b.Sort(items, major, minor)
+		if !slices.Equal(got, want) {
+			t.Fatalf("n=%d: radix order diverges from comparison sort", n)
+		}
+	}
+}
+
+// TestTopKMatchesSortPrefix pins the selection contract: Reset(k),
+// Offer everything, sort the survivors — the result must equal the
+// first k elements of a full sort under the same composite key.
+func TestTopKMatchesSortPrefix(t *testing.T) {
+	s := uint64(0x2545f4914f6cdd1d)
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	var sel TopK[el]
+	var buf Buf[el]
+	for _, n := range []int{0, 1, 5, 257, 2048} {
+		for _, k := range []int{1, 3, 64, n + 7} {
+			items := make([]el, n)
+			for i := range items {
+				heats := []float64{0, 1, 1, 2.5, 7, 7}
+				items[i] = el{
+					heat: heats[next()%uint64(len(heats))],
+					app:  int(next() % 3),
+					vp:   next() % 100_000,
+				}
+			}
+			want := slices.Clone(items)
+			slices.SortFunc(want, refOrder)
+			if k < len(want) {
+				want = want[:k]
+			}
+
+			sel.Reset(k)
+			for _, it := range items {
+				sel.Offer(FloatKeyDesc(it.heat), uint64(it.app)<<36|it.vp, it)
+			}
+			got := len(sel.Val)
+			major, minor := buf.Keys(got)
+			copy(major, sel.Maj)
+			copy(minor, sel.Min)
+			sel.Val = buf.Sort(sel.Val, major, minor)
+			if !slices.Equal(sel.Val, want) {
+				t.Fatalf("n=%d k=%d: selection diverges from sort prefix", n, k)
+			}
+		}
+	}
+}
+
+func TestSortReusesBuffers(t *testing.T) {
+	var b Buf[el]
+	const n = 512
+	allocs := testing.AllocsPerRun(20, func() {
+		items := b.spare // reuse the spare as the input to avoid per-run allocation
+		if cap(items) < n {
+			items = make([]el, n)
+		}
+		items = items[:n]
+		for i := range items {
+			items[i] = el{heat: float64(i % 7), vp: uint64(n - i)}
+		}
+		major, minor := b.Keys(n)
+		for i, it := range items {
+			major[i] = FloatKeyDesc(it.heat)
+			minor[i] = it.vp
+		}
+		b.Sort(items, major, minor)
+	})
+	if allocs > 0.5 {
+		t.Fatalf("steady-state Sort allocates %.1f times per run, want 0", allocs)
+	}
+}

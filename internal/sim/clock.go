@@ -1,6 +1,7 @@
 // Package sim provides the deterministic simulation kernel shared by every
 // substrate in the repository: a nanosecond-resolution virtual clock, a
-// binary-heap event queue, and reproducible pseudo-random number generators.
+// calendar-queue event scheduler, and reproducible pseudo-random number
+// generators.
 //
 // All simulated components (memory tiers, TLBs, migration engines, workload
 // generators) advance exclusively through this package, which keeps every

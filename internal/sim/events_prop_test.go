@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// The calendar queue must be observationally identical to a plain binary
+// heap ordered by (At, seq). refQueue is that reference model — the
+// pre-calendar implementation, kept here as an executable specification.
+
+type refEvent struct {
+	at    Time
+	fn    func(now Time)
+	seq   uint64
+	index int
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *refHeap) Push(x any) {
+	e := x.(*refEvent)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+type refQueue struct {
+	clock *Clock
+	h     refHeap
+	seq   uint64
+}
+
+func (q *refQueue) at(t Time, fn func(now Time)) *refEvent {
+	if t < q.clock.Now() {
+		panic("refQueue: scheduling event in the past")
+	}
+	e := &refEvent{at: t, fn: fn, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+func (q *refQueue) cancel(e *refEvent) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&q.h, e.index)
+}
+
+func (q *refQueue) peekTime() (Time, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+
+func (q *refQueue) step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(*refEvent)
+	q.clock.AdvanceTo(e.at)
+	e.fn(e.at)
+	return true
+}
+
+// propHarness drives the real Queue and the reference model with an
+// identical operation stream and checks every observable after each op.
+type propHarness struct {
+	t *testing.T
+
+	realClock Clock
+	refClock  Clock
+	real      *Queue
+	ref       *refQueue
+
+	nextID   int
+	realLive map[int]*Event
+	refLive  map[int]*refEvent
+	realLog  []int
+	refLog   []int
+}
+
+func newPropHarness(t *testing.T) *propHarness {
+	h := &propHarness{t: t, realLive: map[int]*Event{}, refLive: map[int]*refEvent{}}
+	h.real = NewQueue(&h.realClock)
+	h.ref = &refQueue{clock: &h.refClock}
+	return h
+}
+
+// schedule registers a new event at absolute time at in both queues.
+// When victim >= 0 the event, on firing, cancels event id victim in its
+// own queue — exercising cancellation during drain.
+func (h *propHarness) schedule(at Time, victim int) int {
+	id := h.nextID
+	h.nextID++
+	h.realLive[id] = h.real.At(at, func(Time) {
+		h.realLog = append(h.realLog, id)
+		delete(h.realLive, id)
+		if victim >= 0 {
+			if v, ok := h.realLive[victim]; ok {
+				h.real.Cancel(v)
+				delete(h.realLive, victim)
+			}
+		}
+	})
+	h.refLive[id] = h.ref.at(at, func(Time) {
+		h.refLog = append(h.refLog, id)
+		delete(h.refLive, id)
+		if victim >= 0 {
+			if v, ok := h.refLive[victim]; ok {
+				h.ref.cancel(v)
+				delete(h.refLive, victim)
+			}
+		}
+	})
+	return id
+}
+
+func (h *propHarness) cancel(id int) {
+	e, ok := h.realLive[id]
+	if !ok {
+		return
+	}
+	h.real.Cancel(e)
+	if !e.Cancelled() {
+		h.t.Fatalf("event %d does not report Cancelled after Cancel", id)
+	}
+	delete(h.realLive, id)
+	h.ref.cancel(h.refLive[id])
+	delete(h.refLive, id)
+}
+
+// check compares every observable of the two queues.
+func (h *propHarness) check() {
+	h.t.Helper()
+	if h.real.Len() != len(h.ref.h) {
+		h.t.Fatalf("Len mismatch: real %d, ref %d", h.real.Len(), len(h.ref.h))
+	}
+	rt, rok := h.real.PeekTime()
+	ft, fok := h.ref.peekTime()
+	if rok != fok || rt != ft {
+		h.t.Fatalf("PeekTime mismatch: real %d,%v ref %d,%v", rt, rok, ft, fok)
+	}
+	if h.realClock.Now() != h.refClock.Now() {
+		h.t.Fatalf("clock mismatch: real %d, ref %d", h.realClock.Now(), h.refClock.Now())
+	}
+	if len(h.realLog) != len(h.refLog) {
+		h.t.Fatalf("fired %d events, ref fired %d", len(h.realLog), len(h.refLog))
+	}
+	for i := range h.realLog {
+		if h.realLog[i] != h.refLog[i] {
+			h.t.Fatalf("fire order diverges at %d: real %v, ref %v",
+				i, h.realLog[i:], h.refLog[i:])
+		}
+	}
+}
+
+func (h *propHarness) step() {
+	r := h.real.Step()
+	f := h.ref.step()
+	if r != f {
+		h.t.Fatalf("Step mismatch: real %v, ref %v", r, f)
+	}
+}
+
+// liveIDs returns the live ids in insertion order (map iteration order
+// must not leak into the deterministic op stream).
+func (h *propHarness) liveIDs() []int {
+	ids := make([]int, 0, len(h.realLive))
+	for id := 0; id < h.nextID; id++ {
+		if _, ok := h.realLive[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// TestQueuePropertyVsHeap drives the calendar queue and the binary-heap
+// reference with a long randomized stream of schedules (near, same-tick,
+// beyond-horizon, equal-timestamp bursts), cancellations (including from
+// inside firing callbacks), rescheduling, and partial drains, checking
+// fire order, Len, PeekTime, and clock agreement after every operation.
+func TestQueuePropertyVsHeap(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 0xdecafbad} {
+		rng := NewRNG(seed)
+		h := newPropHarness(t)
+		for round := 0; round < 400; round++ {
+			nOps := 1 + rng.Intn(8)
+			for op := 0; op < nOps; op++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2: // near-future schedule, inside the ring window
+					h.schedule(h.realClock.Now()+Time(int64(rng.Intn(int(50*Millisecond)))), -1)
+				case 3: // same-timestamp burst: FIFO must hold
+					at := h.realClock.Now() + Time(int64(rng.Intn(int(Millisecond))))
+					for i := 0; i < 3; i++ {
+						h.schedule(at, -1)
+					}
+				case 4: // beyond the ~1.07s horizon: lands in the overflow heap
+					h.schedule(h.realClock.Now()+Time(Second)+Time(int64(rng.Intn(int(3*Second)))), -1)
+				case 5: // schedule an event that cancels another when it fires
+					victim := -1
+					if ids := h.liveIDs(); len(ids) > 0 {
+						victim = ids[rng.Intn(len(ids))]
+					}
+					h.schedule(h.realClock.Now()+Time(int64(rng.Intn(int(10*Millisecond)))), victim)
+				case 6: // direct cancel
+					if ids := h.liveIDs(); len(ids) > 0 {
+						h.cancel(ids[rng.Intn(len(ids))])
+					}
+				case 7: // reschedule: cancel then re-add at a new time
+					if ids := h.liveIDs(); len(ids) > 0 {
+						h.cancel(ids[rng.Intn(len(ids))])
+						h.schedule(h.realClock.Now()+Time(int64(rng.Intn(int(2*Second)))), -1)
+					}
+				case 8: // immediate: due exactly now
+					h.schedule(h.realClock.Now(), -1)
+				case 9: // idle-gap probe: far future, forces a window jump
+					h.schedule(h.realClock.Now()+Time(5*Second)+Time(int64(rng.Intn(int(5*Second)))), -1)
+				}
+				h.check()
+			}
+			// Fire a few events — cancels-from-callbacks happen here.
+			for fires := rng.Intn(6); fires > 0; fires-- {
+				h.step()
+				h.check()
+			}
+		}
+		// Full drain must agree to the last event.
+		for h.real.Step() {
+			h.ref.step()
+			h.check()
+		}
+		if h.ref.step() {
+			t.Fatal("reference queue still has events after real queue drained")
+		}
+		h.check()
+		if len(h.realLog) == 0 {
+			t.Fatal("property run fired no events; stream generator is broken")
+		}
+	}
+}

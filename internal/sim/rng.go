@@ -37,7 +37,16 @@ func (r *RNG) Seed(seed uint64) {
 // Fork derives an independent generator from this one. The child stream is
 // decorrelated by hashing a draw from the parent.
 func (r *RNG) Fork() *RNG {
-	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+	child := &RNG{}
+	r.ForkInto(child)
+	return child
+}
+
+// ForkInto seeds dst as an independent child stream, exactly like Fork
+// but into caller-owned storage — bulk constructors fork dozens of
+// streams and can keep them in one backing array.
+func (r *RNG) ForkInto(dst *RNG) {
+	dst.Seed(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -104,98 +113,5 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 	for i := n - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
 		swap(i, j)
-	}
-}
-
-// Zipf draws from a Zipfian distribution over [0, n) with skew parameter
-// s > 0 using precomputed tables; construct with NewZipf.
-type Zipf struct {
-	rng     *RNG
-	n       int
-	cdf     []float64 // cumulative probabilities, len n (exact mode)
-	approx  bool
-	s       float64
-	hIntegX float64 // integral-based sampler state for large n
-	hX0     float64
-}
-
-// zipfExactThreshold bounds the table-based sampler; beyond it we use the
-// rejection-inversion method (Hörmann & Derflinger) that needs O(1) space.
-const zipfExactThreshold = 1 << 20
-
-// NewZipf builds a Zipfian sampler over ranks [0, n) where rank k has
-// probability proportional to 1/(k+1)^s.
-func NewZipf(rng *RNG, n int, s float64) *Zipf {
-	if n <= 0 {
-		panic("sim: Zipf with non-positive n")
-	}
-	if s <= 0 {
-		panic("sim: Zipf with non-positive skew")
-	}
-	z := &Zipf{rng: rng, n: n, s: s}
-	if n <= zipfExactThreshold {
-		z.cdf = make([]float64, n)
-		sum := 0.0
-		for k := 0; k < n; k++ {
-			sum += 1.0 / math.Pow(float64(k+1), s)
-			z.cdf[k] = sum
-		}
-		inv := 1.0 / sum
-		for k := range z.cdf {
-			z.cdf[k] *= inv
-		}
-		return z
-	}
-	z.approx = true
-	z.hIntegX = z.hInteg(float64(n) + 0.5)
-	z.hX0 = z.hInteg(1.5) - 1.0
-	return z
-}
-
-// hInteg is the antiderivative of 1/x^s (rejection-inversion helper).
-func (z *Zipf) hInteg(x float64) float64 {
-	if z.s == 1.0 {
-		return math.Log(x)
-	}
-	return (math.Pow(x, 1.0-z.s) - 1.0) / (1.0 - z.s)
-}
-
-func (z *Zipf) hIntegInv(x float64) float64 {
-	if z.s == 1.0 {
-		return math.Exp(x)
-	}
-	return math.Pow(1.0+x*(1.0-z.s), 1.0/(1.0-z.s))
-}
-
-// Next returns the next Zipf-distributed rank in [0, n).
-func (z *Zipf) Next() int {
-	if !z.approx {
-		u := z.rng.Float64()
-		// Binary search the CDF.
-		lo, hi := 0, z.n-1
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if z.cdf[mid] < u {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		return lo
-	}
-	// Rejection-inversion for large n.
-	for {
-		u := z.hX0 + z.rng.Float64()*(z.hIntegX-z.hX0)
-		x := z.hIntegInv(u)
-		k := math.Floor(x + 0.5)
-		if k < 1 {
-			k = 1
-		}
-		if k > float64(z.n) {
-			k = float64(z.n)
-		}
-		if u >= z.hInteg(k+0.5)-math.Pow(k, -z.s) {
-			return int(k) - 1
-		}
 	}
 }

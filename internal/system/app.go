@@ -75,6 +75,12 @@ type App struct {
 	fastPages int
 	rssMapped int
 
+	// Recorder series names, derived once from Cfg.Name so the per-epoch
+	// accounting loop does not rebuild the same strings forever.
+	keyFastPages string //vulcan:nosnap derived from Cfg.Name at construction
+	keyFTHR      string //vulcan:nosnap derived from Cfg.Name at construction
+	keyOps       string //vulcan:nosnap derived from Cfg.Name at construction
+
 	// profileDegraded latches whether injected sample loss starved this
 	// epoch's profile below the plan's confidence threshold; resilient
 	// policies hold their prior placement instead of reacting to it.
@@ -597,18 +603,12 @@ func (a *App) chargeEpochCost(ec epochCost) {
 	}
 }
 
-// refreshCensus recounts tier placement from the page table.
+// refreshCensus reads tier placement from the page table's maintained
+// counters — an O(1) read where the original implementation walked every
+// present PTE per app per epoch.
 func (a *App) refreshCensus() {
-	fast, mapped := 0, 0
-	a.Table.Range(func(vp pagetable.VPage, p pagetable.PTE) bool {
-		mapped++
-		if p.Frame().Tier == mem.TierFast {
-			fast++
-		}
-		return true
-	})
-	a.fastPages = fast
-	a.rssMapped = mapped
+	a.fastPages = a.Table.FastMapped()
+	a.rssMapped = a.Table.Mapped()
 }
 
 // LLCHitCycles is the cost of an access absorbed by the on-chip cache.

@@ -3,11 +3,11 @@ package system
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"vulcan/internal/checkpoint"
 	"vulcan/internal/mem"
 	"vulcan/internal/migrate"
+	"vulcan/internal/pagetable"
 	"vulcan/internal/profile"
 )
 
@@ -15,14 +15,17 @@ import (
 // changes; Resume then rejects checkpoints written under the old layout
 // instead of misreading them.
 const (
-	metaVersion     = 1
-	clockVersion    = 1
-	machineVersion  = 1
-	memVersion      = 1
-	systemVersion   = 1
-	metricsVersion  = 1
-	appVersion      = 1
-	profilerVersion = 1
+	metaVersion    = 1
+	clockVersion   = 1
+	machineVersion = 1
+	memVersion     = 1
+	systemVersion  = 1
+	metricsVersion = 1
+	appVersion     = 1
+	// profilerVersion tracks the profile package's snapshot layout; Resume
+	// additionally accepts profile.LegacySnapshotVersion blobs so
+	// checkpoints written before the dense-store rewrite still restore.
+	profilerVersion = profile.SnapshotVersion
 	policyVersion   = 1
 	faultVersion    = 1
 	obsVersion      = 1
@@ -245,11 +248,20 @@ func Resume(r io.Reader, cfg Config) (*System, error) {
 			return nil, err
 		}
 		if a.started && samePolicy {
-			pd, err := cr.Section(fmt.Sprintf("app.%d.profiler", i), profilerVersion)
+			name := fmt.Sprintf("app.%d.profiler", i)
+			ver, ok := cr.Version(name)
+			if !ok {
+				return nil, fmt.Errorf("checkpoint: missing section %q", name)
+			}
+			if ver != profile.SnapshotVersion && ver != profile.LegacySnapshotVersion {
+				return nil, fmt.Errorf("system: section %q version %d (want %d or %d)",
+					name, ver, profile.SnapshotVersion, profile.LegacySnapshotVersion)
+			}
+			pd, err := cr.Section(name, ver)
 			if err != nil {
 				return nil, err
 			}
-			if err := profile.RestoreProfiler(pd, a.Profiler); err != nil {
+			if err := profile.RestoreProfiler(pd, a.Profiler, ver); err != nil {
 				return nil, err
 			}
 			if err := pd.Close(); err != nil {
@@ -467,17 +479,11 @@ func (a *App) restore(d *checkpoint.Decoder, started bool) error {
 }
 
 // Snapshot appends the THP overlay: the intact huge groups in ascending
-// order plus the lifetime split count.
+// order plus the lifetime split count. The bitmap iterates ascending by
+// construction, so the wire bytes match the previous sorted encoding.
 func (h *HugeSet) Snapshot(e *checkpoint.Encoder) {
-	groups := make([]uint64, 0, len(h.groups))
-	for g := range h.groups {
-		groups = append(groups, g)
-	}
-	sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
-	e.Int(len(groups))
-	for _, g := range groups {
-		e.U64(g)
-	}
+	e.Int(h.count)
+	h.forEachGroup(func(g uint64) { e.U64(g) })
 	e.U64(h.splits)
 }
 
@@ -487,16 +493,19 @@ func (h *HugeSet) Restore(d *checkpoint.Decoder) error {
 	if d.Err() != nil {
 		return d.Err()
 	}
-	h.groups = make(map[uint64]bool, n)
+	h.words = nil
+	h.count = 0
 	for i := 0; i < n; i++ {
 		g := d.U64()
 		if d.Err() != nil {
 			return d.Err()
 		}
-		if h.groups[g] {
+		if g > uint64(pagetable.MaxVPage)>>9 {
+			return fmt.Errorf("system: huge group %d out of range in checkpoint", g)
+		}
+		if !h.setGroup(g) {
 			return fmt.Errorf("system: duplicate huge group %d in checkpoint", g)
 		}
-		h.groups[g] = true
 	}
 	h.splits = d.U64()
 	return d.Err()

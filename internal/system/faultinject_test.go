@@ -49,6 +49,8 @@ func (a *adversarialProfiler) HeatSnapshot() []profile.PageHeat {
 	return out
 }
 
+func (a *adversarialProfiler) HeatPages() []profile.PageHeat { return a.HeatSnapshot() }
+
 func (a *adversarialProfiler) Tracked() int { return 256 }
 
 // chaosPolicy drives migrations straight from the adversarial snapshots,

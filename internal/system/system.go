@@ -132,6 +132,12 @@ type System struct {
 	// tiers and cost are aliases of the machine's fields for brevity.
 	tiers *mem.Tiers
 	cost  machine.CostModel
+
+	// startedScratch backs StartedApps; the filter is rebuilt on every
+	// call so policies can hold the returned slice through an epoch (the
+	// started set only changes at epoch boundaries, and reentrant calls
+	// rewrite identical contents in place).
+	startedScratch []*App //vulcan:nosnap derived view, rebuilt by every StartedApps call
 }
 
 // New validates cfg and builds the system; apps are admitted lazily at
@@ -173,7 +179,12 @@ func New(cfg Config) *System {
 	for i, ac := range cfg.Apps {
 		ac.Validate()
 		totalThreads += ac.Threads
-		s.apps = append(s.apps, &App{Cfg: ac, Index: i, rng: s.rng.Fork()})
+		s.apps = append(s.apps, &App{
+			Cfg: ac, Index: i, rng: s.rng.Fork(),
+			keyFastPages: ac.Name + ".fast_pages",
+			keyFTHR:      ac.Name + ".fthr",
+			keyOps:       ac.Name + ".ops",
+		})
 	}
 	if totalThreads > cfg.Machine.Cores {
 		panic(fmt.Sprintf("system: %d app threads exceed %d cores (the paper pins one thread per core)",
@@ -187,12 +198,13 @@ func (s *System) Apps() []*App { return s.apps }
 
 // StartedApps returns the currently admitted apps.
 func (s *System) StartedApps() []*App {
-	out := make([]*App, 0, len(s.apps))
+	out := s.startedScratch[:0]
 	for _, a := range s.apps {
 		if a.started {
 			out = append(out, a)
 		}
 	}
+	s.startedScratch = out
 	return out
 }
 
@@ -328,10 +340,9 @@ func (s *System) RunEpoch() {
 		}
 		a.refreshCensus()
 		s.cfi.Observe(a.Index, float64(a.fastPages), a.FTHR())
-		prefix := a.Cfg.Name + "."
-		s.recorder.Record(prefix+"fast_pages", float64(a.fastPages))
-		s.recorder.Record(prefix+"fthr", a.FTHR())
-		s.recorder.Record(prefix+"ops", a.epochOps)
+		s.recorder.Record(a.keyFastPages, float64(a.fastPages))
+		s.recorder.Record(a.keyFTHR, a.FTHR())
+		s.recorder.Record(a.keyOps, a.epochOps)
 		weighted[mem.TierFast] += a.epochFastSamples * a.sampleWeight
 		weighted[mem.TierSlow] += a.epochSlowSamples * a.sampleWeight
 		s.observeApp(a)

@@ -1,6 +1,10 @@
 package system
 
-import "vulcan/internal/pagetable"
+import (
+	"math/bits"
+
+	"vulcan/internal/pagetable"
+)
 
 // HugeSet tracks which 2MiB-aligned groups of an application's address
 // space are currently mapped as transparent huge pages. Vulcan "enables
@@ -10,12 +14,14 @@ import "vulcan/internal/pagetable"
 // kernel.
 //
 // The model keeps base-page PTEs as the source of truth and overlays
-// huge-ness per 512-page group: an access to a huge group occupies one
-// TLB entry for the whole group (2MiB reach), and migrating any page of
-// a huge group first splits it (a one-time cost, after which the group's
-// pages translate individually).
+// huge-ness per 512-page group. Group indices are bounded by the app's
+// initial RSS (groups are only ever split, never created), so the set
+// is a plain bitmap: IsHuge sits on the per-access TLB path, where a
+// map lookup per access was a measurable fraction of the figure
+// benchmarks.
 type HugeSet struct {
-	groups map[uint64]bool
+	words  []uint64
+	count  int
 	splits uint64
 }
 
@@ -32,16 +38,24 @@ func hugeTLBTag(vp pagetable.VPage) pagetable.VPage {
 // whole 512-page groups (the tail partial group stays base-mapped, as
 // the kernel would leave it).
 func NewHugeSet(rssPages int) *HugeSet {
-	h := &HugeSet{groups: make(map[uint64]bool)}
-	for g := uint64(0); g < uint64(rssPages)/pagetable.EntriesPerTable; g++ {
-		h.groups[g] = true
+	n := uint64(rssPages) / pagetable.EntriesPerTable
+	h := &HugeSet{words: make([]uint64, (n+63)/64), count: int(n)}
+	for g := uint64(0); g < n; g++ {
+		h.words[g>>6] |= 1 << (g & 63)
 	}
 	return h
 }
 
 // IsHuge reports whether vp is covered by a huge mapping.
+//
+//vulcan:hotpath
 func (h *HugeSet) IsHuge(vp pagetable.VPage) bool {
-	return h != nil && h.groups[hugeGroup(vp)]
+	if h == nil {
+		return false
+	}
+	g := hugeGroup(vp)
+	w := g >> 6
+	return w < uint64(len(h.words)) && h.words[w]&(1<<(g&63)) != 0
 }
 
 // Split breaks the huge mapping covering vp, reporting whether a split
@@ -51,12 +65,46 @@ func (h *HugeSet) Split(vp pagetable.VPage) bool {
 		return false
 	}
 	g := hugeGroup(vp)
-	if !h.groups[g] {
+	w := g >> 6
+	if w >= uint64(len(h.words)) {
 		return false
 	}
-	delete(h.groups, g)
+	mask := uint64(1) << (g & 63)
+	if h.words[w]&mask == 0 {
+		return false
+	}
+	h.words[w] &^= mask
+	h.count--
 	h.splits++
 	return true
+}
+
+// setGroup marks group g huge, growing the bitmap as needed; reports
+// whether it was newly set (false = duplicate).
+func (h *HugeSet) setGroup(g uint64) bool {
+	w := g >> 6
+	if w >= uint64(len(h.words)) {
+		grown := make([]uint64, w+1)
+		copy(grown, h.words)
+		h.words = grown
+	}
+	mask := uint64(1) << (g & 63)
+	if h.words[w]&mask != 0 {
+		return false
+	}
+	h.words[w] |= mask
+	h.count++
+	return true
+}
+
+// forEachGroup calls fn for every intact huge group in ascending order.
+func (h *HugeSet) forEachGroup(fn func(g uint64)) {
+	for w, word := range h.words {
+		for word != 0 {
+			fn(uint64(w)<<6 | uint64(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
 }
 
 // HugeGroups returns the number of intact huge mappings.
@@ -64,7 +112,7 @@ func (h *HugeSet) HugeGroups() int {
 	if h == nil {
 		return 0
 	}
-	return len(h.groups)
+	return h.count
 }
 
 // Splits returns the lifetime split count.

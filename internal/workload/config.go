@@ -123,16 +123,27 @@ func BuildThreads(cfg AppConfig, rng *sim.RNG) []*Thread {
 		sharedPages = 1
 	}
 	privPer := (cfg.RSSPages - sharedPages) / cfg.Threads
+	// One backing array each for the threads and their RNG streams; the
+	// per-thread fork order (shared, thread, private) is the determinism
+	// contract and must not change.
+	backing := make([]Thread, cfg.Threads)
+	rngs := make([]sim.RNG, 3*cfg.Threads)
 	threads := make([]*Thread, cfg.Threads)
-	for i := range threads {
-		t := &Thread{
-			ID:         i,
-			shared:     cfg.NewGen(sharedPages, rng.Fork()),
-			sharedProb: cfg.SharedFraction,
-			rng:        rng.Fork(),
-		}
+	forked := 0
+	fork := func() *sim.RNG {
+		child := &rngs[forked]
+		forked++
+		rng.ForkInto(child)
+		return child
+	}
+	for i := range backing {
+		t := &backing[i]
+		t.ID = i
+		t.shared = cfg.NewGen(sharedPages, fork())
+		t.sharedProb = cfg.SharedFraction
+		t.rng = fork()
 		if privPer > 0 {
-			t.private = cfg.NewGen(privPer, rng.Fork())
+			t.private = cfg.NewGen(privPer, fork())
 			t.privateBase = sharedPages + i*privPer
 		} else {
 			t.sharedProb = 1
