@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt vet lint vet-sarif test race obs-demo obs-demo-parallel chaos-demo chaos-golden checkpoint-demo prof-demo bench bench-checkpoint bench-diff
+.PHONY: check build fmt vet lint vet-sarif test race obs-demo obs-demo-parallel chaos-demo chaos-golden checkpoint-demo prof-demo fleet-demo bench bench-checkpoint bench-fleet bench-diff
 
 # check is the full gate, in fail-fast order: cheap static checks first,
 # then the test suites.
@@ -175,6 +175,27 @@ prof-demo:
 	$(GO) tool pprof -top out/prof-demo/cost.pb.gz | head -20
 	@echo "prof-demo: cost artifacts byte-identical across replays and workers 1/2/7"
 
+# fleet-demo is the executable determinism contract for the fleet layer
+# (DESIGN.md "Fleet simulation"): the same 6-host fleet under the
+# vulcan scheduler must emit byte-identical reports at -parallel 1, 2
+# and 7, and a run interrupted at epoch 6, checkpointed and resumed at
+# a different worker count must reproduce the uninterrupted report.
+# Artifacts land in out/fleet-demo/ (gitignored).
+FLEET_DEMO_FLAGS = -fleet 6 -scheduler vulcan -policy vulcan -seconds 12 -scale 8 -seed 7
+fleet-demo:
+	@mkdir -p out/fleet-demo
+	$(GO) run ./cmd/vulcansim $(FLEET_DEMO_FLAGS) -parallel 1 > out/fleet-demo/report-w1.txt
+	$(GO) run ./cmd/vulcansim $(FLEET_DEMO_FLAGS) -parallel 2 > out/fleet-demo/report-w2.txt
+	$(GO) run ./cmd/vulcansim $(FLEET_DEMO_FLAGS) -parallel 7 > out/fleet-demo/report-w7.txt
+	cmp out/fleet-demo/report-w1.txt out/fleet-demo/report-w2.txt
+	cmp out/fleet-demo/report-w1.txt out/fleet-demo/report-w7.txt
+	$(GO) run ./cmd/vulcansim $(FLEET_DEMO_FLAGS) -parallel 2 -seconds 6 \
+		-checkpoint-out out/fleet-demo/mid.ckpt > /dev/null
+	$(GO) run ./cmd/vulcansim $(FLEET_DEMO_FLAGS) -parallel 7 -seconds 6 \
+		-resume out/fleet-demo/mid.ckpt > out/fleet-demo/report-resumed.txt
+	cmp out/fleet-demo/report-w1.txt out/fleet-demo/report-resumed.txt
+	@echo "fleet-demo: fleet report byte-identical across workers 1/2/7 and across resume"
+
 # bench runs the figure benchmarks with allocation accounting and
 # records the numbers as structured JSON (committed as
 # BENCH_parallel.json so perf regressions show up in review diffs).
@@ -205,6 +226,15 @@ bench-diff:
 	@status=0; $(GO) run ./cmd/benchjson -diff $(BASELINE) \
 		< out/bench-diff-raw.txt > out/bench-diff.txt || status=$$?; \
 	cat out/bench-diff.txt; exit $$status
+
+# bench-fleet measures the fleet layer: host-stepping scaling across
+# lab worker counts, the schedulers head to head (with the fleet CFI
+# each reaches), and the fleet checkpoint round-trip. Committed as
+# BENCH_fleet.json.
+bench-fleet:
+	$(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson > BENCH_fleet.json
+	@cat BENCH_fleet.json
 
 # bench-checkpoint measures the branch-from-snapshot win: one shared
 # warm-up feeding every policy x fault-rate cell of a sweep, against

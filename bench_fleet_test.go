@@ -1,0 +1,135 @@
+// Benchmarks for the fleet simulation layer (internal/cluster): host
+// stepping cost across lab worker counts and the placement schedulers
+// head to head. Wall-clock timing is fine here: this file is outside
+// the simulation tree, and the measurement is about host cost, not
+// simulated behavior.
+//
+//	make bench-fleet
+package vulcan_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"vulcan/internal/cluster"
+	"vulcan/internal/figures"
+	"vulcan/internal/machine"
+	"vulcan/internal/mem"
+	"vulcan/internal/sim"
+	"vulcan/internal/system"
+	"vulcan/internal/workload"
+)
+
+// benchFleetConfig builds a micro-scale fleet: 8-core hosts with a
+// 256-page fast tier, two zipfian jobs per host with staggered arrivals
+// and a few departures, rebalancing every 3 epochs.
+func benchFleetConfig(hosts, workers int, sched string) cluster.Config {
+	mcfg := machine.DefaultConfig()
+	mcfg.Cores = 8
+	mcfg.Tiers[mem.TierFast].CapacityPages = 256
+	mcfg.Tiers[mem.TierSlow].CapacityPages = 4096
+
+	var jobs []cluster.JobSpec
+	for i := 0; i < 2*hosts; i++ {
+		class := workload.LC
+		if i%2 == 1 {
+			class = workload.BE
+		}
+		spec := cluster.JobSpec{
+			App: workload.AppConfig{
+				Name:           fmt.Sprintf("job%03d", i),
+				Class:          class,
+				Threads:        2,
+				RSSPages:       150 + 40*(i%4),
+				SharedFraction: 0.5,
+				ComputeNs:      100 * sim.Nanosecond,
+				NewGen: func(p int, rng *sim.RNG) workload.Generator {
+					return workload.NewZipfian(p, 0.99, 0.1, 0.1, rng)
+				},
+			},
+			Arrive: i % 4,
+		}
+		if i%5 == 4 {
+			spec.Depart = spec.Arrive + 6
+		}
+		jobs = append(jobs, spec)
+	}
+	return cluster.Config{
+		Hosts: hosts,
+		Host: cluster.HostTemplate{
+			Machine:     mcfg,
+			NewPolicy:   func() system.Tiering { return figures.NewPolicy("vulcan") },
+			EpochLength: 10 * sim.Millisecond,
+		},
+		Scheduler:      sched,
+		Jobs:           jobs,
+		RebalanceEvery: 3,
+		MoveBudget:     2,
+		Workers:        workers,
+		Seed:           7,
+	}
+}
+
+// BenchmarkFleetWorkers measures how the parallel host-stepping phase
+// scales with the lab worker count on a fixed 32-host fleet.
+func BenchmarkFleetWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("hosts=32/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f, err := cluster.New(benchFleetConfig(32, w, "fairness"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := f.Run(10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFleetSchedulers compares the placement schedulers on the
+// same offered load, reporting the fleet fairness each one reaches so
+// perf diffs double as behavior-drift checks.
+func BenchmarkFleetSchedulers(b *testing.B) {
+	for _, sched := range cluster.Schedulers() {
+		b.Run("sched="+sched, func(b *testing.B) {
+			var cfi float64
+			for i := 0; i < b.N; i++ {
+				f, err := cluster.New(benchFleetConfig(16, 4, sched))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := f.Run(12); err != nil {
+					b.Fatal(err)
+				}
+				cfi = f.Report().FleetCFI
+			}
+			b.ReportMetric(cfi, "fleet-cfi")
+		})
+	}
+}
+
+// BenchmarkFleetCheckpoint measures the fleet snapshot round-trip: a
+// 16-host fleet checkpointed and resumed, reporting the blob size.
+func BenchmarkFleetCheckpoint(b *testing.B) {
+	f, err := cluster.New(benchFleetConfig(16, 4, "fairness"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Run(8); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var blob bytes.Buffer
+		if err := f.Checkpoint(&blob); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cluster.Resume(bytes.NewReader(blob.Bytes()), benchFleetConfig(16, 4, "fairness")); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(blob.Len()), "blob-bytes")
+	}
+}

@@ -10,6 +10,7 @@
 //	figures -fig 10 -trials 10      # paper-grade trial count
 //	figures -fig 9 -csv             # machine-readable output
 //	figures -figr                   # fault-injection resilience (Figure R)
+//	figures -figf                   # fleet placement schedulers (Figure F)
 //
 // -scale divides capacities and footprints beyond the built-in 1/64
 // scale; larger values run faster at lower fidelity.
@@ -34,6 +35,7 @@ func main() {
 		all       = flag.Bool("all", false, "regenerate everything")
 		ablations = flag.Bool("ablations", false, "run Vulcan mechanism ablations")
 		figR      = flag.Bool("figr", false, "run the fault-injection resilience comparison (Figure R)")
+		figF      = flag.Bool("figf", false, "run the fleet placement comparison (Figure F: scheduler × fleet size)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of text tables")
 		trials    = flag.Int("trials", 3, "trials for Figure 10")
 		seconds   = flag.Int("seconds", 120, "simulated seconds for co-location figures")
@@ -121,6 +123,10 @@ func main() {
 	if *all || *figR {
 		r := figures.FigR(duration, *scale, *seed, nil)
 		emit(figures.RenderFigR(r), figures.CSVFigR(r))
+	}
+	if *all || *figF {
+		r := figures.FigF(0, nil, *seed)
+		emit(figures.RenderFigF(r), figures.CSVFigF(r))
 	}
 	if *all || *table == 1 {
 		emit(figures.RenderTable1(figures.Table1()), "")

@@ -10,6 +10,14 @@
 //	vulcansim -policy vulcan -seeds 5 -parallel 4   # seeds 1..5 in parallel
 //	vulcansim -policy vulcan -faults moderate       # deterministic chaos
 //	vulcansim -policy tpp -fault-rate 0.08 -fault-seed 42
+//	vulcansim -fleet 8 -scheduler fairness -seconds 60   # multi-host fleet
+//
+// Fleet mode (-fleet N, or a scenario file with a "fleet" block) steps
+// N hosts in lockstep under a placement scheduler (-scheduler binpack,
+// fairness or vulcan); -seconds then counts one-second fleet epochs and
+// the report is fleet-wide (fleet CFI, per-host spread, migration
+// totals). Fleet runs support -json, fleet-level -checkpoint-out and
+// -resume, but no per-epoch artifact exports.
 //
 // Multi-seed mode (-seeds N) runs N consecutive seeds as independent
 // simulations on a worker pool (-parallel, default GOMAXPROCS) and
@@ -55,6 +63,7 @@ import (
 	"strings"
 
 	"vulcan"
+	"vulcan/internal/cluster"
 	"vulcan/internal/figures"
 	"vulcan/internal/lab"
 	"vulcan/internal/obs"
@@ -92,6 +101,8 @@ func main() {
 		faultsProf = flag.String("faults", "", "fault-injection profile: off, light, moderate, heavy")
 		faultRate  = flag.Float64("fault-rate", 0, "inject the canonical all-kinds fault plan at this rate (0 = off; excludes -faults)")
 		faultSeed  = flag.Uint64("fault-seed", 0, "vary the fault schedule independently of -seed (needs -faults or -fault-rate)")
+		fleetN     = flag.Int("fleet", 0, "run a fleet of this many hosts instead of one machine; -seconds counts fleet epochs of 1s")
+		schedName  = flag.String("scheduler", "binpack", "fleet placement scheduler: "+strings.Join(cluster.Schedulers(), ", ")+" (needs -fleet)")
 		ckptOut    = flag.String("checkpoint-out", "", "write a checkpoint blob of the final simulation state to this file")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "also checkpoint every N simulated seconds (needs -checkpoint-out; interim files get a .tNNN suffix)")
 		resumeFrom = flag.String("resume", "", "resume from a checkpoint blob; -seconds then counts additional simulated time")
@@ -148,6 +159,16 @@ func main() {
 	}
 	if (*ckptOut != "" || *resumeFrom != "") && *seedsN > 1 {
 		log.Fatal("-checkpoint-out/-resume are single-run flags; they exclude -seeds > 1")
+	}
+
+	if *fleetN > 0 {
+		if *seedsN > 1 || *configPath != "" || cost.wanted() ||
+			*traceOut != "" || *metricsOut != "" || *seriesOut != "" || *ckptEvery > 0 {
+			log.Fatal("-fleet runs one fleet: it excludes -seeds, -config, -series, trace/metrics and cost artifacts, and -checkpoint-every")
+		}
+		runFleet(fleetConfig(*fleetN, *schedName, *policyName, *scale, *seed, plan),
+			*seconds, *jsonOut, *resumeFrom, *ckptOut)
+		return
 	}
 
 	if *configPath != "" {
@@ -337,6 +358,84 @@ func runSystem(cfg vulcan.Config, seconds int, resumeFrom, ckptOut string, ckptE
 	return sys
 }
 
+// fleetConfig assembles the flag-defined fleet experiment: hosts built
+// from the colocation machine at -scale, two jobs per host cycling the
+// built-in app templates with staggered arrivals and a few departures,
+// so every scheduler faces the same offered load.
+func fleetConfig(hosts int, scheduler, policyName string, scale int, seed uint64, plan *vulcan.FaultPlan) cluster.Config {
+	templates := []vulcan.AppConfig{vulcan.Memcached(), vulcan.PageRank(), vulcan.Liblinear()}
+	var jobs []cluster.JobSpec
+	for i := 0; i < 2*hosts; i++ {
+		ac := templates[i%len(templates)]
+		ac.Name = fmt.Sprintf("%s%02d", ac.Name, i)
+		ac.RSSPages /= scale
+		spec := cluster.JobSpec{App: ac, Arrive: i % 4}
+		if i%5 == 4 {
+			spec.Depart = spec.Arrive + 8
+		}
+		jobs = append(jobs, spec)
+	}
+	return cluster.Config{
+		Hosts: hosts,
+		Host: cluster.HostTemplate{
+			Machine:          figures.ColocationMachine(scale),
+			NewPolicy:        func() vulcan.Tiering { return figures.NewPolicy(policyName) },
+			EpochLength:      sim.Second,
+			SamplesPerThread: figures.SamplesForScale(scale),
+		},
+		HostOverride:   func(host int, scfg *vulcan.Config) { scfg.Faults = plan },
+		Scheduler:      scheduler,
+		Jobs:           jobs,
+		RebalanceEvery: 5,
+		MoveBudget:     2,
+		Seed:           seed,
+	}
+}
+
+// runFleet executes fleet mode: the configured hosts stepped seconds
+// fleet epochs, with optional fleet checkpoint/resume.
+func runFleet(cfg cluster.Config, seconds int, jsonOut bool, resumeFrom, ckptOut string) {
+	var f *cluster.Fleet
+	var err error
+	if resumeFrom != "" {
+		in, err2 := os.Open(resumeFrom)
+		if err2 != nil {
+			log.Fatal(err2)
+		}
+		f, err = cluster.Resume(in, cfg)
+		in.Close()
+		if err != nil {
+			log.Fatalf("resume %s: %v", resumeFrom, err)
+		}
+		fmt.Fprintf(os.Stderr, "resumed fleet from %s at epoch %d\n", resumeFrom, f.Epoch())
+	} else if f, err = cluster.New(cfg); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Run(seconds); err != nil {
+		log.Fatal(err)
+	}
+	if ckptOut != "" {
+		out, err := os.Create(ckptOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Checkpoint(out); err != nil {
+			log.Fatalf("checkpoint %s: %v", ckptOut, err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fleet checkpoint written to %s (epoch %d)\n", ckptOut, f.Epoch())
+	}
+	if jsonOut {
+		if err := f.Report().WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	} else if err := f.Report().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
 // simSeconds returns the simulation clock in whole simulated seconds.
 func simSeconds(sys *vulcan.System) int {
 	return int(sim.Duration(sys.Now()) / sim.Second)
@@ -492,6 +591,17 @@ func runConfigFile(path, seriesOut string, jsonOut bool, rec *obs.Recorder, trac
 	}
 	if plan == nil {
 		plan = parsed.Faults
+	}
+	if parsed.Fleet != nil {
+		if rec != nil || cost.wanted() || seriesOut != "" || ckptEvery > 0 {
+			log.Fatal("fleet scenarios support -json, -resume and -checkpoint-out only " +
+				"(no series, trace/metrics or cost artifacts, no -checkpoint-every)")
+		}
+		parsed.Faults = plan // flag plan overrides the file's block
+		newPol := func() vulcan.Tiering { return figures.NewPolicy(parsed.Policy) }
+		cfg := parsed.Fleet.ClusterConfig(parsed, newPol, sim.Second, 0)
+		runFleet(cfg, int(parsed.Duration/sim.Duration(sim.Second)), jsonOut, resumeFrom, ckptOut)
+		return
 	}
 	p := buildCostProfiler(cost)
 	cfg := vulcan.Config{

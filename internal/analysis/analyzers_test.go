@@ -40,6 +40,13 @@ func TestMapOrder(t *testing.T) {
 	analysistest.Run(t, analysis.MapOrder, "maporder")
 }
 
+// TestMapOrderCluster replays the fleet-scheduler shape: placement and
+// rebalance decisions derived from map iteration order are flagged,
+// index-ordered host walks are not.
+func TestMapOrderCluster(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "cluster")
+}
+
 func TestPTEBits(t *testing.T) {
 	analysistest.Run(t, analysis.PTEBits, "ptebits")
 }
@@ -62,6 +69,7 @@ func TestLabOnlyScope(t *testing.T) {
 	}{
 		{"vulcan/internal/figures", true},
 		{"vulcan/internal/migrate", true},
+		{"vulcan/internal/cluster", true},
 		{"vulcan/internal/lab", false},
 		{"vulcan/cmd/vulcansim", false},
 		{"vulcan/examples/quickstart", false},
@@ -129,6 +137,7 @@ func TestDeterminismScope(t *testing.T) {
 		{"vulcan/internal/obs", true},
 		{"vulcan/internal/obs/prof", true},
 		{"vulcan/internal/fault", true},
+		{"vulcan/internal/cluster", true},
 		{"vulcan/cmd/vulcansim", false},
 		{"vulcan/examples/quickstart", false},
 		{"vulcan", false},

@@ -1,0 +1,74 @@
+// Package cluster is a vulcanvet fixture shaped like the fleet
+// placement layer: a scheduler that walks hosts through a map leaks
+// iteration order into placement decisions and must be flagged; the
+// index-ordered walk the real schedulers use must not.
+package cluster
+
+import "sort"
+
+type host struct {
+	id   int
+	free int
+}
+
+type fleet struct {
+	hosts  []host
+	byName map[string]int // job name -> host index
+}
+
+type move struct {
+	job string
+	to  int
+}
+
+// badRebalance proposes moves in map order: two replays of the same
+// fleet state can emit the moves in different order, and the move
+// budget then truncates a different suffix.
+func badRebalance(f *fleet, budget int) []move {
+	var out []move
+	for name, h := range f.byName { // want `iteration over map f\.byName appends to out`
+		if h != 0 {
+			out = append(out, move{job: name, to: 0})
+		}
+	}
+	if len(out) > budget {
+		out = out[:budget]
+	}
+	return out
+}
+
+// badSpread accumulates per-host load in map order; float addition is
+// not associative, so the fleet-level total depends on iteration order.
+func badSpread(load map[int]float64) float64 {
+	total := 0.0
+	for _, l := range load { // want `iteration over map load accumulates float total`
+		total += l
+	}
+	return total
+}
+
+// goodPlace walks hosts in index order with a lowest-index tie-break —
+// the deterministic shape the real schedulers use.
+func goodPlace(f *fleet, threads int) int {
+	best := -1
+	for h := range f.hosts {
+		if f.hosts[h].free < threads {
+			continue
+		}
+		if best < 0 || f.hosts[h].free > f.hosts[best].free {
+			best = h
+		}
+	}
+	return best
+}
+
+// goodSortedTenants drains the map but sorts before anything
+// order-dependent happens.
+func goodSortedTenants(f *fleet) []string {
+	var names []string
+	for name := range f.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"vulcan/internal/metrics"
+)
+
+// HostReport is one host's line in the fleet summary.
+type HostReport struct {
+	Host            int     `json:"host"`
+	Tenants         int     `json:"tenants"`
+	FastUsed        int     `json:"fast_used_pages"`
+	FastCapacity    int     `json:"fast_capacity_pages"`
+	TotalOps        float64 `json:"total_ops"`
+	HostCFI         float64 `json:"host_cfi"`
+	MigrationCycles float64 `json:"migration_cycles"`
+}
+
+// FleetReport is the machine-readable fleet summary.
+type FleetReport struct {
+	Scheduler string `json:"scheduler"`
+	Hosts     int    `json:"hosts"`
+	Epochs    int    `json:"epochs"`
+	Jobs      int    `json:"jobs"`
+	Placed    int    `json:"jobs_placed"`
+	Departed  int    `json:"jobs_departed"`
+	Pending   int    `json:"jobs_pending"`
+
+	// FleetCFI is Eq.4 over per-job cumulative allocations, fleet-wide:
+	// a job keeps one fairness slot however often it is re-placed.
+	FleetCFI float64 `json:"fleet_cfi"`
+	// HostCombinedCFI is metrics.CombineCFI over every host's own
+	// per-instance tracker — the cross-host aggregation a per-host view
+	// would naively report. The gap between the two is re-placement
+	// history the per-host view cannot see.
+	HostCombinedCFI float64 `json:"host_combined_cfi"`
+	// ThroughputSpread is (max-min)/mean over per-host cumulative ops:
+	// 0 for a perfectly level fleet.
+	ThroughputSpread float64 `json:"throughput_spread"`
+	// OpsP50/P90 are quantiles of the merged per-epoch host-throughput
+	// distribution (every host's histogram merged into one).
+	OpsP50 float64 `json:"ops_p50"`
+	OpsP90 float64 `json:"ops_p90"`
+
+	Rebalances      int     `json:"rebalances"`
+	Moves           int     `json:"moves"`
+	MigratedPages   uint64  `json:"migrated_pages"`
+	CrossHostCycles float64 `json:"cross_host_cycles"`
+	// MigrationCycles totals every host's in-machine migration spend;
+	// CrossHostCycles adds what the rebalancer's page shipping cost.
+	MigrationCycles float64 `json:"migration_cycles"`
+
+	PerHost []HostReport `json:"per_host"`
+}
+
+// hostTotalOps sums the durable op counts of every instance the host
+// ever ran (stopped tenants keep their summary, so moved-away work
+// still counts where it happened).
+func hostTotalOps(h *Host) float64 {
+	ops := 0.0
+	for _, a := range h.Sys.Apps() {
+		ops += a.TotalOps()
+	}
+	return ops
+}
+
+// Report builds the fleet summary.
+func (f *Fleet) Report() FleetReport {
+	r := FleetReport{
+		Scheduler: f.sched.Name(),
+		Hosts:     len(f.hosts),
+		Epochs:    f.epoch,
+		Jobs:      len(f.jobs),
+
+		FleetCFI:      f.cfi.Index(),
+		Rebalances:    f.rebalances,
+		Moves:         f.moves,
+		MigratedPages: f.migratedPages,
+	}
+	r.CrossHostCycles = float64(f.migratedPages) * crossHostCopyCyclesPerPage
+	for _, j := range f.jobs {
+		switch {
+		case j.Done:
+			r.Departed++
+		case j.Placed():
+			r.Placed++
+		default:
+			r.Pending++
+		}
+	}
+	groups := make([][]float64, 0, len(f.hosts))
+	totals := make([]float64, 0, len(f.hosts))
+	merged := metrics.NewHistogram(0, opsHistMax, opsHistBuckets)
+	for _, h := range f.hosts {
+		rep := h.Sys.Report()
+		hr := HostReport{
+			Host:         h.ID,
+			FastUsed:     rep.FastUsed,
+			FastCapacity: rep.FastCapacity,
+			TotalOps:     hostTotalOps(h),
+			HostCFI:      rep.CFI,
+		}
+		for _, ar := range rep.Apps {
+			if ar.Started {
+				hr.Tenants++
+			}
+			hr.MigrationCycles += ar.MigrationCycles
+		}
+		r.MigrationCycles += hr.MigrationCycles
+		r.PerHost = append(r.PerHost, hr)
+		groups = append(groups, h.Sys.CFI().Cumulative())
+		totals = append(totals, hr.TotalOps)
+		// Shapes are identical by construction; a merge error here is a
+		// programming bug, not data.
+		if err := merged.Merge(h.opsHist); err != nil {
+			panic(fmt.Sprintf("cluster: %v", err))
+		}
+	}
+	r.HostCombinedCFI = metrics.CombineCFI(groups...)
+	r.ThroughputSpread = spread(totals)
+	if merged.Count() > 0 {
+		r.OpsP50 = merged.Quantile(0.50)
+		r.OpsP90 = merged.Quantile(0.90)
+	}
+	r.MigrationCycles += r.CrossHostCycles
+	return r
+}
+
+// spread returns (max-min)/mean, the fleet's throughput imbalance.
+func spread(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	min, max, sum := xs[0], xs[0], 0.0
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+		sum += x
+	}
+	if sum == 0 {
+		return 0
+	}
+	return (max - min) / (sum / float64(len(xs)))
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r FleetReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the human-readable fleet summary.
+func (r FleetReport) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d hosts  scheduler=%s  epochs=%d  jobs=%d (placed %d, departed %d, pending %d)\n",
+		r.Hosts, r.Scheduler, r.Epochs, r.Jobs, r.Placed, r.Departed, r.Pending)
+	fmt.Fprintf(&b, "fleet CFI=%.3f  host-combined CFI=%.3f  throughput spread=%.3f  ops p50=%.0f p90=%.0f\n",
+		r.FleetCFI, r.HostCombinedCFI, r.ThroughputSpread, r.OpsP50, r.OpsP90)
+	fmt.Fprintf(&b, "rebalances=%d moves=%d migrated=%d pages  cross-host cycles=%.0f  total migration cycles=%.0f\n",
+		r.Rebalances, r.Moves, r.MigratedPages, r.CrossHostCycles, r.MigrationCycles)
+	fmt.Fprintf(&b, "%-6s %8s %12s %12s %14s %10s\n",
+		"host", "tenants", "fast used", "fast cap", "total ops", "host CFI")
+	for _, h := range r.PerHost {
+		fmt.Fprintf(&b, "%-6d %8d %12d %12d %14.0f %10.3f\n",
+			h.Host, h.Tenants, h.FastUsed, h.FastCapacity, h.TotalOps, h.HostCFI)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

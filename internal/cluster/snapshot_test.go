@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+)
+
+// ckptBlob runs a small fleet past arrivals, a departure and a
+// rebalance cadence, then checkpoints it.
+func ckptBlob(t *testing.T) []byte {
+	t.Helper()
+	f, err := New(fleetConfig(3, 2, "fairness"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, f, 7)
+	var blob bytes.Buffer
+	if err := f.Checkpoint(&blob); err != nil {
+		t.Fatal(err)
+	}
+	return blob.Bytes()
+}
+
+// Corrupting or truncating any part of the fleet container — outer
+// sections and embedded per-host blobs alike — must yield an error from
+// Resume, never a panic.
+func TestFleetCheckpointCorruptionNeverPanics(t *testing.T) {
+	raw := ckptBlob(t)
+	// The fleet container embeds whole host blobs, so it is two orders
+	// of magnitude larger than a single-system checkpoint; prime strides
+	// keep the ladder dense enough to cross every section boundary
+	// without resuming a 300KB blob tens of thousands of times.
+	for n := 0; n < len(raw); n += 211 {
+		if _, err := Resume(bytes.NewReader(raw[:n]), fleetConfig(3, 2, "fairness")); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+	for i := 0; i < len(raw); i += 337 {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x5a
+		if _, err := Resume(bytes.NewReader(mut), fleetConfig(3, 2, "fairness")); err == nil {
+			t.Fatalf("corruption at byte %d accepted", i)
+		}
+	}
+}
+
+func TestFleetResumeRejectsMismatchedConfig(t *testing.T) {
+	raw := ckptBlob(t)
+	reject := func(name string, mutate func(*Config)) {
+		cfg := fleetConfig(3, 2, "fairness")
+		mutate(&cfg)
+		if _, err := Resume(bytes.NewReader(raw), cfg); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	reject("scheduler mismatch", func(c *Config) { c.Scheduler = "binpack" })
+	reject("seed mismatch", func(c *Config) { c.Seed = 8 })
+	reject("host-count mismatch", func(c *Config) { c.Hosts = 4 })
+	reject("job-count mismatch", func(c *Config) { c.Jobs = c.Jobs[:4] })
+	reject("job-name mismatch", func(c *Config) { c.Jobs[0].App.Name = "omega" })
+
+	if _, err := Resume(bytes.NewReader(raw), fleetConfig(3, 5, "fairness")); err != nil {
+		t.Fatalf("matching config rejected: %v", err)
+	}
+}
+
+// A fleet checkpointed before its first epoch (nothing placed) must
+// still round-trip.
+func TestFleetCheckpointEmptyFleet(t *testing.T) {
+	f, err := New(fleetConfig(2, 1, "binpack"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := f.Checkpoint(&blob); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(bytes.NewReader(blob.Bytes()), fleetConfig(2, 1, "binpack"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, resumed, 3)
+	if resumed.Report().Placed == 0 {
+		t.Fatal("resumed empty fleet never placed anything")
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"vulcan/internal/machine"
+	"vulcan/internal/mem"
+	"vulcan/internal/sim"
+	"vulcan/internal/system"
+	"vulcan/internal/workload"
+)
+
+func dynApp(name string, class workload.Class, pages int) workload.AppConfig {
+	return workload.AppConfig{
+		Name: name, Class: class, Threads: 2, RSSPages: pages,
+		SharedFraction: 0.5, ComputeNs: 100 * sim.Nanosecond,
+		NewGen: func(p int, rng *sim.RNG) workload.Generator {
+			return workload.NewZipfian(p, 0.99, 0.1, 0.1, rng)
+		},
+	}
+}
+
+// Evicting a tenant under Vulcan must drop its QoS registration,
+// promotion queues and placement memory, keep the survivors' admission
+// order, and leave the frame-ownership audit green.
+func TestVulcanAppStopped(t *testing.T) {
+	mcfg := machine.DefaultConfig()
+	mcfg.Cores = 8
+	mcfg.Tiers[mem.TierFast].CapacityPages = 512
+	mcfg.Tiers[mem.TierSlow].CapacityPages = 1 << 14
+	pol := New(Options{})
+	sys := system.New(system.Config{
+		Machine: mcfg,
+		Apps: []workload.AppConfig{
+			dynApp("a", workload.LC, 600),
+			dynApp("b", workload.BE, 600),
+			dynApp("c", workload.BE, 400),
+		},
+		Policy:       pol,
+		AllowDynamic: true,
+		EpochLength:  10 * sim.Millisecond,
+		Seed:         11,
+	})
+	for i := 0; i < 3; i++ {
+		sys.RunEpoch()
+	}
+	if got := len(pol.qos.States()); got != 3 {
+		t.Fatalf("registered states = %d, want 3", got)
+	}
+	b := sys.App("b")
+	if err := sys.StopApp(b); err != nil {
+		t.Fatalf("StopApp: %v", err)
+	}
+	states := pol.qos.States()
+	if len(states) != 2 {
+		t.Fatalf("registered states after stop = %d, want 2", len(states))
+	}
+	if states[0].App.Cfg.Name != "a" || states[1].App.Cfg.Name != "c" {
+		t.Fatalf("admission order broken: %s, %s",
+			states[0].App.Cfg.Name, states[1].App.Cfg.Name)
+	}
+	if pol.qos.State(b) != nil {
+		t.Fatal("stopped app still registered")
+	}
+	if _, ok := pol.queues[b]; ok {
+		t.Fatal("stopped app keeps promotion queues")
+	}
+	for i := 0; i < 3; i++ {
+		sys.RunEpoch()
+	}
+	if audit := sys.Audit(); !audit.Ok() {
+		t.Fatalf("audit after eviction under vulcan: %v", audit.Errors)
+	}
+}

@@ -90,6 +90,24 @@ func (q *QoSController) Register(app *system.App) *QoSState {
 	return st
 }
 
+// Unregister removes a stopped workload. The states slice keeps its
+// admission order (minus the departed entry), so a checkpoint replay
+// that re-registers the survivors in admission order reconstructs the
+// same sequence. Unknown apps are a no-op.
+func (q *QoSController) Unregister(app *system.App) {
+	if _, ok := q.byApp[app]; !ok {
+		return
+	}
+	delete(q.byApp, app)
+	kept := q.states[:0]
+	for _, st := range q.states {
+		if st.App != app {
+			kept = append(kept, st)
+		}
+	}
+	q.states = kept
+}
+
 // State returns the controller state for app (nil if unregistered).
 func (q *QoSController) State(app *system.App) *QoSState { return q.byApp[app] }
 

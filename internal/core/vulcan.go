@@ -161,6 +161,15 @@ func (v *Vulcan) AppStarted(sys *system.System, app *system.App) {
 	}
 }
 
+// AppStopped implements system.AppStopper: a departing app's QoS state,
+// promotion queues and placement memory are dropped so future epochs
+// and snapshots only see the surviving tenant set.
+func (v *Vulcan) AppStopped(sys *system.System, app *system.App) {
+	v.qos.Unregister(app)
+	delete(v.queues, app)
+	delete(v.placed, app)
+}
+
 // Place implements system.Placer: first-touch allocation respects the
 // app's fast-tier quota so one tenant cannot monopolize the fast tier at
 // admission time.

@@ -1,0 +1,192 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"vulcan/internal/cluster"
+	"vulcan/internal/machine"
+	"vulcan/internal/mem"
+	"vulcan/internal/sim"
+	"vulcan/internal/workload"
+)
+
+// DefaultFleetSizes is the fleet-size axis of FigF.
+var DefaultFleetSizes = []int{2, 4, 8}
+
+// FigFCell is one (scheduler, fleet-size) grid point.
+type FigFCell struct {
+	Hosts int
+	// FleetCFI is the per-job Eq.4 fairness across the whole fleet;
+	// HostCombinedCFI the cross-host aggregation of each host's own
+	// per-instance view (metrics.CombineCFI).
+	FleetCFI        float64
+	HostCombinedCFI float64
+	// Spread is (max-min)/mean over per-host cumulative throughput.
+	Spread float64
+	// Placement machinery totals.
+	Moves         int
+	Rebalances    int
+	MigratedPages uint64
+	OpsP50        float64
+}
+
+// FigFResult is the scheduler × fleet-size comparison.
+type FigFResult struct {
+	Schedulers []string
+	Sizes      []int
+	// Cells[scheduler][i] corresponds to Sizes[i].
+	Cells map[string][]FigFCell
+}
+
+// figFJobs builds the fleet workload for a given size: two jobs per
+// host on average — mixed LC/BE, staggered arrivals, some departures —
+// generated deterministically from the job index so every scheduler
+// faces the identical offered load.
+func figFJobs(hosts int) []cluster.JobSpec {
+	n := 2 * hosts
+	jobs := make([]cluster.JobSpec, 0, n)
+	for i := 0; i < n; i++ {
+		class := workload.LC
+		if i%2 == 1 {
+			class = workload.BE
+		}
+		spec := cluster.JobSpec{
+			App: workload.AppConfig{
+				Name:           fmt.Sprintf("job%02d", i),
+				Class:          class,
+				Threads:        2,
+				RSSPages:       150 + 40*(i%4),
+				SharedFraction: 0.5,
+				ComputeNs:      100 * sim.Nanosecond,
+				NewGen: func(p int, rng *sim.RNG) workload.Generator {
+					return workload.NewZipfian(p, 0.99, 0.1, 0.1, rng)
+				},
+			},
+			Arrive: i % 4,
+		}
+		if i%5 == 4 {
+			spec.Depart = spec.Arrive + 6
+		}
+		jobs = append(jobs, spec)
+	}
+	return jobs
+}
+
+// figFHost is the per-host machine template: micro-scale, like the
+// package's other fleet-independent experiments.
+func figFHost() cluster.HostTemplate {
+	mcfg := machine.DefaultConfig()
+	mcfg.Cores = 8
+	mcfg.Tiers[mem.TierFast].CapacityPages = 256
+	mcfg.Tiers[mem.TierSlow].CapacityPages = 4096
+	return cluster.HostTemplate{Machine: mcfg, EpochLength: 10 * sim.Millisecond}
+}
+
+// FigF runs the fleet-scheduling experiment: every placement scheduler
+// over a sweep of fleet sizes under proportionally scaled offered load,
+// measuring fleet-wide fairness and per-host throughput spread. Cells
+// run serially; each fleet parallelizes its own host stepping on the
+// lab pool, so output is byte-identical at any worker count.
+func FigF(epochs int, sizes []int, seed uint64) FigFResult {
+	if epochs == 0 {
+		epochs = 12
+	}
+	if len(sizes) == 0 {
+		sizes = DefaultFleetSizes
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	out := FigFResult{
+		Schedulers: cluster.Schedulers(),
+		Sizes:      sizes,
+		Cells:      make(map[string][]FigFCell),
+	}
+	for _, sched := range out.Schedulers {
+		for _, hosts := range sizes {
+			f, err := cluster.New(cluster.Config{
+				Hosts:          hosts,
+				Host:           figFHost(),
+				Scheduler:      sched,
+				Jobs:           figFJobs(hosts),
+				RebalanceEvery: 3,
+				MoveBudget:     2,
+				Seed:           seed,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("figures: %v", err))
+			}
+			if err := f.Run(epochs); err != nil {
+				panic(fmt.Sprintf("figures: %v", err))
+			}
+			r := f.Report()
+			out.Cells[sched] = append(out.Cells[sched], FigFCell{
+				Hosts:           hosts,
+				FleetCFI:        r.FleetCFI,
+				HostCombinedCFI: r.HostCombinedCFI,
+				Spread:          r.ThroughputSpread,
+				Moves:           r.Moves,
+				Rebalances:      r.Rebalances,
+				MigratedPages:   r.MigratedPages,
+				OpsP50:          r.OpsP50,
+			})
+		}
+	}
+	return out
+}
+
+// RenderFigF renders the fleet comparison as ASCII tables.
+func RenderFigF(r FigFResult) string {
+	var b strings.Builder
+	b.WriteString("Figure F: fleet placement — scheduler × fleet size\n")
+	b.WriteString("Fleet CFI (per-job Eq.4 across all hosts; higher is fairer)\n")
+	fmt.Fprintf(&b, "%-10s", "scheduler")
+	for _, n := range r.Sizes {
+		fmt.Fprintf(&b, " hosts=%-4d", n)
+	}
+	b.WriteString("\n")
+	for _, sched := range r.Schedulers {
+		fmt.Fprintf(&b, "%-10s", sched)
+		for _, c := range r.Cells[sched] {
+			fmt.Fprintf(&b, " %10.3f", c.FleetCFI)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("Per-host throughput spread ((max-min)/mean; lower is leveler)\n")
+	fmt.Fprintf(&b, "%-10s", "scheduler")
+	for _, n := range r.Sizes {
+		fmt.Fprintf(&b, " hosts=%-4d", n)
+	}
+	b.WriteString("\n")
+	for _, sched := range r.Schedulers {
+		fmt.Fprintf(&b, "%-10s", sched)
+		for _, c := range r.Cells[sched] {
+			fmt.Fprintf(&b, " %10.3f", c.Spread)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("Placement machinery (rebalances/moves/migrated pages per cell)\n")
+	for _, sched := range r.Schedulers {
+		fmt.Fprintf(&b, "%-10s", sched)
+		for _, c := range r.Cells[sched] {
+			fmt.Fprintf(&b, " %d/%d/%d", c.Rebalances, c.Moves, c.MigratedPages)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSVFigF renders the result as CSV.
+func CSVFigF(r FigFResult) string {
+	var b strings.Builder
+	b.WriteString("scheduler,hosts,fleet_cfi,host_combined_cfi,spread,rebalances,moves,migrated_pages,ops_p50\n")
+	for _, sched := range r.Schedulers {
+		for _, c := range r.Cells[sched] {
+			fmt.Fprintf(&b, "%s,%d,%.4f,%.4f,%.4f,%d,%d,%d,%.0f\n",
+				sched, c.Hosts, c.FleetCFI, c.HostCombinedCFI, c.Spread,
+				c.Rebalances, c.Moves, c.MigratedPages, c.OpsP50)
+		}
+	}
+	return b.String()
+}

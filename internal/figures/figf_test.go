@@ -1,0 +1,55 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigFSmoke runs a miniature fleet sweep and checks the grid shape
+// and that the fairness columns are populated.
+func TestFigFSmoke(t *testing.T) {
+	r := FigF(6, []int{2, 3}, 3)
+	if len(r.Schedulers) != 3 {
+		t.Fatalf("FigF compares %d schedulers, want 3", len(r.Schedulers))
+	}
+	for _, sched := range r.Schedulers {
+		cells := r.Cells[sched]
+		if len(cells) != 2 {
+			t.Fatalf("scheduler %s has %d cells, want 2", sched, len(cells))
+		}
+		for _, c := range cells {
+			if c.FleetCFI <= 0 || c.FleetCFI > 1 {
+				t.Errorf("scheduler %s hosts=%d fleet CFI = %v", sched, c.Hosts, c.FleetCFI)
+			}
+			if c.HostCombinedCFI <= 0 || c.HostCombinedCFI > 1 {
+				t.Errorf("scheduler %s hosts=%d combined CFI = %v", sched, c.Hosts, c.HostCombinedCFI)
+			}
+			if c.Spread < 0 {
+				t.Errorf("scheduler %s hosts=%d spread = %v", sched, c.Hosts, c.Spread)
+			}
+		}
+	}
+	out := RenderFigF(r)
+	for _, want := range []string{"Fleet CFI", "throughput spread", "hosts=2", "hosts=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	csv := CSVFigF(r)
+	if !strings.HasPrefix(csv, "scheduler,hosts,fleet_cfi") {
+		t.Error("CSV header wrong")
+	}
+	if n := strings.Count(csv, "\n"); n != 1+3*2 {
+		t.Errorf("CSV has %d lines, want 7", n)
+	}
+}
+
+// FigF output must be identical across repeated runs (the worker-count
+// identity is covered in internal/cluster; cells here run serially).
+func TestFigFDeterministic(t *testing.T) {
+	a := CSVFigF(FigF(4, []int{2}, 5))
+	b := CSVFigF(FigF(4, []int{2}, 5))
+	if a != b {
+		t.Fatal("FigF not deterministic across runs")
+	}
+}

@@ -31,13 +31,27 @@ type CFITracker struct {
 	x []float64
 }
 
-// NewCFITracker creates a tracker for n workloads.
+// NewCFITracker creates a tracker for n workloads. A dynamic system
+// that admits workloads at runtime starts from the zero value (zero
+// workloads) and adds slots with Grow instead.
 func NewCFITracker(n int) *CFITracker {
 	if n <= 0 {
 		panic("metrics: CFI tracker needs at least one workload")
 	}
 	return &CFITracker{x: make([]float64, n)}
 }
+
+// Grow appends one zero-initialized workload slot and returns its
+// index. Existing cumulative allocations keep their indices, so a
+// fleet-style system can admit workloads mid-run without disturbing
+// the fairness history of the incumbents.
+func (c *CFITracker) Grow() int {
+	c.x = append(c.x, 0)
+	return len(c.x) - 1
+}
+
+// N returns the number of tracked workloads.
+func (c *CFITracker) N() int { return len(c.x) }
 
 // Observe adds one sampling interval: alloc_i fast-tier pages (or bytes —
 // any consistent unit) weighted by the workload's fast-tier hit ratio.
@@ -52,3 +66,25 @@ func (c *CFITracker) Cumulative() []float64 {
 
 // Index returns the current CFI value.
 func (c *CFITracker) Index() float64 { return JainIndex(c.x) }
+
+// CombineCFI computes Jain's index over the concatenation of several
+// per-host cumulative-allocation vectors (each a CFITracker.Cumulative
+// result). This is the cross-host aggregation of Eq. 4: fleet fairness
+// is judged across every workload on every host at once, so a scheduler
+// cannot look fair by balancing each box internally while starving one
+// host's tenants relative to another's. Empty groups contribute
+// nothing; an entirely empty input returns 0.
+func CombineCFI(groups ...[]float64) float64 {
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
+	if n == 0 {
+		return 0
+	}
+	all := make([]float64, 0, n)
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	return JainIndex(all)
+}

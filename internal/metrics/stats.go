@@ -161,6 +161,27 @@ func (h *Histogram) Add(x float64) {
 	h.count++
 }
 
+// Merge folds other's observations into h. The two histograms must
+// share the same shape ([min, max) bounds and bucket count) — merging
+// differently-shaped histograms would silently smear observations
+// across bucket boundaries, so it is rejected instead. A nil other is
+// a no-op, letting rollups fold optional per-source histograms without
+// guarding every call site.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if other.min != h.min || other.max != h.max || len(other.buckets) != len(h.buckets) { //vulcanvet:ok floateq — bounds are assigned configuration, exact shape match is the point
+		return fmt.Errorf("metrics: merging histogram [%v,%v)x%d into [%v,%v)x%d",
+			other.min, other.max, len(other.buckets), h.min, h.max, len(h.buckets))
+	}
+	for i, b := range other.buckets {
+		h.buckets[i] += b
+	}
+	h.count += other.count
+	return nil
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
 

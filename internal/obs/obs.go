@@ -78,6 +78,9 @@ const (
 	// confidence fell below the degradation threshold, so the policy
 	// held its prior placement instead of reacting to a starved profile.
 	EvProfileDegraded
+	// EvAppStop records an application's eviction (dynamic systems
+	// only: fleet-level departures and cross-host rebalances).
+	EvAppStop
 
 	// NumEventTypes bounds the enum.
 	NumEventTypes
@@ -101,6 +104,7 @@ var eventTypeNames = [NumEventTypes]string{
 	EvMigrateRetry:    "migrate.retry",
 	EvMigrateGiveup:   "migrate.giveup",
 	EvProfileDegraded: "profile.degraded",
+	EvAppStop:         "app-stop",
 }
 
 // String returns the stable wire name used in traces and filters.

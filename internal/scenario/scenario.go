@@ -22,6 +22,15 @@
 // profile ("off", "light", "moderate", "heavy") or give an explicit
 // "rate" for the canonical all-kinds plan; "seed" re-keys the fault
 // schedule without touching workload randomness.
+//
+// The optional fleet block turns the scenario into a multi-host run:
+//
+//	"fleet": {"hosts": 4, "scheduler": "fairness", "rebalance_every": 5,
+//	          "move_budget": 2, "overrides": [{"host": 0, "fast_pages": 64}]}
+//
+// Each app becomes one fleet job; start_at_s is its arrival epoch and
+// stop_at_s (fleet-only) its departure epoch. Every host is a copy of
+// the scenario machine unless an override reshapes it.
 package scenario
 
 import (
@@ -29,10 +38,12 @@ import (
 	"fmt"
 	"io"
 
+	"vulcan/internal/cluster"
 	"vulcan/internal/fault"
 	"vulcan/internal/machine"
 	"vulcan/internal/mem"
 	"vulcan/internal/sim"
+	"vulcan/internal/system"
 	"vulcan/internal/workload"
 )
 
@@ -48,6 +59,29 @@ type File struct {
 	Machine *Machine `json:"machine,omitempty"`
 	// Faults optionally arms deterministic fault injection.
 	Faults *Faults `json:"faults,omitempty"`
+	// Fleet optionally spreads the apps across a multi-host cluster.
+	Fleet *Fleet `json:"fleet,omitempty"`
+}
+
+// Fleet spreads the scenario's apps over a cluster of identical hosts
+// (each shaped by the scenario machine) under a placement scheduler.
+// Apps become fleet jobs: start_at_s is the arrival epoch and the
+// optional stop_at_s the departure epoch (fleet epochs are one second).
+type Fleet struct {
+	Hosts          int    `json:"hosts"`
+	Scheduler      string `json:"scheduler,omitempty"`
+	RebalanceEvery int    `json:"rebalance_every,omitempty"`
+	MoveBudget     int    `json:"move_budget,omitempty"`
+	// Overrides tweak individual hosts away from the shared template.
+	Overrides []HostOverride `json:"overrides,omitempty"`
+}
+
+// HostOverride reshapes one host of the fleet.
+type HostOverride struct {
+	Host      int `json:"host"`
+	Cores     int `json:"cores,omitempty"`
+	FastPages int `json:"fast_pages,omitempty"`
+	SlowPages int `json:"slow_pages,omitempty"`
 }
 
 // Faults selects a fault plan: either a named profile (off, light,
@@ -72,6 +106,8 @@ type Machine struct {
 type App struct {
 	Preset   string `json:"preset,omitempty"`
 	StartAtS int    `json:"start_at_s,omitempty"`
+	// StopAtS departs the app at that second; fleet scenarios only.
+	StopAtS int `json:"stop_at_s,omitempty"`
 
 	// Custom-app fields (ignored when Preset is set).
 	Name      string  `json:"name,omitempty"`
@@ -100,6 +136,20 @@ type Parsed struct {
 	// Faults is the compiled fault plan, nil when the scenario runs
 	// chaos-free.
 	Faults *fault.Plan
+	// Fleet is the resolved multi-host plan, nil for single-machine
+	// runs. When set, Jobs supersedes Apps: each scenario app becomes
+	// one fleet job with its arrival/departure epochs.
+	Fleet *FleetPlan
+}
+
+// FleetPlan is the resolved form of the fleet block.
+type FleetPlan struct {
+	Hosts          int
+	Scheduler      string
+	RebalanceEvery int
+	MoveBudget     int
+	Overrides      []HostOverride
+	Jobs           []cluster.JobSpec
 }
 
 // Load reads and resolves a scenario from JSON.
@@ -157,6 +207,14 @@ func Resolve(f File) (*Parsed, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scenario: app %d: %w", i, err)
 		}
+		if a.StopAtS != 0 {
+			if f.Fleet == nil {
+				return nil, fmt.Errorf("scenario: app %d: stop_at_s needs a fleet block", i)
+			}
+			if a.StopAtS <= a.StartAtS {
+				return nil, fmt.Errorf("scenario: app %d: stop_at_s %d not after start_at_s %d", i, a.StopAtS, a.StartAtS)
+			}
+		}
 		p.Apps = append(p.Apps, cfg)
 	}
 	plan, err := resolveFaults(f.Faults)
@@ -164,7 +222,113 @@ func Resolve(f File) (*Parsed, error) {
 		return nil, err
 	}
 	p.Faults = plan
+	fp, err := resolveFleet(f.Fleet, f.Apps, p.Apps)
+	if err != nil {
+		return nil, err
+	}
+	p.Fleet = fp
 	return p, nil
+}
+
+// ClusterConfig assembles a runnable fleet configuration: every host is
+// a copy of the scenario machine (reshaped by the plan's overrides) that
+// runs newPolicy and sees the scenario's fault plan. The caller supplies
+// the policy factory and epoch shape because those are runner choices,
+// not scenario content.
+func (fp *FleetPlan) ClusterConfig(p *Parsed, newPolicy func() system.Tiering,
+	epoch sim.Duration, samples int) cluster.Config {
+	overrides := fp.Overrides
+	faults := p.Faults
+	return cluster.Config{
+		Hosts: fp.Hosts,
+		Host: cluster.HostTemplate{
+			Machine:          p.Machine,
+			NewPolicy:        newPolicy,
+			EpochLength:      epoch,
+			SamplesPerThread: samples,
+		},
+		HostOverride: func(h int, cfg *system.Config) {
+			cfg.Faults = faults
+			for _, ov := range overrides {
+				if ov.Host != h {
+					continue
+				}
+				if ov.Cores > 0 {
+					cfg.Machine.Cores = ov.Cores
+				}
+				if ov.FastPages > 0 {
+					cfg.Machine.Tiers[mem.TierFast].CapacityPages = ov.FastPages
+				}
+				if ov.SlowPages > 0 {
+					cfg.Machine.Tiers[mem.TierSlow].CapacityPages = ov.SlowPages
+				}
+			}
+		},
+		Scheduler:      fp.Scheduler,
+		Jobs:           fp.Jobs,
+		RebalanceEvery: fp.RebalanceEvery,
+		MoveBudget:     fp.MoveBudget,
+		Seed:           p.Seed,
+	}
+}
+
+// resolveFleet compiles the fleet block into a placement plan. The
+// scenario's apps become the job list; arrival and departure epochs
+// come from start_at_s / stop_at_s (fleet epochs are one second).
+func resolveFleet(fb *Fleet, src []App, apps []workload.AppConfig) (*FleetPlan, error) {
+	if fb == nil {
+		return nil, nil
+	}
+	if fb.Hosts < 1 {
+		return nil, fmt.Errorf("scenario: fleet needs at least one host, got %d", fb.Hosts)
+	}
+	sched := fb.Scheduler
+	if sched == "" {
+		sched = "binpack"
+	}
+	if _, err := cluster.NewScheduler(sched); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if fb.RebalanceEvery < 0 {
+		return nil, fmt.Errorf("scenario: fleet rebalance_every %d is negative", fb.RebalanceEvery)
+	}
+	if fb.MoveBudget < 0 {
+		return nil, fmt.Errorf("scenario: fleet move_budget %d is negative", fb.MoveBudget)
+	}
+	seen := make(map[int]bool)
+	for _, ov := range fb.Overrides {
+		if ov.Host < 0 || ov.Host >= fb.Hosts {
+			return nil, fmt.Errorf("scenario: fleet override host %d outside [0,%d)", ov.Host, fb.Hosts)
+		}
+		if seen[ov.Host] {
+			return nil, fmt.Errorf("scenario: duplicate fleet override for host %d", ov.Host)
+		}
+		seen[ov.Host] = true
+		if ov.Cores < 0 || ov.FastPages < 0 || ov.SlowPages < 0 {
+			return nil, fmt.Errorf("scenario: fleet override for host %d has negative capacity", ov.Host)
+		}
+		if ov.Cores == 0 && ov.FastPages == 0 && ov.SlowPages == 0 {
+			return nil, fmt.Errorf("scenario: fleet override for host %d changes nothing", ov.Host)
+		}
+	}
+	names := make(map[string]bool)
+	fp := &FleetPlan{
+		Hosts:          fb.Hosts,
+		Scheduler:      sched,
+		RebalanceEvery: fb.RebalanceEvery,
+		MoveBudget:     fb.MoveBudget,
+		Overrides:      fb.Overrides,
+	}
+	for i, cfg := range apps {
+		if names[cfg.Name] {
+			return nil, fmt.Errorf("scenario: fleet job %d: duplicate app name %q", i, cfg.Name)
+		}
+		names[cfg.Name] = true
+		job := cluster.JobSpec{App: cfg, Arrive: src[i].StartAtS, Depart: src[i].StopAtS}
+		job.App.StartAt = 0 // arrival epoch drives placement instead
+		fp.Jobs = append(fp.Jobs, job)
+	}
+	return fp, nil
 }
 
 // resolveFaults compiles the faults block to a fault plan. A nil block,

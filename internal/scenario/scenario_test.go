@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"vulcan/internal/cluster"
 	"vulcan/internal/fault"
 	"vulcan/internal/figures"
 	"vulcan/internal/sim"
@@ -240,6 +241,125 @@ func TestAllGeneratorKinds(t *testing.T) {
 				t.Errorf("%s: page %d out of range", kind, r.Page)
 				break
 			}
+		}
+	}
+}
+
+const fleetJSON = `{
+  "seconds": 8,
+  "seed": 5,
+  "scale": 16,
+  "apps": [
+    {"preset": "memcached"},
+    {"preset": "liblinear", "start_at_s": 2, "stop_at_s": 6},
+    {"name": "scanner", "class": "BE", "threads": 2, "rss_pages": 200,
+     "generator": "scan", "compute_ns": 60, "start_at_s": 1}
+  ],
+  "fleet": {"hosts": 3, "scheduler": "fairness", "rebalance_every": 4,
+            "move_budget": 2, "overrides": [{"host": 1, "fast_pages": 64}]}
+}`
+
+func TestFleetBlock(t *testing.T) {
+	p, err := Load(strings.NewReader(fleetJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := p.Fleet
+	if fp == nil {
+		t.Fatal("fleet block compiled to nil plan")
+	}
+	if fp.Hosts != 3 || fp.Scheduler != "fairness" || fp.RebalanceEvery != 4 || fp.MoveBudget != 2 {
+		t.Fatalf("plan header: %+v", fp)
+	}
+	if len(fp.Jobs) != 3 {
+		t.Fatalf("jobs = %d", len(fp.Jobs))
+	}
+	j := fp.Jobs[1]
+	if j.Arrive != 2 || j.Depart != 6 {
+		t.Fatalf("job 1 window = [%d,%d)", j.Arrive, j.Depart)
+	}
+	if j.App.StartAt != 0 {
+		t.Fatalf("job StartAt = %v, want 0 (arrival epoch drives placement)", j.App.StartAt)
+	}
+	if len(fp.Overrides) != 1 || fp.Overrides[0].Host != 1 || fp.Overrides[0].FastPages != 64 {
+		t.Fatalf("overrides: %+v", fp.Overrides)
+	}
+
+	// Scheduler defaults to binpack; absent block means single-machine.
+	p2, err := Load(strings.NewReader(
+		`{"apps":[{"preset":"memcached"}],"fleet":{"hosts":2}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Fleet.Scheduler != "binpack" {
+		t.Fatalf("default scheduler = %q", p2.Fleet.Scheduler)
+	}
+	p3, err := Load(strings.NewReader(`{"apps":[{"preset":"memcached"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Fleet != nil {
+		t.Fatalf("absent fleet block compiled to %+v", p3.Fleet)
+	}
+}
+
+func TestFleetErrors(t *testing.T) {
+	fleet := func(block string) string {
+		return `{"apps":[{"preset":"memcached"}],"fleet":` + block + `}`
+	}
+	cases := map[string]string{
+		"zero hosts":          fleet(`{"hosts":0}`),
+		"unknown scheduler":   fleet(`{"hosts":2,"scheduler":"roundrobin"}`),
+		"unknown fleet field": fleet(`{"hosts":2,"spread":true}`),
+		"negative cadence":    fleet(`{"hosts":2,"rebalance_every":-1}`),
+		"negative budget":     fleet(`{"hosts":2,"move_budget":-1}`),
+		"override oob":        fleet(`{"hosts":2,"overrides":[{"host":2,"fast_pages":64}]}`),
+		"override negative":   fleet(`{"hosts":2,"overrides":[{"host":0,"fast_pages":64}]}`),
+		"override empty":      fleet(`{"hosts":2,"overrides":[{"host":0}]}`),
+		"override duplicate": fleet(
+			`{"hosts":2,"overrides":[{"host":0,"cores":4},{"host":0,"fast_pages":64}]}`),
+		"duplicate job name": `{"apps":[{"preset":"memcached"},{"preset":"memcached"}],` +
+			`"fleet":{"hosts":2}}`,
+		"stop without fleet": `{"apps":[{"preset":"memcached","stop_at_s":5}]}`,
+		"stop before start": `{"apps":[{"preset":"memcached","start_at_s":4,"stop_at_s":3}],` +
+			`"fleet":{"hosts":2}}`,
+	}
+	cases["override negative"] = fleet(`{"hosts":2,"overrides":[{"host":0,"fast_pages":-64}]}`)
+	for name, js := range cases {
+		if _, err := Load(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestFleetScenarioRuns drives a cluster straight from a parsed fleet
+// scenario and checks the override hook and job windows took effect.
+func TestFleetScenarioRuns(t *testing.T) {
+	p, err := Load(strings.NewReader(fleetJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPol := func() system.Tiering { return figures.NewPolicy("vulcan") }
+	cfg := p.Fleet.ClusterConfig(p, newPol, 10*sim.Millisecond, 1)
+	cfg.Workers = 2
+	f, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	r := f.Report()
+	if r.Placed != 2 || r.Departed != 1 {
+		t.Fatalf("placed=%d departed=%d, want 2/1", r.Placed, r.Departed)
+	}
+	fast := f.Host(1).Sys.Tiers().Fast().Capacity()
+	if fast != 64 {
+		t.Fatalf("host 1 fast capacity = %d, want override 64", fast)
+	}
+	for h := 0; h < f.NumHosts(); h++ {
+		if audit := f.Host(h).Sys.Audit(); !audit.Ok() {
+			t.Errorf("host %d audit: %v", h, audit.Errors)
 		}
 	}
 }

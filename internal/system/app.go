@@ -34,6 +34,11 @@ type App struct {
 	sys     *System //vulcan:nosnap construction wiring, bound when the system admits the app
 	rng     *sim.RNG
 	started bool
+	// stopped marks an app evicted by StopApp: its frames are freed and
+	// it never runs again, but it keeps its slot (indices, recorder
+	// series and fairness history stay stable) and its durable summary
+	// statistics for reporting.
+	stopped bool
 	huge    *HugeSet // nil when THP disabled
 
 	// acct is the app's resolved cost-account set; every field is nil on
@@ -96,8 +101,11 @@ func (a *App) CostModel() machine.CostModel { return a.sys.cost }
 // Class returns LC or BE.
 func (a *App) Class() workload.Class { return a.Cfg.Class }
 
-// Started reports whether the app has been admitted.
+// Started reports whether the app is currently admitted and running.
 func (a *App) Started() bool { return a.started }
+
+// Stopped reports whether the app was evicted by StopApp.
+func (a *App) Stopped() bool { return a.stopped }
 
 // FTHR returns the smoothed fast-tier hit ratio (paper Eq. 1–2).
 func (a *App) FTHR() float64 { return a.fthr.Value() }

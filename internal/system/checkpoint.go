@@ -19,9 +19,12 @@ const (
 	clockVersion   = 1
 	machineVersion = 1
 	memVersion     = 1
-	systemVersion  = 1
+	// systemVersion 2 appends the stop log (dynamic-eviction chronology);
+	// appVersion 2 adds the stopped flag and a retired app's durable
+	// summary statistics.
+	systemVersion  = 2
 	metricsVersion = 1
-	appVersion     = 1
+	appVersion     = 2
 	// profilerVersion tracks the profile package's snapshot layout; Resume
 	// additionally accepts profile.LegacySnapshotVersion blobs so
 	// checkpoints written before the dense-store rewrite still restore.
@@ -71,6 +74,11 @@ func (s *System) Checkpoint(w io.Writer) error {
 		sys.U32(f.Index)
 	}
 	s.cfi.Snapshot(sys)
+	sys.Int(len(s.stopLog))
+	for _, ev := range s.stopLog {
+		sys.Int(ev.idx)
+		sys.Int(ev.afterAdmits)
+	}
 
 	s.tiers.Snapshot(cw.Section("mem", memVersion))
 	s.recorder.Snapshot(cw.Section("metrics", metricsVersion))
@@ -187,18 +195,51 @@ func Resume(r io.Reader, cfg Config) (*System, error) {
 	if err := s.cfi.Restore(sys); err != nil {
 		return nil, err
 	}
+	nStops := sys.Length(16)
+	if sys.Err() != nil {
+		return nil, sys.Err()
+	}
+	stoppedSet := make(map[int]bool, nStops)
+	lastAfter := 0
+	for i := 0; i < nStops; i++ {
+		ev := stopEvent{idx: sys.Int(), afterAdmits: sys.Int()}
+		if sys.Err() != nil {
+			return nil, sys.Err()
+		}
+		if ev.idx < 0 || ev.idx >= len(s.apps) || !admitted[ev.idx] || stoppedSet[ev.idx] {
+			return nil, fmt.Errorf("system: bad stop entry %d in checkpoint", ev.idx)
+		}
+		if ev.afterAdmits < 1 || ev.afterAdmits > nAdmit || ev.afterAdmits < lastAfter {
+			return nil, fmt.Errorf("system: stop entry %d out of chronology in checkpoint", ev.idx)
+		}
+		lastAfter = ev.afterAdmits
+		stoppedSet[ev.idx] = true
+		s.stopLog = append(s.stopLog, ev)
+	}
 	if err := sys.Close(); err != nil {
 		return nil, err
 	}
 
 	// Replay admissions in the recorded order, so policies register
-	// workloads in the same sequence as the checkpointed run. Placement
-	// and RNG side effects of admission are overwritten by the overlays
+	// workloads in the same sequence as the checkpointed run, with stops
+	// interleaved at their recorded chronology — a stop that freed
+	// capacity for a later admission must free it during replay too, or
+	// the replayed premaps would exceed physical memory. Placement and
+	// RNG side effects of the replay are overwritten by the overlays
 	// below.
-	for _, idx := range s.admitOrder {
+	si := 0
+	for n, idx := range s.admitOrder {
 		a := s.apps[idx]
 		a.admit(s, s.placer)
 		s.policy.AppStarted(s, a)
+		for si < len(s.stopLog) && s.stopLog[si].afterAdmits <= n+1 {
+			victim := s.apps[s.stopLog[si].idx]
+			if !victim.started {
+				return nil, fmt.Errorf("system: checkpoint stops app %q before its admission", victim.Cfg.Name)
+			}
+			s.retire(victim)
+			si++
+		}
 	}
 
 	// Substrate overlays. Tiers go wholesale after admissions so the
@@ -241,7 +282,7 @@ func Resume(r io.Reader, cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := a.restore(d, admitted[i]); err != nil {
+		if err := a.restore(d); err != nil {
 			return nil, err
 		}
 		if err := d.Close(); err != nil {
@@ -337,6 +378,19 @@ func Resume(r io.Reader, cfg Config) (*System, error) {
 func (a *App) snapshot(e *checkpoint.Encoder) {
 	e.String(a.Cfg.Name)
 	e.Bool(a.started)
+	e.Bool(a.stopped)
+	if a.stopped {
+		// A retired app keeps only its reporting summary: the runtime
+		// state (table, engine, profiler) was torn down by StopApp and
+		// the replay reconstructs and re-tears it deterministically.
+		a.fthr.Snapshot(e)
+		a.perfSeries.Snapshot(e)
+		e.F64(a.sampleWeight)
+		e.F64(a.epochOps)
+		e.F64(a.epochPerf)
+		e.F64(a.totalOps)
+		return
+	}
 	if !a.started {
 		return
 	}
@@ -378,17 +432,35 @@ func (a *App) snapshot(e *checkpoint.Encoder) {
 // faulted run, or the reverse — so retry state with no destination is
 // discarded and a fresh retrier keeps its empty construction state;
 // likewise for the THP overlay.
-func (a *App) restore(d *checkpoint.Decoder, started bool) error {
+func (a *App) restore(d *checkpoint.Decoder) error {
 	name := d.String()
 	ckptStarted := d.Bool()
+	ckptStopped := d.Bool()
 	if d.Err() != nil {
 		return d.Err()
 	}
 	if name != a.Cfg.Name {
 		return fmt.Errorf("system: checkpoint app %q, config app %q", name, a.Cfg.Name)
 	}
-	if ckptStarted != started {
+	if ckptStarted != a.started || ckptStopped != a.stopped {
 		return fmt.Errorf("system: app %q admission state disagrees with checkpoint manifest", name)
+	}
+	if ckptStopped {
+		if a.fthr == nil {
+			// Defensive: the stop replay built these during admit.
+			return fmt.Errorf("system: app %q stopped in checkpoint but never admitted here", name)
+		}
+		if err := a.fthr.Restore(d); err != nil {
+			return err
+		}
+		if err := a.perfSeries.Restore(d); err != nil {
+			return err
+		}
+		a.sampleWeight = d.F64()
+		a.epochOps = d.F64()
+		a.epochPerf = d.F64()
+		a.totalOps = d.F64()
+		return d.Err()
 	}
 	if !ckptStarted {
 		return nil

@@ -1,0 +1,135 @@
+package system
+
+import (
+	"fmt"
+
+	"vulcan/internal/obs"
+	"vulcan/internal/pagetable"
+	"vulcan/internal/workload"
+)
+
+// AppStopper is optionally implemented by policies that keep per-app
+// registration state (Vulcan's QoS controller and promotion queues).
+// AppStopped is invoked by StopApp while the app's runtime state is
+// still intact, so the policy can drop its references; policies that
+// only ever walk StartedApps need no implementation.
+type AppStopper interface {
+	AppStopped(sys *System, app *App)
+}
+
+// stopEvent is one StopApp call in the system's lifecycle chronology:
+// which app stopped, and after how many admissions. Interleaving the
+// two logs lets a checkpoint replay reproduce the resident set the
+// original run held at every point, so replayed premaps never exceed
+// physical capacity that was only freed by an intervening stop.
+type stopEvent struct {
+	idx         int
+	afterAdmits int
+}
+
+// LiveThreads counts the threads of every app that is running or still
+// pending admission — the population that can occupy cores now or
+// later. The fleet placement layer uses it for admission control.
+func (s *System) LiveThreads() int { return s.liveThreads() }
+
+// liveThreads counts the threads of every app that is running or still
+// pending admission — the population that can occupy cores now or later.
+func (s *System) liveThreads() int {
+	n := 0
+	for _, a := range s.apps {
+		if !a.stopped {
+			n += a.Cfg.Threads
+		}
+	}
+	return n
+}
+
+// AddApp appends a new application to a dynamic system at runtime. The
+// app joins the admission queue and is admitted by the next RunEpoch
+// once its StartAt time arrives (callers that want immediate admission
+// set StartAt at or before the current clock). The system must have
+// been built with AllowDynamic; names must be unique (recorder series,
+// telemetry labels and policy registries are keyed by them) and the
+// newcomer's threads must fit alongside every non-stopped app's.
+func (s *System) AddApp(ac workload.AppConfig) (*App, error) {
+	if !s.cfg.AllowDynamic {
+		return nil, fmt.Errorf("system: AddApp on a static system (Config.AllowDynamic is off)")
+	}
+	ac.Validate()
+	if s.App(ac.Name) != nil {
+		return nil, fmt.Errorf("system: app %q already exists", ac.Name)
+	}
+	if live := s.liveThreads(); live+ac.Threads > s.cores {
+		return nil, fmt.Errorf("system: app %q needs %d threads, %d of %d cores already committed",
+			ac.Name, ac.Threads, live, s.cores)
+	}
+	a := &App{
+		Cfg: ac, Index: len(s.apps), rng: s.rng.Fork(),
+		keyFastPages: ac.Name + ".fast_pages",
+		keyFTHR:      ac.Name + ".fthr",
+		keyOps:       ac.Name + ".ops",
+	}
+	s.apps = append(s.apps, a)
+	s.cfi.Grow()
+	return a, nil
+}
+
+// StopApp evicts a running application: the policy is notified first
+// (AppStopper implementations drop their registration state), then
+// every frame the app holds — mapped pages and shadow copies alike —
+// is returned to its tier, and the app is retired in place. Its slot,
+// recorder series and cumulative fairness contribution survive; only
+// its future does not. Must be called between epochs (the same
+// boundary contract as Checkpoint). Stopping is permanent: a retired
+// name can only come back as a fresh AddApp instance under a new name.
+func (s *System) StopApp(a *App) error {
+	if !s.cfg.AllowDynamic {
+		return fmt.Errorf("system: StopApp on a static system (Config.AllowDynamic is off)")
+	}
+	if a == nil || a.Index < 0 || a.Index >= len(s.apps) || s.apps[a.Index] != a {
+		return fmt.Errorf("system: StopApp of an app this system does not own")
+	}
+	if a.stopped {
+		return fmt.Errorf("system: app %q already stopped", a.Cfg.Name)
+	}
+	if !a.started {
+		return fmt.Errorf("system: app %q not admitted yet", a.Cfg.Name)
+	}
+	s.stopLog = append(s.stopLog, stopEvent{idx: a.Index, afterAdmits: len(s.admitOrder)})
+	s.retire(a)
+	if obs.Enabled(s.obs, obs.EvAppStop) {
+		s.obs.Event(obs.E(obs.EvAppStop, a.Cfg.Name, "", 0,
+			obs.F("total_ops", a.totalOps),
+			obs.F("fthr", a.FTHR())))
+	}
+	return nil
+}
+
+// retire is the shared teardown of StopApp and checkpoint stop-replay:
+// policy notification, frame release, and the flag flip. It emits no
+// telemetry — replay must not re-emit events the original run already
+// recorded.
+func (s *System) retire(a *App) {
+	if ps, ok := s.policy.(AppStopper); ok {
+		ps.AppStopped(s, a)
+	}
+	// Unmap every present page and free its frame. Page numbers are
+	// collected first: Unmap mutates the trees Range walks.
+	vps := make([]pagetable.VPage, 0, a.Table.Mapped())
+	a.Table.Range(func(vp pagetable.VPage, _ pagetable.PTE) bool {
+		vps = append(vps, vp)
+		return true
+	})
+	for _, vp := range vps {
+		if pte, ok := a.Table.Unmap(vp); ok {
+			s.tiers.Free(pte.Frame())
+		}
+	}
+	// Shadow copies of promoted pages hold slow-tier frames of their own.
+	a.Engine.DropAllShadows()
+	a.started = false
+	a.stopped = true
+	a.fastPages = 0
+	a.rssMapped = 0
+	a.pendingStall = 0
+}

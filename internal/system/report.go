@@ -32,6 +32,7 @@ type AppReport struct {
 	Name            string  `json:"name"`
 	Class           string  `json:"class"`
 	Started         bool    `json:"started"`
+	Stopped         bool    `json:"stopped,omitempty"`
 	RSSPages        int     `json:"rss_pages"`
 	FastPages       int     `json:"fast_pages"`
 	FTHR            float64 `json:"fthr"`
@@ -68,6 +69,16 @@ func (s *System) Report() Report {
 			Name:    a.Cfg.Name,
 			Class:   a.Cfg.Class.String(),
 			Started: a.started,
+			Stopped: a.stopped,
+		}
+		if a.stopped {
+			// Only the durable summary survives a stop (and a checkpoint
+			// resume): runtime structures like Async stats are gone.
+			perf := a.NormalizedPerf()
+			ar.FTHR = a.FTHR()
+			ar.MeanPerf = perf.Mean()
+			ar.PerfCI95 = perf.CI95()
+			ar.TotalOps = a.TotalOps()
 		}
 		if a.started {
 			st := a.Async.Stats()
@@ -111,6 +122,12 @@ func (r Report) WriteText(w io.Writer) error {
 	fmt.Fprintf(&b, "%-12s %-5s %12s %10s %10s %12s %12s\n",
 		"app", "class", "perf", "±ci95", "fthr", "fast pages", "rss pages")
 	for _, a := range r.Apps {
+		if a.Stopped {
+			fmt.Fprintf(&b, "%-12s %-5s %12.3f %10.3f %10.3f %12s %12s\n",
+				a.Name, a.Class, a.MeanPerf, a.PerfCI95, a.FTHR,
+				"(stopped)", "-")
+			continue
+		}
 		if !a.Started {
 			fmt.Fprintf(&b, "%-12s (never started)\n", a.Name)
 			continue

@@ -57,6 +57,13 @@ type Config struct {
 	// covers the post-resume epochs only.
 	Prof *prof.Profiler
 
+	// AllowDynamic permits runtime workload turnover: the system may be
+	// built with zero apps and grown with AddApp / shrunk with StopApp
+	// (the fleet placement layer drives both). Static experiments leave
+	// it off and keep the configured-up-front contract: New rejects an
+	// empty app list and the run's population is fixed.
+	AllowDynamic bool
+
 	// Faults arms the deterministic chaos layer (internal/fault): the
 	// plan is compiled against Seed into an injector consulted by the
 	// migration engines, profilers, latency/bandwidth models and the
@@ -114,6 +121,14 @@ type System struct {
 	// make the two differ).
 	admitOrder []int
 
+	// stopLog records StopApp calls in order, each tagged with how many
+	// admissions preceded it. A checkpoint replays admissions and stops
+	// interleaved in this chronology, so the replayed resident set never
+	// exceeds what the original run held at the same point (a stop that
+	// freed capacity for a later admission must free it during replay
+	// too). Empty on every non-dynamic run.
+	stopLog []stopEvent
+
 	// bwUtil carries the previous epoch's measured bandwidth utilization
 	// into the next epoch's latency model.
 	bwUtil [mem.NumTiers]float64
@@ -144,8 +159,13 @@ type System struct {
 // their StartAt times during RunEpoch.
 func New(cfg Config) *System {
 	cfg.fillDefaults()
-	if len(cfg.Apps) == 0 {
+	if len(cfg.Apps) == 0 && !cfg.AllowDynamic {
 		panic("system: no applications configured")
+	}
+	// A dynamic system may start empty; the tracker grows with AddApp.
+	cfi := new(metrics.CFITracker)
+	if len(cfg.Apps) > 0 {
+		cfi = metrics.NewCFITracker(len(cfg.Apps))
 	}
 	m := machine.New(cfg.Machine)
 	s := &System{
@@ -155,7 +175,7 @@ func New(cfg Config) *System {
 		cores:    cfg.Machine.Cores,
 		rng:      sim.NewRNG(cfg.Seed),
 		recorder: metrics.NewRecorder(m.Clock),
-		cfi:      metrics.NewCFITracker(len(cfg.Apps)),
+		cfi:      cfi,
 		obs:      cfg.Obs,
 		prof:     cfg.Prof,
 		tiers:    m.Tiers,
@@ -186,7 +206,11 @@ func New(cfg Config) *System {
 			keyOps:       ac.Name + ".ops",
 		})
 	}
-	if totalThreads > cfg.Machine.Cores {
+	// A dynamic system's population turns over: the static sum may count
+	// instances that never coexist (one stopped before the next arrived),
+	// so core capacity is enforced per AddApp against live threads
+	// instead.
+	if totalThreads > cfg.Machine.Cores && !cfg.AllowDynamic {
 		panic(fmt.Sprintf("system: %d app threads exceed %d cores (the paper pins one thread per core)",
 			totalThreads, cfg.Machine.Cores))
 	}
@@ -259,9 +283,10 @@ func (s *System) Obs() obs.Sink { return s.obs }
 func (s *System) RunEpoch() {
 	now := s.m.Now()
 
-	// Admission.
+	// Admission. Stopped apps stay out: their lifecycle is over, not
+	// pending.
 	for _, a := range s.apps {
-		if !a.started && a.Cfg.StartAt <= now {
+		if !a.started && !a.stopped && a.Cfg.StartAt <= now {
 			a.admit(s, s.placer)
 			a.refreshCensus()
 			s.admitOrder = append(s.admitOrder, a.Index)
