@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt vet lint vet-sarif test race obs-demo obs-demo-parallel chaos-demo chaos-golden checkpoint-demo prof-demo fleet-demo bench bench-checkpoint bench-fleet bench-diff
+.PHONY: check build fmt vet lint vet-sarif test race obs-demo obs-demo-parallel chaos-demo chaos-golden checkpoint-demo prof-demo fleet-demo serve-demo bench bench-checkpoint bench-fleet bench-diff
 
 # check is the full gate, in fail-fast order: cheap static checks first,
 # then the test suites.
@@ -195,6 +195,50 @@ fleet-demo:
 		-resume out/fleet-demo/mid.ckpt > out/fleet-demo/report-resumed.txt
 	cmp out/fleet-demo/report-w1.txt out/fleet-demo/report-resumed.txt
 	@echo "fleet-demo: fleet report byte-identical across workers 1/2/7 and across resume"
+
+# serve-demo is the executable contract for the serving daemon
+# (DESIGN.md "Serving mode"): a manual-paced vulcand session is driven
+# over its unix socket (admission, intensity change, stepping), suspended
+# mid-run via /v1/shutdown, resumed auto-paced to completion from its
+# newest rolling checkpoint, and then the command journal replayed
+# through the batch pipeline (vulcansim -replay-journal) at lab workers
+# 1/2/7 must reproduce the daemon's streamed trace, metrics and report
+# byte for byte. Rolling-checkpoint retention (-checkpoint-retain 2) is
+# checked on the way out. Artifacts land in out/serve-demo/ (gitignored).
+SD = out/serve-demo
+SD_ARTIFACTS = -journal $(SD)/run.journal -trace-out $(SD)/trace.json \
+	-metrics-out $(SD)/metrics.csv -report-out $(SD)/report.txt \
+	-checkpoint-base $(SD)/run.ckpt -checkpoint-every 6 -checkpoint-retain 2
+serve-demo:
+	@rm -rf $(SD); mkdir -p $(SD)
+	$(GO) build -o $(SD)/vulcand ./cmd/vulcand
+	@set -e; \
+	$(SD)/vulcand -socket $(SD)/v.sock -config testdata/serve/scenario.json \
+		-speed 0 $(SD_ARTIFACTS) & pid=$$!; \
+	for i in $$(seq 100); do test -S $(SD)/v.sock && break; sleep 0.1; done; \
+	vd() { $(SD)/vulcand -socket $(SD)/v.sock "$$@"; echo; }; \
+	vd -post /v1/step -data '{"epochs":4}'; \
+	vd -post /v1/admit -data '{"app":{"name":"burst","class":"BE","threads":1,"rss_pages":2048,"generator":"uniform"},"depart":20}'; \
+	vd -post /v1/step -data '{"epochs":6}'; \
+	vd -post /v1/intensity -data '{"name":"burst","milli":500}'; \
+	vd -post /v1/step -data '{"epochs":1}'; \
+	vd -get /v1/status; \
+	vd -post /v1/shutdown; \
+	wait $$pid; \
+	echo "serve-demo: suspended mid-run; resuming auto-paced"; \
+	$(SD)/vulcand -socket $(SD)/v.sock -resume -speed 50 $(SD_ARTIFACTS)
+	test -f $(SD)/run.t012.ckpt && test -f $(SD)/run.t018.ckpt
+	@if test -f $(SD)/run.t006.ckpt; then \
+		echo "retention failed: run.t006.ckpt survived -checkpoint-retain 2"; exit 1; fi
+	for w in 1 2 7; do \
+		$(GO) run ./cmd/vulcansim -replay-journal $(SD)/run.journal -parallel $$w \
+			-trace-out $(SD)/rtrace$$w.json -metrics-out $(SD)/rmetrics$$w.csv \
+			> $(SD)/rreport$$w.txt && \
+		cmp $(SD)/trace.json $(SD)/rtrace$$w.json && \
+		cmp $(SD)/metrics.csv $(SD)/rmetrics$$w.csv && \
+		cmp $(SD)/report.txt $(SD)/rreport$$w.txt || exit 1; \
+	done
+	@echo "serve-demo: suspended/resumed daemon artifacts byte-identical to journal replay at workers 1/2/7"
 
 # bench runs the figure benchmarks with allocation accounting and
 # records the numbers as structured JSON (committed as

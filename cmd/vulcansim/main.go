@@ -49,7 +49,16 @@
 // when the remaining flags match. The policy and fault flags may differ
 // from the checkpointed run — that branches a new experiment from the
 // snapshot instead (the restored policy starts cold). Checkpointing is
-// single-run only: it excludes -seeds > 1.
+// single-run only: it excludes -seeds > 1. Interim checkpoints follow
+// the rolling-family naming (run.ckpt -> run.t030.ckpt) and
+// -checkpoint-retain keeps only the newest N of them (0 = all).
+//
+// Journal replay (-replay-journal run.journal) rebuilds a vulcand
+// serving session from its command journal through the batch pipeline:
+// the journal header carries the scenario, every journaled command
+// re-applies at its epoch boundary, and the report, -trace-out and
+// -metrics-out artifacts are byte-identical to what the live daemon
+// streamed — at any -parallel value.
 package main
 
 import (
@@ -63,12 +72,14 @@ import (
 	"strings"
 
 	"vulcan"
+	"vulcan/internal/checkpoint"
 	"vulcan/internal/cluster"
 	"vulcan/internal/figures"
 	"vulcan/internal/lab"
 	"vulcan/internal/obs"
 	"vulcan/internal/obs/prof"
 	"vulcan/internal/scenario"
+	"vulcan/internal/serve"
 	"vulcan/internal/sim"
 )
 
@@ -105,7 +116,9 @@ func main() {
 		schedName  = flag.String("scheduler", "binpack", "fleet placement scheduler: "+strings.Join(cluster.Schedulers(), ", ")+" (needs -fleet)")
 		ckptOut    = flag.String("checkpoint-out", "", "write a checkpoint blob of the final simulation state to this file")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "also checkpoint every N simulated seconds (needs -checkpoint-out; interim files get a .tNNN suffix)")
+		ckptRetain = flag.Int("checkpoint-retain", 0, "keep only the newest N interim checkpoints (0 = all; needs -checkpoint-every)")
 		resumeFrom = flag.String("resume", "", "resume from a checkpoint blob; -seconds then counts additional simulated time")
+		replayJrnl = flag.String("replay-journal", "", "replay a vulcand command journal through the batch pipeline and exit")
 		costPB     = flag.String("costprofile", "", "write the simulated-cycle cost profile as gzipped pprof protobuf (go tool pprof readable)")
 		costFolded = flag.String("cost-folded", "", "write the cost profile as folded stacks (flamegraph.pl / speedscope input)")
 		costCSV    = flag.String("cost-csv", "", "write the per-epoch cost breakdown as CSV")
@@ -151,14 +164,28 @@ func main() {
 	if !figures.ValidPolicy(*policyName) {
 		log.Fatalf("unknown policy %q (want one of %s)", *policyName, strings.Join(figures.PolicyNames, ", "))
 	}
-	if *ckptEvery < 0 {
-		log.Fatal("-checkpoint-every must be >= 0")
+	if *ckptEvery < 0 || *ckptRetain < 0 {
+		log.Fatal("-checkpoint-every and -checkpoint-retain must be >= 0")
 	}
 	if *ckptEvery > 0 && *ckptOut == "" {
 		log.Fatal("-checkpoint-every needs -checkpoint-out")
 	}
+	if *ckptRetain > 0 && *ckptEvery == 0 {
+		log.Fatal("-checkpoint-retain needs -checkpoint-every")
+	}
 	if (*ckptOut != "" || *resumeFrom != "") && *seedsN > 1 {
 		log.Fatal("-checkpoint-out/-resume are single-run flags; they exclude -seeds > 1")
+	}
+
+	if *replayJrnl != "" {
+		// The journal header IS the scenario; flags that would define or
+		// alter one are contradictions, not overrides.
+		if *configPath != "" || *fleetN > 0 || *seedsN > 1 || *seriesOut != "" ||
+			cost.wanted() || plan != nil || *ckptOut != "" || *resumeFrom != "" {
+			log.Fatal("-replay-journal replays the journal's own scenario: it supports -json, -trace-out, -metrics-out and -parallel only")
+		}
+		runReplayJournal(*replayJrnl, *jsonOut, *traceOut, *metricsOut)
+		return
 	}
 
 	if *fleetN > 0 {
@@ -180,7 +207,7 @@ func main() {
 			log.Fatal(err)
 		}
 		runConfigFile(*configPath, *seriesOut, *jsonOut, rec, *traceOut, *metricsOut, cost, plan,
-			*resumeFrom, *ckptOut, *ckptEvery)
+			*resumeFrom, *ckptOut, *ckptEvery, *ckptRetain)
 		return
 	}
 
@@ -312,16 +339,38 @@ func main() {
 		cfg.Obs = rec
 		rec.AttachCostProfiler(p)
 	}
-	sys := runSystem(cfg, *seconds, *resumeFrom, *ckptOut, *ckptEvery)
+	sys := runSystem(cfg, *seconds, *resumeFrom, *ckptOut, *ckptEvery, *ckptRetain)
 	finish(sys, *jsonOut, *seriesOut, rec, *traceOut, *metricsOut)
 	writeCostArtifacts(p, cost)
+}
+
+// runReplayJournal rebuilds a vulcand serving run from its command
+// journal in batch mode and renders the same artifacts the daemon
+// streamed.
+func runReplayJournal(path string, jsonOut bool, traceOut, metricsOut string) {
+	s, err := serve.Replay(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.WriteReport(os.Stdout, jsonOut); err != nil {
+		log.Fatal(err)
+	}
+	if traceOut != "" {
+		writeArtifact(traceOut, "chrome trace", s.WriteTrace)
+	}
+	if metricsOut != "" {
+		writeArtifact(metricsOut, "metric samples", s.WriteMetrics)
+	}
 }
 
 // runSystem builds (or resumes) the system and advances it seconds of
 // simulated time, writing interim and final checkpoints as requested.
 // Checkpoints happen on epoch boundaries, which whole-second steps
 // align with (the default epoch is 1s).
-func runSystem(cfg vulcan.Config, seconds int, resumeFrom, ckptOut string, ckptEvery int) *vulcan.System {
+func runSystem(cfg vulcan.Config, seconds int, resumeFrom, ckptOut string, ckptEvery, ckptRetain int) *vulcan.System {
 	var sys *vulcan.System
 	if resumeFrom != "" {
 		f, err := os.Open(resumeFrom)
@@ -346,7 +395,10 @@ func runSystem(cfg vulcan.Config, seconds int, resumeFrom, ckptOut string, ckptE
 			sys.Run(vulcan.Duration(step) * vulcan.Second)
 			done += step
 			if done < seconds {
-				writeCheckpoint(sys, interimPath(ckptOut, simSeconds(sys)))
+				writeCheckpoint(sys, checkpoint.RollingPath(ckptOut, simSeconds(sys)))
+				if _, err := checkpoint.PruneRolling(ckptOut, ckptRetain); err != nil {
+					log.Fatalf("prune checkpoints: %v", err)
+				}
 			}
 		}
 	} else {
@@ -439,13 +491,6 @@ func runFleet(cfg cluster.Config, seconds int, jsonOut bool, resumeFrom, ckptOut
 // simSeconds returns the simulation clock in whole simulated seconds.
 func simSeconds(sys *vulcan.System) int {
 	return int(sim.Duration(sys.Now()) / sim.Second)
-}
-
-// interimPath derives a periodic-checkpoint path by inserting the
-// simulated time before the extension: run.ckpt -> run.t030.ckpt.
-func interimPath(path string, seconds int) string {
-	ext := filepath.Ext(path)
-	return fmt.Sprintf("%s.t%03d%s", strings.TrimSuffix(path, ext), seconds, ext)
 }
 
 // writeCheckpoint serializes the full simulation state to path.
@@ -579,7 +624,7 @@ func buildFaultPlan(profile string, rate float64, seed uint64) (*vulcan.FaultPla
 // runConfigFile executes a JSON-defined scenario. A -faults/-fault-rate
 // flag plan overrides the file's own faults block.
 func runConfigFile(path, seriesOut string, jsonOut bool, rec *obs.Recorder, traceOut, metricsOut string,
-	cost costFlags, plan *vulcan.FaultPlan, resumeFrom, ckptOut string, ckptEvery int) {
+	cost costFlags, plan *vulcan.FaultPlan, resumeFrom, ckptOut string, ckptEvery, ckptRetain int) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -616,7 +661,7 @@ func runConfigFile(path, seriesOut string, jsonOut bool, rec *obs.Recorder, trac
 		cfg.Obs = rec
 		rec.AttachCostProfiler(p)
 	}
-	sys := runSystem(cfg, int(parsed.Duration/sim.Duration(sim.Second)), resumeFrom, ckptOut, ckptEvery)
+	sys := runSystem(cfg, int(parsed.Duration/sim.Duration(sim.Second)), resumeFrom, ckptOut, ckptEvery, ckptRetain)
 	finish(sys, jsonOut, seriesOut, rec, traceOut, metricsOut)
 	writeCostArtifacts(p, cost)
 }

@@ -73,6 +73,11 @@ func TestLabOnlyScope(t *testing.T) {
 		{"vulcan/internal/lab", false},
 		{"vulcan/cmd/vulcansim", false},
 		{"vulcan/examples/quickstart", false},
+		// The serving daemon's scoped exemption: host-facing control
+		// plane may hold locks, but the rest of the contract (the
+		// determinism analyzer) still covers internal/serve.
+		{"vulcan/internal/serve", false},
+		{"vulcan/cmd/vulcand", false},
 	} {
 		if got := analysis.LabOnly.Applies(tc.path); got != tc.want {
 			t.Errorf("LabOnly.Applies(%q) = %t, want %t", tc.path, got, tc.want)

@@ -21,6 +21,33 @@ func isLabPackage(pkgPath string) bool {
 	return strings.HasSuffix(pkgPath, "/internal/lab")
 }
 
+// labExemptPkgs is the scoped exemption table: package path suffixes
+// that sit at the process boundary and are allowed concurrency even
+// though they live alongside (or drive) the simulation tree. The
+// serving daemon's HTTP listener and command mutex are host-facing
+// plumbing; the simulation it owns still advances strictly
+// single-threaded between epoch boundaries, which the serve package's
+// own tests prove by replaying its journal through the serial batch
+// path. Every entry here must carry a justification.
+var labExemptPkgs = []string{
+	// vulcand control plane: accepts admissions over a unix socket while
+	// an epoch is running; commands are serialized onto epoch boundaries
+	// under one mutex, so the sim tree itself never sees two threads.
+	"/internal/serve",
+	// vulcand main: signal handling and listener lifecycle.
+	"/cmd/vulcand",
+}
+
+// labExempt reports whether pkgPath is in the exemption table.
+func labExempt(pkgPath string) bool {
+	for _, suffix := range labExemptPkgs {
+		if strings.HasSuffix(pkgPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
 // LabOnly enforces concurrency containment: simulation code is
 // single-threaded by contract (DESIGN.md "Parallel determinism"), and
 // parallelism exists only as whole-run fan-out through internal/lab,
@@ -38,7 +65,7 @@ var LabOnly = &Analyzer{
 	Doc: "confine go statements and sync primitives to internal/lab; simulation " +
 		"code stays single-threaded and independent runs fan out through the lab worker pool",
 	Applies: func(pkgPath string) bool {
-		return inSimTree(pkgPath) && !isLabPackage(pkgPath)
+		return inSimTree(pkgPath) && !isLabPackage(pkgPath) && !labExempt(pkgPath)
 	},
 	Run: runLabOnly,
 }

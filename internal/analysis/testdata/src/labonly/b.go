@@ -1,0 +1,24 @@
+package labonly
+
+import "sync"
+
+// Daemon-shaped code inside the simulation tree: the serve-package
+// exemption is scoped by package path (checked in Applies and pinned by
+// TestLabOnlyScope), so the same control-loop idioms remain illegal
+// anywhere the analyzer runs. A serving loop that owns a System must
+// live in internal/serve or cmd/vulcand; the sim tree stays serial.
+
+type controlServer struct {
+	mu   sync.Mutex // want `sync\.Mutex outside internal/lab`
+	cmds []string
+}
+
+func (s *controlServer) serveLoop(conns <-chan string) {
+	go func() { // want `go statement outside internal/lab`
+		for c := range conns {
+			s.mu.Lock()
+			s.cmds = append(s.cmds, c)
+			s.mu.Unlock()
+		}
+	}()
+}

@@ -128,12 +128,20 @@ func (q *QoSController) GFMC(fastCapacity int) int {
 // fast-tier residency, which is what the demand formula adjusts from.
 func (q *QoSController) UpdateDemands(fastCapacity int) {
 	gfmc := q.GFMC(fastCapacity)
+	denom := q.demandDenom()
+	for _, st := range q.states {
+		q.updateDemand(st, gfmc, denom)
+	}
+	q.epoch++
+}
 
-	// Eq. 3's log² factor, normalized so the largest co-located footprint
-	// adjusts at full proportional speed: the adjustment for workload i
-	// is (GPT−FTHR)·RSS_i·log²₂(rss_i)/log²₂(max_j rss_j). This keeps the
-	// equation's "proportional to the workload's memory footprint" intent
-	// while yielding page-unit steps at any simulation scale.
+// demandDenom is Eq. 3's log² normalizer, computed so the largest
+// co-located footprint adjusts at full proportional speed: the
+// adjustment for workload i is (GPT−FTHR)·RSS_i·log²₂(rss_i)/log²₂(max_j
+// rss_j). This keeps the equation's "proportional to the workload's
+// memory footprint" intent while yielding page-unit steps at any
+// simulation scale.
+func (q *QoSController) demandDenom() float64 {
 	maxRSS := 0
 	for _, st := range q.states {
 		if r := st.App.RSSMapped(); r > maxRSS {
@@ -145,51 +153,54 @@ func (q *QoSController) UpdateDemands(fastCapacity int) {
 		l := math.Log2(float64(maxRSS))
 		denom = l * l
 	}
+	return denom
+}
 
-	for _, st := range q.states {
-		rss := st.App.RSSMapped()
-		if rss <= 0 {
-			st.GPT, st.Demand = 1, 0
-			continue
-		}
-		if gfmc >= rss {
-			st.GPT = 1
-		} else {
-			st.GPT = float64(gfmc) / float64(rss)
-		}
-		fthr := st.App.FTHR()
-		alloc := st.Alloc
-		if !st.initialized {
-			alloc = st.App.FastPages()
-		}
-
-		if fthr >= st.GPT {
-			// "The current allocation is deemed sufficient" (§3.3).
-			// Anything beyond the fair entitlement is surrendered
-			// outright; within the entitlement, probe-shrink donates
-			// pages the workload demonstrably does not need, backing off
-			// at the hot-set knee.
-			st.Demand = q.sufficientDemand(st, alloc, gfmc, fthr)
-			st.lastFTHR = fthr
-			continue
-		}
-		st.shrankLast = false
-		st.lastFTHR = fthr
-
-		// Under-allocated: grow demand by Eq. 3 with normalized log²
-		// footprint scaling.
-		l := math.Log2(float64(rss))
-		adjust := (st.GPT - fthr) * float64(rss) * (l * l) / denom
-		demand := alloc + int(adjust)
-		if demand < 0 {
-			demand = 0
-		}
-		if demand > rss {
-			demand = rss
-		}
-		st.Demand = demand
+// updateDemand recomputes one workload's GPT and demand — the per-state
+// body of UpdateDemands, also invoked by incremental rescoring for the
+// dirty set alone.
+func (q *QoSController) updateDemand(st *QoSState, gfmc int, denom float64) {
+	rss := st.App.RSSMapped()
+	if rss <= 0 {
+		st.GPT, st.Demand = 1, 0
+		return
 	}
-	q.epoch++
+	if gfmc >= rss {
+		st.GPT = 1
+	} else {
+		st.GPT = float64(gfmc) / float64(rss)
+	}
+	fthr := st.App.FTHR()
+	alloc := st.Alloc
+	if !st.initialized {
+		alloc = st.App.FastPages()
+	}
+
+	if fthr >= st.GPT {
+		// "The current allocation is deemed sufficient" (§3.3).
+		// Anything beyond the fair entitlement is surrendered
+		// outright; within the entitlement, probe-shrink donates
+		// pages the workload demonstrably does not need, backing off
+		// at the hot-set knee.
+		st.Demand = q.sufficientDemand(st, alloc, gfmc, fthr)
+		st.lastFTHR = fthr
+		return
+	}
+	st.shrankLast = false
+	st.lastFTHR = fthr
+
+	// Under-allocated: grow demand by Eq. 3 with normalized log²
+	// footprint scaling.
+	l := math.Log2(float64(rss))
+	adjust := (st.GPT - fthr) * float64(rss) * (l * l) / denom
+	demand := alloc + int(adjust)
+	if demand < 0 {
+		demand = 0
+	}
+	if demand > rss {
+		demand = rss
+	}
+	st.Demand = demand
 }
 
 // sufficientDemand computes the demand of a workload whose FTHR meets its

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"vulcan/internal/obs"
+	"vulcan/internal/system"
+)
+
+// Reevaluate implements system.Rescorer: incremental re-evaluation of
+// the dirty app set only, invoked by the system when an admission,
+// departure or intensity change lands mid-run.
+//
+// Settled tenants keep their allocations untouched — the whole point is
+// that one newcomer must not trigger a full repartition of every
+// co-located workload. Dirty newcomers are seeded from the uncommitted
+// remainder of the fast tier (capacity minus the settled tenants'
+// quotas), split evenly among them and capped by each one's freshly
+// computed demand. Dirty tenants that are already partitioned (an
+// intensity change) get their GPT and demand recomputed in place so the
+// next CBFRP pass trades quota from current numbers instead of
+// epoch-old ones; their allocation itself is left to CBFRP. A departed
+// app is already unregistered by the time Reevaluate runs, so its quota
+// simply surfaces as uncommitted capacity for the next rescore or
+// CBFRP pass.
+//
+// The controller's probe-shrink epoch counter is not advanced: rescore
+// events are aperiodic and must not perturb the hold/backoff cadence.
+func (v *Vulcan) Reevaluate(sys *system.System, dirty []*system.App) {
+	states := v.qos.States()
+	if len(states) == 0 || len(dirty) == 0 {
+		return
+	}
+	inDirty := make(map[*system.App]bool, len(dirty))
+	for _, a := range dirty {
+		inDirty[a] = true
+	}
+
+	fastCap := sys.Tiers().Fast().Capacity()
+	gfmc := v.qos.GFMC(fastCap)
+	denom := v.qos.demandDenom()
+
+	free := fastCap
+	newcomers := 0
+	for _, st := range states {
+		if inDirty[st.App] && !st.initialized {
+			newcomers++
+			continue
+		}
+		free -= st.Alloc
+		if inDirty[st.App] {
+			v.qos.updateDemand(st, gfmc, denom)
+			v.emitRescore(sys, st)
+		}
+	}
+	if newcomers == 0 {
+		return
+	}
+	if free < 0 {
+		free = 0
+	}
+	share := free / newcomers
+
+	for _, st := range states {
+		if !inDirty[st.App] || st.initialized {
+			continue
+		}
+		v.qos.updateDemand(st, gfmc, denom)
+		alloc := st.Demand
+		if alloc > share {
+			alloc = share
+		}
+		st.Alloc = alloc
+		st.initialized = true
+		v.placed[st.App] = st.App.FastPages()
+		v.emitRescore(sys, st)
+	}
+}
+
+// emitRescore reports one dirty app's refreshed controller state.
+func (v *Vulcan) emitRescore(sys *system.System, st *QoSState) {
+	if !obs.Enabled(sys.Obs(), obs.EvQoSAdapt) {
+		return
+	}
+	e := obs.E(obs.EvQoSAdapt, st.App.Name(), "qos", 0,
+		obs.F("alloc", float64(st.Alloc)),
+		obs.F("demand", float64(st.Demand)),
+		obs.F("gpt", st.GPT))
+	e.Note = "rescore"
+	sys.Obs().Event(e)
+}

@@ -3,149 +3,45 @@ package obs
 import (
 	"bufio"
 	"io"
-	"sort"
 	"strconv"
-
-	"vulcan/internal/obs/prof"
 )
 
 // WriteChromeTrace exports the buffered events as Chrome trace-event
 // JSON (the "JSON Array Format" with metadata), loadable in Perfetto or
-// chrome://tracing. Layout:
+// chrome://tracing.
 //
-//   - one trace "process" per application plus one for the machine,
-//     ordered machine first then apps sorted by name;
-//   - one thread (track) per component lane within each process
-//     ("migrate", "profile", "qos", ...), sorted by name;
-//   - events with a duration render as complete ("X") slices, instants
-//     as thread-scoped instant ("i") marks; event fields and the note
-//     become args.
+// The batch path is a replay through TraceStream: events go out in
+// emission order, and each recorded flush boundary (FlushEpoch) emits
+// that epoch's cost counter samples, exactly as a live daemon streaming
+// the same session would. Buffered events past the last flush mark and
+// any remaining counter rows trail the marked segments. Because both
+// paths share one record emitter, a journaled daemon session replayed
+// through this exporter reproduces the streamed artifact byte for byte.
 //
-// Slices on one track are laid out back-to-back when the model stamps
-// several with the same epoch-boundary timestamp: a per-track cursor
-// shifts an overlapping slice to the end of the previous one. That
-// keeps the visual timeline readable without touching recorded data,
-// and — because events are processed strictly in emission order — stays
-// byte-deterministic.
 // When a cost profiler is attached (AttachCostProfiler), each epoch's
-// per-(app, subsystem) cycle totals are appended as counter ("C")
-// events — Perfetto renders them as one "cost.<subsystem>" counter
-// track per process. Without an attached profiler the emitted bytes are
-// exactly the pre-profiler format.
+// per-(app, subsystem) cycle totals appear as counter ("C") events —
+// Perfetto renders them as one "cost.<subsystem>" counter track per
+// process. Without an attached profiler the emitted bytes are exactly
+// the counter-free format.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	j := jsonWriter{w: bw}
-
+	ts := NewTraceStream(w)
 	counters := r.cost.CounterRows() // nil profiler -> no rows
-	pids, tids := r.traceLayout(counters)
-
-	j.raw(`{"displayTimeUnit":"ms","traceEvents":[`)
-	first := true
-	sep := func() {
-		if !first {
-			j.raw(",")
+	ei, ci := 0, 0
+	for _, m := range r.marks {
+		for ; ei < m.Events && ei < len(r.events); ei++ {
+			ts.Event(r.events[ei])
 		}
-		first = false
-		j.raw("\n")
-	}
-
-	// Metadata: process and thread names, in pid/tid order.
-	type proc struct {
-		name string
-		pid  int
-	}
-	procs := make([]proc, 0, len(pids))
-	for name, pid := range pids {
-		procs = append(procs, proc{name: name, pid: pid})
-	}
-	sort.Slice(procs, func(i, k int) bool { return procs[i].pid < procs[k].pid })
-	for _, p := range procs {
-		display := p.name
-		if display == "" {
-			display = "machine"
-		}
-		sep()
-		j.raw(`{"name":"process_name","ph":"M","pid":` + strconv.Itoa(p.pid) +
-			`,"tid":0,"args":{"name":`)
-		j.str(display)
-		j.raw(`}}`)
-		lanes := tids[p.name]
-		laneNames := sortedKeys(lanes)
-		for _, lane := range laneNames {
-			if lane == "" {
-				continue // alias of the "events" lane, named once
-			}
-			sep()
-			j.raw(`{"name":"thread_name","ph":"M","pid":` + strconv.Itoa(p.pid) +
-				`,"tid":` + strconv.Itoa(lanes[lane]) + `,"args":{"name":`)
-			j.str(lane)
-			j.raw(`}}`)
+		for ; ci < len(counters) && counters[ci].Epoch <= m.Epoch; ci++ {
+			ts.Counter(counters[ci])
 		}
 	}
-
-	// Events, in emission order, with per-track layout cursors (ns).
-	type trackKey struct{ pid, tid int }
-	cursor := make(map[trackKey]int64)
-	for _, e := range r.events {
-		pid := pids[e.App]
-		tid := tids[e.App][e.Track]
-		key := trackKey{pid, tid}
-		ts := int64(e.Time)
-		if c := cursor[key]; ts < c {
-			ts = c
-		}
-		sep()
-		j.raw(`{"name":`)
-		j.str(e.Type.String())
-		j.raw(`,"cat":`)
-		j.str(e.Type.String())
-		if e.Dur > 0 {
-			j.raw(`,"ph":"X"`)
-		} else {
-			j.raw(`,"ph":"i","s":"t"`)
-		}
-		j.raw(`,"pid":` + strconv.Itoa(pid) + `,"tid":` + strconv.Itoa(tid))
-		j.raw(`,"ts":` + microseconds(ts))
-		if e.Dur > 0 {
-			j.raw(`,"dur":` + microseconds(int64(e.Dur)))
-			cursor[key] = ts + int64(e.Dur)
-		}
-		j.raw(`,"args":{`)
-		argFirst := true
-		arg := func() {
-			if !argFirst {
-				j.raw(",")
-			}
-			argFirst = false
-		}
-		if e.Note != "" {
-			arg()
-			j.raw(`"note":`)
-			j.str(e.Note)
-		}
-		for _, f := range e.Fields {
-			arg()
-			j.str(f.Key)
-			j.raw(`:` + formatVal(f.Val))
-		}
-		j.raw(`}}`)
+	for ; ei < len(r.events); ei++ {
+		ts.Event(r.events[ei])
 	}
-
-	// Cost counter tracks, in (epoch, app, subsystem) order.
-	for _, c := range counters {
-		sep()
-		j.raw(`{"name":`)
-		j.str("cost." + c.Root)
-		j.raw(`,"ph":"C","pid":` + strconv.Itoa(pids[c.App]) + `,"tid":0`)
-		j.raw(`,"ts":` + microseconds(int64(c.T)))
-		j.raw(`,"args":{"cycles":` + formatVal(c.Cycles) + `}}`)
+	for ; ci < len(counters); ci++ {
+		ts.Counter(counters[ci])
 	}
-
-	j.raw("\n]}\n")
-	if j.err != nil {
-		return j.err
-	}
-	return bw.Flush()
+	return ts.Close()
 }
 
 // microseconds renders a nanosecond count as the trace format's
@@ -164,76 +60,22 @@ func microseconds(ns int64) string {
 	return strconv.FormatInt(us, 10) + "." + s
 }
 
-// traceLayout assigns stable pid/tid numbers: machine scope is pid 1,
-// apps take pid 2+ sorted by name; each scope's tracks take tid 1+
-// sorted by track name. Apps that appear only in cost counter rows
-// still get a process so their counter tracks have a home.
-func (r *Recorder) traceLayout(counters []prof.CounterRow) (map[string]int, map[string]map[string]int) {
-	scopes := map[string]map[string]struct{}{}
-	ensure := func(app string) map[string]struct{} {
-		lanes := scopes[app]
-		if lanes == nil {
-			lanes = make(map[string]struct{})
-			scopes[app] = lanes
-		}
-		return lanes
-	}
-	for _, e := range r.events {
-		lanes := ensure(e.App)
-		track := e.Track
-		if track == "" {
-			track = "events"
-		}
-		lanes[track] = struct{}{}
-	}
-	for _, c := range counters {
-		ensure(c.App)
-	}
-	// Machine scope always exists so traces have a stable pid 1.
-	if _, ok := scopes[""]; !ok {
-		scopes[""] = map[string]struct{}{"events": {}}
-	}
-
-	names := make([]string, 0, len(scopes))
-	for name := range scopes {
-		names = append(names, name)
-	}
-	sort.Strings(names) // "" (machine) sorts first
-
-	pids := make(map[string]int, len(names))
-	tids := make(map[string]map[string]int, len(names))
-	for i, name := range names {
-		pids[name] = i + 1
-		laneSet := scopes[name]
-		laneNames := make([]string, 0, len(laneSet))
-		for lane := range laneSet {
-			laneNames = append(laneNames, lane)
-		}
-		sort.Strings(laneNames)
-		lanes := make(map[string]int, len(laneNames))
-		for k, lane := range laneNames {
-			lanes[lane] = k + 1
-		}
-		// Events with an empty track land on the "events" lane.
-		if tid, ok := lanes["events"]; ok {
-			lanes[""] = tid
-		}
-		tids[name] = lanes
-	}
-	return pids, tids
-}
-
-// jsonWriter is a minimal error-latching JSON emitter. The exporter
-// writes structure by hand so field order (and therefore output bytes)
-// is exactly the emission order, not encoding/json's choices.
+// jsonWriter is a minimal error-latching JSON emitter that counts the
+// bytes it accepts. The exporter writes structure by hand so field
+// order (and therefore output bytes) is exactly the emission order, not
+// encoding/json's choices; the byte count gives streams a Tell() for
+// rolling-checkpoint truncation offsets.
 type jsonWriter struct {
 	w   *bufio.Writer
+	n   int64
 	err error
 }
 
 func (j *jsonWriter) raw(s string) {
 	if j.err == nil {
-		_, j.err = j.w.WriteString(s)
+		var k int
+		k, j.err = j.w.WriteString(s)
+		j.n += int64(k)
 	}
 }
 
@@ -257,5 +99,7 @@ func (j *jsonWriter) str(s string) {
 		}
 	}
 	buf = append(buf, '"')
-	_, j.err = j.w.Write(buf)
+	var k int
+	k, j.err = j.w.Write(buf)
+	j.n += int64(k)
 }

@@ -306,6 +306,29 @@ func (p *Profiler) CounterRows() []CounterRow {
 	if p == nil {
 		return nil
 	}
+	return aggregateCounterRows(p.rows)
+}
+
+// CounterRowsForEpoch aggregates one epoch's flushed rows to per-app,
+// per-root-subsystem cycle totals — the samples a streaming trace sink
+// appends at that epoch's flush boundary. Rows flush in epoch order, so
+// the concatenation over successive epochs equals CounterRows.
+func (p *Profiler) CounterRowsForEpoch(epoch int) []CounterRow {
+	if p == nil {
+		return nil
+	}
+	lo := sort.Search(len(p.rows), func(i int) bool { return p.rows[i].Epoch >= epoch })
+	hi := lo
+	for hi < len(p.rows) && p.rows[hi].Epoch == epoch {
+		hi++
+	}
+	if lo == hi {
+		return nil
+	}
+	return aggregateCounterRows(p.rows[lo:hi])
+}
+
+func aggregateCounterRows(rows []Row) []CounterRow {
 	type key struct {
 		epoch int
 		app   string
@@ -313,7 +336,7 @@ func (p *Profiler) CounterRows() []CounterRow {
 	}
 	agg := make(map[key]*CounterRow)
 	order := make([]key, 0, 16)
-	for _, r := range p.rows {
+	for _, r := range rows {
 		if r.Path == TotalPath || r.Path == UnattributedPath {
 			continue
 		}

@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"bufio"
 	"io"
 	"strconv"
 
@@ -9,10 +8,15 @@ import (
 	"vulcan/internal/sim"
 )
 
-// Recorder is the standard Sink: it buffers events, hosts the metrics
-// registry, and snapshots the registry once per epoch for the CSV
-// exporter. All timestamps come from the bound sim.Clock; a recorder
-// with no clock stamps t=0 (useful in unit tests that set Event.Time
+// Recorder is the standard Sink. In batch mode (the default) it buffers
+// events, hosts the metrics registry, snapshots the registry once per
+// epoch for the CSV exporter, and records each flush boundary so the
+// batch exporters can replay the session through the streaming sinks.
+// In streaming mode (StreamTo) nothing is buffered: events forward
+// straight to a TraceStream and each epoch flush appends the registry
+// rows to a CSVStream — the long-running daemon's memory-bounded path.
+// All timestamps come from the bound sim.Clock; a recorder with no
+// clock stamps t=0 (useful in unit tests that set Event.Time
 // explicitly).
 type Recorder struct {
 	clock   *sim.Clock //vulcan:nosnap construction wiring; the restoring recorder keeps its live clock binding
@@ -21,11 +25,28 @@ type Recorder struct {
 	reg     *Registry
 	samples []epochSample
 
+	// marks are the flush boundaries recorded in batch mode: how many
+	// events were buffered when each epoch flushed. The Chrome trace
+	// replay emits each epoch's counter samples at its mark, mirroring
+	// the streamed layout byte for byte.
+	marks []flushMark
+
+	// trace/csv, when set (StreamTo), switch the recorder to streaming
+	// mode.
+	trace *TraceStream //vulcan:nosnap streaming sink wiring; recovery resumes streams from their own snapshots
+	csv   *CSVStream   //vulcan:nosnap streaming sink wiring; recovery resumes streams from their own snapshots
+
 	// cost, when attached, merges the cycle-attribution profiler's
 	// per-epoch subsystem totals into the Chrome trace as counter
 	// tracks. Detached (nil) recorders emit exactly the pre-profiler
 	// trace bytes.
 	cost *prof.Profiler //vulcan:nosnap observer-only cost accounting, rebuilt per run
+}
+
+// flushMark is one recorded epoch-flush boundary.
+type flushMark struct {
+	Epoch  int
+	Events int // events buffered when the epoch flushed
 }
 
 // epochSample is one per-epoch registry snapshot row.
@@ -50,14 +71,34 @@ func (r *Recorder) SetFilter(f TypeSet) { r.filter = f }
 // Enabled implements Sink.
 func (r *Recorder) Enabled(t EventType) bool { return r.filter.Enabled(t) }
 
+// StreamTo switches the recorder to streaming mode: events forward to
+// ts as they are emitted and each epoch flush appends the registry rows
+// to cs (either stream may be nil to stream only the other artifact).
+// Nothing is buffered, so the batch exporters have nothing to export —
+// the streams are the artifacts.
+func (r *Recorder) StreamTo(ts *TraceStream, cs *CSVStream) {
+	r.trace = ts
+	r.csv = cs
+}
+
+// Streaming reports whether the recorder forwards to live sinks.
+func (r *Recorder) Streaming() bool { return r.trace != nil || r.csv != nil }
+
 // Event implements Sink: the event is stamped with the sim clock's
-// current time (unless the caller pre-stamped it) and buffered.
+// current time (unless the caller pre-stamped it) and buffered, or
+// forwarded straight to the trace stream in streaming mode.
 func (r *Recorder) Event(e Event) {
 	if !r.filter.Enabled(e.Type) {
 		return
 	}
 	if e.Time == 0 && r.clock != nil {
 		e.Time = r.clock.Now()
+	}
+	if r.trace != nil || r.csv != nil {
+		if r.trace != nil {
+			r.trace.Event(e)
+		}
+		return
 	}
 	r.events = append(r.events, e)
 }
@@ -87,42 +128,50 @@ func (r *Recorder) EventCount(t EventType) int {
 	return n
 }
 
-// FlushEpoch snapshots every registry instrument as one CSV row set for
-// the given epoch. The system calls it at each epoch boundary, before
+// FlushEpoch closes one epoch's telemetry. In batch mode it snapshots
+// every registry instrument as one CSV row set and records the flush
+// boundary. In streaming mode the rows append to the CSV stream, the
+// epoch's cost counter samples append to the trace stream, and both
+// streams flush — the explicit boundary at which the on-disk artifacts
+// are consistent. The system calls it at each epoch boundary, before
 // the clock advances, so rows carry the epoch's start time.
 func (r *Recorder) FlushEpoch(epoch int) {
 	var t sim.Time
 	if r.clock != nil {
 		t = r.clock.Now()
 	}
+	if r.trace != nil || r.csv != nil {
+		if r.csv != nil {
+			for _, row := range r.reg.snapshot(nil) {
+				r.csv.Row(epoch, t, row.ID, row.Val)
+			}
+			r.csv.Flush()
+		}
+		if r.trace != nil {
+			for _, c := range r.cost.CounterRowsForEpoch(epoch) {
+				r.trace.Counter(c)
+			}
+			r.trace.Flush()
+		}
+		return
+	}
 	for _, row := range r.reg.snapshot(nil) {
 		r.samples = append(r.samples, epochSample{Epoch: epoch, T: t, Row: row})
 	}
+	r.marks = append(r.marks, flushMark{Epoch: epoch, Events: len(r.events)})
 }
 
 // formatVal renders a metric value in the shortest round-trippable
 // form, so output is byte-stable across runs and Go versions.
 func formatVal(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-// WriteMetricsCSV emits the per-epoch registry snapshots as long-format
-// CSV: epoch, sim time (ns), metric identity, value. Rows appear in
-// (epoch, sorted metric identity) order — never map order.
+// WriteMetricsCSV emits the per-epoch registry snapshots by replaying
+// them through a CSVStream: epoch, sim time (ns), metric identity,
+// value, in (epoch, sorted metric identity) order — never map order.
 func (r *Recorder) WriteMetricsCSV(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString("epoch,t_ns,metric,value\n"); err != nil {
-		return err
-	}
+	cs := NewCSVStream(w)
 	for _, s := range r.samples {
-		bw.WriteString(strconv.Itoa(s.Epoch))
-		bw.WriteByte(',')
-		bw.WriteString(strconv.FormatInt(int64(s.T), 10))
-		bw.WriteByte(',')
-		bw.WriteString(s.Row.ID)
-		bw.WriteByte(',')
-		bw.WriteString(formatVal(s.Row.Val))
-		if err := bw.WriteByte('\n'); err != nil {
-			return err
-		}
+		cs.Row(s.Epoch, s.T, s.Row.ID, s.Row.Val)
 	}
-	return bw.Flush()
+	return cs.Flush()
 }

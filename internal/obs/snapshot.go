@@ -10,8 +10,8 @@ import (
 
 // Snapshot appends the recorder's buffered telemetry: the type filter,
 // the event buffer in emission order, the per-epoch registry samples,
-// and the registry itself. The clock binding is construction wiring and
-// is kept by the restoring recorder.
+// the recorded flush boundaries, and the registry itself. The clock
+// binding is construction wiring and is kept by the restoring recorder.
 func (r *Recorder) Snapshot(e *checkpoint.Encoder) {
 	e.U32(uint32(r.filter))
 	e.Int(len(r.events))
@@ -24,6 +24,11 @@ func (r *Recorder) Snapshot(e *checkpoint.Encoder) {
 		e.I64(int64(s.T))
 		e.String(s.Row.ID)
 		e.F64(s.Row.Val)
+	}
+	e.Int(len(r.marks))
+	for _, m := range r.marks {
+		e.Int(m.Epoch)
+		e.Int(m.Events)
 	}
 	r.reg.Snapshot(e)
 }
@@ -56,6 +61,18 @@ func (r *Recorder) Restore(d *checkpoint.Decoder) error {
 			return d.Err()
 		}
 		r.samples = append(r.samples, s)
+	}
+	n = d.Length(16)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	r.marks = make([]flushMark, 0, n)
+	for i := 0; i < n; i++ {
+		m := flushMark{Epoch: d.Int(), Events: d.Int()}
+		if d.Err() != nil {
+			return d.Err()
+		}
+		r.marks = append(r.marks, m)
 	}
 	return r.reg.Restore(d)
 }

@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+const arrivalsJSON = `{
+  "policy": "vulcan",
+  "seconds": 40,
+  "seed": 5,
+  "apps": [{"preset": "memcached"}],
+  "arrivals": {"rate_per_epoch": 0.3, "seed": 11,
+               "lifetime_min_epochs": 4, "lifetime_max_epochs": 12,
+               "max_live": 2,
+               "template": {"name": "churn", "class": "BE", "threads": 1,
+                            "rss_pages": 4096, "generator": "uniform"}}
+}`
+
+// TestArrivalsBlock: the block compiles to a workload.ArrivalSpec with
+// every knob plumbed through.
+func TestArrivalsBlock(t *testing.T) {
+	p, err := Load(strings.NewReader(arrivalsJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := p.Arrivals
+	if spec == nil {
+		t.Fatal("arrivals block dropped")
+	}
+	if spec.Seed != 11 || spec.Rate != 0.3 || spec.MaxLive != 2 ||
+		spec.LifetimeMin != 4 || spec.LifetimeMax != 12 {
+		t.Fatalf("spec knobs: %+v", spec)
+	}
+	if spec.Template.Name != "churn" || spec.Template.Threads != 1 {
+		t.Fatalf("template: %+v", spec.Template)
+	}
+	// The spec expands (Validate passes and the plan is non-trivial).
+	if plan := spec.Plan(400); len(plan) == 0 {
+		t.Fatal("resolved spec expands to an empty plan")
+	}
+}
+
+// TestArrivalsSeedDefaultsToScenario: an unset arrivals seed follows the
+// scenario seed.
+func TestArrivalsSeedDefaultsToScenario(t *testing.T) {
+	js := `{"seed": 21, "apps": [{"preset": "memcached"}],
+	        "arrivals": {"schedule": [{"epoch": 3, "lifetime_epochs": 5}],
+	                     "template": {"name": "churn", "rss_pages": 1000}}}`
+	p, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Arrivals.Seed != 21 {
+		t.Fatalf("seed = %d, want the scenario seed 21", p.Arrivals.Seed)
+	}
+	if len(p.Arrivals.Schedule) != 1 || p.Arrivals.Schedule[0].Epoch != 3 ||
+		p.Arrivals.Schedule[0].Lifetime != 5 {
+		t.Fatalf("schedule: %+v", p.Arrivals.Schedule)
+	}
+}
+
+// TestArrivalsErrors: malformed arrivals blocks are rejected.
+func TestArrivalsErrors(t *testing.T) {
+	app := `"apps": [{"preset": "memcached"}]`
+	tmpl := `"template": {"name": "churn", "rss_pages": 1000}`
+	cases := map[string]string{
+		"rate and schedule": `{` + app + `, "arrivals": {"rate_per_epoch": 1,
+			"schedule": [{"epoch": 1}], ` + tmpl + `}}`,
+		"neither rate nor schedule": `{` + app + `, "arrivals": {` + tmpl + `}}`,
+		"negative rate":             `{` + app + `, "arrivals": {"rate_per_epoch": -1, ` + tmpl + `}}`,
+		"bad lifetime range": `{` + app + `, "arrivals": {"rate_per_epoch": 1,
+			"lifetime_min_epochs": 9, "lifetime_max_epochs": 2, ` + tmpl + `}}`,
+		"negative max_live": `{` + app + `, "arrivals": {"rate_per_epoch": 1, "max_live": -1, ` + tmpl + `}}`,
+		"template with start": `{` + app + `, "arrivals": {"rate_per_epoch": 1,
+			"template": {"name": "churn", "rss_pages": 1000, "start_at_s": 5}}}`,
+		"template name collision": `{"apps": [{"preset": "memcached"}],
+			"arrivals": {"rate_per_epoch": 1, "template": {"preset": "memcached"}}}`,
+		"template without name": `{` + app + `, "arrivals": {"rate_per_epoch": 1,
+			"template": {"rss_pages": 1000}}}`,
+		"negative schedule epoch": `{` + app + `, "arrivals": {
+			"schedule": [{"epoch": -2}], ` + tmpl + `}}`,
+		"arrivals with fleet": `{` + app + `, "fleet": {"hosts": 2},
+			"arrivals": {"rate_per_epoch": 1, ` + tmpl + `}}`,
+	}
+	for name, js := range cases {
+		if _, err := Load(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -61,6 +61,45 @@ type File struct {
 	Faults *Faults `json:"faults,omitempty"`
 	// Fleet optionally spreads the apps across a multi-host cluster.
 	Fleet *Fleet `json:"fleet,omitempty"`
+	// Arrivals optionally arms deterministic job churn on a dynamic
+	// single-host run.
+	Arrivals *Arrivals `json:"arrivals,omitempty"`
+}
+
+// Arrivals describes a deterministic arrival process: generated app
+// instances stamped from a template, admitted either by a Poisson
+// process ("rate_per_epoch") or an explicit schedule, each departing
+// after its drawn lifetime. Compiles to a workload.ArrivalSpec:
+//
+//	"arrivals": {"rate_per_epoch": 0.2, "seed": 9,
+//	             "lifetime_min_epochs": 10, "lifetime_max_epochs": 40,
+//	             "max_live": 3,
+//	             "template": {"name": "churn", "class": "BE", "threads": 1,
+//	                          "rss_pages": 4096, "generator": "uniform"}}
+type Arrivals struct {
+	// RatePerEpoch is the Poisson mean; mutually exclusive with Schedule.
+	RatePerEpoch float64 `json:"rate_per_epoch,omitempty"`
+	// Seed re-keys the arrival stream; 0 derives it from the scenario
+	// seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Template is the per-instance app; instance i is admitted as
+	// "<name>-a<i>". start_at_s/stop_at_s must stay unset — the process
+	// decides both.
+	Template App `json:"template"`
+	// LifetimeMinEpochs/LifetimeMaxEpochs bound the uniform lifetime
+	// draw; max 0 runs instances to the end of the scenario.
+	LifetimeMinEpochs int `json:"lifetime_min_epochs,omitempty"`
+	LifetimeMaxEpochs int `json:"lifetime_max_epochs,omitempty"`
+	// MaxLive caps concurrently live generated instances (0 = unbounded).
+	MaxLive int `json:"max_live,omitempty"`
+	// Schedule replaces the Poisson process with an explicit trace.
+	Schedule []ArrivalEntry `json:"schedule,omitempty"`
+}
+
+// ArrivalEntry is one explicit scheduled arrival.
+type ArrivalEntry struct {
+	Epoch          int `json:"epoch"`
+	LifetimeEpochs int `json:"lifetime_epochs,omitempty"`
 }
 
 // Fleet spreads the scenario's apps over a cluster of identical hosts
@@ -131,8 +170,13 @@ type Parsed struct {
 	Policy   string
 	Duration sim.Duration
 	Seed     uint64
-	Machine  machine.Config
-	Apps     []workload.AppConfig
+	// Scale is the effective capacity divisor after defaulting; runtime
+	// admissions (the serving daemon's control API) resolve their app
+	// specs against it so a late admit scales exactly like a configured
+	// one.
+	Scale   int
+	Machine machine.Config
+	Apps    []workload.AppConfig
 	// Faults is the compiled fault plan, nil when the scenario runs
 	// chaos-free.
 	Faults *fault.Plan
@@ -140,6 +184,10 @@ type Parsed struct {
 	// runs. When set, Jobs supersedes Apps: each scenario app becomes
 	// one fleet job with its arrival/departure epochs.
 	Fleet *FleetPlan
+	// Arrivals is the resolved churn process, nil for static runs. The
+	// runner expands it with Plan(epochs) and admits/stops instances at
+	// epoch boundaries; the system must run with AllowDynamic.
+	Arrivals *workload.ArrivalSpec
 }
 
 // FleetPlan is the resolved form of the fleet block.
@@ -154,13 +202,24 @@ type FleetPlan struct {
 
 // Load reads and resolves a scenario from JSON.
 func Load(r io.Reader) (*Parsed, error) {
+	f, err := LoadFile(r)
+	if err != nil {
+		return nil, err
+	}
+	return Resolve(f)
+}
+
+// LoadFile reads the raw JSON schema without resolving it — for callers
+// that persist the scenario as written (the serve journal header) and
+// resolve later.
+func LoadFile(r io.Reader) (File, error) {
 	var f File
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&f); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
+		return File{}, fmt.Errorf("scenario: %w", err)
 	}
-	return Resolve(f)
+	return f, nil
 }
 
 // Resolve turns the JSON schema into runnable configuration.
@@ -200,6 +259,7 @@ func Resolve(f File) (*Parsed, error) {
 		Policy:   f.Policy,
 		Duration: sim.Duration(f.Seconds) * sim.Second,
 		Seed:     f.Seed,
+		Scale:    f.Scale,
 		Machine:  mcfg,
 	}
 	for i, a := range f.Apps {
@@ -227,7 +287,72 @@ func Resolve(f File) (*Parsed, error) {
 		return nil, err
 	}
 	p.Fleet = fp
+	spec, err := resolveArrivals(f.Arrivals, f)
+	if err != nil {
+		return nil, err
+	}
+	p.Arrivals = spec
 	return p, nil
+}
+
+// resolveArrivals compiles the arrivals block to a workload.ArrivalSpec.
+func resolveArrivals(ab *Arrivals, f File) (*workload.ArrivalSpec, error) {
+	if ab == nil {
+		return nil, nil
+	}
+	if f.Fleet != nil {
+		return nil, fmt.Errorf("scenario: arrivals and fleet blocks are mutually exclusive")
+	}
+	if ab.RatePerEpoch < 0 {
+		return nil, fmt.Errorf("scenario: arrivals rate_per_epoch %g is negative", ab.RatePerEpoch)
+	}
+	if ab.RatePerEpoch > 0 && len(ab.Schedule) > 0 {
+		return nil, fmt.Errorf("scenario: arrivals rate_per_epoch and schedule are mutually exclusive")
+	}
+	if ab.RatePerEpoch == 0 && len(ab.Schedule) == 0 {
+		return nil, fmt.Errorf("scenario: arrivals block needs rate_per_epoch or a schedule")
+	}
+	if ab.LifetimeMinEpochs < 0 || ab.LifetimeMaxEpochs < 0 ||
+		(ab.LifetimeMaxEpochs > 0 && ab.LifetimeMinEpochs > ab.LifetimeMaxEpochs) {
+		return nil, fmt.Errorf("scenario: arrivals lifetime range [%d, %d] is malformed",
+			ab.LifetimeMinEpochs, ab.LifetimeMaxEpochs)
+	}
+	if ab.MaxLive < 0 {
+		return nil, fmt.Errorf("scenario: arrivals max_live %d is negative", ab.MaxLive)
+	}
+	if ab.Template.StartAtS != 0 || ab.Template.StopAtS != 0 {
+		return nil, fmt.Errorf("scenario: arrivals template must not set start_at_s/stop_at_s; the process decides both")
+	}
+	tmpl, err := resolveApp(ab.Template, f.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: arrivals template: %w", err)
+	}
+	for _, a := range f.Apps {
+		if name := a.Name; (name != "" && name == tmpl.Name) || a.Preset == tmpl.Name {
+			return nil, fmt.Errorf("scenario: arrivals template name %q collides with a scenario app", tmpl.Name)
+		}
+	}
+	seed := ab.Seed
+	if seed == 0 {
+		seed = f.Seed
+	}
+	spec := &workload.ArrivalSpec{
+		Seed:        seed,
+		Rate:        ab.RatePerEpoch,
+		Template:    tmpl,
+		LifetimeMin: ab.LifetimeMinEpochs,
+		LifetimeMax: ab.LifetimeMaxEpochs,
+		MaxLive:     ab.MaxLive,
+	}
+	for i, sc := range ab.Schedule {
+		if sc.Epoch < 0 || sc.LifetimeEpochs < 0 {
+			return nil, fmt.Errorf("scenario: arrivals schedule entry %d is malformed", i)
+		}
+		spec.Schedule = append(spec.Schedule, workload.ScheduledArrival{
+			Epoch: sc.Epoch, Lifetime: sc.LifetimeEpochs,
+		})
+	}
+	return spec, nil
 }
 
 // ClusterConfig assembles a runnable fleet configuration: every host is
@@ -359,6 +484,17 @@ func resolveFaults(f *Faults) (*fault.Plan, error) {
 		plan.Seed = f.Seed
 	}
 	return plan, nil
+}
+
+// ResolveApp resolves one app spec exactly as Resolve does for the
+// scenario's own apps (presets expanded, custom generators built,
+// preset footprints divided by scale). The serving daemon uses it to
+// turn journaled admit commands back into runnable configs.
+func ResolveApp(a App, scale int) (workload.AppConfig, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	return resolveApp(a, scale)
 }
 
 func resolveApp(a App, scale int) (workload.AppConfig, error) {

@@ -1,0 +1,350 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vulcan/internal/checkpoint"
+	"vulcan/internal/scenario"
+)
+
+// testScenario is a small churn-heavy serving scenario: one resident
+// preset plus a Poisson arrival process of single-thread instances.
+func testScenario(seconds int) scenario.File {
+	return scenario.File{
+		Policy: "vulcan", Seconds: seconds, Seed: 5, Scale: 8,
+		Apps: []scenario.App{{Preset: "memcached"}},
+		Arrivals: &scenario.Arrivals{
+			RatePerEpoch: 0.4, Seed: 11,
+			LifetimeMinEpochs: 3, LifetimeMaxEpochs: 8, MaxLive: 2,
+			Template: scenario.App{Name: "churn", Class: "BE", Threads: 1,
+				RSSPages: 2048, Generator: "uniform"},
+		},
+	}
+}
+
+// testScript is the scripted API session both golden tests drive: an
+// admit, an intensity change, an early stop, and a late intensity
+// change (the last lands after the crash-recovery test's kill point).
+func testScript() map[int][]Cmd {
+	burst := &scenario.App{Name: "burst", Class: "BE", Threads: 1,
+		RSSPages: 2048, Generator: "zipf"}
+	return map[int][]Cmd{
+		2:  {{Op: "admit", App: burst, Depart: 20}},
+		6:  {{Op: "intensity", Name: "burst", Milli: 500}},
+		10: {{Op: "stop", Name: "burst"}},
+		16: {{Op: "intensity", Name: "memcached", Milli: 700}},
+	}
+}
+
+// drive steps the session until stopEpoch (or completion), enqueueing
+// the script's commands at their boundaries. Boundaries still under
+// journal replay get no script commands — their execution is already
+// recorded.
+func drive(t *testing.T, s *Session, script map[int][]Cmd, stopEpoch int) {
+	t.Helper()
+	for !s.Finished() && s.Epoch() < stopEpoch {
+		if e := s.Epoch(); e > s.journaledThrough {
+			for _, c := range script[e] {
+				if err := s.Enqueue(c); err != nil {
+					t.Fatalf("enqueue at epoch %d: %v", e, err)
+				}
+			}
+		}
+		if err := s.Step(); err != nil {
+			t.Fatalf("step at epoch %d: %v", s.Epoch(), err)
+		}
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// runLive executes a full scripted live session in dir and returns its
+// artifact paths.
+func runLive(t *testing.T, dir string, opts Options) (trace, metrics, journal string) {
+	t.Helper()
+	opts.Scenario = testScenario(24)
+	opts.TraceOut = filepath.Join(dir, "trace.json")
+	opts.MetricsOut = filepath.Join(dir, "metrics.csv")
+	opts.Journal = filepath.Join(dir, "run.journal")
+	s, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, s, testScript(), 1<<30)
+	if !s.Finished() {
+		t.Fatal("session did not finish")
+	}
+	if len(s.Errs()) != 0 {
+		t.Fatalf("scripted session rejected commands: %v", s.Errs())
+	}
+	return opts.TraceOut, opts.MetricsOut, opts.Journal
+}
+
+// TestStreamingParity is the tentpole golden test: a scripted live
+// session's streamed trace and metrics CSV are byte-identical to the
+// batch exporters replaying its journal, and the replayed run's report
+// matches the live one.
+func TestStreamingParity(t *testing.T) {
+	dir := t.TempDir()
+	tracePath, metricsPath, journalPath := runLive(t, dir, Options{MaxBacklog: 256, Rescore: true})
+
+	jd, err := ReadJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jd.Finished || jd.FinishEpoch != 24 {
+		t.Fatalf("journal not sealed: %+v", jd)
+	}
+	if len(jd.Batches) == 0 {
+		t.Fatal("scripted session journaled nothing")
+	}
+	sawArrival := false
+	for _, b := range jd.Batches {
+		for _, c := range b.Cmds {
+			if c.Src == "arrival" {
+				sawArrival = true
+			}
+		}
+	}
+	if !sawArrival {
+		t.Fatal("no arrival-process admissions journaled")
+	}
+
+	r, err := Replay(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Errs()) != 0 {
+		t.Fatalf("replay rejected commands: %v", r.Errs())
+	}
+
+	var replayTrace, replayMetrics bytes.Buffer
+	if err := r.WriteTrace(&replayTrace); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteMetrics(&replayMetrics); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(readFile(t, tracePath), replayTrace.Bytes()) {
+		t.Error("streamed trace differs from batch replay of the journal")
+	}
+	if !bytes.Equal(readFile(t, metricsPath), replayMetrics.Bytes()) {
+		t.Error("streamed metrics CSV differs from batch replay of the journal")
+	}
+
+	// Replays are also stable against each other.
+	var a, b bytes.Buffer
+	r2, err := Replay(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteReport(&a, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteReport(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two replays of the same journal disagree")
+	}
+}
+
+// TestCrashRecovery is the kill-and-resume golden test: a session
+// killed mid-run resumes from its newest rolling checkpoint plus
+// journal tail and finishes with artifacts byte-identical to the
+// uninterrupted run — even with a torn trailing journal line.
+func TestCrashRecovery(t *testing.T) {
+	// Reference: the same scripted session, uninterrupted.
+	refDir := t.TempDir()
+	refTrace, refMetrics, refJournal := runLive(t, refDir, Options{})
+
+	// Victim: same script, rolling checkpoints every 6 epochs, killed
+	// after completing epoch 14 (newest checkpoint: epoch 12).
+	dir := t.TempDir()
+	opts := Options{
+		Scenario:         testScenario(24),
+		TraceOut:         filepath.Join(dir, "trace.json"),
+		MetricsOut:       filepath.Join(dir, "metrics.csv"),
+		Journal:          filepath.Join(dir, "run.journal"),
+		CheckpointBase:   filepath.Join(dir, "run.ckpt"),
+		CheckpointEvery:  6,
+		CheckpointRetain: 2,
+	}
+	victim, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, victim, testScript(), 14)
+	if victim.Epoch() != 14 {
+		t.Fatalf("victim at epoch %d, want 14", victim.Epoch())
+	}
+	// Kill: abandon the session without Suspend — the journal is fsynced
+	// per batch and the streams flushed per epoch, so this models a
+	// process kill at an epoch boundary. Tear the journal tail too, as a
+	// mid-append kill would.
+	f, err := os.OpenFile(opts.Journal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"epoch":14,"cmds":[{"op":"st`)
+	f.Close()
+
+	if _, epoch, ok, err := checkpoint.LatestRolling(opts.CheckpointBase); err != nil || !ok || epoch != 12 {
+		t.Fatalf("latest rolling = (%d, %t, %v), want epoch 12", epoch, ok, err)
+	}
+
+	recovered, err := Recover(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Epoch() != 12 {
+		t.Fatalf("recovered at epoch %d, want 12", recovered.Epoch())
+	}
+	drive(t, recovered, testScript(), 1<<30)
+	if !recovered.Finished() {
+		t.Fatal("recovered session did not finish")
+	}
+	if len(recovered.Errs()) != 0 {
+		t.Fatalf("recovered session rejected commands: %v", recovered.Errs())
+	}
+
+	if !bytes.Equal(readFile(t, refTrace), readFile(t, opts.TraceOut)) {
+		t.Error("recovered trace differs from the uninterrupted run")
+	}
+	if !bytes.Equal(readFile(t, refMetrics), readFile(t, opts.MetricsOut)) {
+		t.Error("recovered metrics differ from the uninterrupted run")
+	}
+	if !bytes.Equal(readFile(t, refJournal), readFile(t, opts.Journal)) {
+		t.Error("recovered journal differs from the uninterrupted run")
+	}
+
+	// Retention: checkpoints landed at 6, 12, 18; keep-2 leaves 12, 18.
+	if _, err := os.Stat(checkpoint.RollingPath(opts.CheckpointBase, 6)); !os.IsNotExist(err) {
+		t.Errorf("epoch-6 checkpoint not pruned (err=%v)", err)
+	}
+	for _, e := range []int{12, 18} {
+		if _, err := os.Stat(checkpoint.RollingPath(opts.CheckpointBase, e)); err != nil {
+			t.Errorf("epoch-%d checkpoint missing: %v", e, err)
+		}
+	}
+}
+
+// TestRecoverWithoutCheckpoint: losing every rolling image degrades to
+// a cold replay of the journal prefix, not data loss.
+func TestRecoverWithoutCheckpoint(t *testing.T) {
+	refDir := t.TempDir()
+	refTrace, refMetrics, refJournal := runLive(t, refDir, Options{})
+
+	dir := t.TempDir()
+	opts := Options{
+		Scenario:   testScenario(24),
+		TraceOut:   filepath.Join(dir, "trace.json"),
+		MetricsOut: filepath.Join(dir, "metrics.csv"),
+		Journal:    filepath.Join(dir, "run.journal"),
+	}
+	victim, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, victim, testScript(), 17)
+
+	// No CheckpointBase was ever configured: Recover restarts cold.
+	recovered, err := Recover(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Epoch() != 0 {
+		t.Fatalf("cold recovery should restart at epoch 0, got %d", recovered.Epoch())
+	}
+	drive(t, recovered, testScript(), 1<<30)
+	if !recovered.Finished() {
+		t.Fatal("recovered session did not finish")
+	}
+
+	if !bytes.Equal(readFile(t, refTrace), readFile(t, opts.TraceOut)) {
+		t.Error("cold-recovered trace differs from the uninterrupted run")
+	}
+	if !bytes.Equal(readFile(t, refMetrics), readFile(t, opts.MetricsOut)) {
+		t.Error("cold-recovered metrics differ from the uninterrupted run")
+	}
+	if !bytes.Equal(readFile(t, refJournal), readFile(t, opts.Journal)) {
+		t.Error("cold-recovered journal differs from the uninterrupted run")
+	}
+}
+
+// TestSessionRejections: state-dependent command failures land in Errs
+// and are never journaled, so replays reproduce the run regardless.
+func TestSessionRejections(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Scenario: testScenario(6),
+		Journal:  filepath.Join(dir, "run.journal"),
+	}
+	s, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shape errors are rejected at Enqueue.
+	if err := s.Enqueue(Cmd{Op: "resize"}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if err := s.Enqueue(Cmd{Op: "stop"}); err == nil {
+		t.Error("nameless stop accepted")
+	}
+	if err := s.Enqueue(Cmd{Op: "intensity", Name: "x", Milli: 0}); err == nil {
+		t.Error("zero intensity accepted")
+	}
+	if err := s.Enqueue(Cmd{Op: "admit"}); err == nil {
+		t.Error("admit without a spec accepted")
+	}
+	if err := s.Enqueue(Cmd{Op: "admit",
+		App: &scenario.App{Name: "bad", Threads: 1}}); err == nil {
+		t.Error("admit with zero RSS accepted (Validate panic not converted)")
+	}
+
+	// State errors surface at the boundary, in Errs.
+	if err := s.Enqueue(Cmd{Op: "stop", Name: "nobody"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Errs()) != 1 {
+		t.Fatalf("errs = %v, want the rejected stop", s.Errs())
+	}
+	for !s.Finished() {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The rejection never reached the journal.
+	jd, err := ReadJournal(opts.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range jd.Batches {
+		for _, c := range b.Cmds {
+			if c.Op == "stop" && c.Name == "nobody" {
+				t.Fatal("rejected command was journaled")
+			}
+		}
+	}
+}

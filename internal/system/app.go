@@ -90,6 +90,12 @@ type App struct {
 	// epoch's profile below the plan's confidence threshold; resilient
 	// policies hold their prior placement instead of reacting to it.
 	profileDegraded bool
+
+	// intensityMilli scales the app's workload intensity in thousandths
+	// (0 and 1000 both mean the configured intensity, so the default is
+	// arithmetically inert). Dynamic systems adjust it at epoch
+	// boundaries via System.SetIntensity.
+	intensityMilli int
 }
 
 // Name returns the configured application name.
@@ -127,6 +133,15 @@ func (a *App) TotalOps() float64 { return a.totalOps }
 // the app's own all-fast ideal (1.0 = as if its whole working set were in
 // fast memory with no migration interference).
 func (a *App) NormalizedPerf() *metrics.Running { return a.perfSeries }
+
+// IntensityMilli returns the app's intensity override in thousandths of
+// the configured workload intensity (1000 = as configured).
+func (a *App) IntensityMilli() int {
+	if a.intensityMilli == 0 {
+		return 1000
+	}
+	return a.intensityMilli
+}
 
 // ChargeStall debits cycles of synchronous migration stall against the
 // app's next epoch (promotions on the critical path, TPP-style).
@@ -266,6 +281,7 @@ func (a *App) admit(sys *System, placer Placer) {
 		Engine:     eng,
 		MaxRetries: 3,
 		BatchPages: 64,
+		MaxBacklog: sys.cfg.AsyncMaxBacklog,
 		RNG:        a.rng.Fork(),
 	})
 	if pf, ok := sys.policy.(ProfilerFactory); ok {
@@ -515,6 +531,11 @@ func (a *App) runEpochAccesses(samples int, epochCycles float64, bwUtil [mem.Num
 		// further if the CPU cannot even keep up with arrivals.
 		epochSeconds := epochCycles / sim.CyclesPerNs / 1e9
 		arrivals := a.Cfg.OpsPerSec * epochSeconds
+		if a.intensityMilli != 0 && a.intensityMilli != 1000 {
+			// Intensity overrides scale the arrival rate; the branch keeps
+			// default runs' float arithmetic untouched bit for bit.
+			arrivals *= float64(a.intensityMilli) / 1000
+		}
 		a.epochOps = arrivals
 		if a.epochOps > capacityOps {
 			a.epochOps = capacityOps

@@ -24,14 +24,17 @@ const (
 	// summary statistics.
 	systemVersion  = 2
 	metricsVersion = 1
-	appVersion     = 2
+	// appVersion 3 appends the async-migrator backpressure tallies and the
+	// dynamic intensity override.
+	appVersion = 3
 	// profilerVersion tracks the profile package's snapshot layout; Resume
 	// additionally accepts profile.LegacySnapshotVersion blobs so
 	// checkpoints written before the dense-store rewrite still restore.
 	profilerVersion = profile.SnapshotVersion
 	policyVersion   = 1
 	faultVersion    = 1
-	obsVersion      = 1
+	// obsVersion 2 appends the recorder's flush-boundary marks.
+	obsVersion = 2
 )
 
 // Checkpoint serializes the full simulation state to w as one versioned
@@ -424,6 +427,7 @@ func (a *App) snapshot(e *checkpoint.Encoder) {
 	e.Int(a.fastPages)
 	e.Int(a.rssMapped)
 	e.Bool(a.profileDegraded)
+	e.Int(a.intensityMilli)
 }
 
 // restore overlays the checkpointed state onto the (already admitted,
@@ -541,11 +545,15 @@ func (a *App) restore(d *checkpoint.Decoder) error {
 	a.fastPages = d.Int()
 	a.rssMapped = d.Int()
 	a.profileDegraded = d.Bool()
+	a.intensityMilli = d.Int()
 	if d.Err() != nil {
 		return d.Err()
 	}
 	if a.pendingStall < 0 || a.fastPages < 0 || a.rssMapped < 0 {
 		return fmt.Errorf("system: app %q has negative accounting in checkpoint", name)
+	}
+	if a.intensityMilli < 0 || a.intensityMilli > 1_000_000 {
+		return fmt.Errorf("system: app %q intensity %d out of range in checkpoint", name, a.intensityMilli)
 	}
 	return nil
 }

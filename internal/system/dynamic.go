@@ -102,7 +102,43 @@ func (s *System) StopApp(a *App) error {
 			obs.F("total_ops", a.totalOps),
 			obs.F("fthr", a.FTHR())))
 	}
+	s.rescore([]*App{a})
 	return nil
+}
+
+// SetIntensity adjusts a running application's workload intensity to
+// milli thousandths of its configured rate (1000 = as configured): the
+// per-epoch sample count and, for open-loop apps, the arrival rate both
+// scale. Must be called between epochs on a dynamic system; the change
+// takes effect with the next RunEpoch. milli must be in [1, 1000000].
+func (s *System) SetIntensity(a *App, milli int) error {
+	if !s.cfg.AllowDynamic {
+		return fmt.Errorf("system: SetIntensity on a static system (Config.AllowDynamic is off)")
+	}
+	if a == nil || a.Index < 0 || a.Index >= len(s.apps) || s.apps[a.Index] != a {
+		return fmt.Errorf("system: SetIntensity of an app this system does not own")
+	}
+	if !a.started || a.stopped {
+		return fmt.Errorf("system: SetIntensity of %q, which is not running", a.Cfg.Name)
+	}
+	if milli < 1 || milli > 1_000_000 {
+		return fmt.Errorf("system: intensity %d out of range [1, 1000000]", milli)
+	}
+	a.intensityMilli = milli
+	s.rescore([]*App{a})
+	return nil
+}
+
+// rescore forwards a dirty app set to the policy's incremental
+// re-evaluation hook, when both the config gate and the policy support
+// it. No-op otherwise, keeping classic runs byte-identical.
+func (s *System) rescore(dirty []*App) {
+	if !s.cfg.IncrementalRescore || len(dirty) == 0 {
+		return
+	}
+	if r, ok := s.policy.(Rescorer); ok {
+		r.Reevaluate(s, dirty)
+	}
 }
 
 // retire is the shared teardown of StopApp and checkpoint stop-replay:

@@ -72,6 +72,20 @@ type Config struct {
 	// is byte-identical to one built without the subsystem.
 	Faults *fault.Plan
 
+	// AsyncMaxBacklog bounds each app's async migration queue (0 =
+	// unbounded, the batch default). Long-running daemons set it so an
+	// admission burst cannot grow a departed tenant's backlog without
+	// limit; the queue sheds and displaces deterministically (see
+	// migrate.AsyncConfig.MaxBacklog).
+	AsyncMaxBacklog int
+
+	// IncrementalRescore lets a policy implementing Rescorer re-evaluate
+	// only the dirty app set on admissions, departures and intensity
+	// changes, instead of waiting for the next whole-epoch recompute.
+	// Off by default: batch runs keep the classic end-of-epoch-only
+	// cadence and their byte-identical artifacts.
+	IncrementalRescore bool
+
 	Seed uint64
 }
 
@@ -285,6 +299,7 @@ func (s *System) RunEpoch() {
 
 	// Admission. Stopped apps stay out: their lifecycle is over, not
 	// pending.
+	var admitted []*App
 	for _, a := range s.apps {
 		if !a.started && !a.stopped && a.Cfg.StartAt <= now {
 			a.admit(s, s.placer)
@@ -296,8 +311,10 @@ func (s *System) RunEpoch() {
 					obs.F("rss_pages", float64(a.rssMapped)),
 					obs.F("threads", float64(a.Cfg.Threads))))
 			}
+			admitted = append(admitted, a)
 		}
 	}
+	s.rescore(admitted)
 
 	// Open this epoch's fault windows (latency spikes, bandwidth
 	// degradation, memory-pressure bursts) before any access or
@@ -311,7 +328,16 @@ func (s *System) RunEpoch() {
 	epochCycles := s.EpochCycles()
 	for _, a := range s.apps {
 		if a.started {
-			a.runEpochAccesses(s.cfg.SamplesPerThread, epochCycles, s.bwUtil)
+			samples := s.cfg.SamplesPerThread
+			if a.intensityMilli != 0 && a.intensityMilli != 1000 {
+				// Intensity overrides scale the per-thread sample count in
+				// integer arithmetic, so default runs are untouched.
+				samples = samples * a.intensityMilli / 1000
+				if samples < 1 {
+					samples = 1
+				}
+			}
+			a.runEpochAccesses(samples, epochCycles, s.bwUtil)
 			if a.epochDemandFaults > 0 && obs.Enabled(s.obs, obs.EvDemandFault) {
 				s.obs.Event(obs.E(obs.EvDemandFault, a.Cfg.Name, "faults", 0,
 					obs.F("count", float64(a.epochDemandFaults)),
@@ -463,10 +489,13 @@ func (s *System) observeEpoch() {
 		reg.Gauge("bw_util", obs.Tier("fast")).Set(s.bwUtil[mem.TierFast])
 		reg.Gauge("bw_util", obs.Tier("slow")).Set(s.bwUtil[mem.TierSlow])
 	}
+	// The cost profiler closes its books first so a streaming sink sees
+	// this epoch's counter rows at its flush boundary; the batch
+	// exporters are insensitive to the order.
+	s.prof.FlushEpoch(s.epoch)
 	if f, ok := s.obs.(interface{ FlushEpoch(int) }); ok {
 		f.FlushEpoch(s.epoch)
 	}
-	s.prof.FlushEpoch(s.epoch)
 }
 
 // applyFaultWindows opens the epoch's injected substrate windows:

@@ -50,6 +50,18 @@ type Tiering interface {
 	EndEpoch(sys *System)
 }
 
+// Rescorer is optionally implemented by policies that can re-evaluate a
+// subset of applications between whole-epoch recomputes. When
+// Config.IncrementalRescore is set, the system invokes it with the
+// dirty set — newly admitted apps, a departing app, an app whose
+// intensity changed — right when the change lands, so quotas adjust in
+// the same epoch instead of one epoch late. Implementations must only
+// rescore the dirty apps (settled tenants keep their allocations) and
+// stay deterministic: the dirty slice arrives in admission order.
+type Rescorer interface {
+	Reevaluate(sys *System, dirty []*App)
+}
+
 // ProfilerFactory is optionally implemented by policies that bring their
 // own profiling mechanism (TPP: hint faults; Memtis: PEBS; Vulcan:
 // hybrid). Without it the system default applies.

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arrival-process workload generation: deterministic job churn for
+// dynamic runs. An ArrivalSpec describes either a Poisson arrival
+// process (mean rate per epoch) or an explicit schedule, stamped from a
+// template AppConfig; Plan expands it into the concrete admission /
+// departure sequence for a run horizon. Every draw is a pure hash of
+// (seed, coordinates) — the fault injector's idiom — so the plan for a
+// horizon is a value: batch runs, the serving daemon and a resumed
+// daemon all expand the identical sequence, and extending the horizon
+// never changes the prefix already expanded.
+
+// Arrival is one generated application instance.
+type Arrival struct {
+	// ID numbers instances in admission order, 0-based across the whole
+	// plan; it is stamped into the instance name.
+	ID int
+	// Epoch is the boundary at which the instance is admitted (the app
+	// starts with epoch Epoch+1's access simulation).
+	Epoch int
+	// Depart is the boundary at which the instance is stopped; 0 means
+	// it runs to the end of the scenario.
+	Depart int
+	// App is the resolved per-instance config: the spec's template with
+	// the instance name stamped in.
+	App AppConfig
+}
+
+// ScheduledArrival is one entry of an explicit arrival schedule.
+type ScheduledArrival struct {
+	// Epoch of admission.
+	Epoch int
+	// Lifetime in epochs; 0 runs to the end of the scenario.
+	Lifetime int
+}
+
+// ArrivalSpec describes a deterministic arrival process.
+type ArrivalSpec struct {
+	// Seed isolates the arrival stream from every other consumer of the
+	// scenario seed.
+	Seed uint64
+	// Rate is the Poisson mean, in arrivals per epoch. Mutually
+	// exclusive with Schedule.
+	Rate float64
+	// Template is the per-instance AppConfig; instance i is admitted as
+	// "<template-name>-a<i>" (three-digit, zero-padded).
+	Template AppConfig
+	// LifetimeMin/LifetimeMax bound the uniformly drawn instance
+	// lifetime in epochs. LifetimeMax 0 means instances run to the end.
+	LifetimeMin, LifetimeMax int
+	// MaxLive caps concurrently live generated instances; arrivals
+	// beyond the cap are dropped (not deferred), modeling loss-style
+	// admission control. 0 = unbounded.
+	MaxLive int
+	// Schedule, when non-empty, replaces the Poisson process with an
+	// explicit trace of arrivals.
+	Schedule []ScheduledArrival
+}
+
+// maxArrivalsPerEpoch bounds a single epoch's Poisson draw; beyond it
+// the tail probability is astronomically small for any sane rate, and
+// the bound keeps a mis-set rate from expanding an unbounded plan.
+const maxArrivalsPerEpoch = 64
+
+// Validate panics on malformed specs, mirroring AppConfig.Validate.
+func (s ArrivalSpec) Validate() {
+	if s.Template.Name == "" {
+		panic("workload: arrival spec without a template name")
+	}
+	if s.Rate < 0 {
+		panic(fmt.Sprintf("workload: arrival rate %g < 0", s.Rate))
+	}
+	if s.Rate > 0 && len(s.Schedule) > 0 {
+		panic("workload: arrival spec with both a rate and an explicit schedule")
+	}
+	if s.Rate == 0 && len(s.Schedule) == 0 {
+		panic("workload: arrival spec with neither a rate nor a schedule")
+	}
+	if s.LifetimeMin < 0 || s.LifetimeMax < 0 || (s.LifetimeMax > 0 && s.LifetimeMin > s.LifetimeMax) {
+		panic(fmt.Sprintf("workload: arrival lifetime range [%d, %d] is malformed", s.LifetimeMin, s.LifetimeMax))
+	}
+	for _, sc := range s.Schedule {
+		if sc.Epoch < 0 || sc.Lifetime < 0 {
+			panic(fmt.Sprintf("workload: scheduled arrival {epoch %d, lifetime %d} is malformed", sc.Epoch, sc.Lifetime))
+		}
+	}
+}
+
+// Plan expands the spec into the arrival sequence for a run of the
+// given epoch count, in (epoch, id) order. The expansion is a pure
+// function of the spec: any two calls agree on their common prefix.
+func (s ArrivalSpec) Plan(epochs int) []Arrival {
+	s.Validate()
+	var out []Arrival
+	id := 0
+	for e := 0; e < epochs; e++ {
+		n, scheduled := s.countAt(e)
+		for i := 0; i < n; i++ {
+			if s.MaxLive > 0 && liveAt(out, e) >= s.MaxLive {
+				break
+			}
+			lifetime := 0
+			if scheduled != nil {
+				lifetime = scheduled[i].Lifetime
+			} else if s.LifetimeMax > 0 {
+				span := s.LifetimeMax - s.LifetimeMin + 1
+				lifetime = s.LifetimeMin + int(s.u01(0x6c696665, uint64(id))*float64(span))
+			}
+			a := Arrival{ID: id, Epoch: e, App: s.Template}
+			a.App.Name = InstanceName(s.Template.Name, id)
+			if lifetime > 0 {
+				a.Depart = e + lifetime
+			}
+			out = append(out, a)
+			id++
+		}
+	}
+	return out
+}
+
+// InstanceName is the canonical name of arrival-plan instance id under
+// the given template prefix.
+func InstanceName(prefix string, id int) string {
+	return fmt.Sprintf("%s-a%03d", prefix, id)
+}
+
+// countAt returns the arrival count for one epoch, plus the matching
+// schedule entries when the spec is trace-driven (nil for Poisson).
+func (s ArrivalSpec) countAt(epoch int) (int, []ScheduledArrival) {
+	if len(s.Schedule) > 0 {
+		var at []ScheduledArrival
+		for _, sc := range s.Schedule {
+			if sc.Epoch == epoch {
+				at = append(at, sc)
+			}
+		}
+		return len(at), at
+	}
+	return s.poisson(epoch), nil
+}
+
+// poisson draws the epoch's arrival count by Knuth's method over the
+// counter-indexed uniform stream for that epoch.
+func (s ArrivalSpec) poisson(epoch int) int {
+	limit := math.Exp(-s.Rate)
+	k := 0
+	prod := 1.0
+	for draw := 0; ; draw++ {
+		prod *= s.u01(uint64(epoch), uint64(draw))
+		if prod <= limit {
+			return k
+		}
+		k++
+		if k >= maxArrivalsPerEpoch {
+			return k
+		}
+	}
+}
+
+// liveAt counts plan instances live at the given epoch boundary.
+func liveAt(plan []Arrival, epoch int) int {
+	n := 0
+	for _, a := range plan {
+		if a.Epoch <= epoch && (a.Depart == 0 || a.Depart > epoch) {
+			n++
+		}
+	}
+	return n
+}
+
+// u01 derives the uniform draw at coordinates (a, b): one SplitMix64
+// avalanche over the seed, the template identity and the per-component
+// odd multipliers (the fault injector's construction).
+func (s ArrivalSpec) u01(a, b uint64) float64 {
+	h := arrivalMix(arrivalMix(s.Seed^0x41525249564c5321) ^
+		arrivalHash(s.Template.Name)*0xff51afd7ed558ccd ^
+		a*0xc4ceb9fe1a85ec53 ^ b*0xd6e8feb86659fd93)
+	return float64(h>>11) / (1 << 53)
+}
+
+// arrivalMix is the SplitMix64 finalizer.
+func arrivalMix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// arrivalHash is FNV-1a, inlined to keep the package dependency-free.
+func arrivalHash(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 0x100000001b3
+	}
+	return h
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func arrivalTemplate() AppConfig {
+	cfg := NomadMicroConfig("churn", 4096, 1024, 0.2)
+	cfg.Threads = 1
+	return cfg
+}
+
+// sameArrivals compares plans on their identifying coordinates (the
+// AppConfig carries a generator closure, which defeats DeepEqual).
+func sameArrivals(a, b []Arrival) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Epoch != b[i].Epoch ||
+			a[i].Depart != b[i].Depart || a[i].App.Name != b[i].App.Name {
+			return false
+		}
+	}
+	return true
+}
+
+// TestArrivalPlanDeterministic pins the core contract: the plan is a
+// pure value of the spec, and a longer horizon extends the shorter
+// plan without disturbing its prefix.
+func TestArrivalPlanDeterministic(t *testing.T) {
+	spec := ArrivalSpec{Seed: 7, Rate: 0.4, Template: arrivalTemplate(),
+		LifetimeMin: 3, LifetimeMax: 10}
+	a := spec.Plan(60)
+	b := spec.Plan(60)
+	if !sameArrivals(a, b) {
+		t.Fatal("two expansions of the same spec disagree")
+	}
+	long := spec.Plan(120)
+	if len(long) < len(a) {
+		t.Fatalf("longer horizon produced fewer arrivals: %d < %d", len(long), len(a))
+	}
+	if !sameArrivals(long[:len(a)], a) {
+		t.Fatal("extending the horizon changed the already-expanded prefix")
+	}
+	if len(a) == 0 {
+		t.Fatal("rate 0.4 over 60 epochs produced no arrivals")
+	}
+	for i, ar := range a {
+		if ar.ID != i {
+			t.Fatalf("arrival %d has ID %d; IDs must be dense and ordered", i, ar.ID)
+		}
+		if ar.App.Name != InstanceName("churn", i) {
+			t.Fatalf("arrival %d named %q", i, ar.App.Name)
+		}
+		if ar.Depart != 0 && (ar.Depart-ar.Epoch < 3 || ar.Depart-ar.Epoch > 10) {
+			t.Fatalf("arrival %d lifetime %d outside [3, 10]", i, ar.Depart-ar.Epoch)
+		}
+	}
+}
+
+// TestArrivalPlanPoissonMean checks the sampler against its mean over a
+// long horizon (law of large numbers, generous tolerance).
+func TestArrivalPlanPoissonMean(t *testing.T) {
+	spec := ArrivalSpec{Seed: 11, Rate: 1.5, Template: arrivalTemplate()}
+	const epochs = 4000
+	got := float64(len(spec.Plan(epochs))) / epochs
+	if math.Abs(got-1.5) > 0.15 {
+		t.Fatalf("empirical rate %.3f, want 1.5 ± 0.15", got)
+	}
+}
+
+// TestArrivalPlanSeedsDiverge: different seeds give different plans.
+func TestArrivalPlanSeedsDiverge(t *testing.T) {
+	a := ArrivalSpec{Seed: 1, Rate: 0.5, Template: arrivalTemplate()}.Plan(80)
+	b := ArrivalSpec{Seed: 2, Rate: 0.5, Template: arrivalTemplate()}.Plan(80)
+	if sameArrivals(a, b) {
+		t.Fatal("seeds 1 and 2 expanded to identical plans")
+	}
+}
+
+// TestArrivalPlanMaxLive: the live-instance cap drops excess arrivals.
+func TestArrivalPlanMaxLive(t *testing.T) {
+	spec := ArrivalSpec{Seed: 3, Rate: 2, Template: arrivalTemplate(),
+		LifetimeMin: 5, LifetimeMax: 5, MaxLive: 2}
+	plan := spec.Plan(100)
+	for e := 0; e < 100; e++ {
+		if n := liveAt(plan, e); n > 2 {
+			t.Fatalf("epoch %d has %d live instances, cap is 2", e, n)
+		}
+	}
+	if len(plan) == 0 {
+		t.Fatal("cap 2 dropped every arrival")
+	}
+}
+
+// TestArrivalPlanSchedule: trace-driven expansion is literal.
+func TestArrivalPlanSchedule(t *testing.T) {
+	spec := ArrivalSpec{Seed: 9, Template: arrivalTemplate(),
+		Schedule: []ScheduledArrival{{Epoch: 2, Lifetime: 4}, {Epoch: 2}, {Epoch: 7, Lifetime: 1}}}
+	plan := spec.Plan(10)
+	if len(plan) != 3 {
+		t.Fatalf("got %d arrivals, want 3", len(plan))
+	}
+	want := []Arrival{
+		{ID: 0, Epoch: 2, Depart: 6},
+		{ID: 1, Epoch: 2, Depart: 0},
+		{ID: 2, Epoch: 7, Depart: 8},
+	}
+	for i, w := range want {
+		got := plan[i]
+		if got.ID != w.ID || got.Epoch != w.Epoch || got.Depart != w.Depart {
+			t.Fatalf("arrival %d = {id %d, epoch %d, depart %d}, want {id %d, epoch %d, depart %d}",
+				i, got.ID, got.Epoch, got.Depart, w.ID, w.Epoch, w.Depart)
+		}
+	}
+	// Entries beyond the horizon are not expanded.
+	if n := len(spec.Plan(5)); n != 2 {
+		t.Fatalf("horizon 5 expanded %d arrivals, want 2", n)
+	}
+}
+
+// TestArrivalSpecValidate: malformed specs panic.
+func TestArrivalSpecValidate(t *testing.T) {
+	bad := []ArrivalSpec{
+		{Rate: 1, Template: AppConfig{}},
+		{Rate: -1, Template: arrivalTemplate()},
+		{Template: arrivalTemplate()},
+		{Rate: 1, Template: arrivalTemplate(), Schedule: []ScheduledArrival{{Epoch: 1}}},
+		{Rate: 1, Template: arrivalTemplate(), LifetimeMin: 5, LifetimeMax: 2},
+	}
+	for i, spec := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("spec %d validated; want panic", i)
+				}
+			}()
+			spec.Validate()
+		}()
+	}
+}
